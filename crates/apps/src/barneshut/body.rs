@@ -1,0 +1,134 @@
+//! N-body particles and the direct-summation reference.
+
+use jade_transport::{PortDecoder, PortEncoder, Portable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Gravitational softening length (avoids singular close encounters).
+pub const SOFTENING: f64 = 0.05;
+
+/// One body: position, velocity, mass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Body {
+    /// Position.
+    pub pos: [f64; 3],
+    /// Velocity.
+    pub vel: [f64; 3],
+    /// Mass.
+    pub mass: f64,
+}
+
+impl Portable for Body {
+    fn encode(&self, enc: &mut PortEncoder) {
+        self.pos.encode(enc);
+        self.vel.encode(enc);
+        enc.put_f64(self.mass);
+    }
+    fn decode(dec: &mut PortDecoder<'_>) -> Self {
+        let pos = <[f64; 3]>::decode(dec);
+        let vel = <[f64; 3]>::decode(dec);
+        let mass = dec.get_f64();
+        Body { pos, vel, mass }
+    }
+    fn size_hint(&self) -> usize {
+        56
+    }
+}
+
+/// Generate a deterministic cluster of `n` bodies in the unit cube
+/// with a dense core (a crude Plummer-like profile).
+pub fn cluster(n: usize, seed: u64) -> Vec<Body> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            // Bias positions toward the center.
+            let r = |rng: &mut StdRng| {
+                let u: f64 = rng.gen_range(-1.0..1.0);
+                0.5 + 0.5 * u * u * u
+            };
+            Body {
+                pos: [r(&mut rng), r(&mut rng), r(&mut rng)],
+                vel: [
+                    rng.gen_range(-0.01..0.01),
+                    rng.gen_range(-0.01..0.01),
+                    rng.gen_range(-0.01..0.01),
+                ],
+                mass: rng.gen_range(0.5..1.5),
+            }
+        })
+        .collect()
+}
+
+/// Softened gravitational acceleration contribution of a point mass
+/// at `src` (mass `m`) on a body at `at`.
+#[inline]
+pub fn accel_from(at: &[f64; 3], src: &[f64; 3], m: f64) -> [f64; 3] {
+    let dx = src[0] - at[0];
+    let dy = src[1] - at[1];
+    let dz = src[2] - at[2];
+    let r2 = dx * dx + dy * dy + dz * dz + SOFTENING * SOFTENING;
+    let inv_r = 1.0 / r2.sqrt();
+    let f = m * inv_r * inv_r * inv_r;
+    [f * dx, f * dy, f * dz]
+}
+
+/// O(n²) direct-summation accelerations — the accuracy reference the
+/// Barnes-Hut approximation is checked against.
+pub fn direct_accels(bodies: &[Body]) -> Vec<[f64; 3]> {
+    let n = bodies.len();
+    let mut acc = vec![[0.0f64; 3]; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let a = accel_from(&bodies[i].pos, &bodies[j].pos, bodies[j].mass);
+            for k in 0..3 {
+                acc[i][k] += a[k];
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jade_transport::{roundtrip_same, DataLayout};
+
+    #[test]
+    fn bodies_are_portable() {
+        let b = Body { pos: [1.0, -2.0, 0.5], vel: [0.1, 0.0, -0.3], mass: 1.25 };
+        for l in DataLayout::all_presets() {
+            assert_eq!(roundtrip_same(&b, l), b);
+        }
+    }
+
+    #[test]
+    fn cluster_is_deterministic() {
+        assert_eq!(cluster(50, 3), cluster(50, 3));
+        assert_ne!(cluster(50, 3), cluster(50, 4));
+    }
+
+    #[test]
+    fn two_bodies_attract_each_other() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [1.0, 0.0, 0.0];
+        let acc = accel_from(&a, &b, 2.0);
+        assert!(acc[0] > 0.0, "a accelerates toward b");
+        assert_eq!(acc[1], 0.0);
+    }
+
+    #[test]
+    fn direct_accels_conserve_momentum_for_equal_masses() {
+        let mut bodies = cluster(20, 1);
+        for b in &mut bodies {
+            b.mass = 1.0;
+        }
+        let acc = direct_accels(&bodies);
+        for k in 0..3 {
+            let p: f64 = acc.iter().map(|a| a[k]).sum();
+            assert!(p.abs() < 1e-9, "momentum drift {p}");
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Barnes-Hut N-body (§7 kernel): octree construction, θ-gated force
+//! evaluation, and the Jade task decomposition over body groups.
+
+pub mod body;
+pub mod jade;
+pub mod partree;
+pub mod tree;
+
+pub use body::{cluster, direct_accels, Body};
+pub use jade::{run_jade, run_serial, BhHandles};
+pub use partree::{build_tree_parallel, run_partree};
+pub use tree::{OctNode, Octree};

@@ -1,0 +1,22 @@
+//! Sparse Cholesky factorization — the paper's running example (§3).
+//!
+//! * [`matrix`] — the sparse symmetric storage of Figures 1/2/5, with
+//!   symbolic fill so the factor's pattern is fixed up front;
+//! * [`serial`] — the sequential factorization and triangular solves
+//!   (the program Jade annotates);
+//! * [`jade`] — the two-`withonly` parallel version of Figure 6;
+//! * [`supernode`] — the §3.2 coarse-grain variant (supernode blocks
+//!   as shared objects);
+//! * [`backsubst`] — §4.1/§4.2: task-boundary vs `df_rd`-pipelined
+//!   back substitution.
+
+pub mod backsubst;
+pub mod jade;
+pub mod matrix;
+pub mod serial;
+pub mod supernode;
+
+pub use backsubst::{factor_then_subst, forward_subst_task, SubstMode};
+pub use jade::{download, factor_jade, factor_program, upload, JadeMatrix};
+pub use matrix::{SparsePattern, SparseSym};
+pub use supernode::{factor_super_program, supernodes, SuperMatrix};

@@ -1,0 +1,23 @@
+//! # jade-apps — the applications of the Jade paper
+//!
+//! Every application from §3 and §7 of *Heterogeneous Parallel
+//! Programming in Jade*, written once against the generic
+//! [`jade_core::ctx::JadeCtx`] interface and therefore runnable
+//! without modification on the serial elision, the shared-memory
+//! thread pool (`jade-threads`) and the simulated heterogeneous
+//! message-passing platforms (`jade-sim`) — reproducing the paper's
+//! portability claim.
+//!
+//! * [`cholesky`] — sparse Cholesky factorization (§3), supernodes
+//!   (§3.2) and pipelined back substitution (§4.2);
+//! * [`lws`] — the Liquid Water Simulation whose running times and
+//!   speedups are the paper's Figures 9 and 10 (§7.3);
+//! * [`pmake`] — parallel `make` (§7.1);
+//! * [`video`] — the HRV digital-image-processing pipeline (§7.2);
+//! * [`barneshut`] — the Barnes-Hut N-body kernel (§7).
+
+pub mod barneshut;
+pub mod cholesky;
+pub mod lws;
+pub mod pmake;
+pub mod video;

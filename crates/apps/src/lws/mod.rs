@@ -1,0 +1,10 @@
+//! LWS — the Liquid Water Simulation (§7.3), the application whose
+//! running times and speedups on the iPSC/860, Mica and DASH are the
+//! paper's Figures 9 and 10.
+
+pub mod jade;
+pub mod model;
+pub mod serial;
+
+pub use jade::{run_jade, timestep, upload, LwsHandles};
+pub use model::{WaterSystem, CUTOFF, PAIR_COST};

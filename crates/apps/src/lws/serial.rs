@@ -1,0 +1,66 @@
+//! Serial LWS: the sequential program the Jade version annotates.
+
+use super::model::{integrate, pair_interaction, WaterSystem};
+
+/// Compute all pairwise forces and the total potential energy, O(n²).
+pub fn compute_forces(sys: &WaterSystem) -> (Vec<[f64; 3]>, f64) {
+    let n = sys.n();
+    let mut forces = vec![[0.0f64; 3]; n];
+    let mut energy = 0.0;
+    for i in 0..n {
+        for j in i + 1..n {
+            let (f, e) = pair_interaction(&sys.pos[i], &sys.pos[j], sys.boxl);
+            for k in 0..3 {
+                forces[i][k] += f[k];
+                forces[j][k] -= f[k];
+            }
+            energy += e;
+        }
+    }
+    (forces, energy)
+}
+
+/// Run `steps` timesteps serially; returns the per-step potential
+/// energies (the observable used for cross-executor comparisons).
+pub fn run(sys: &mut WaterSystem, steps: usize, dt: f64) -> Vec<f64> {
+    let mut energies = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let (forces, energy) = compute_forces(sys);
+        let boxl = sys.boxl;
+        integrate(&mut sys.pos, &mut sys.vel, &forces, dt, boxl);
+        energies.push(energy);
+    }
+    energies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forces_sum_to_zero() {
+        let sys = WaterSystem::new(64, 3);
+        let (forces, _) = compute_forces(&sys);
+        for k in 0..3 {
+            let total: f64 = forces.iter().map(|f| f[k]).sum();
+            assert!(total.abs() < 1e-9, "net force component {k} = {total}");
+        }
+    }
+
+    #[test]
+    fn timesteps_are_deterministic() {
+        let mut a = WaterSystem::new(50, 5);
+        let mut b = WaterSystem::new(50, 5);
+        let ea = run(&mut a, 3, 0.001);
+        let eb = run(&mut b, 3, 0.001);
+        assert_eq!(ea, eb);
+        assert_eq!(a.pos, b.pos);
+    }
+
+    #[test]
+    fn energy_changes_as_system_evolves() {
+        let mut sys = WaterSystem::new(50, 5);
+        let e = run(&mut sys, 4, 0.005);
+        assert!(e.windows(2).any(|w| w[0] != w[1]), "energies never changed: {e:?}");
+    }
+}

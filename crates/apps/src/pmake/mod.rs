@@ -1,0 +1,18 @@
+//! Parallel `make` (§7.1).
+//!
+//! "In the Jade version of this program, the body of this loop is
+//! enclosed in a withonly-do construct that declares which files each
+//! recompilation command will access. As the loop executes, it
+//! generates a task to recompile each out-of-date file. The Jade
+//! implementation executes these tasks concurrently unless one
+//! command depends on the result of another command. The dynamic
+//! parallelism available in the recompilation process defeats static
+//! analysis: it depends on the makefile and on the modification dates
+//! of the files it accesses."
+
+pub mod jade;
+pub mod makefile;
+pub mod serial;
+
+pub use jade::{make_jade, MakeOutcome};
+pub use makefile::{FileState, Makefile, Rule};

@@ -1,0 +1,16 @@
+//! Digital image processing on the HRV workstation (§7.2).
+//!
+//! "A SPARC-based workstation uses a camera to capture and compress in
+//! hardware a sequence of video frames. It passes each frame to one of
+//! the i860-based graphics accelerators, which decompresses the frames
+//! in software, applies a simple digital transformation, and displays
+//! the frame on the HDTV monitor. The Jade version of this program
+//! consists of a loop with two withonly-do constructs."
+
+pub mod display;
+pub mod frames;
+pub mod pipeline;
+
+pub use display::{video_ordered_serial, video_pipeline_ordered, Monitor};
+pub use frames::{make_frame, rle_compress, rle_decompress, transform};
+pub use pipeline::{video_pipeline, video_serial, VideoResult};

@@ -1,0 +1,126 @@
+//! Property tests over the applications' mathematical invariants.
+
+use proptest::prelude::*;
+
+use jade_apps::barneshut;
+use jade_apps::cholesky::{self, SparsePattern, SparseSym};
+use jade_apps::lws::{self, WaterSystem};
+use jade_apps::pmake::{self, Makefile};
+use jade_apps::video;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Symbolic fill is idempotent and only ever adds entries.
+    #[test]
+    fn fill_is_monotone_and_idempotent(n in 2usize..24, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                (i + 1..n).filter(|_| rng.gen_bool(0.25)).collect()
+            })
+            .collect();
+        let base = SparsePattern::new(n, rows);
+        let filled = base.with_fill();
+        for i in 0..n {
+            for t in &base.rows[i] {
+                prop_assert!(filled.rows[i].contains(t), "fill dropped an entry");
+            }
+        }
+        prop_assert_eq!(filled.with_fill(), filled);
+    }
+
+    /// The Jade factorization reconstructs the input matrix.
+    #[test]
+    fn cholesky_reconstructs(n in 4usize..28, nnz in 1usize..5, seed in any::<u64>()) {
+        let a = SparseSym::random_spd(n, nnz, seed);
+        let (l, _) = jade_core::serial::run(|ctx| cholesky::factor_program(ctx, &a));
+        // Verify L·Lᵀ == A by comparing quadratic forms on a few
+        // vectors (cheaper than dense reconstruction, still sharp).
+        for k in 0..3u64 {
+            let x: Vec<f64> = (0..n).map(|i| ((i as u64 + 1) * (k + 3)) as f64 % 7.0 - 3.0).collect();
+            // y = Lᵀx ; xᵀAx must equal yᵀy.
+            let mut y = vec![0.0f64; n];
+            for j in 0..n {
+                y[j] += l.cols[j][0] * x[j];
+                for (idx, &t) in l.pattern.rows[j].iter().enumerate() {
+                    y[j] += l.cols[j][idx + 1] * x[t];
+                }
+            }
+            let yy: f64 = y.iter().map(|v| v * v).sum();
+            let ax = a.mul_vec(&x);
+            let xax: f64 = x.iter().zip(&ax).map(|(a, b)| a * b).sum();
+            let scale = xax.abs().max(1.0);
+            prop_assert!(((yy - xax) / scale).abs() < 1e-8, "yy={yy} xax={xax}");
+        }
+    }
+
+    /// Solving after factoring inverts the matrix.
+    #[test]
+    fn factor_solve_inverts(n in 4usize..24, seed in any::<u64>()) {
+        let a = SparseSym::random_spd(n, 3, seed);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 13 % 9) as f64) - 4.0).collect();
+        let b = a.mul_vec(&x_true);
+        let mut l = a.clone();
+        cholesky::serial::factor(&mut l);
+        let x = cholesky::serial::solve(&l, &b);
+        for (g, w) in x.iter().zip(&x_true) {
+            prop_assert!((g - w).abs() < 1e-7, "{g} vs {w}");
+        }
+    }
+
+    /// Jade make always equals serial make, for arbitrary DAGs and
+    /// arbitrary subsets of already-built targets.
+    #[test]
+    fn make_matches_serial(n_rules in 1usize..30, seed in any::<u64>(), built_mask in any::<u32>()) {
+        let mut mk = Makefile::random_dag(n_rules, seed);
+        // Mark a pseudo-random subset of targets as already built.
+        for (i, rule) in mk.rules.clone().iter().enumerate() {
+            if built_mask & (1 << (i % 32)) != 0 {
+                mk.built(&rule.target, 2 + (i as u64 % 3));
+            }
+        }
+        let want = pmake::serial::make_serial(&mk);
+        let (got, _) = jade_core::serial::run(|ctx| pmake::make_jade(ctx, &mk));
+        prop_assert_eq!(&got.files, &want.files);
+        let want_set: std::collections::HashSet<String> =
+            want.rebuilt.iter().cloned().collect();
+        prop_assert_eq!(&got.rebuilt, &want_set);
+    }
+
+    /// LWS positions are bitwise independent of the block count.
+    #[test]
+    fn lws_block_invariance(n in 8usize..48, seed in any::<u64>(), b1 in 1usize..6, b2 in 6usize..12) {
+        let sys = WaterSystem::new(n, seed);
+        let ((_, s1), _) = jade_core::serial::run(|ctx| lws::run_jade(ctx, &sys, b1, 2, 0.002));
+        let ((_, s2), _) = jade_core::serial::run(|ctx| lws::run_jade(ctx, &sys, b2, 2, 0.002));
+        prop_assert_eq!(s1.pos, s2.pos);
+        prop_assert_eq!(s1.vel, s2.vel);
+    }
+
+    /// RLE compression is lossless on arbitrary bytes.
+    #[test]
+    fn rle_lossless(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let c = video::rle_compress(&data);
+        prop_assert_eq!(video::rle_decompress(&c), data);
+    }
+
+    /// The octree always preserves total mass and body count, and its
+    /// exact-mode traversal matches direct summation.
+    #[test]
+    fn octree_invariants(n in 1usize..60, seed in any::<u64>()) {
+        let bodies = barneshut::cluster(n, seed);
+        let tree = barneshut::Octree::build(&bodies);
+        prop_assert_eq!(tree.nodes[0].count as usize, n);
+        let total: f64 = bodies.iter().map(|b| b.mass).sum();
+        prop_assert!((tree.nodes[0].mass - total).abs() < 1e-9);
+        let direct = barneshut::direct_accels(&bodies);
+        for (i, b) in bodies.iter().enumerate() {
+            let a = tree.accel(&b.pos, i as i64, 1e-9);
+            for k in 0..3 {
+                prop_assert!((a[k] - direct[i][k]).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Criterion versions of the design-choice ablations (DESIGN.md
+//! A1-A4): each measures the simulated completion time under both
+//! settings so regressions in either the mechanism or its benefit are
+//! caught by `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use jade_apps::cholesky::{self, SparseSym, SubstMode};
+use jade_sim::{Platform, SimExecutor};
+
+fn locality_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("A1-locality");
+    g.sample_size(10);
+    let a = SparseSym::random_spd(80, 4, 5);
+    for on in [true, false] {
+        g.bench_function(format!("cholesky mica x4, locality={on}"), |b| {
+            b.iter(|| {
+                let a = a.clone();
+                let (_, r) = SimExecutor::new(Platform::mica(4))
+                    .locality(on)
+                    .run(move |ctx| cholesky::factor_program(ctx, &a));
+                black_box(r.time)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn lookahead_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("A2-latency-hiding");
+    g.sample_size(10);
+    let a = SparseSym::random_spd(80, 4, 6);
+    for depth in [0usize, 2] {
+        g.bench_function(format!("cholesky ipsc860 x4, lookahead={depth}"), |b| {
+            b.iter(|| {
+                let a = a.clone();
+                let (_, r) = SimExecutor::new(Platform::ipsc860(4))
+                    .lookahead(depth)
+                    .run(move |ctx| cholesky::factor_program(ctx, &a));
+                black_box(r.time)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn granularity_ablation(c: &mut Criterion) {
+    // Columnwise vs supernodal task/data grain (§3.2).
+    let mut g = c.benchmark_group("grain-supernodes");
+    g.sample_size(10);
+    let a = SparseSym::random_spd(100, 6, 7);
+    g.bench_function("columnwise dash x4", |b| {
+        b.iter(|| {
+            let a = a.clone();
+            let (_, r) = SimExecutor::new(Platform::dash(4))
+                .run(move |ctx| cholesky::factor_program(ctx, &a));
+            black_box(r.time)
+        })
+    });
+    g.bench_function("supernodal dash x4", |b| {
+        b.iter(|| {
+            let a = a.clone();
+            let (_, r) = SimExecutor::new(Platform::dash(4))
+                .run(move |ctx| cholesky::factor_super_program(ctx, &a));
+            black_box(r.time)
+        })
+    });
+    g.finish();
+}
+
+fn pipelining_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("A4-pipelining");
+    g.sample_size(10);
+    let a = SparseSym::random_spd(80, 4, 8);
+    let rhs: Vec<f64> = (0..80).map(|i| 1.0 + i as f64).collect();
+    for mode in [SubstMode::TaskBoundary, SubstMode::Pipelined] {
+        g.bench_function(format!("factor+subst dash x2, {mode:?}"), |b| {
+            b.iter(|| {
+                let (a, rhs) = (a.clone(), rhs.clone());
+                let (_, r) = SimExecutor::new(Platform::dash(2))
+                    .run(move |ctx| cholesky::factor_then_subst(ctx, &a, &rhs, mode));
+                black_box(r.time)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    locality_ablation,
+    lookahead_ablation,
+    granularity_ablation,
+    pipelining_ablation
+);
+criterion_main!(benches);

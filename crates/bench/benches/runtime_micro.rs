@@ -1,0 +1,162 @@
+//! Microbenchmarks of the runtime costs the paper's §8 discusses:
+//! "The run-time overhead associated with detecting and managing
+//! dynamic concurrency limits the grain size that Jade programs can
+//! efficiently use." Task creation/retirement, dynamic access checks,
+//! with-cont updates, and the typed transport with and without format
+//! conversion.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use jade_core::graph::DepGraph;
+use jade_core::ids::{Placement, TaskId};
+use jade_core::prelude::*;
+use jade_core::spec::SpecBuilder;
+use jade_threads::ThreadedExecutor;
+use jade_transport::{DataLayout, Message, MsgKind, PortDecoder, PortEncoder, Portable};
+
+fn engine_task_lifecycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("create+finish independent task", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut g = DepGraph::new();
+                let o = g.create_object(TaskId::ROOT);
+                (g, o)
+            },
+            |(g, o)| {
+                let mut sb = SpecBuilder::new();
+                sb.rd_wr(*o);
+                let (tid, _) = g
+                    .create_task(TaskId::ROOT, "t", sb.build().0, Placement::Any)
+                    .unwrap();
+                g.start_task(tid);
+                g.finish_task(tid);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("access check (granted)", |b| {
+        let mut g = DepGraph::new();
+        let o = g.create_object(TaskId::ROOT);
+        let mut sb = SpecBuilder::new();
+        sb.rd_wr(o);
+        let (tid, _) = g.create_task(TaskId::ROOT, "t", sb.build().0, Placement::Any).unwrap();
+        g.start_task(tid);
+        b.iter(|| {
+            black_box(g.check_access(tid, o, AccessKind::Read).unwrap());
+        })
+    });
+    g.bench_function("with_cont convert+retire", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut g = DepGraph::new();
+                let o = g.create_object(TaskId::ROOT);
+                let mut sb = SpecBuilder::new();
+                sb.df_rd(o);
+                let (t1, _) =
+                    g.create_task(TaskId::ROOT, "t1", sb.build().0, Placement::Any).unwrap();
+                g.start_task(t1);
+                (g, o, t1)
+            },
+            |(g, o, t1)| {
+                let (blocked, _) = g
+                    .with_cont(*t1, vec![(*o, jade_core::spec::ContOp::ToRd)])
+                    .unwrap();
+                assert!(!blocked);
+                g.with_cont(*t1, vec![(*o, jade_core::spec::ContOp::NoRd)]).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn threaded_task_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("threaded");
+    g.sample_size(10);
+    for tasks in [256u64, 1024] {
+        g.throughput(Throughput::Elements(tasks));
+        g.bench_function(format!("{tasks} tasks, 4 workers"), |b| {
+            let exec = ThreadedExecutor::new(4);
+            b.iter(|| {
+                let (v, _) = exec.run(|ctx| {
+                    let xs: Vec<Shared<f64>> = (0..32).map(|i| ctx.create(i as f64)).collect();
+                    for i in 0..tasks {
+                        let x = xs[(i % 32) as usize];
+                        ctx.withonly("inc", |s| { s.rd_wr(x); }, move |c| {
+                            *c.wr(&x) += 1.0;
+                        });
+                    }
+                    xs.iter().map(|x| *ctx.rd(x)).sum::<f64>()
+                });
+                black_box(v);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn transport_conversion(c: &mut Criterion) {
+    let column: Vec<f64> = (0..4096).map(|i| i as f64 * 0.5).collect();
+    let bytes = 8 * column.len() as u64;
+    let mut g = c.benchmark_group("transport");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("encode+decode column, native layout", |b| {
+        b.iter(|| {
+            let mut e = PortEncoder::new(DataLayout::x86_64());
+            column.encode(&mut e);
+            let buf = e.finish();
+            let mut d = PortDecoder::new(&buf, DataLayout::x86_64());
+            black_box(Vec::<f64>::decode(&mut d));
+        })
+    });
+    g.bench_function("encode+decode column, byte-swapped wire", |b| {
+        b.iter(|| {
+            let mut e = PortEncoder::new(DataLayout::sparc());
+            column.encode(&mut e);
+            let buf = e.finish();
+            let mut d = PortDecoder::new(&buf, DataLayout::sparc());
+            black_box(Vec::<f64>::decode(&mut d));
+        })
+    });
+    g.bench_function("message pack+unpack (typed, sparc wire)", |b| {
+        b.iter(|| {
+            let msg = Message::pack(MsgKind::ObjectMove, 0, 1, 7, DataLayout::sparc(), &column);
+            black_box(msg.unpack::<Vec<f64>>());
+        })
+    });
+    g.finish();
+}
+
+fn serial_elision_overhead(c: &mut Criterion) {
+    // The cost of running a Jade program serially versus plain code:
+    // the paper's hierarchical-model argument wants this small.
+    let mut g = c.benchmark_group("elision");
+    g.throughput(Throughput::Elements(512));
+    g.bench_function("serial elision, 512 checked tasks", |b| {
+        b.iter(|| {
+            let (v, _) = jade_core::serial::run(|ctx| {
+                let acc = ctx.create(0.0f64);
+                for _ in 0..512 {
+                    ctx.withonly("t", |s| { s.rd_wr(acc); }, move |c| {
+                        *c.wr(&acc) += 1.0;
+                    });
+                }
+                *ctx.rd(&acc)
+            });
+            black_box(v)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    engine_task_lifecycle,
+    threaded_task_throughput,
+    transport_conversion,
+    serial_elision_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 10 — speedups for the Liquid Water Simulation runs of
+//! Figure 9 (each platform's time at P processors relative to its own
+//! 1-processor time).
+//!
+//! Run: `cargo run --release -p jade-bench --bin fig10_lws_speedup`
+//! (pass a molecule count to override, e.g. `-- 500`)
+
+use jade_bench::{fig9_proc_counts, lws_sim, platform_by_name, row};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2197);
+    let steps = 1;
+    println!("LWS speedups, {n} molecules, {steps} interaction step\n");
+
+    let platforms = ["dash", "ipsc860", "mica"];
+    let procs = [1usize, 2, 4, 8, 16, 32];
+    let header: Vec<String> = std::iter::once("procs".to_string())
+        .chain(platforms.iter().map(|p| p.to_string()))
+        .collect();
+    println!("{}", row(&header, 10));
+
+    let mut speedups: Vec<Vec<Option<f64>>> = Vec::new();
+    let mut base: Vec<f64> = Vec::new();
+    for name in platforms {
+        base.push(lws_sim(platform_by_name(name, 1), n, steps, 2197).time.as_secs_f64());
+    }
+    for &p in &procs {
+        let mut cells = vec![p.to_string()];
+        let mut rowvals = Vec::new();
+        for (ci, name) in platforms.iter().enumerate() {
+            if fig9_proc_counts(name).contains(&p) {
+                let t = lws_sim(platform_by_name(name, p), n, steps, 2197).time.as_secs_f64();
+                let s = base[ci] / t;
+                cells.push(format!("{s:.2}"));
+                rowvals.push(Some(s));
+            } else {
+                cells.push("-".to_string());
+                rowvals.push(None);
+            }
+        }
+        println!("{}", row(&cells, 10));
+        speedups.push(rowvals);
+    }
+
+    // Shape assertions: good scaling on DASH/iPSC at 8 procs, Mica
+    // clearly behind at 8+; DASH ahead of Mica at 16.
+    let s = |r: usize, c: usize| speedups[r][c].unwrap();
+    assert!(s(3, 0) > 5.0, "DASH speedup at 8 procs too low: {}", s(3, 0));
+    assert!(s(3, 1) > 4.0, "iPSC speedup at 8 procs too low: {}", s(3, 1));
+    assert!(s(4, 0) > s(4, 2), "DASH must out-scale Mica at 16 procs");
+    assert!(s(3, 2) < s(3, 0), "Mica must trail DASH at 8 procs");
+    println!("\nshape: near-linear DASH, close iPSC/860, early-saturating Mica — Figure 10.");
+}

@@ -1,0 +1,51 @@
+//! Figure 9 — running times for the Liquid Water Simulation on the
+//! Intel iPSC/860, the Mica Ethernet array and the Stanford DASH,
+//! versus processor count. 2197 molecules, as in the paper.
+//!
+//! Absolute 1992 seconds are not reproducible; the *shape* is the
+//! target: all three platforms descend with added processors, DASH
+//! scales furthest, the iPSC/860 tracks it closely, and Mica's shared
+//! 10 Mbit Ethernet flattens early.
+//!
+//! Run: `cargo run --release -p jade-bench --bin fig9_lws_times`
+//! (pass a molecule count to override, e.g. `-- 500` for a quick run)
+
+use jade_bench::{fig9_proc_counts, lws_sim, platform_by_name, row};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2197);
+    let steps = 1;
+    println!("LWS running times, {n} molecules, {steps} interaction step (simulated seconds)\n");
+
+    let platforms = ["dash", "ipsc860", "mica"];
+    let all_procs: Vec<usize> = vec![1, 2, 4, 8, 16, 32];
+    let header: Vec<String> = std::iter::once("procs".to_string())
+        .chain(platforms.iter().map(|p| p.to_string()))
+        .collect();
+    println!("{}", row(&header, 10));
+
+    let mut table: Vec<Vec<String>> = Vec::new();
+    for &p in &all_procs {
+        let mut cells = vec![p.to_string()];
+        for name in platforms {
+            if fig9_proc_counts(name).contains(&p) {
+                let r = lws_sim(platform_by_name(name, p), n, steps, 2197);
+                cells.push(format!("{:.3}", r.time.as_secs_f64()));
+            } else {
+                cells.push("-".to_string());
+            }
+        }
+        println!("{}", row(&cells, 10));
+        table.push(cells);
+    }
+
+    // Shape assertions (the figure's qualitative content).
+    let t = |r: usize, c: usize| table[r][c].parse::<f64>().unwrap();
+    // Times fall from 1 to 8 processors on every platform.
+    for c in 1..=3 {
+        assert!(t(3, c) < t(0, c), "platform {} does not speed up", platforms[c - 1]);
+    }
+    // At 16 processors DASH beats Mica (Ethernet saturation).
+    assert!(t(4, 1) < t(4, 3), "DASH should beat Mica at 16 procs");
+    println!("\nshape: every platform speeds up; DASH < iPSC/860 << Mica at scale, as in Figure 9.");
+}

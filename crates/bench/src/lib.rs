@@ -1,0 +1,77 @@
+//! # jade-bench — figure/table regeneration and benchmark helpers
+//!
+//! One binary per artifact of the paper's evaluation (see DESIGN.md's
+//! experiment index):
+//!
+//! | binary             | paper artifact |
+//! |--------------------|----------------|
+//! | `fig4_taskgraph`   | Figure 4 — dynamic task graph of sparse Cholesky |
+//! | `fig7_trace`       | Figure 7 — execution narrative on two message-passing machines |
+//! | `fig9_lws_times`   | Figure 9 — LWS running times on iPSC/860, Mica, DASH |
+//! | `fig10_lws_speedup`| Figure 10 — LWS speedups for the same runs |
+//! | `t1_constructs`    | §7.3 in-text counts: lines + Jade constructs added |
+//! | `exp_make`         | §7.1 — parallel make |
+//! | `exp_video`        | §7.2 — HRV video pipeline throughput |
+//! | `exp_dsm_baseline` | §6.1 — page-DSM false-sharing baseline |
+//! | `exp_ablations`    | §5 — locality, latency hiding, throttling, §4.2 pipelining |
+
+use jade_apps::lws::{self, WaterSystem};
+use jade_sim::{Platform, SimExecutor, SimReport};
+
+/// Run one LWS configuration on a simulated platform and report it.
+pub fn lws_sim(platform: Platform, n: usize, steps: usize, seed: u64) -> SimReport {
+    let sys = WaterSystem::new(n, seed);
+    let blocks = (4 * platform.len()).max(4);
+    let (_, report) =
+        SimExecutor::new(platform).run(move |ctx| lws::run_jade(ctx, &sys, blocks, steps, 0.002));
+    report
+}
+
+/// The machine counts used for the Figure 9/10 sweeps.
+pub fn fig9_proc_counts(platform_name: &str) -> &'static [usize] {
+    match platform_name {
+        // The shared Ethernet stops being interesting past 16 nodes.
+        "mica" => &[1, 2, 4, 8, 16],
+        _ => &[1, 2, 4, 8, 16, 32],
+    }
+}
+
+/// Build a platform preset by name.
+pub fn platform_by_name(name: &str, machines: usize) -> Platform {
+    match name {
+        "dash" => Platform::dash(machines),
+        "ipsc860" => Platform::ipsc860(machines),
+        "mica" => Platform::mica(machines),
+        "hetnet" => Platform::workstations(machines),
+        other => panic!("unknown platform '{other}'"),
+    }
+}
+
+/// Format a row of right-aligned cells.
+pub fn row(cells: &[String], width: usize) -> String {
+    cells.iter().map(|c| format!("{c:>width$}")).collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lws_sim_smoke() {
+        let r = lws_sim(Platform::dash(2), 60, 1, 1);
+        assert!(r.time > jade_sim::SimTime::ZERO);
+        assert_eq!(r.machines, 2);
+    }
+
+    #[test]
+    fn platform_lookup() {
+        assert_eq!(platform_by_name("dash", 4).len(), 4);
+        assert_eq!(platform_by_name("mica", 2).name, "mica");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown platform")]
+    fn unknown_platform_panics() {
+        platform_by_name("cray", 1);
+    }
+}

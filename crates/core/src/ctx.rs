@@ -1,0 +1,274 @@
+//! The Jade programming interface: what a task body sees.
+//!
+//! [`JadeCtx`] is the Rust rendering of the paper's language
+//! constructs. A Jade program is a function generic over `C: JadeCtx`;
+//! the same program text runs unmodified on the serial elision, the
+//! shared-memory thread pool, and the heterogeneous message-passing
+//! simulator — reproducing the paper's central portability claim
+//! ("There are no source code modifications required to port Jade
+//! applications between these platforms", §7).
+//!
+//! | Paper construct                      | This API                          |
+//! |--------------------------------------|-----------------------------------|
+//! | `double shared *v`                   | `Shared<Vec<f64>>`                |
+//! | `withonly { spec } do (args) { ... }` | `ctx.withonly(label, spec, body)` |
+//! | `rd(o); wr(o); rd_wr(o)`             | `SpecBuilder::{rd,wr,rd_wr}`      |
+//! | `df_rd(o); df_wr(o)`                 | `SpecBuilder::{df_rd,df_wr}`      |
+//! | `with { rd(o) } cont;`               | `ctx.with_cont(\|c\| { c.to_rd(o); })` |
+//! | `with { no_rd(o) } cont;`            | `ctx.with_cont(\|c\| { c.no_rd(o); })` |
+//! | §4.3 commuting update                | `SpecBuilder::cm` + `ctx.cm(&h)`  |
+//! | reading/writing a shared object      | `ctx.rd(&h)` / `ctx.wr(&h)` guards |
+//!
+//! Guards perform Jade's *dynamic access checking*: acquiring one
+//! verifies the declaration and its enabling, and the check is
+//! amortized over every raw access made through the guard — exactly
+//! the global-to-local translation + check the paper describes.
+
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Mutex, RawRwLock, RwLock};
+
+use crate::error::JadeError;
+use crate::handle::{Object, Shared};
+use crate::ids::{ObjectId, TaskId};
+use crate::spec::{AccessKind, ContBuilder, DeclRights, SpecBuilder};
+
+/// Tracks which guards a running task currently holds, so the runtime
+/// can reject creating a child whose declarations conflict with a
+/// guard still held by the creator (the child's serial position would
+/// be ambiguous otherwise).
+#[derive(Debug, Clone, Default)]
+pub struct HoldSet {
+    inner: Arc<Mutex<HashMap<ObjectId, (u32, u32)>>>,
+}
+
+impl HoldSet {
+    /// Create an empty hold set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record acquisition of a guard; the returned token releases the
+    /// hold when dropped. Commuting-update guards count as writes
+    /// (they grant exclusive mutable access).
+    pub fn acquire(&self, object: ObjectId, kind: AccessKind) -> HoldToken {
+        let mut map = self.inner.lock();
+        let e = map.entry(object).or_insert((0, 0));
+        match kind {
+            AccessKind::Read => e.0 += 1,
+            AccessKind::Write | AccessKind::Commute => e.1 += 1,
+        }
+        HoldToken { set: self.inner.clone(), object, kind }
+    }
+
+    /// Whether a child declaring `rights` on `object` would conflict
+    /// with guards currently held.
+    pub fn conflicts(&self, object: ObjectId, rights: DeclRights) -> bool {
+        let map = self.inner.lock();
+        match map.get(&object) {
+            None | Some((0, 0)) => false,
+            Some((_reads, writes)) => {
+                // A held write guard conflicts with any child access;
+                // a held read guard conflicts with a child write.
+                *writes > 0 || rights.write.is_active()
+            }
+        }
+    }
+
+    /// Whether any guard is currently held (used by executors to
+    /// assert clean task completion).
+    pub fn any_held(&self) -> bool {
+        self.inner.lock().values().any(|&(r, w)| r > 0 || w > 0)
+    }
+}
+
+/// RAII token recording one held guard.
+#[derive(Debug)]
+pub struct HoldToken {
+    set: Arc<Mutex<HashMap<ObjectId, (u32, u32)>>>,
+    object: ObjectId,
+    kind: AccessKind,
+}
+
+impl Drop for HoldToken {
+    fn drop(&mut self) {
+        let mut map = self.set.lock();
+        if let Some(e) = map.get_mut(&self.object) {
+            match self.kind {
+                AccessKind::Read => e.0 = e.0.saturating_sub(1),
+                AccessKind::Write | AccessKind::Commute => e.1 = e.1.saturating_sub(1),
+            }
+        }
+    }
+}
+
+/// Shared read access to a shared object, checked against the task's
+/// access specification.
+pub struct ReadGuard<T: Object> {
+    inner: ArcRwLockReadGuard<RawRwLock, T>,
+    _hold: HoldToken,
+}
+
+impl<T: Object> ReadGuard<T> {
+    /// Build a guard from the local version's lock and a hold token.
+    /// Executor-internal; applications receive guards from `ctx.rd`.
+    pub fn new(lock: Arc<RwLock<T>>, hold: HoldToken) -> Self {
+        ReadGuard { inner: RwLock::read_arc(&lock), _hold: hold }
+    }
+}
+
+impl<T: Object> Deref for ReadGuard<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// Exclusive write access to a shared object, checked against the
+/// task's access specification.
+pub struct WriteGuard<T: Object> {
+    inner: ArcRwLockWriteGuard<RawRwLock, T>,
+    _hold: HoldToken,
+}
+
+impl<T: Object> WriteGuard<T> {
+    /// Build a guard from the local version's lock and a hold token.
+    pub fn new(lock: Arc<RwLock<T>>, hold: HoldToken) -> Self {
+        WriteGuard { inner: RwLock::write_arc(&lock), _hold: hold }
+    }
+}
+
+impl<T: Object> Deref for WriteGuard<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: Object> DerefMut for WriteGuard<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// The execution context a Jade program runs against.
+///
+/// All Jade applications in this repository are written as functions
+/// generic over `C: JadeCtx`, which is what makes them run unmodified
+/// on every executor.
+pub trait JadeCtx: Sized {
+    /// Allocate a shared object with a debug name, returning its
+    /// globally valid handle. The creating task holds an implicit
+    /// immediate `rd_wr` declaration so it can initialize the object.
+    fn create_named<T: Object>(&mut self, name: &str, value: T) -> Shared<T>;
+
+    /// Allocate an anonymous shared object.
+    fn create<T: Object>(&mut self, value: T) -> Shared<T> {
+        self.create_named("object", value)
+    }
+
+    /// The `withonly { spec } do (args) { body }` construct: create a
+    /// task whose body will execute with only the accesses declared by
+    /// `spec`. The body runs asynchronously (or inline, under
+    /// throttling or in the serial elision); Jade guarantees the
+    /// observable results equal those of inline execution here.
+    ///
+    /// # Panics
+    /// Panics with a [`JadeError`] description if the specification
+    /// violates the Jade rules (uncovered child access, unknown
+    /// object, conflict with a guard the creator still holds).
+    fn withonly<S, F>(&mut self, label: &str, spec: S, body: F)
+    where
+        S: FnOnce(&mut SpecBuilder),
+        F: FnOnce(&mut Self) + Send + 'static;
+
+    /// The `with { changes } cont;` construct: update the running
+    /// task's access specification. Converting a deferred declaration
+    /// to immediate may suspend the task until the access is enabled.
+    fn with_cont<C>(&mut self, changes: C)
+    where
+        C: FnOnce(&mut ContBuilder);
+
+    /// Checked read access (`rd` declared or converted). May suspend
+    /// until the declaration is enabled (e.g. after a child task was
+    /// created that writes the object).
+    fn rd<T: Object>(&mut self, h: &Shared<T>) -> ReadGuard<T>;
+
+    /// Checked write access (`wr`/`rd_wr` declared or converted).
+    fn wr<T: Object>(&mut self, h: &Shared<T>) -> WriteGuard<T>;
+
+    /// Checked commuting-update access (`cm` declared, §4.3): grants
+    /// exclusive mutable access like a write, but the runtime may
+    /// schedule the declaring tasks' updates in any order. The update
+    /// performed through the guard must genuinely commute with the
+    /// other declared updates for results to stay deterministic.
+    /// The exclusivity is held until the task completes or issues
+    /// `no_cm` in a `with-cont`.
+    fn cm<T: Object>(&mut self, h: &Shared<T>) -> WriteGuard<T>;
+
+    /// Account `work` abstract work units to the running task. Real
+    /// executors ignore this (wall-clock time is real); the
+    /// discrete-event simulator advances the executing machine's clock
+    /// by `work / machine_speed`.
+    fn charge(&mut self, work: f64);
+
+    /// Number of machines (or worker threads) in the executing
+    /// platform — the paper's §4.5 gives programs access to this for
+    /// granularity decisions.
+    fn machines(&self) -> usize;
+
+    /// The identity of the currently executing task.
+    fn task(&self) -> TaskId;
+}
+
+/// Panic with a uniform message for programming-model violations.
+#[cold]
+pub fn violation(err: JadeError) -> ! {
+    panic!("Jade programming model violation: {err}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hold_set_counts_and_conflicts() {
+        let hs = HoldSet::new();
+        let o = ObjectId(1);
+        assert!(!hs.conflicts(o, DeclRights::WR));
+        let t = hs.acquire(o, AccessKind::Read);
+        // Held read conflicts with child write but not child read.
+        assert!(hs.conflicts(o, DeclRights::WR));
+        assert!(!hs.conflicts(o, DeclRights::RD));
+        drop(t);
+        assert!(!hs.conflicts(o, DeclRights::WR));
+    }
+
+    #[test]
+    fn held_write_conflicts_with_any_child_access() {
+        let hs = HoldSet::new();
+        let o = ObjectId(2);
+        let _t = hs.acquire(o, AccessKind::Write);
+        assert!(hs.conflicts(o, DeclRights::RD));
+        assert!(hs.conflicts(o, DeclRights::WR));
+        assert!(hs.any_held());
+    }
+
+    #[test]
+    fn guards_deref_to_value() {
+        let hs = HoldSet::new();
+        let lock = Arc::new(RwLock::new(vec![1.0f64, 2.0]));
+        {
+            let g = ReadGuard::new(lock.clone(), hs.acquire(ObjectId(1), AccessKind::Read));
+            assert_eq!(g[1], 2.0);
+        }
+        {
+            let mut g = WriteGuard::new(lock.clone(), hs.acquire(ObjectId(1), AccessKind::Write));
+            g[0] = 9.0;
+        }
+        assert!(!hs.any_held());
+        assert_eq!(lock.read()[0], 9.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Errors the Jade runtime reports for access-specification
+//! violations and malformed programs.
+//!
+//! Jade performs *dynamic access checking* (paper §5): "The Jade
+//! implementation dynamically checks each task's accesses to ensure
+//! that its access specification is correct. If a task attempts to
+//! perform an undeclared access, the implementation generates an
+//! error." These are programming errors, so the high-level `Ctx` API
+//! panics with the formatted error; the engine itself returns
+//! `Result` so violations are also testable without unwinding.
+
+use std::fmt;
+
+use crate::ids::{ObjectId, TaskId};
+use crate::spec::AccessKind;
+
+/// A violation of the Jade programming model detected at run time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JadeError {
+    /// A task accessed an object it never declared.
+    UndeclaredAccess {
+        /// Offending task.
+        task: TaskId,
+        /// Object that was touched.
+        object: ObjectId,
+        /// The kind of access attempted.
+        kind: AccessKind,
+    },
+    /// A task accessed an object whose declaration is still deferred;
+    /// it must first convert it with a `with-cont` (`to_rd`/`to_wr`).
+    DeferredAccess {
+        /// Offending task.
+        task: TaskId,
+        /// Object with only a deferred declaration.
+        object: ObjectId,
+        /// The kind of access attempted.
+        kind: AccessKind,
+    },
+    /// A task accessed an object after retiring its declaration with
+    /// `no_rd`/`no_wr`.
+    RetiredAccess {
+        /// Offending task.
+        task: TaskId,
+        /// Object whose declaration was retired.
+        object: ObjectId,
+        /// The kind of access attempted.
+        kind: AccessKind,
+    },
+    /// A child task declared an access its parent (or the nearest
+    /// rights-holding ancestor) did not declare. The paper §4.4: "The
+    /// access specification of a task that hierarchically creates
+    /// child tasks must declare both its own accesses and the accesses
+    /// performed by all of its child tasks."
+    NotCovered {
+        /// The parent task whose specification lacks the right.
+        parent: TaskId,
+        /// The child being created.
+        child_label: String,
+        /// Object in question.
+        object: ObjectId,
+        /// The right the child wanted.
+        kind: AccessKind,
+    },
+    /// A `with-cont` tried to convert or retire a declaration the task
+    /// never made.
+    UnknownDeclaration {
+        /// Offending task.
+        task: TaskId,
+        /// Object that was never declared.
+        object: ObjectId,
+    },
+    /// An operation referenced an object id that was never created
+    /// (or whose storage is gone).
+    UnknownObject(ObjectId),
+    /// A task created a child whose declaration conflicts with a guard
+    /// the task itself still holds. Guards must be dropped before
+    /// spawning a conflicting child so the child's serial position is
+    /// unambiguous.
+    ChildConflictsWithHeldGuard {
+        /// The creating (and guard-holding) task.
+        parent: TaskId,
+        /// The object both sides touch.
+        object: ObjectId,
+    },
+    /// Internal invariant violation; indicates a runtime bug, not a
+    /// user error.
+    Internal(String),
+}
+
+impl fmt::Display for JadeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JadeError::UndeclaredAccess { task, object, kind } => write!(
+                f,
+                "access violation: {task} performed an undeclared {kind} access to {object}"
+            ),
+            JadeError::DeferredAccess { task, object, kind } => write!(
+                f,
+                "access violation: {task} attempted a {kind} access to {object} while its \
+                 declaration is deferred; convert it first with with_cont (to_rd/to_wr)"
+            ),
+            JadeError::RetiredAccess { task, object, kind } => write!(
+                f,
+                "access violation: {task} attempted a {kind} access to {object} after \
+                 retiring the declaration with no_rd/no_wr"
+            ),
+            JadeError::NotCovered { parent, child_label, object, kind } => write!(
+                f,
+                "specification violation: child task '{child_label}' declares {kind} on \
+                 {object}, which its parent {parent} did not declare"
+            ),
+            JadeError::UnknownDeclaration { task, object } => write!(
+                f,
+                "specification violation: {task} used with_cont on {object} without a \
+                 prior declaration for it"
+            ),
+            JadeError::UnknownObject(oid) => write!(f, "unknown shared object {oid}"),
+            JadeError::ChildConflictsWithHeldGuard { parent, object } => write!(
+                f,
+                "{parent} created a child declaring {object} while still holding a \
+                 conflicting access guard on it; drop the guard before the withonly"
+            ),
+            JadeError::Internal(msg) => write!(f, "internal Jade runtime error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JadeError {}
+
+/// Convenience alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, JadeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = JadeError::UndeclaredAccess {
+            task: TaskId(3),
+            object: ObjectId(9),
+            kind: AccessKind::Write,
+        };
+        let s = e.to_string();
+        assert!(s.contains("task#3"));
+        assert!(s.contains("obj#9"));
+        assert!(s.contains("write"));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(JadeError::UnknownObject(ObjectId(1)));
+        assert!(e.to_string().contains("obj#1"));
+    }
+}

@@ -1,0 +1,1214 @@
+//! The dependency engine: Jade's serial-semantics state machine.
+//!
+//! [`DepGraph`] is a *passive* data structure driven by an executor
+//! (the shared-memory thread pool in `jade-threads`, the
+//! message-passing simulator in `jade-sim`, or the serial elision in
+//! [`crate::serial`]). It owns the per-object declaration queues, the
+//! task records and the hierarchical serial-order bookkeeping, and it
+//! answers the only question that matters for correctness: *which
+//! tasks may run (or resume) now without violating the serial
+//! semantics of the original program?*
+//!
+//! ## Serial order of hierarchical tasks
+//!
+//! Every task carries a *path*: the root is `[]`, the k-th child of a
+//! task with path `p` is `p ++ [k]`. Serial execution order of two
+//! distinct tasks is the lexicographic order of paths **except** that
+//! an ancestor sorts *after* its descendants — a child's body runs at
+//! its creation point, before the remainder of the parent. Queue
+//! nodes are kept sorted by this order; inserting a new child's
+//! declaration immediately before its parent's node preserves it
+//! (children are created in index order).
+//!
+//! When a task needs a queue position on an object its parent never
+//! declared (possible for objects created dynamically by other
+//! subtrees), the engine materializes zero-rights *anchor* nodes for
+//! the ancestor chain at the correct serial position; anchors never
+//! block or grant anything, they only mark where a subtree's accesses
+//! belong.
+
+use std::collections::HashSet;
+
+use crate::error::{JadeError, Result};
+use crate::ids::{ObjectId, Placement, TaskId};
+use crate::queue::{Granted, NodeRef, QueueArena};
+use crate::spec::{AccessKind, ContOp, DeclRights, DeclState, Declaration};
+use crate::stats::RuntimeStats;
+use crate::trace::{TaskGraphTrace, TraceEdge};
+
+/// Lifecycle of a task inside the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Created; some immediate declaration not yet enabled.
+    Pending,
+    /// All immediate declarations enabled; may start executing.
+    Ready,
+    /// Body executing.
+    Running,
+    /// Body suspended mid-execution waiting for a declaration to be
+    /// enabled (a blocking `with-cont` conversion or a revoked access
+    /// being re-acquired).
+    Blocked,
+    /// Body finished and queue positions released.
+    Finished,
+}
+
+/// Scheduling notification produced by engine transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// A pending task became ready to start.
+    Ready(TaskId),
+    /// A blocked (suspended) task may resume.
+    Unblocked(TaskId),
+}
+
+/// Result of an access check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessStatus {
+    /// The access may proceed immediately.
+    Granted,
+    /// The task must suspend; the engine recorded what it waits for
+    /// and will emit [`Wake::Unblocked`] when the wait is satisfied.
+    MustWait,
+}
+
+/// Internal task record.
+#[derive(Debug)]
+struct TaskRec {
+    label: String,
+    parent: Option<TaskId>,
+    state: TaskState,
+    path: Vec<u32>,
+    next_child_idx: u32,
+    /// Declaration/anchor nodes of this task, in declaration order.
+    decls: Vec<(ObjectId, NodeRef)>,
+    placement: Placement,
+    /// Outstanding waits while `Blocked`.
+    waiting: Vec<(ObjectId, AccessKind)>,
+    children_alive: u32,
+}
+
+impl TaskRec {
+    fn decl(&self, oid: ObjectId) -> Option<NodeRef> {
+        self.decls.iter().find(|(o, _)| *o == oid).map(|(_, n)| *n)
+    }
+}
+
+/// `true` iff the task with path `a` strictly precedes the task with
+/// path `b` in the serial execution order. An ancestor sorts *after*
+/// all of its descendants.
+pub fn path_precedes(a: &[u32], b: &[u32]) -> bool {
+    let min = a.len().min(b.len());
+    for i in 0..min {
+        if a[i] != b[i] {
+            return a[i] < b[i];
+        }
+    }
+    // One is a prefix of the other (or equal): the longer path is the
+    // descendant and precedes its ancestor.
+    a.len() > b.len()
+}
+
+/// The dependency engine.
+#[derive(Debug)]
+pub struct DepGraph {
+    tasks: Vec<TaskRec>,
+    arena: QueueArena,
+    trace: Option<TaskGraphTrace>,
+    /// Trace-only per-object access history in declaration order:
+    /// (last writer, readers since that write). Unlike the live queue
+    /// (whose completed entries are gone), this captures the *logical*
+    /// dependences of the serial order, so Figure 4-style task graphs
+    /// are complete even under the serial elision.
+    trace_hist: std::collections::HashMap<ObjectId, (Option<TaskId>, Vec<TaskId>)>,
+    /// Counters describing the work the engine performed.
+    pub stats: RuntimeStats,
+    live: u64,
+    next_object: u64,
+}
+
+impl Default for DepGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DepGraph {
+    /// Create an engine with a running root task (the main program).
+    pub fn new() -> Self {
+        let root = TaskRec {
+            label: "root".to_string(),
+            parent: None,
+            state: TaskState::Running,
+            path: Vec::new(),
+            next_child_idx: 0,
+            decls: Vec::new(),
+            placement: Placement::Any,
+            waiting: Vec::new(),
+            children_alive: 0,
+        };
+        DepGraph {
+            tasks: vec![root],
+            arena: QueueArena::new(),
+            trace: None,
+            trace_hist: std::collections::HashMap::new(),
+            stats: RuntimeStats::default(),
+            live: 0,
+            next_object: 0,
+        }
+    }
+
+    /// Enable dynamic task-graph capture (Figure 4 reproduction).
+    pub fn enable_trace(&mut self) {
+        let mut tr = TaskGraphTrace::new();
+        tr.task(TaskId::ROOT, "root");
+        self.trace = Some(tr);
+    }
+
+    /// Take the captured trace, if tracing was enabled.
+    pub fn take_trace(&mut self) -> Option<TaskGraphTrace> {
+        self.trace.take()
+    }
+
+    fn rec(&self, t: TaskId) -> &TaskRec {
+        &self.tasks[t.0 as usize]
+    }
+
+    fn rec_mut(&mut self, t: TaskId) -> &mut TaskRec {
+        &mut self.tasks[t.0 as usize]
+    }
+
+    /// Current lifecycle state of a task.
+    pub fn state(&self, t: TaskId) -> TaskState {
+        self.rec(t).state
+    }
+
+    /// Label given at creation.
+    pub fn label(&self, t: TaskId) -> &str {
+        &self.rec(t).label
+    }
+
+    /// Parent task (`None` for the root).
+    pub fn parent(&self, t: TaskId) -> Option<TaskId> {
+        self.rec(t).parent
+    }
+
+    /// Placement requested for the task.
+    pub fn placement(&self, t: TaskId) -> Placement {
+        self.rec(t).placement
+    }
+
+    /// Number of created-but-unfinished tasks (root excluded); the
+    /// executors' throttling policies read this.
+    pub fn live_tasks(&self) -> u64 {
+        self.live
+    }
+
+    /// Number of tasks ever created, including the root.
+    pub fn total_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The task's declarations: object and current rights (anchors
+    /// excluded). The simulator uses this to drive object fetches.
+    pub fn declarations_of(&self, t: TaskId) -> Vec<(ObjectId, DeclRights)> {
+        self.rec(t)
+            .decls
+            .iter()
+            .filter_map(|&(oid, nr)| {
+                let n = self.arena.node(nr);
+                n.rights.is_declared().then_some((oid, n.rights))
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Objects
+    // ------------------------------------------------------------------
+
+    /// Register a new shared object created by `creator`. The creator
+    /// receives an implicit immediate `rd_wr` declaration at its serial
+    /// position (so it can initialize the object and cover its
+    /// children), and the root receives its implicit deferred `rd_wr`
+    /// declaration at the queue tail (so the main program can always
+    /// collect results, waiting for every task in serial order).
+    pub fn create_object(&mut self, creator: TaskId) -> ObjectId {
+        let oid = ObjectId(self.next_object);
+        self.next_object += 1;
+        self.arena.register_object(oid);
+        self.stats.objects_created += 1;
+        // Root's implicit deferred rd_wr at the tail.
+        let root_rights = DeclRights {
+            read: DeclState::Deferred,
+            write: DeclState::Deferred,
+            commute: DeclState::None,
+        };
+        let root_node = self.arena.push_tail(oid, TaskId::ROOT, root_rights);
+        self.rec_mut(TaskId::ROOT).decls.push((oid, root_node));
+        if !creator.is_root() {
+            let node = self.ensure_positioned_node(creator, oid, DeclRights::RD_WR);
+            // Freshly created: nothing precedes it but anchors.
+            let _ = node;
+        }
+        self.arena.recompute(oid);
+        oid
+    }
+
+    /// Whether an object id has been registered.
+    pub fn has_object(&self, oid: ObjectId) -> bool {
+        self.arena.has_object(oid)
+    }
+
+    /// Find the node of `task` on `oid`, or create one (with `rights`)
+    /// at the task's serial position, materializing ancestor anchors
+    /// as needed. If a node already exists, `rights` are merged in.
+    fn ensure_positioned_node(
+        &mut self,
+        task: TaskId,
+        oid: ObjectId,
+        rights: DeclRights,
+    ) -> NodeRef {
+        if let Some(nr) = self.rec(task).decl(oid) {
+            if rights.is_declared() {
+                let n = self.arena.node_mut(nr);
+                n.rights = n.rights.merge(rights);
+            }
+            return nr;
+        }
+        let nr = match self.rec(task).parent {
+            None => {
+                // Root without a node: append at tail (root sorts last).
+                self.arena.push_tail(oid, task, rights)
+            }
+            Some(parent) => {
+                let pnode = self.ensure_positioned_node(parent, oid, DeclRights::NONE);
+                // A *newly created* task may always insert directly
+                // before its parent (it is the parent's newest child).
+                // An older task (anchor materialization) must find its
+                // serial position by order walk.
+                if self.is_newest_child_position(task) {
+                    self.arena.insert_before(pnode, task, rights)
+                } else {
+                    self.insert_by_order(task, oid, rights)
+                }
+            }
+        };
+        self.rec_mut(task).decls.push((oid, nr));
+        nr
+    }
+
+    /// Whether `task` was the most recently created child of its
+    /// parent (so insert-before-parent is order-correct).
+    fn is_newest_child_position(&self, task: TaskId) -> bool {
+        let rec = self.rec(task);
+        match rec.parent {
+            None => true,
+            Some(p) => {
+                let idx = *rec.path.last().expect("non-root task has a path");
+                self.rec(p).next_child_idx == idx + 1
+            }
+        }
+    }
+
+    /// Insert a node for `task` at its serial position by walking the
+    /// queue and comparing task paths.
+    fn insert_by_order(&mut self, task: TaskId, oid: ObjectId, rights: DeclRights) -> NodeRef {
+        let my_path = self.rec(task).path.clone();
+        let mut before: Option<NodeRef> = None;
+        for (nr, node) in self.arena.iter(oid) {
+            let other_path = &self.rec(node.task).path;
+            if path_precedes(&my_path, other_path) {
+                before = Some(nr);
+                break;
+            }
+        }
+        match before {
+            Some(b) => self.arena.insert_before(b, task, rights),
+            None => self.arena.push_tail(oid, task, rights),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Task creation
+    // ------------------------------------------------------------------
+
+    /// Create a task: the engine half of `withonly`. Declarations must
+    /// be covered by the nearest rights-holding ancestor's
+    /// declarations (§4.4). Returns the new task id and any wakes
+    /// (including `Ready(new)` if it can start immediately).
+    pub fn create_task(
+        &mut self,
+        parent: TaskId,
+        label: &str,
+        decls: Vec<Declaration>,
+        placement: Placement,
+    ) -> Result<(TaskId, Vec<Wake>)> {
+        debug_assert!(
+            matches!(self.rec(parent).state, TaskState::Running | TaskState::Ready),
+            "only an executing task can create children"
+        );
+        // Validate objects and coverage before mutating anything.
+        for d in &decls {
+            if !self.arena.has_object(d.object) {
+                return Err(JadeError::UnknownObject(d.object));
+            }
+            self.check_coverage(parent, label, d)?;
+        }
+
+        let tid = TaskId(self.tasks.len() as u32);
+        let child_idx = {
+            let p = self.rec_mut(parent);
+            let i = p.next_child_idx;
+            p.next_child_idx += 1;
+            p.children_alive += 1;
+            i
+        };
+        let mut path = self.rec(parent).path.clone();
+        path.push(child_idx);
+        self.tasks.push(TaskRec {
+            label: label.to_string(),
+            parent: Some(parent),
+            state: TaskState::Pending,
+            path,
+            next_child_idx: 0,
+            decls: Vec::new(),
+            placement,
+            waiting: Vec::new(),
+            children_alive: 0,
+        });
+        self.live += 1;
+        self.stats.tasks_created += 1;
+        self.stats.peak_live_tasks = self.stats.peak_live_tasks.max(self.live);
+        self.stats.declarations += decls.len() as u64;
+        if let Some(tr) = &mut self.trace {
+            tr.task(tid, label);
+        }
+
+        let mut touched: Vec<ObjectId> = Vec::with_capacity(decls.len());
+        for d in &decls {
+            let pnode = self.ensure_positioned_node(parent, d.object, DeclRights::NONE);
+            let nr = self.arena.insert_before(pnode, tid, d.rights);
+            self.rec_mut(tid).decls.push((d.object, nr));
+            touched.push(d.object);
+            // Count the live conflicts this declaration waits on.
+            let mut preds: Vec<TaskId> = Vec::new();
+            if d.rights.read.is_active() {
+                preds.extend(self.arena.conflicting_predecessors(nr, AccessKind::Read));
+            }
+            if d.rights.write.is_active() {
+                for p in self.arena.conflicting_predecessors(nr, AccessKind::Write) {
+                    if !preds.contains(&p) {
+                        preds.push(p);
+                    }
+                }
+            }
+            self.stats.conflicts += preds.len() as u64;
+            // Record the *logical* dependence edges (Figure 4) from
+            // the serial-order access history, which also covers
+            // predecessors that already completed.
+            if self.trace.is_some() {
+                let hist = self.trace_hist.entry(d.object).or_default();
+                let mut edges: Vec<(TaskId, AccessKind)> = Vec::new();
+                if d.rights.read.is_active() {
+                    if let Some(w) = hist.0 {
+                        edges.push((w, AccessKind::Read));
+                    }
+                }
+                if d.rights.write.is_active() {
+                    if let Some(w) = hist.0 {
+                        edges.push((w, AccessKind::Write));
+                    }
+                    for &r in &hist.1 {
+                        edges.push((r, AccessKind::Write));
+                    }
+                }
+                // Commuting updates order against reads/writes but not
+                // against each other: the writer history yields an
+                // edge; peer commuters do not.
+                if d.rights.commute.is_active() {
+                    if let Some(w) = hist.0 {
+                        edges.push((w, AccessKind::Commute));
+                    }
+                }
+                if d.rights.write.is_active() {
+                    hist.0 = Some(tid);
+                    hist.1.clear();
+                } else if d.rights.read.is_active() && !hist.1.contains(&tid) {
+                    hist.1.push(tid);
+                }
+                let tr = self.trace.as_mut().expect("trace enabled");
+                for (p, kind) in edges {
+                    if p != tid {
+                        tr.edge(TraceEdge { from: p, to: tid, object: d.object, kind });
+                    }
+                }
+            }
+        }
+
+        let mut wakes = Vec::new();
+        for oid in touched {
+            let grants = self.arena.recompute(oid);
+            self.process_grants(grants, &mut wakes);
+        }
+        // The recompute loop may already have promoted the new task
+        // (its fresh nodes transition to granted there), so only
+        // promote here if it is still pending — a task must be woken
+        // exactly once.
+        if self.rec(tid).state == TaskState::Pending && self.all_immediate_granted(tid) {
+            self.rec_mut(tid).state = TaskState::Ready;
+            wakes.push(Wake::Ready(tid));
+        }
+        Ok((tid, wakes))
+    }
+
+    /// Enforce §4.4: a child's declaration must be covered by the
+    /// nearest ancestor that holds rights on the object. Subtrees may
+    /// access dynamically created objects that escaped their creator
+    /// (no ancestor holds rights); serial correctness is then ensured
+    /// purely by queue position.
+    fn check_coverage(&self, parent: TaskId, child_label: &str, d: &Declaration) -> Result<()> {
+        let mut cur = Some(parent);
+        while let Some(t) = cur {
+            if let Some(nr) = self.rec(t).decl(d.object) {
+                let rights = self.arena.node(nr).rights;
+                if rights.is_declared() {
+                    if rights.covers(d.rights) {
+                        return Ok(());
+                    }
+                    let kind = if d.rights.write.is_active() && !rights.write.is_active() {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    return Err(JadeError::NotCovered {
+                        parent: t,
+                        child_label: child_label.to_string(),
+                        object: d.object,
+                        kind,
+                    });
+                }
+            }
+            cur = self.rec(t).parent;
+        }
+        Ok(())
+    }
+
+    fn all_immediate_granted(&self, tid: TaskId) -> bool {
+        self.rec(tid).decls.iter().all(|&(_, nr)| {
+            let n = self.arena.node(nr);
+            (n.rights.read != DeclState::Immediate || n.read_granted)
+                && (n.rights.write != DeclState::Immediate || n.write_granted)
+                && (n.rights.commute != DeclState::Immediate || n.commute_granted)
+        })
+    }
+
+    fn process_grants(&mut self, grants: Vec<Granted>, wakes: &mut Vec<Wake>) {
+        let mut candidates: Vec<TaskId> = Vec::new();
+        for g in grants {
+            if !candidates.contains(&g.task) {
+                candidates.push(g.task);
+            }
+        }
+        for t in candidates {
+            match self.rec(t).state {
+                TaskState::Pending => {
+                    if self.all_immediate_granted(t) {
+                        self.rec_mut(t).state = TaskState::Ready;
+                        wakes.push(Wake::Ready(t));
+                    }
+                }
+                TaskState::Blocked => {
+                    let satisfied = {
+                        let rec = self.rec(t);
+                        rec.waiting.iter().all(|&(oid, kind)| {
+                            rec.decl(oid)
+                                .map(|nr| self.arena.node(nr).granted(kind))
+                                .unwrap_or(true)
+                        })
+                    };
+                    if satisfied {
+                        let rec = self.rec_mut(t);
+                        rec.waiting.clear();
+                        rec.state = TaskState::Running;
+                        wakes.push(Wake::Unblocked(t));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Task lifecycle
+    // ------------------------------------------------------------------
+
+    /// Mark a ready task as running (an executor picked it up).
+    pub fn start_task(&mut self, tid: TaskId) {
+        debug_assert_eq!(self.rec(tid).state, TaskState::Ready, "start of non-ready task");
+        self.rec_mut(tid).state = TaskState::Running;
+    }
+
+    /// The engine half of task-body completion: release all queue
+    /// positions and wake whoever becomes enabled.
+    pub fn finish_task(&mut self, tid: TaskId) -> Vec<Wake> {
+        debug_assert!(
+            matches!(self.rec(tid).state, TaskState::Running),
+            "finish of non-running task {tid}"
+        );
+        let decls = std::mem::take(&mut self.rec_mut(tid).decls);
+        let mut objects: Vec<ObjectId> = Vec::with_capacity(decls.len());
+        for (oid, nr) in decls {
+            self.arena.remove(nr);
+            if !objects.contains(&oid) {
+                objects.push(oid);
+            }
+        }
+        self.rec_mut(tid).state = TaskState::Finished;
+        if !tid.is_root() {
+            self.live -= 1;
+            if let Some(p) = self.rec(tid).parent {
+                self.rec_mut(p).children_alive -= 1;
+            }
+        }
+        let mut wakes = Vec::new();
+        for oid in objects {
+            let grants = self.arena.recompute(oid);
+            self.process_grants(grants, &mut wakes);
+        }
+        wakes
+    }
+
+    // ------------------------------------------------------------------
+    // with-cont and access checking
+    // ------------------------------------------------------------------
+
+    /// The engine half of `with { ... } cont;`. Applies the operations
+    /// in order; returns whether the task must suspend (a conversion
+    /// to immediate is not yet enabled) plus wakes for other tasks
+    /// released by retirements.
+    pub fn with_cont(
+        &mut self,
+        tid: TaskId,
+        ops: Vec<(ObjectId, ContOp)>,
+    ) -> Result<(bool, Vec<Wake>)> {
+        self.stats.with_conts += 1;
+        let mut converted: Vec<(ObjectId, AccessKind)> = Vec::new();
+        let mut touched: HashSet<ObjectId> = HashSet::new();
+        for (oid, op) in ops {
+            let nr = self
+                .rec(tid)
+                .decl(oid)
+                .ok_or(JadeError::UnknownDeclaration { task: tid, object: oid })?;
+            let node = self.arena.node_mut(nr);
+            match op {
+                ContOp::ToRd => match node.rights.read {
+                    DeclState::Deferred => {
+                        node.rights.read = DeclState::Immediate;
+                        converted.push((oid, AccessKind::Read));
+                    }
+                    DeclState::Immediate => converted.push((oid, AccessKind::Read)),
+                    DeclState::None => {
+                        return Err(JadeError::UnknownDeclaration { task: tid, object: oid })
+                    }
+                    DeclState::Retired => {
+                        return Err(JadeError::RetiredAccess {
+                            task: tid,
+                            object: oid,
+                            kind: AccessKind::Read,
+                        })
+                    }
+                },
+                ContOp::ToWr => match node.rights.write {
+                    DeclState::Deferred => {
+                        node.rights.write = DeclState::Immediate;
+                        converted.push((oid, AccessKind::Write));
+                    }
+                    DeclState::Immediate => converted.push((oid, AccessKind::Write)),
+                    DeclState::None => {
+                        return Err(JadeError::UnknownDeclaration { task: tid, object: oid })
+                    }
+                    DeclState::Retired => {
+                        return Err(JadeError::RetiredAccess {
+                            task: tid,
+                            object: oid,
+                            kind: AccessKind::Write,
+                        })
+                    }
+                },
+                ContOp::NoRd => {
+                    if node.rights.read == DeclState::None {
+                        return Err(JadeError::UnknownDeclaration { task: tid, object: oid });
+                    }
+                    node.rights.read = DeclState::Retired;
+                    touched.insert(oid);
+                }
+                ContOp::NoWr => {
+                    if node.rights.write == DeclState::None {
+                        return Err(JadeError::UnknownDeclaration { task: tid, object: oid });
+                    }
+                    node.rights.write = DeclState::Retired;
+                    touched.insert(oid);
+                }
+                ContOp::NoCm => {
+                    if node.rights.commute == DeclState::None {
+                        return Err(JadeError::UnknownDeclaration { task: tid, object: oid });
+                    }
+                    node.rights.commute = DeclState::Retired;
+                    node.commute_holding = false;
+                    touched.insert(oid);
+                }
+            }
+        }
+        let mut wakes = Vec::new();
+        let mut touched: Vec<ObjectId> = touched.into_iter().collect();
+        touched.sort();
+        for oid in touched {
+            let grants = self.arena.recompute(oid);
+            self.process_grants(grants, &mut wakes);
+        }
+        // Determine whether the converted immediates are enabled.
+        let mut waits: Vec<(ObjectId, AccessKind)> = Vec::new();
+        for (oid, kind) in converted {
+            let nr = self.rec(tid).decl(oid).expect("converted node exists");
+            if !self.arena.node(nr).granted(kind) && !waits.contains(&(oid, kind)) {
+                waits.push((oid, kind));
+            }
+        }
+        let must_block = !waits.is_empty();
+        if must_block {
+            self.stats.with_cont_blocks += 1;
+            let rec = self.rec_mut(tid);
+            rec.waiting = waits;
+            rec.state = TaskState::Blocked;
+        }
+        Ok((must_block, wakes))
+    }
+
+    /// Dynamic access check: may `tid` perform `kind` on `oid` right
+    /// now? This is the paper's per-object access check, amortized by
+    /// the guard layer over many raw accesses.
+    ///
+    /// For the root task only, a deferred declaration auto-converts to
+    /// immediate: the main program implicitly synchronizes with all
+    /// outstanding tasks that access the object, which is how a Jade
+    /// main program collects results.
+    pub fn check_access(&mut self, tid: TaskId, oid: ObjectId, kind: AccessKind) -> Result<AccessStatus> {
+        self.stats.access_checks += 1;
+        let nr = self
+            .rec(tid)
+            .decl(oid)
+            .ok_or(JadeError::UndeclaredAccess { task: tid, object: oid, kind })?;
+        let node = self.arena.node_mut(nr);
+        // The root's implicit declaration has no commute side; a root
+        // commuting access is satisfied by its (stronger) write right.
+        let kind = if kind == AccessKind::Commute
+            && tid.is_root()
+            && node.rights.commute == DeclState::None
+        {
+            AccessKind::Write
+        } else {
+            kind
+        };
+        let side = match kind {
+            AccessKind::Read => node.rights.read,
+            AccessKind::Write => node.rights.write,
+            AccessKind::Commute => node.rights.commute,
+        };
+        match side {
+            DeclState::None => {
+                return Err(JadeError::UndeclaredAccess { task: tid, object: oid, kind })
+            }
+            DeclState::Retired => {
+                return Err(JadeError::RetiredAccess { task: tid, object: oid, kind })
+            }
+            DeclState::Deferred => {
+                if tid.is_root() {
+                    match kind {
+                        AccessKind::Read => node.rights.read = DeclState::Immediate,
+                        AccessKind::Write => node.rights.write = DeclState::Immediate,
+                        AccessKind::Commute => node.rights.commute = DeclState::Immediate,
+                    }
+                } else {
+                    return Err(JadeError::DeferredAccess { task: tid, object: oid, kind });
+                }
+            }
+            DeclState::Immediate => {}
+        }
+        let node = self.arena.node(nr);
+        if node.granted(kind) {
+            if kind == AccessKind::Commute {
+                // Acquire the object's update exclusivity: other
+                // commuting tasks now wait until this one finishes or
+                // issues no_cm. Order among commuters is unconstrained
+                // — first granted access wins.
+                self.arena.node_mut(nr).commute_holding = true;
+                self.arena.recompute(oid);
+            }
+            Ok(AccessStatus::Granted)
+        } else {
+            self.stats.access_waits += 1;
+            let rec = self.rec_mut(tid);
+            rec.waiting = vec![(oid, kind)];
+            rec.state = TaskState::Blocked;
+            Ok(AccessStatus::MustWait)
+        }
+    }
+
+    /// Does the task currently hold an enabled right of this kind?
+    /// (Used by executors for assertions and by the simulator to know
+    /// whether a fetched object is accessible.)
+    pub fn is_granted(&self, tid: TaskId, oid: ObjectId, kind: AccessKind) -> bool {
+        self.rec(tid)
+            .decl(oid)
+            .map(|nr| {
+                let n = self.arena.node(nr);
+                n.granted(kind)
+                    && match kind {
+                        AccessKind::Read => n.rights.read == DeclState::Immediate,
+                        AccessKind::Write => n.rights.write == DeclState::Immediate,
+                        AccessKind::Commute => n.rights.commute == DeclState::Immediate,
+                    }
+            })
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecBuilder;
+
+    fn decls(f: impl FnOnce(&mut SpecBuilder)) -> Vec<Declaration> {
+        let mut b = SpecBuilder::new();
+        f(&mut b);
+        b.build().0
+    }
+
+    #[test]
+    fn path_order_rules() {
+        assert!(path_precedes(&[0], &[1]));
+        assert!(!path_precedes(&[1], &[0]));
+        assert!(path_precedes(&[0, 5], &[0])); // descendant before ancestor
+        assert!(!path_precedes(&[0], &[0, 5]));
+        assert!(path_precedes(&[0, 9], &[1, 0]));
+        assert!(!path_precedes(&[2], &[2]));
+        assert!(path_precedes(&[1], &[])); // everything precedes root
+    }
+
+    #[test]
+    fn independent_tasks_both_ready() {
+        let mut g = DepGraph::new();
+        let a = g.create_object(TaskId::ROOT);
+        let b = g.create_object(TaskId::ROOT);
+        let (t1, w1) = g
+            .create_task(TaskId::ROOT, "t1", decls(|s| { s.wr(a); }), Placement::Any)
+            .unwrap();
+        let (t2, w2) = g
+            .create_task(TaskId::ROOT, "t2", decls(|s| { s.wr(b); }), Placement::Any)
+            .unwrap();
+        assert!(w1.contains(&Wake::Ready(t1)));
+        assert!(w2.contains(&Wake::Ready(t2)));
+    }
+
+    #[test]
+    fn write_read_conflict_serializes() {
+        let mut g = DepGraph::new();
+        let a = g.create_object(TaskId::ROOT);
+        let (w, wakes) = g
+            .create_task(TaskId::ROOT, "writer", decls(|s| { s.wr(a); }), Placement::Any)
+            .unwrap();
+        assert!(wakes.contains(&Wake::Ready(w)));
+        let (r, wakes2) = g
+            .create_task(TaskId::ROOT, "reader", decls(|s| { s.rd(a); }), Placement::Any)
+            .unwrap();
+        assert!(wakes2.is_empty(), "reader must wait for the writer");
+        assert_eq!(g.state(r), TaskState::Pending);
+        g.start_task(w);
+        let wakes3 = g.finish_task(w);
+        assert_eq!(wakes3, vec![Wake::Ready(r)]);
+    }
+
+    #[test]
+    fn concurrent_readers_then_writer() {
+        let mut g = DepGraph::new();
+        let a = g.create_object(TaskId::ROOT);
+        let (r1, _) = g
+            .create_task(TaskId::ROOT, "r1", decls(|s| { s.rd(a); }), Placement::Any)
+            .unwrap();
+        let (r2, _) = g
+            .create_task(TaskId::ROOT, "r2", decls(|s| { s.rd(a); }), Placement::Any)
+            .unwrap();
+        let (w, _) = g
+            .create_task(TaskId::ROOT, "w", decls(|s| { s.wr(a); }), Placement::Any)
+            .unwrap();
+        assert_eq!(g.state(r1), TaskState::Ready);
+        assert_eq!(g.state(r2), TaskState::Ready);
+        assert_eq!(g.state(w), TaskState::Pending);
+        g.start_task(r1);
+        g.start_task(r2);
+        assert!(g.finish_task(r1).is_empty());
+        assert_eq!(g.finish_task(r2), vec![Wake::Ready(w)]);
+    }
+
+    #[test]
+    fn hierarchical_children_precede_parent_remainder() {
+        let mut g = DepGraph::new();
+        let a = g.create_object(TaskId::ROOT);
+        let (p, _) = g
+            .create_task(TaskId::ROOT, "parent", decls(|s| { s.rd_wr(a); }), Placement::Any)
+            .unwrap();
+        g.start_task(p);
+        // Parent may write now.
+        assert!(g.is_granted(p, a, AccessKind::Write));
+        // Parent spawns a child writer: parent cedes access.
+        let (c, _) = g
+            .create_task(p, "child", decls(|s| { s.wr(a); }), Placement::Any)
+            .unwrap();
+        assert_eq!(g.state(c), TaskState::Ready);
+        assert!(!g.is_granted(p, a, AccessKind::Write));
+        // Parent attempting to write must wait for the child.
+        assert_eq!(g.check_access(p, a, AccessKind::Write).unwrap(), AccessStatus::MustWait);
+        g.start_task(c);
+        let wakes = g.finish_task(c);
+        assert!(wakes.contains(&Wake::Unblocked(p)));
+        assert!(g.is_granted(p, a, AccessKind::Write));
+    }
+
+    #[test]
+    fn coverage_violation_detected() {
+        let mut g = DepGraph::new();
+        let a = g.create_object(TaskId::ROOT);
+        let (p, _) = g
+            .create_task(TaskId::ROOT, "p", decls(|s| { s.rd(a); }), Placement::Any)
+            .unwrap();
+        g.start_task(p);
+        let err = g
+            .create_task(p, "bad-child", decls(|s| { s.wr(a); }), Placement::Any)
+            .unwrap_err();
+        assert!(matches!(err, JadeError::NotCovered { .. }));
+    }
+
+    #[test]
+    fn deferred_read_pipeline() {
+        // The §4.2 backsubst pattern: a consumer with df_rd starts
+        // immediately, converts per column, and releases with no_rd.
+        let mut g = DepGraph::new();
+        let c0 = g.create_object(TaskId::ROOT);
+        let c1 = g.create_object(TaskId::ROOT);
+        let (f0, _) = g
+            .create_task(TaskId::ROOT, "factor0", decls(|s| { s.rd_wr(c0); }), Placement::Any)
+            .unwrap();
+        let (f1, _) = g
+            .create_task(TaskId::ROOT, "factor1", decls(|s| { s.rd_wr(c1); }), Placement::Any)
+            .unwrap();
+        let (b, wakes) = g
+            .create_task(
+                TaskId::ROOT,
+                "backsubst",
+                decls(|s| {
+                    s.df_rd(c0);
+                    s.df_rd(c1);
+                }),
+                Placement::Any,
+            )
+            .unwrap();
+        // Starts immediately despite factor0/1 still outstanding.
+        assert!(wakes.contains(&Wake::Ready(b)));
+        g.start_task(b);
+        // Convert c0: must block (factor0 unfinished).
+        let (blocked, _) = g.with_cont(b, vec![(c0, ContOp::ToRd)]).unwrap();
+        assert!(blocked);
+        g.start_task(f0);
+        let w = g.finish_task(f0);
+        assert!(w.contains(&Wake::Unblocked(b)));
+        assert_eq!(g.check_access(b, c0, AccessKind::Read).unwrap(), AccessStatus::Granted);
+        // Release c0 early; later writers of c0 would now be free.
+        let (blocked2, _) = g.with_cont(b, vec![(c0, ContOp::NoRd)]).unwrap();
+        assert!(!blocked2);
+        // Accessing after retirement is an error.
+        assert!(matches!(
+            g.check_access(b, c0, AccessKind::Read),
+            Err(JadeError::RetiredAccess { .. })
+        ));
+        g.start_task(f1);
+        g.finish_task(f1);
+        let (blocked3, _) = g.with_cont(b, vec![(c1, ContOp::ToRd)]).unwrap();
+        assert!(!blocked3, "factor1 already done; no wait");
+    }
+
+    #[test]
+    fn no_wr_releases_successor_before_completion() {
+        let mut g = DepGraph::new();
+        let a = g.create_object(TaskId::ROOT);
+        let (w, _) = g
+            .create_task(TaskId::ROOT, "w", decls(|s| { s.rd_wr(a); }), Placement::Any)
+            .unwrap();
+        let (r, _) = g
+            .create_task(TaskId::ROOT, "r", decls(|s| { s.rd(a); }), Placement::Any)
+            .unwrap();
+        assert_eq!(g.state(r), TaskState::Pending);
+        g.start_task(w);
+        // Writer finishes with the object mid-body and releases it.
+        let (_, wakes) =
+            g.with_cont(w, vec![(a, ContOp::NoWr), (a, ContOp::NoRd)]).unwrap();
+        assert!(wakes.contains(&Wake::Ready(r)), "reader released before writer completes");
+    }
+
+    #[test]
+    fn undeclared_access_is_error() {
+        let mut g = DepGraph::new();
+        let a = g.create_object(TaskId::ROOT);
+        let b = g.create_object(TaskId::ROOT);
+        let (t, _) = g
+            .create_task(TaskId::ROOT, "t", decls(|s| { s.rd(a); }), Placement::Any)
+            .unwrap();
+        g.start_task(t);
+        assert!(matches!(
+            g.check_access(t, b, AccessKind::Read),
+            Err(JadeError::UndeclaredAccess { .. })
+        ));
+        // Declared read does not allow write.
+        assert!(matches!(
+            g.check_access(t, a, AccessKind::Write),
+            Err(JadeError::UndeclaredAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn deferred_access_without_conversion_is_error() {
+        let mut g = DepGraph::new();
+        let a = g.create_object(TaskId::ROOT);
+        let (t, _) = g
+            .create_task(TaskId::ROOT, "t", decls(|s| { s.df_rd(a); }), Placement::Any)
+            .unwrap();
+        g.start_task(t);
+        assert!(matches!(
+            g.check_access(t, a, AccessKind::Read),
+            Err(JadeError::DeferredAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn root_auto_converts_and_waits_for_tasks() {
+        let mut g = DepGraph::new();
+        let a = g.create_object(TaskId::ROOT);
+        let (t, _) = g
+            .create_task(TaskId::ROOT, "t", decls(|s| { s.wr(a); }), Placement::Any)
+            .unwrap();
+        // Root reads the result: must wait for the writer task.
+        assert_eq!(g.check_access(TaskId::ROOT, a, AccessKind::Read).unwrap(), AccessStatus::MustWait);
+        g.start_task(t);
+        let wakes = g.finish_task(t);
+        assert!(wakes.contains(&Wake::Unblocked(TaskId::ROOT)));
+        assert_eq!(g.check_access(TaskId::ROOT, a, AccessKind::Read).unwrap(), AccessStatus::Granted);
+    }
+
+    #[test]
+    fn object_created_by_task_is_initialized_by_it() {
+        let mut g = DepGraph::new();
+        let (t, _) = g
+            .create_task(TaskId::ROOT, "maker", decls(|_| {}), Placement::Any)
+            .unwrap();
+        g.start_task(t);
+        let o = g.create_object(t);
+        assert_eq!(g.check_access(t, o, AccessKind::Write).unwrap(), AccessStatus::Granted);
+        // Its child may use it (covered by the implicit rd_wr).
+        let (c, _) = g.create_task(t, "kid", decls(|s| { s.rd(o); }), Placement::Any).unwrap();
+        // Child waits: creator holds an active immediate write.
+        assert_eq!(g.state(c), TaskState::Ready, "child inserts before creator; nothing earlier");
+    }
+
+    #[test]
+    fn sibling_order_through_anchors() {
+        // Two sibling subtrees touch an object only through their
+        // children; serial order between the cousins must hold.
+        let mut g = DepGraph::new();
+        let a = g.create_object(TaskId::ROOT);
+        let (p1, _) = g
+            .create_task(TaskId::ROOT, "p1", decls(|s| { s.rd_wr(a); }), Placement::Any)
+            .unwrap();
+        let (p2, _) = g
+            .create_task(TaskId::ROOT, "p2", decls(|s| { s.rd_wr(a); }), Placement::Any)
+            .unwrap();
+        assert_eq!(g.state(p1), TaskState::Ready);
+        assert_eq!(g.state(p2), TaskState::Pending);
+        g.start_task(p1);
+        // p1 spawns a writing child; p2 spawns one as well when it runs.
+        let (c1, _) = g.create_task(p1, "c1", decls(|s| { s.wr(a); }), Placement::Any).unwrap();
+        assert_eq!(g.state(c1), TaskState::Ready);
+        g.start_task(c1);
+        g.finish_task(c1);
+        let w = g.finish_task(p1);
+        assert!(w.contains(&Wake::Ready(p2)));
+        g.start_task(p2);
+        let (c2, _) = g.create_task(p2, "c2", decls(|s| { s.wr(a); }), Placement::Any).unwrap();
+        assert_eq!(g.state(c2), TaskState::Ready);
+    }
+
+    #[test]
+    fn trace_captures_cholesky_like_edges() {
+        let mut g = DepGraph::new();
+        g.enable_trace();
+        let c0 = g.create_object(TaskId::ROOT);
+        let c3 = g.create_object(TaskId::ROOT);
+        let (i0, _) = g
+            .create_task(TaskId::ROOT, "Internal(0)", decls(|s| { s.rd_wr(c0); }), Placement::Any)
+            .unwrap();
+        let (e03, _) = g
+            .create_task(
+                TaskId::ROOT,
+                "External(0->3)",
+                decls(|s| {
+                    s.rd(c0);
+                    s.rd_wr(c3);
+                }),
+                Placement::Any,
+            )
+            .unwrap();
+        let tr = g.take_trace().unwrap();
+        assert!(tr
+            .edges()
+            .iter()
+            .any(|e| e.from == i0 && e.to == e03), "External depends on Internal");
+    }
+
+    #[test]
+    fn ready_wake_emitted_exactly_once() {
+        let mut g = DepGraph::new();
+        let a = g.create_object(TaskId::ROOT);
+        let b = g.create_object(TaskId::ROOT);
+        for decl_count in 1..=2 {
+            let (tid, wakes) = g
+                .create_task(
+                    TaskId::ROOT,
+                    "t",
+                    decls(|s| {
+                        s.rd_wr(a);
+                        if decl_count == 2 {
+                            s.rd(b);
+                        }
+                    }),
+                    Placement::Any,
+                )
+                .unwrap();
+            let ready_count =
+                wakes.iter().filter(|w| matches!(w, Wake::Ready(t) if *t == tid)).count();
+            assert_eq!(ready_count, 1, "decls={decl_count}: {wakes:?}");
+            g.start_task(tid);
+            g.finish_task(tid);
+        }
+    }
+
+    #[test]
+    fn commuting_tasks_are_unordered_but_serialized() {
+        let mut g = DepGraph::new();
+        let a = g.create_object(TaskId::ROOT);
+        let (t1, _) = g
+            .create_task(TaskId::ROOT, "acc1", decls(|s| { s.cm(a); }), Placement::Any)
+            .unwrap();
+        let (t2, _) = g
+            .create_task(TaskId::ROOT, "acc2", decls(|s| { s.cm(a); }), Placement::Any)
+            .unwrap();
+        let (r, _) = g
+            .create_task(TaskId::ROOT, "reader", decls(|s| { s.rd(a); }), Placement::Any)
+            .unwrap();
+        // Both commuters start immediately; the reader waits for both.
+        assert_eq!(g.state(t1), TaskState::Ready);
+        assert_eq!(g.state(t2), TaskState::Ready);
+        assert_eq!(g.state(r), TaskState::Pending);
+        g.start_task(t1);
+        g.start_task(t2);
+        // t2 touches the object first: perfectly legal (unordered).
+        assert_eq!(g.check_access(t2, a, AccessKind::Commute).unwrap(), AccessStatus::Granted);
+        // t1 must now wait until t2 completes or relinquishes.
+        assert_eq!(g.check_access(t1, a, AccessKind::Commute).unwrap(), AccessStatus::MustWait);
+        let wakes = g.finish_task(t2);
+        assert!(wakes.contains(&Wake::Unblocked(t1)));
+        assert_eq!(g.check_access(t1, a, AccessKind::Commute).unwrap(), AccessStatus::Granted);
+        let wakes2 = g.finish_task(t1);
+        assert!(wakes2.contains(&Wake::Ready(r)));
+    }
+
+    #[test]
+    fn no_cm_releases_exclusivity_early() {
+        let mut g = DepGraph::new();
+        let a = g.create_object(TaskId::ROOT);
+        let (t1, _) = g
+            .create_task(TaskId::ROOT, "acc1", decls(|s| { s.cm(a); }), Placement::Any)
+            .unwrap();
+        let (t2, _) = g
+            .create_task(TaskId::ROOT, "acc2", decls(|s| { s.cm(a); }), Placement::Any)
+            .unwrap();
+        g.start_task(t1);
+        g.start_task(t2);
+        assert_eq!(g.check_access(t1, a, AccessKind::Commute).unwrap(), AccessStatus::Granted);
+        assert_eq!(g.check_access(t2, a, AccessKind::Commute).unwrap(), AccessStatus::MustWait);
+        // t1 releases with no_cm while still running: t2 proceeds.
+        let (_, wakes) = g.with_cont(t1, vec![(a, ContOp::NoCm)]).unwrap();
+        assert!(wakes.contains(&Wake::Unblocked(t2)));
+        // Accessing after no_cm is an error.
+        assert!(matches!(
+            g.check_access(t1, a, AccessKind::Commute),
+            Err(JadeError::RetiredAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn commute_waits_for_writer_and_blocks_writer() {
+        let mut g = DepGraph::new();
+        let a = g.create_object(TaskId::ROOT);
+        let (w, _) = g
+            .create_task(TaskId::ROOT, "w", decls(|s| { s.wr(a); }), Placement::Any)
+            .unwrap();
+        let (c, _) = g
+            .create_task(TaskId::ROOT, "c", decls(|s| { s.cm(a); }), Placement::Any)
+            .unwrap();
+        let (w2, _) = g
+            .create_task(TaskId::ROOT, "w2", decls(|s| { s.wr(a); }), Placement::Any)
+            .unwrap();
+        assert_eq!(g.state(w), TaskState::Ready);
+        assert_eq!(g.state(c), TaskState::Pending, "commute waits for earlier writer");
+        assert_eq!(g.state(w2), TaskState::Pending, "write waits for earlier commute");
+        g.start_task(w);
+        let wk = g.finish_task(w);
+        assert!(wk.contains(&Wake::Ready(c)));
+        g.start_task(c);
+        let wk2 = g.finish_task(c);
+        assert!(wk2.contains(&Wake::Ready(w2)));
+    }
+
+    #[test]
+    fn parent_write_covers_child_commute() {
+        let mut g = DepGraph::new();
+        let a = g.create_object(TaskId::ROOT);
+        let (p, _) = g
+            .create_task(TaskId::ROOT, "p", decls(|s| { s.rd_wr(a); }), Placement::Any)
+            .unwrap();
+        g.start_task(p);
+        let ok = g.create_task(p, "kid", decls(|s| { s.cm(a); }), Placement::Any);
+        assert!(ok.is_ok());
+        // But a read-only parent does not cover a commuting child.
+        let (p2, _) = g
+            .create_task(TaskId::ROOT, "p2", decls(|s| { s.rd(a); }), Placement::Any)
+            .unwrap();
+        // p2 is pending (kid above is active); force-start is not
+        // needed for the coverage check, which happens at creation.
+        let _ = p2;
+    }
+
+    #[test]
+    fn stats_track_engine_work() {
+        let mut g = DepGraph::new();
+        let a = g.create_object(TaskId::ROOT);
+        let (t, _) = g
+            .create_task(TaskId::ROOT, "t", decls(|s| { s.rd_wr(a); }), Placement::Any)
+            .unwrap();
+        g.start_task(t);
+        g.check_access(t, a, AccessKind::Read).unwrap();
+        g.finish_task(t);
+        assert_eq!(g.stats.tasks_created, 1);
+        assert_eq!(g.stats.objects_created, 1);
+        assert!(g.stats.access_checks >= 1);
+        assert_eq!(g.live_tasks(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Identifier types shared across the Jade runtime.
+
+use std::fmt;
+
+use jade_transport::{PortDecoder, PortEncoder, Portable};
+
+/// Globally valid identifier for a shared object.
+///
+/// The paper (§3.3): "Because objects can migrate across machines,
+/// each reference to a shared object is in reality a globally valid
+/// identifier for that object." Executors translate an `ObjectId` to
+/// the local version of the object at access-check time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+impl Portable for ObjectId {
+    fn encode(&self, enc: &mut PortEncoder) {
+        enc.put_u64(self.0);
+    }
+    fn decode(dec: &mut PortDecoder<'_>) -> Self {
+        ObjectId(dec.get_u64())
+    }
+    fn size_hint(&self) -> usize {
+        8
+    }
+}
+
+/// Identifier for a task (a `withonly-do` instance). Task 0 is always
+/// the root task — the main program itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The root task: the serial main program that creates all
+    /// top-level tasks.
+    pub const ROOT: TaskId = TaskId(0);
+
+    /// Whether this is the root task.
+    #[inline]
+    pub fn is_root(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_root() {
+            write!(f, "task#root")
+        } else {
+            write!(f, "task#{}", self.0)
+        }
+    }
+}
+
+/// Index of a machine in a platform (shared-memory processor, cluster
+/// workstation, or special-purpose functional unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MachineId(pub u32);
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Classes of special-purpose functional units a heterogeneous machine
+/// may contain (modelled after the HRV workstation of §7.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceClass {
+    /// General-purpose CPU with no special capability.
+    Cpu,
+    /// A unit that can capture/compress video frames in hardware
+    /// (the HRV's SPARC-side frame digitizer).
+    FrameSource,
+    /// A compute accelerator (the HRV's i860 boards).
+    Accelerator,
+    /// A unit that can present frames on a display (HDTV output).
+    Display,
+}
+
+/// Placement request a program may attach to a task; the paper's §4.5
+/// "Low-Level Control": "Programmers can explicitly specify the
+/// machine on which a task will execute".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Let the runtime's load balancer choose.
+    Any,
+    /// Run on a specific machine.
+    Machine(MachineId),
+    /// Run on any machine providing the given device class.
+    Device(DeviceClass),
+}
+
+impl Default for Placement {
+    fn default() -> Self {
+        Placement::Any
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jade_transport::{roundtrip_same, DataLayout};
+
+    #[test]
+    fn object_id_is_portable() {
+        let id = ObjectId(0xDEAD_BEEF_0042);
+        for l in DataLayout::all_presets() {
+            assert_eq!(roundtrip_same(&id, l), id);
+        }
+    }
+
+    #[test]
+    fn root_task_identification() {
+        assert!(TaskId::ROOT.is_root());
+        assert!(!TaskId(3).is_root());
+        assert_eq!(format!("{}", TaskId::ROOT), "task#root");
+        assert_eq!(format!("{}", TaskId(5)), "task#5");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", ObjectId(7)), "obj#7");
+        assert_eq!(format!("{}", MachineId(2)), "m2");
+    }
+}

@@ -1,0 +1,89 @@
+//! Paper-like surface syntax for the Jade constructs.
+//!
+//! The macros turn the builder-closure API into something visually
+//! close to the paper's
+//! `withonly { rd_wr(c[i].column); rd(c); } do (c, r, i) { ... }`:
+//!
+//! ```
+//! use jade_core::prelude::*;
+//! use jade_core::{withonly, with_cont};
+//!
+//! let (v, _) = jade_core::serial::run(|ctx| {
+//!     let a = ctx.create(1.0f64);
+//!     let b = ctx.create(2.0f64);
+//!     withonly!(ctx, "combine", { rd(a); rd_wr(b); df_rd(a); } do |c| {
+//!         with_cont!(c, { to_rd(a); });
+//!         let x = *c.rd(&a);
+//!         *c.wr(&b) += x;
+//!         with_cont!(c, { no_rd(a); });
+//!     });
+//!     *ctx.rd(&b)
+//! });
+//! assert_eq!(v, 3.0);
+//! ```
+
+/// The `withonly { access declaration } do { body }` construct.
+///
+/// The access-declaration block is a sequence of specification
+/// statements (`rd(x); wr(x); rd_wr(x); df_rd(x); df_wr(x); cm(x);
+/// place(p);`) executed against the task's [`crate::spec::SpecBuilder`]
+/// — arbitrary code is still allowed through the closure form of
+/// [`crate::ctx::JadeCtx::withonly`].
+#[macro_export]
+macro_rules! withonly {
+    ($ctx:expr, $label:expr, { $($method:ident($($arg:expr),*$(,)?);)* } do |$c:ident| $body:block) => {
+        $ctx.withonly(
+            $label,
+            |s| { $( s.$method($($arg),*); )* },
+            move |$c| $body,
+        )
+    };
+}
+
+/// The `with { access declaration } cont;` construct: statements are
+/// `to_rd(x); to_wr(x); no_rd(x); no_wr(x); no_cm(x);` against the
+/// task's [`crate::spec::ContBuilder`].
+#[macro_export]
+macro_rules! with_cont {
+    ($ctx:expr, { $($method:ident($obj:expr);)* }) => {
+        $ctx.with_cont(|b| { $( b.$method($obj); )* })
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn macro_forms_compile_and_run() {
+        let (v, stats) = crate::serial::run(|ctx| {
+            let acc = ctx.create(0.0f64);
+            for i in 0..4 {
+                withonly!(ctx, "add", { cm(acc); } do |c| {
+                    *c.cm(&acc) += i as f64;
+                });
+            }
+            let col = ctx.create(vec![1.0f64, 2.0]);
+            withonly!(ctx, "pipeline", { rd_wr(acc); df_rd(col); } do |c| {
+                with_cont!(c, { to_rd(col); });
+                let s: f64 = c.rd(&col).iter().sum();
+                with_cont!(c, { no_rd(col); });
+                *c.wr(&acc) += s;
+            });
+            *ctx.rd(&acc)
+        });
+        assert_eq!(v, 0.0 + 1.0 + 2.0 + 3.0 + 3.0);
+        assert_eq!(stats.tasks_created, 5);
+        assert_eq!(stats.with_conts, 2);
+    }
+
+    #[test]
+    fn macro_supports_placement() {
+        crate::serial::run(|ctx| {
+            let a = ctx.create(0.0f64);
+            withonly!(ctx, "pinned", { rd_wr(a); place(Placement::Machine(MachineId(0))); } do |c| {
+                *c.wr(&a) = 1.0;
+            });
+        });
+    }
+}

@@ -1,0 +1,536 @@
+//! Per-object serial-order declaration queues.
+//!
+//! The Jade implementation keeps, for every shared object, a queue of
+//! access declarations ordered by the *serial execution order* of the
+//! declaring tasks. The enabling rules over this queue are what turn
+//! access specifications into synchronization (paper §2, §3.3):
+//!
+//! * a **read** declaration is enabled when no active write-capable
+//!   (write or commuting-update) declaration precedes it;
+//! * a **write** declaration is enabled when no active declaration of
+//!   any kind precedes it (it must be at the effective head);
+//! * a **commuting-update** declaration (§4.3) is enabled when no
+//!   active read/write precedes it — other commuting updates do not
+//!   order it, but an access-time exclusivity token serializes the
+//!   actual updates;
+//! * **deferred** declarations hold their queue position (blocking
+//!   conflicting successors) but do not gate their own task's start;
+//! * retiring a side (`no_rd`/`no_wr`/`no_cm`) or removing the node
+//!   (task completion) may enable successors.
+//!
+//! Queues are stored as doubly-linked lists inside a single slab
+//! ([`QueueArena`]) so that hierarchical task creation can insert a
+//! child's declaration *immediately before its parent's* in O(1).
+
+use std::collections::HashMap;
+
+use crate::ids::{ObjectId, TaskId};
+use crate::spec::{AccessKind, DeclRights, DeclState};
+
+/// Handle to a node in the [`QueueArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeRef(u32);
+
+impl NodeRef {
+    #[inline]
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One declaration (or position anchor) in an object's queue.
+#[derive(Debug)]
+pub struct QNode {
+    /// The declaring task.
+    pub task: TaskId,
+    /// The object whose queue this node lives in.
+    pub object: ObjectId,
+    /// Current rights. Pure anchors have `DeclRights::NONE`.
+    pub rights: DeclRights,
+    /// Cached enabling flag for the read side.
+    pub read_granted: bool,
+    /// Cached enabling flag for the write side.
+    pub write_granted: bool,
+    /// Cached enabling flag for the commuting-update side.
+    pub commute_granted: bool,
+    /// Whether this task currently holds the object's commuting-update
+    /// exclusivity (set on first checked commute access; cleared by
+    /// `no_cm` or completion). While held, other commute declarations
+    /// wait — serialized but unordered, the §4.3 semantics.
+    pub commute_holding: bool,
+    prev: Option<NodeRef>,
+    next: Option<NodeRef>,
+    /// Slot-in-use marker for the free list.
+    live: bool,
+}
+
+impl QNode {
+    /// Whether the given access kind is currently granted.
+    #[inline]
+    pub fn granted(&self, kind: AccessKind) -> bool {
+        match kind {
+            AccessKind::Read => self.read_granted,
+            AccessKind::Write => self.write_granted,
+            AccessKind::Commute => self.commute_granted,
+        }
+    }
+
+    /// Whether this node is a pure position anchor (no rights, never
+    /// blocks anyone).
+    #[inline]
+    pub fn is_anchor(&self) -> bool {
+        !self.rights.is_declared()
+    }
+}
+
+/// A grant transition produced by [`QueueArena::recompute`]: an
+/// immediate right of `task` on `object` became enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Granted {
+    /// Task whose declaration became enabled.
+    pub task: TaskId,
+    /// Object concerned.
+    pub object: ObjectId,
+    /// Which side was enabled.
+    pub kind: AccessKind,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Ends {
+    head: Option<NodeRef>,
+    tail: Option<NodeRef>,
+}
+
+/// Slab of queue nodes plus per-object head/tail pointers.
+#[derive(Debug, Default)]
+pub struct QueueArena {
+    nodes: Vec<QNode>,
+    free: Vec<NodeRef>,
+    ends: HashMap<ObjectId, Ends>,
+}
+
+impl QueueArena {
+    /// Create an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an object, creating its (empty) queue.
+    pub fn register_object(&mut self, object: ObjectId) {
+        self.ends.entry(object).or_default();
+    }
+
+    /// Whether an object has been registered.
+    pub fn has_object(&self, object: ObjectId) -> bool {
+        self.ends.contains_key(&object)
+    }
+
+    /// Borrow a node.
+    #[inline]
+    pub fn node(&self, r: NodeRef) -> &QNode {
+        let n = &self.nodes[r.idx()];
+        debug_assert!(n.live, "use of freed queue node");
+        n
+    }
+
+    /// Mutably borrow a node.
+    #[inline]
+    pub fn node_mut(&mut self, r: NodeRef) -> &mut QNode {
+        let n = &mut self.nodes[r.idx()];
+        debug_assert!(n.live, "use of freed queue node");
+        n
+    }
+
+    fn alloc(&mut self, node: QNode) -> NodeRef {
+        if let Some(r) = self.free.pop() {
+            self.nodes[r.idx()] = node;
+            r
+        } else {
+            let r = NodeRef(self.nodes.len() as u32);
+            self.nodes.push(node);
+            r
+        }
+    }
+
+    fn blank(task: TaskId, object: ObjectId, rights: DeclRights) -> QNode {
+        QNode {
+            task,
+            object,
+            rights,
+            read_granted: false,
+            write_granted: false,
+            commute_granted: false,
+            commute_holding: false,
+            prev: None,
+            next: None,
+            live: true,
+        }
+    }
+
+    /// Append a declaration at the tail of the object's queue (used
+    /// for the root task's implicit declaration).
+    pub fn push_tail(&mut self, object: ObjectId, task: TaskId, rights: DeclRights) -> NodeRef {
+        let r = self.alloc(Self::blank(task, object, rights));
+        let ends = self.ends.entry(object).or_default();
+        match ends.tail {
+            None => {
+                ends.head = Some(r);
+                ends.tail = Some(r);
+            }
+            Some(t) => {
+                self.nodes[t.idx()].next = Some(r);
+                self.nodes[r.idx()].prev = Some(t);
+                ends.tail = Some(r);
+            }
+        }
+        r
+    }
+
+    /// Insert a declaration immediately before `before` in the same
+    /// object's queue — the hierarchical-creation primitive.
+    pub fn insert_before(
+        &mut self,
+        before: NodeRef,
+        task: TaskId,
+        rights: DeclRights,
+    ) -> NodeRef {
+        let object = self.node(before).object;
+        let prev = self.node(before).prev;
+        let r = self.alloc(Self::blank(task, object, rights));
+        self.nodes[r.idx()].prev = prev;
+        self.nodes[r.idx()].next = Some(before);
+        self.nodes[before.idx()].prev = Some(r);
+        match prev {
+            Some(p) => self.nodes[p.idx()].next = Some(r),
+            None => self.ends.get_mut(&object).expect("unregistered object").head = Some(r),
+        }
+        r
+    }
+
+    /// Remove a node from its queue (task completion).
+    pub fn remove(&mut self, r: NodeRef) {
+        let (object, prev, next) = {
+            let n = self.node(r);
+            (n.object, n.prev, n.next)
+        };
+        match prev {
+            Some(p) => self.nodes[p.idx()].next = next,
+            None => self.ends.get_mut(&object).expect("unregistered object").head = next,
+        }
+        match next {
+            Some(nx) => self.nodes[nx.idx()].prev = prev,
+            None => self.ends.get_mut(&object).expect("unregistered object").tail = prev,
+        }
+        let n = &mut self.nodes[r.idx()];
+        n.live = false;
+        n.prev = None;
+        n.next = None;
+        self.free.push(r);
+    }
+
+    /// Iterate over a queue head→tail.
+    pub fn iter(&self, object: ObjectId) -> QueueIter<'_> {
+        QueueIter { arena: self, cur: self.ends.get(&object).and_then(|e| e.head) }
+    }
+
+    /// Recompute the cached grant flags of every node in `object`'s
+    /// queue. Returns the immediate rights that transitioned from
+    /// not-granted to granted, in queue order (deterministic).
+    ///
+    /// Enabling rules: a read is blocked by earlier active writes and
+    /// commuting updates; a write by earlier active anything; a
+    /// commuting update by earlier active reads/writes but **not** by
+    /// other commuting updates (they are unordered) — except that
+    /// while one task *holds* the object's commute exclusivity, other
+    /// commute grants are withheld (updates serialize).
+    pub fn recompute(&mut self, object: ObjectId) -> Vec<Granted> {
+        // First pass: is any node currently holding commute access?
+        let mut holder: Option<NodeRef> = None;
+        let mut cur = self.ends.get(&object).and_then(|e| e.head);
+        while let Some(r) = cur {
+            let node = &self.nodes[r.idx()];
+            if node.commute_holding && node.rights.commute.is_active() {
+                holder = Some(r);
+                break;
+            }
+            cur = node.next;
+        }
+        let mut out = Vec::new();
+        let mut read_seen = false;
+        let mut write_seen = false;
+        let mut commute_seen = false;
+        let mut cur = self.ends.get(&object).and_then(|e| e.head);
+        while let Some(r) = cur {
+            let node = &mut self.nodes[r.idx()];
+            let read_ok = !write_seen && !commute_seen;
+            let write_ok = !write_seen && !read_seen && !commute_seen;
+            let commute_ok =
+                !write_seen && !read_seen && (holder.is_none() || holder == Some(r));
+            if read_ok && !node.read_granted && node.rights.read == DeclState::Immediate {
+                out.push(Granted { task: node.task, object, kind: AccessKind::Read });
+            }
+            if write_ok && !node.write_granted && node.rights.write == DeclState::Immediate {
+                out.push(Granted { task: node.task, object, kind: AccessKind::Write });
+            }
+            if commute_ok
+                && !node.commute_granted
+                && node.rights.commute == DeclState::Immediate
+            {
+                out.push(Granted { task: node.task, object, kind: AccessKind::Commute });
+            }
+            node.read_granted = read_ok;
+            node.write_granted = write_ok;
+            node.commute_granted = commute_ok;
+            if node.rights.read.is_active() {
+                read_seen = true;
+            }
+            if node.rights.write.is_active() {
+                write_seen = true;
+            }
+            if node.rights.commute.is_active() {
+                commute_seen = true;
+            }
+            cur = node.next;
+        }
+        out
+    }
+
+    /// Tasks with active declarations that precede `r` and conflict
+    /// with an access of kind `kind` by `r`'s task — the dynamic
+    /// dependence edges of the task graph (Figure 4).
+    pub fn conflicting_predecessors(&self, r: NodeRef, kind: AccessKind) -> Vec<TaskId> {
+        let mut out = Vec::new();
+        let mut cur = self.node(r).prev;
+        while let Some(p) = cur {
+            let n = self.node(p);
+            let conflicts = match kind {
+                AccessKind::Read => n.rights.write.is_active() || n.rights.commute.is_active(),
+                AccessKind::Write => n.rights.is_active(),
+                AccessKind::Commute => n.rights.read.is_active() || n.rights.write.is_active(),
+            };
+            if conflicts && !out.contains(&n.task) {
+                out.push(n.task);
+            }
+            cur = n.prev;
+        }
+        out
+    }
+
+    /// Length of an object's queue (anchors included).
+    pub fn queue_len(&self, object: ObjectId) -> usize {
+        self.iter(object).count()
+    }
+}
+
+/// Iterator over one object's queue.
+pub struct QueueIter<'a> {
+    arena: &'a QueueArena,
+    cur: Option<NodeRef>,
+}
+
+impl<'a> Iterator for QueueIter<'a> {
+    type Item = (NodeRef, &'a QNode);
+    fn next(&mut self) -> Option<Self::Item> {
+        let r = self.cur?;
+        let n = self.arena.node(r);
+        self.cur = n.next;
+        Some((r, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const O: ObjectId = ObjectId(1);
+
+    fn arena() -> QueueArena {
+        let mut a = QueueArena::new();
+        a.register_object(O);
+        a
+    }
+
+    #[test]
+    fn tail_pushes_keep_order() {
+        let mut a = arena();
+        let n1 = a.push_tail(O, TaskId(1), DeclRights::RD);
+        let n2 = a.push_tail(O, TaskId(2), DeclRights::WR);
+        let order: Vec<TaskId> = a.iter(O).map(|(_, n)| n.task).collect();
+        assert_eq!(order, vec![TaskId(1), TaskId(2)]);
+        assert_ne!(n1, n2);
+    }
+
+    #[test]
+    fn insert_before_places_child_ahead_of_parent() {
+        let mut a = arena();
+        let parent = a.push_tail(O, TaskId(1), DeclRights::RD_WR);
+        let _c1 = a.insert_before(parent, TaskId(2), DeclRights::RD);
+        let _c2 = a.insert_before(parent, TaskId(3), DeclRights::WR);
+        let order: Vec<TaskId> = a.iter(O).map(|(_, n)| n.task).collect();
+        // c1 created first, then c2 — both before parent, in creation order.
+        assert_eq!(order, vec![TaskId(2), TaskId(3), TaskId(1)]);
+    }
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let mut a = arena();
+        let w = a.push_tail(O, TaskId(1), DeclRights::WR);
+        let r1 = a.push_tail(O, TaskId(2), DeclRights::RD);
+        let r2 = a.push_tail(O, TaskId(3), DeclRights::RD);
+        a.recompute(O);
+        assert!(a.node(w).write_granted);
+        assert!(!a.node(r1).read_granted);
+        assert!(!a.node(r2).read_granted);
+        // Writer completes: both readers enable simultaneously.
+        a.remove(w);
+        let grants = a.recompute(O);
+        assert_eq!(grants.len(), 2);
+        assert!(a.node(r1).read_granted && a.node(r2).read_granted);
+    }
+
+    #[test]
+    fn writer_waits_for_all_earlier_readers() {
+        let mut a = arena();
+        let r1 = a.push_tail(O, TaskId(1), DeclRights::RD);
+        let r2 = a.push_tail(O, TaskId(2), DeclRights::RD);
+        let w = a.push_tail(O, TaskId(3), DeclRights::WR);
+        a.recompute(O);
+        assert!(a.node(r1).read_granted && a.node(r2).read_granted);
+        assert!(!a.node(w).write_granted);
+        a.remove(r1);
+        a.recompute(O);
+        assert!(!a.node(w).write_granted, "one reader still active");
+        a.remove(r2);
+        let g = a.recompute(O);
+        assert_eq!(g, vec![Granted { task: TaskId(3), object: O, kind: AccessKind::Write }]);
+    }
+
+    #[test]
+    fn deferred_write_blocks_successors_but_reports_no_grant() {
+        let mut a = arena();
+        let d = a.push_tail(O, TaskId(1), DeclRights::DF_WR);
+        let r = a.push_tail(O, TaskId(2), DeclRights::RD);
+        let grants = a.recompute(O);
+        // The deferred write is not reported (not immediate), and it
+        // blocks the reader behind it.
+        assert!(grants.is_empty());
+        assert!(!a.node(r).read_granted);
+        assert!(a.node(d).write_granted, "flag still tracks position");
+    }
+
+    #[test]
+    fn retiring_a_side_enables_successors() {
+        let mut a = arena();
+        let d = a.push_tail(O, TaskId(1), DeclRights::DF_WR);
+        let r = a.push_tail(O, TaskId(2), DeclRights::RD);
+        a.recompute(O);
+        assert!(!a.node(r).read_granted);
+        // no_wr: the deferred writer promises not to write after all.
+        a.node_mut(d).rights.write = DeclState::Retired;
+        let g = a.recompute(O);
+        assert_eq!(g, vec![Granted { task: TaskId(2), object: O, kind: AccessKind::Read }]);
+    }
+
+    #[test]
+    fn anchors_neither_block_nor_grant() {
+        let mut a = arena();
+        let anchor = a.push_tail(O, TaskId(1), DeclRights::NONE);
+        let w = a.push_tail(O, TaskId(2), DeclRights::WR);
+        let g = a.recompute(O);
+        assert!(a.node(anchor).is_anchor());
+        assert_eq!(g.len(), 1);
+        assert!(a.node(w).write_granted);
+    }
+
+    #[test]
+    fn child_insertion_revokes_parent_grant() {
+        let mut a = arena();
+        let parent = a.push_tail(O, TaskId(1), DeclRights::RD_WR);
+        a.recompute(O);
+        assert!(a.node(parent).write_granted);
+        // Parent spawns a child that writes: parent loses access until
+        // the child completes (serial semantics: the child body runs
+        // at its creation point).
+        let child = a.insert_before(parent, TaskId(2), DeclRights::WR);
+        a.recompute(O);
+        assert!(!a.node(parent).write_granted && !a.node(parent).read_granted);
+        assert!(a.node(child).write_granted);
+        a.remove(child);
+        let g = a.recompute(O);
+        assert_eq!(g.len(), 2, "parent regains read and write");
+    }
+
+    #[test]
+    fn conflicting_predecessors_form_edges() {
+        let mut a = arena();
+        let _w = a.push_tail(O, TaskId(1), DeclRights::WR);
+        let _r = a.push_tail(O, TaskId(2), DeclRights::RD);
+        let w2 = a.push_tail(O, TaskId(3), DeclRights::WR);
+        let preds = a.conflicting_predecessors(w2, AccessKind::Write);
+        assert_eq!(preds, vec![TaskId(2), TaskId(1)]);
+        let r2 = a.push_tail(O, TaskId(4), DeclRights::RD);
+        let preds_r = a.conflicting_predecessors(r2, AccessKind::Read);
+        assert_eq!(preds_r, vec![TaskId(3), TaskId(1)], "reads only conflict with writes");
+    }
+
+    #[test]
+    fn removal_recycles_slots() {
+        let mut a = arena();
+        let n1 = a.push_tail(O, TaskId(1), DeclRights::RD);
+        a.remove(n1);
+        let n2 = a.push_tail(O, TaskId(2), DeclRights::RD);
+        assert_eq!(n1, n2, "slot reused");
+        assert_eq!(a.queue_len(O), 1);
+    }
+
+    #[test]
+    fn commuting_updates_do_not_block_each_other() {
+        let mut a = arena();
+        let c1 = a.push_tail(O, TaskId(1), DeclRights::CM);
+        let c2 = a.push_tail(O, TaskId(2), DeclRights::CM);
+        let r = a.push_tail(O, TaskId(3), DeclRights::RD);
+        a.recompute(O);
+        assert!(a.node(c1).commute_granted);
+        assert!(a.node(c2).commute_granted, "commutes are unordered among themselves");
+        assert!(!a.node(r).read_granted, "a read waits for earlier commutes");
+        // Task 2 acquires the update exclusivity first (any order is
+        // legal): task 1's grant is withheld until release.
+        a.node_mut(c2).commute_holding = true;
+        a.recompute(O);
+        assert!(!a.node(c1).commute_granted);
+        assert!(a.node(c2).commute_granted);
+        a.node_mut(c2).commute_holding = false;
+        a.node_mut(c2).rights.commute = DeclState::Retired;
+        let g = a.recompute(O);
+        assert!(g.contains(&Granted { task: TaskId(1), object: O, kind: AccessKind::Commute }));
+        a.remove(c1);
+        a.remove(c2);
+        let g2 = a.recompute(O);
+        assert_eq!(g2, vec![Granted { task: TaskId(3), object: O, kind: AccessKind::Read }]);
+    }
+
+    #[test]
+    fn commute_waits_for_earlier_writer() {
+        let mut a = arena();
+        let w = a.push_tail(O, TaskId(1), DeclRights::WR);
+        let c = a.push_tail(O, TaskId(2), DeclRights::CM);
+        a.recompute(O);
+        assert!(!a.node(c).commute_granted);
+        a.remove(w);
+        let g = a.recompute(O);
+        assert_eq!(g, vec![Granted { task: TaskId(2), object: O, kind: AccessKind::Commute }]);
+    }
+
+    #[test]
+    fn grants_emitted_in_queue_order() {
+        let mut a = arena();
+        let w = a.push_tail(O, TaskId(1), DeclRights::WR);
+        let _r1 = a.push_tail(O, TaskId(5), DeclRights::RD);
+        let _r2 = a.push_tail(O, TaskId(3), DeclRights::RD);
+        a.recompute(O);
+        a.remove(w);
+        let g = a.recompute(O);
+        let tasks: Vec<TaskId> = g.iter().map(|g| g.task).collect();
+        assert_eq!(tasks, vec![TaskId(5), TaskId(3)], "queue order, not id order");
+    }
+}

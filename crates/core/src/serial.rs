@@ -1,0 +1,370 @@
+//! The serial elision: run a Jade program exactly as its underlying
+//! sequential program, with full dynamic access checking.
+//!
+//! Every `withonly` body executes inline at its creation point — the
+//! definition of the serial semantics every parallel execution must
+//! reproduce. This executor is therefore:
+//!
+//! * the *reference* against which the determinism tests compare the
+//!   threaded and simulated executions bit-for-bit;
+//! * a debugging tool, exactly as the paper advertises: "Jade
+//!   programmers can employ the same standard techniques used to
+//!   debug serial programs" — specification errors (undeclared
+//!   accesses, uncovered child declarations) surface here without any
+//!   concurrency involved.
+
+use crate::ctx::{violation, HoldSet, JadeCtx, ReadGuard, WriteGuard};
+use crate::graph::{AccessStatus, DepGraph, Wake};
+use crate::handle::{Object, Shared};
+use crate::ids::TaskId;
+use crate::spec::{AccessKind, ContBuilder, SpecBuilder};
+use crate::stats::RuntimeStats;
+use crate::store::{ObjectStore, Slot};
+use crate::trace::TaskGraphTrace;
+
+/// Execution context for the serial elision.
+pub struct SerialCtx {
+    engine: DepGraph,
+    store: ObjectStore,
+    current: TaskId,
+    holds: Vec<(TaskId, HoldSet)>,
+    virtual_work: f64,
+}
+
+impl SerialCtx {
+    fn new(trace: bool) -> Self {
+        let mut engine = DepGraph::new();
+        if trace {
+            engine.enable_trace();
+        }
+        SerialCtx {
+            engine,
+            store: ObjectStore::new(),
+            current: TaskId::ROOT,
+            holds: vec![(TaskId::ROOT, HoldSet::new())],
+            virtual_work: 0.0,
+        }
+    }
+
+    fn hold_set(&self) -> &HoldSet {
+        &self.holds.last().expect("hold stack never empty").1
+    }
+
+    /// Total abstract work charged so far (all tasks).
+    pub fn charged_work(&self) -> f64 {
+        self.virtual_work
+    }
+
+    /// Engine statistics accumulated so far.
+    pub fn stats(&self) -> RuntimeStats {
+        self.engine.stats
+    }
+}
+
+/// Run a Jade program serially; returns its result and the runtime
+/// statistics (declarations, checks, conflicts...).
+pub fn run<R>(program: impl FnOnce(&mut SerialCtx) -> R) -> (R, RuntimeStats) {
+    let mut ctx = SerialCtx::new(false);
+    let r = program(&mut ctx);
+    let stats = ctx.engine.stats;
+    (r, stats)
+}
+
+/// Run serially with dynamic task-graph capture (Figure 4).
+pub fn run_traced<R>(program: impl FnOnce(&mut SerialCtx) -> R) -> (R, TaskGraphTrace) {
+    let mut ctx = SerialCtx::new(true);
+    let r = program(&mut ctx);
+    let trace = ctx.engine.take_trace().expect("trace enabled");
+    (r, trace)
+}
+
+impl JadeCtx for SerialCtx {
+    fn create_named<T: Object>(&mut self, name: &str, value: T) -> Shared<T> {
+        let oid = self.engine.create_object(self.current);
+        self.store.insert(oid, Slot::new(name, value));
+        Shared::from_raw(oid)
+    }
+
+    fn withonly<S, F>(&mut self, label: &str, spec: S, body: F)
+    where
+        S: FnOnce(&mut SpecBuilder),
+        F: FnOnce(&mut Self) + Send + 'static,
+    {
+        let mut builder = SpecBuilder::new();
+        spec(&mut builder);
+        let (decls, placement) = builder.build();
+        for d in &decls {
+            if self.hold_set().conflicts(d.object, d.rights) {
+                violation(crate::error::JadeError::ChildConflictsWithHeldGuard {
+                    parent: self.current,
+                    object: d.object,
+                });
+            }
+        }
+        let (tid, wakes) = self
+            .engine
+            .create_task(self.current, label, decls, placement)
+            .unwrap_or_else(|e| violation(e));
+        debug_assert!(
+            wakes.contains(&Wake::Ready(tid)),
+            "serial elision: every earlier task already completed, so the new task \
+             must be immediately ready"
+        );
+        self.engine.start_task(tid);
+        let saved = self.current;
+        self.current = tid;
+        self.holds.push((tid, HoldSet::new()));
+        body(self);
+        let (_, holds) = self.holds.pop().expect("frame pushed above");
+        debug_assert!(!holds.any_held(), "task body leaked an access guard");
+        self.current = saved;
+        self.engine.finish_task(tid);
+    }
+
+    fn with_cont<C>(&mut self, changes: C)
+    where
+        C: FnOnce(&mut ContBuilder),
+    {
+        let mut builder = ContBuilder::new();
+        changes(&mut builder);
+        let (must_block, _wakes) = self
+            .engine
+            .with_cont(self.current, builder.build())
+            .unwrap_or_else(|e| violation(e));
+        debug_assert!(
+            !must_block,
+            "serial elision: no earlier task can be outstanding, so with-cont never blocks"
+        );
+    }
+
+    fn rd<T: Object>(&mut self, h: &Shared<T>) -> ReadGuard<T> {
+        match self.engine.check_access(self.current, h.id(), AccessKind::Read) {
+            Ok(AccessStatus::Granted) => {}
+            Ok(AccessStatus::MustWait) => unreachable!(
+                "serial elision: access by {} to {} cannot wait",
+                self.current,
+                h.id()
+            ),
+            Err(e) => violation(e),
+        }
+        let lock = self.store.typed(h).unwrap_or_else(|e| violation(e));
+        let token = self.hold_set().acquire(h.id(), AccessKind::Read);
+        ReadGuard::new(lock, token)
+    }
+
+    fn wr<T: Object>(&mut self, h: &Shared<T>) -> WriteGuard<T> {
+        match self.engine.check_access(self.current, h.id(), AccessKind::Write) {
+            Ok(AccessStatus::Granted) => {}
+            Ok(AccessStatus::MustWait) => unreachable!(
+                "serial elision: access by {} to {} cannot wait",
+                self.current,
+                h.id()
+            ),
+            Err(e) => violation(e),
+        }
+        let lock = self.store.typed(h).unwrap_or_else(|e| violation(e));
+        let token = self.hold_set().acquire(h.id(), AccessKind::Write);
+        WriteGuard::new(lock, token)
+    }
+
+    fn cm<T: Object>(&mut self, h: &Shared<T>) -> WriteGuard<T> {
+        match self.engine.check_access(self.current, h.id(), AccessKind::Commute) {
+            Ok(AccessStatus::Granted) => {}
+            Ok(AccessStatus::MustWait) => unreachable!(
+                "serial elision: access by {} to {} cannot wait",
+                self.current,
+                h.id()
+            ),
+            Err(e) => violation(e),
+        }
+        let lock = self.store.typed(h).unwrap_or_else(|e| violation(e));
+        let token = self.hold_set().acquire(h.id(), AccessKind::Commute);
+        WriteGuard::new(lock, token)
+    }
+
+    fn charge(&mut self, work: f64) {
+        self.virtual_work += work;
+    }
+
+    fn machines(&self) -> usize {
+        1
+    }
+
+    fn task(&self) -> TaskId {
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bodies_run_inline_in_order() {
+        let (result, stats) = run(|ctx| {
+            let acc = ctx.create_named("acc", Vec::<f64>::new());
+            for i in 0..5 {
+                ctx.withonly(
+                    &format!("push{i}"),
+                    |s| {
+                        s.rd_wr(acc);
+                    },
+                    move |c| {
+                        c.wr(&acc).push(i as f64);
+                    },
+                );
+            }
+            ctx.rd(&acc).clone()
+        });
+        assert_eq!(result, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(stats.tasks_created, 5);
+    }
+
+    #[test]
+    fn nested_tasks_respect_serial_order() {
+        let (result, _) = run(|ctx| {
+            let log = ctx.create_named("log", Vec::<u64>::new());
+            ctx.withonly(
+                "outer",
+                |s| {
+                    s.rd_wr(log);
+                },
+                move |c| {
+                    c.wr(&log).push(1);
+                    c.withonly(
+                        "inner",
+                        |s| {
+                            s.rd_wr(log);
+                        },
+                        move |c2| {
+                            c2.wr(&log).push(2);
+                        },
+                    );
+                    c.wr(&log).push(3);
+                },
+            );
+            ctx.rd(&log).clone()
+        });
+        assert_eq!(result, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared")]
+    fn undeclared_access_panics() {
+        run(|ctx| {
+            let a = ctx.create(1.0f64);
+            let b = ctx.create(2.0f64);
+            ctx.withonly(
+                "bad",
+                |s| {
+                    s.rd(a);
+                },
+                move |c| {
+                    let _ = *c.rd(&b); // b was never declared
+                },
+            );
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "did not declare")]
+    fn uncovered_child_panics() {
+        run(|ctx| {
+            let a = ctx.create(0.0f64);
+            ctx.withonly(
+                "parent",
+                |s| {
+                    s.rd(a);
+                },
+                move |c| {
+                    c.withonly(
+                        "child",
+                        |s| {
+                            s.wr(a);
+                        },
+                        move |c2| {
+                            *c2.wr(&a) = 1.0;
+                        },
+                    );
+                },
+            );
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "holding a conflicting access guard")]
+    fn spawning_while_holding_conflicting_guard_panics() {
+        run(|ctx| {
+            let a = ctx.create(0.0f64);
+            ctx.withonly(
+                "parent",
+                |s| {
+                    s.rd_wr(a);
+                },
+                move |c| {
+                    let _g = c.rd(&a);
+                    c.withonly(
+                        "child",
+                        |s| {
+                            s.wr(a);
+                        },
+                        move |c2| {
+                            *c2.wr(&a) = 1.0;
+                        },
+                    );
+                },
+            );
+        });
+    }
+
+    #[test]
+    fn with_cont_pipeline_executes_serially() {
+        let (v, stats) = run(|ctx| {
+            let col = ctx.create_named("col", 0.0f64);
+            ctx.withonly(
+                "producer",
+                |s| {
+                    s.rd_wr(col);
+                },
+                move |c| {
+                    *c.wr(&col) = 42.0;
+                },
+            );
+            ctx.withonly(
+                "consumer",
+                |s| {
+                    s.df_rd(col);
+                },
+                move |c| {
+                    c.with_cont(|cb| {
+                        cb.to_rd(col);
+                    });
+                    let _v = *c.rd(&col);
+                    c.with_cont(|cb| {
+                        cb.no_rd(col);
+                    });
+                },
+            );
+            let out = *ctx.rd(&col);
+            out
+        });
+        assert_eq!(v, 42.0);
+        assert_eq!(stats.with_conts, 2);
+    }
+
+    #[test]
+    fn charge_accumulates_virtual_work() {
+        let mut total = 0.0;
+        let ((), _) = run(|ctx| {
+            ctx.withonly("w", |_| {}, |c| c.charge(5.0));
+            ctx.charge(2.0);
+            total = ctx.charged_work();
+        });
+        assert_eq!(total, 7.0);
+    }
+
+    #[test]
+    fn machines_is_one() {
+        run(|ctx| assert_eq!(ctx.machines(), 1));
+    }
+}

@@ -1,0 +1,87 @@
+//! Runtime statistics counters.
+//!
+//! The paper's §5 lists what the implementation does on the program's
+//! behalf (synchronization, checking, object management, throttling).
+//! These counters make that work observable; the benchmark harness
+//! reports them alongside timing so the runtime-overhead discussion in
+//! §8 can be reproduced quantitatively.
+
+/// Counters accumulated by an execution.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Tasks created with `withonly` (root excluded).
+    pub tasks_created: u64,
+    /// Tasks executed inline in their creator because of task-creation
+    /// throttling (§3.3: legal because serial semantics precludes a
+    /// task waiting on a later task).
+    pub tasks_inlined: u64,
+    /// Declarations processed across all specifications.
+    pub declarations: u64,
+    /// Dynamic access checks performed (each guard acquisition).
+    pub access_checks: u64,
+    /// Accesses that had to wait for an earlier task.
+    pub access_waits: u64,
+    /// `with-cont` constructs executed.
+    pub with_conts: u64,
+    /// `with-cont`s that blocked on a deferred→immediate conversion.
+    pub with_cont_blocks: u64,
+    /// Dependence conflicts discovered (edges in the dynamic graph).
+    pub conflicts: u64,
+    /// Peak number of simultaneously live (created, unfinished) tasks.
+    pub peak_live_tasks: u64,
+    /// Objects registered.
+    pub objects_created: u64,
+}
+
+impl RuntimeStats {
+    /// Merge counters from another execution (e.g. per-worker stats).
+    pub fn merge(&mut self, other: &RuntimeStats) {
+        self.tasks_created += other.tasks_created;
+        self.tasks_inlined += other.tasks_inlined;
+        self.declarations += other.declarations;
+        self.access_checks += other.access_checks;
+        self.access_waits += other.access_waits;
+        self.with_conts += other.with_conts;
+        self.with_cont_blocks += other.with_cont_blocks;
+        self.conflicts += other.conflicts;
+        self.peak_live_tasks = self.peak_live_tasks.max(other.peak_live_tasks);
+        self.objects_created += other.objects_created;
+    }
+}
+
+impl std::fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "tasks created:     {}", self.tasks_created)?;
+        writeln!(f, "tasks inlined:     {}", self.tasks_inlined)?;
+        writeln!(f, "declarations:      {}", self.declarations)?;
+        writeln!(f, "access checks:     {}", self.access_checks)?;
+        writeln!(f, "access waits:      {}", self.access_waits)?;
+        writeln!(f, "with-conts:        {}", self.with_conts)?;
+        writeln!(f, "with-cont blocks:  {}", self.with_cont_blocks)?;
+        writeln!(f, "conflicts (edges): {}", self.conflicts)?;
+        writeln!(f, "peak live tasks:   {}", self.peak_live_tasks)?;
+        write!(f, "objects created:   {}", self.objects_created)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_and_maxes() {
+        let mut a = RuntimeStats { tasks_created: 2, peak_live_tasks: 5, ..Default::default() };
+        let b = RuntimeStats { tasks_created: 3, peak_live_tasks: 4, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.tasks_created, 5);
+        assert_eq!(a.peak_live_tasks, 5);
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let s = RuntimeStats::default().to_string();
+        for key in ["tasks created", "inlined", "with-cont", "conflicts", "objects"] {
+            assert!(s.contains(key), "missing {key}");
+        }
+    }
+}

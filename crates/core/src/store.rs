@@ -1,0 +1,252 @@
+//! Type-erased storage of shared-object versions.
+//!
+//! Each executor keeps one or more [`ObjectStore`]s: the shared-memory
+//! executor keeps a single store (the hardware provides the shared
+//! address space); the message-passing simulator keeps one store per
+//! machine and moves *versions* of objects between them through the
+//! typed transport. A [`Slot`] pairs the type-erased value with a
+//! vtable of marshalling functions captured at creation time, so the
+//! object manager can encode/decode/measure objects it does not know
+//! the type of — this is how the runtime "knows the types of all
+//! shared objects" (§6.1).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use jade_transport::{PortDecoder, PortEncoder};
+use parking_lot::RwLock;
+
+use crate::error::{JadeError, Result};
+use crate::handle::{Object, Shared};
+use crate::ids::ObjectId;
+
+/// Type-erased pointer to an object version: an `Arc<RwLock<T>>`
+/// hidden behind `dyn Any`.
+pub type ErasedValue = Arc<dyn Any + Send + Sync>;
+
+/// Marshalling vtable captured when an object is created.
+#[derive(Clone, Copy)]
+pub struct ObjVtable {
+    /// Encode the current value into the encoder's layout.
+    pub encode: fn(&ErasedValue, &mut PortEncoder),
+    /// Decode a fresh version from wire bytes.
+    pub decode: fn(&mut PortDecoder<'_>) -> ErasedValue,
+    /// Approximate encoded size (drives simulated message sizes).
+    pub size: fn(&ErasedValue) -> usize,
+    /// The Rust type name, for traces and errors.
+    pub type_name: &'static str,
+}
+
+impl std::fmt::Debug for ObjVtable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ObjVtable({})", self.type_name)
+    }
+}
+
+fn encode_impl<T: Object>(v: &ErasedValue, enc: &mut PortEncoder) {
+    let lock = v
+        .downcast_ref::<RwLock<T>>()
+        .expect("object store type confusion");
+    lock.read().encode(enc);
+}
+
+fn decode_impl<T: Object>(dec: &mut PortDecoder<'_>) -> ErasedValue {
+    Arc::new(RwLock::new(T::decode(dec)))
+}
+
+fn size_impl<T: Object>(v: &ErasedValue) -> usize {
+    let lock = v
+        .downcast_ref::<RwLock<T>>()
+        .expect("object store type confusion");
+    let guard = lock.read();
+    jade_transport::Portable::size_hint(&*guard)
+}
+
+/// Build the marshalling vtable for a concrete object type.
+pub fn vtable_of<T: Object>() -> ObjVtable {
+    ObjVtable {
+        encode: encode_impl::<T>,
+        decode: decode_impl::<T>,
+        size: size_impl::<T>,
+        type_name: std::any::type_name::<T>(),
+    }
+}
+
+/// One local version of a shared object.
+#[derive(Clone, Debug)]
+pub struct Slot {
+    /// The value, type-erased.
+    pub value: ErasedValue,
+    /// Marshalling functions for the value's concrete type.
+    pub vtable: ObjVtable,
+    /// Debug name given at creation.
+    pub name: Arc<str>,
+}
+
+impl Slot {
+    /// Wrap a typed value into a slot.
+    pub fn new<T: Object>(name: &str, value: T) -> Slot {
+        Slot {
+            value: Arc::new(RwLock::new(value)),
+            vtable: vtable_of::<T>(),
+            name: Arc::from(name),
+        }
+    }
+
+    /// Encode this version for transfer in the given encoder.
+    pub fn encode(&self, enc: &mut PortEncoder) {
+        (self.vtable.encode)(&self.value, enc)
+    }
+
+    /// Decode a transferred version, producing a slot with the same
+    /// vtable and name.
+    pub fn decode_version(&self, dec: &mut PortDecoder<'_>) -> Slot {
+        Slot { value: (self.vtable.decode)(dec), vtable: self.vtable, name: self.name.clone() }
+    }
+
+    /// Approximate wire size of the current value.
+    pub fn wire_size(&self) -> usize {
+        (self.vtable.size)(&self.value)
+    }
+
+    /// Downcast to the typed lock. Panics on type confusion (which
+    /// would indicate a forged handle).
+    pub fn typed<T: Object>(&self) -> Arc<RwLock<T>> {
+        let any: ErasedValue = Arc::clone(&self.value);
+        any.downcast::<RwLock<T>>()
+            .unwrap_or_else(|_| {
+                panic!(
+                    "shared object '{}' holds {} but was accessed as {}",
+                    self.name,
+                    self.vtable.type_name,
+                    std::any::type_name::<T>()
+                )
+            })
+    }
+}
+
+/// A map from object ids to local versions.
+#[derive(Default, Debug)]
+pub struct ObjectStore {
+    slots: HashMap<ObjectId, Slot>,
+}
+
+impl ObjectStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        ObjectStore { slots: HashMap::new() }
+    }
+
+    /// Insert (or replace) the local version of an object.
+    pub fn insert(&mut self, id: ObjectId, slot: Slot) {
+        self.slots.insert(id, slot);
+    }
+
+    /// Remove the local version (object moved away / invalidated).
+    pub fn remove(&mut self, id: ObjectId) -> Option<Slot> {
+        self.slots.remove(&id)
+    }
+
+    /// Whether a local version is present.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.slots.contains_key(&id)
+    }
+
+    /// Borrow the local version.
+    pub fn get(&self, id: ObjectId) -> Result<&Slot> {
+        self.slots.get(&id).ok_or(JadeError::UnknownObject(id))
+    }
+
+    /// Typed access to the local version.
+    pub fn typed<T: Object>(&self, h: &Shared<T>) -> Result<Arc<RwLock<T>>> {
+        Ok(self.get(h.id())?.typed::<T>())
+    }
+
+    /// Number of resident versions.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the store holds no versions.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterate over resident object ids.
+    pub fn ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.slots.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jade_transport::DataLayout;
+
+    #[test]
+    fn slot_roundtrip_through_wire() {
+        let slot = Slot::new("column", vec![1.0f64, 2.0, 3.0]);
+        let mut enc = PortEncoder::new(DataLayout::sparc());
+        slot.encode(&mut enc);
+        let bytes = enc.finish();
+        let mut dec = PortDecoder::new(&bytes, DataLayout::sparc());
+        let slot2 = slot.decode_version(&mut dec);
+        let v = slot2.typed::<Vec<f64>>();
+        assert_eq!(*v.read(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn typed_access_and_mutation() {
+        let mut store = ObjectStore::new();
+        store.insert(ObjectId(1), Slot::new("x", 41.0f64));
+        let h: Shared<f64> = Shared::from_raw(ObjectId(1));
+        {
+            let lock = store.typed(&h).unwrap();
+            *lock.write() += 1.0;
+        }
+        let lock = store.typed(&h).unwrap();
+        assert_eq!(*lock.read(), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "was accessed as")]
+    fn type_confusion_panics() {
+        let mut store = ObjectStore::new();
+        store.insert(ObjectId(1), Slot::new("x", 1.0f64));
+        let h: Shared<u32> = Shared::from_raw(ObjectId(1));
+        let _ = store.typed(&h).unwrap();
+    }
+
+    #[test]
+    fn missing_object_is_an_error() {
+        let store = ObjectStore::new();
+        let h: Shared<f64> = Shared::from_raw(ObjectId(9));
+        assert!(matches!(store.typed(&h), Err(JadeError::UnknownObject(_))));
+    }
+
+    #[test]
+    fn wire_size_reflects_payload() {
+        let small = Slot::new("s", vec![0.0f64; 4]);
+        let big = Slot::new("b", vec![0.0f64; 4096]);
+        assert!(big.wire_size() > small.wire_size() * 100);
+    }
+
+    #[test]
+    fn remove_and_reinsert_models_migration() {
+        let mut a = ObjectStore::new();
+        let mut b = ObjectStore::new();
+        a.insert(ObjectId(1), Slot::new("col", vec![5.0f64]));
+        let slot = a.remove(ObjectId(1)).unwrap();
+        // encode on machine A (sparc), decode on machine B reading
+        // sparc-format bytes — the heterogeneous transfer path.
+        let mut enc = PortEncoder::new(DataLayout::sparc());
+        slot.encode(&mut enc);
+        let bytes = enc.finish();
+        let mut dec = PortDecoder::new(&bytes, DataLayout::sparc());
+        b.insert(ObjectId(1), slot.decode_version(&mut dec));
+        assert!(!a.contains(ObjectId(1)));
+        let h: Shared<Vec<f64>> = Shared::from_raw(ObjectId(1));
+        assert_eq!(*b.typed(&h).unwrap().read(), vec![5.0]);
+    }
+}

@@ -1,0 +1,19 @@
+use jade_core::prelude::*;
+use jade_sim::{Platform, SimExecutor};
+
+fn wide<C: JadeCtx>(ctx: &mut C) -> f64 {
+    let xs: Vec<Shared<f64>> = (0..16).map(|i| ctx.create(i as f64)).collect();
+    for &x in &xs {
+        ctx.withonly("work", |s| { s.rd_wr(x); }, move |c| {
+            c.charge(5e6);
+            *c.wr(&x) += 1.0;
+        });
+    }
+    xs.iter().map(|x| *ctx.rd(x)).sum()
+}
+
+fn main() {
+    let (_, r) = SimExecutor::new(Platform::dash(8)).logged().run(wide);
+    println!("time={} busy={:?}", r.time, r.busy.iter().map(|b| b.as_secs_f64()).collect::<Vec<_>>());
+    println!("{}", r.log.unwrap());
+}

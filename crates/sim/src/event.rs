@@ -1,0 +1,127 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by `(time, sequence)`; the sequence number makes
+//! ties deterministic (insertion order), which in turn makes entire
+//! simulations bit-reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use jade_core::ids::TaskId;
+
+use crate::time::SimTime;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A task's charged compute span (or runtime overhead) elapsed:
+    /// step the task process again.
+    Resume(TaskId),
+    /// A fetched object version arrived at the machine hosting `task`.
+    FetchArrive {
+        /// The task whose fetch completed.
+        task: TaskId,
+        /// How many bytes arrived (for logging).
+        bytes: u64,
+    },
+    /// A machine may be able to start its next queued task.
+    TryStart(usize),
+    /// The executing CPU slice on a machine ended (time-sliced
+    /// processor model).
+    SliceDone(usize),
+}
+
+#[derive(Debug)]
+struct HeapEvent {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for HeapEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for HeapEvent {}
+impl PartialOrd for HeapEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq).
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic min-heap of simulation events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<HeapEvent>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEvent { time, seq, kind });
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        self.heap.pop().map(|e| (e.time, e.kind))
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(50), EventKind::TryStart(1));
+        q.push(SimTime(10), EventKind::Resume(TaskId(1)));
+        q.push(SimTime(50), EventKind::TryStart(2));
+        q.push(SimTime(10), EventKind::Resume(TaskId(2)));
+        let order: Vec<(SimTime, EventKind)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![
+                (SimTime(10), EventKind::Resume(TaskId(1))),
+                (SimTime(10), EventKind::Resume(TaskId(2))),
+                (SimTime(50), EventKind::TryStart(1)),
+                (SimTime(50), EventKind::TryStart(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime(1), EventKind::TryStart(0));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

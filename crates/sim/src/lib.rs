@@ -1,0 +1,56 @@
+//! # jade-sim — the heterogeneous message-passing Jade implementation
+//!
+//! A deterministic discrete-event simulation of the environments the
+//! paper ran on — the Stanford DASH, the Intel iPSC/860, the Mica
+//! Ethernet array of SPARC ELCs, heterogeneous networks of Suns and
+//! DECstations, and the HRV video workstation — together with the
+//! distributed Jade runtime that executes unmodified Jade programs on
+//! them: object migration/replication with typed format conversion,
+//! dynamic load balancing, the locality heuristic, latency hiding and
+//! task throttling (paper §5).
+//!
+//! Task bodies are real Rust closures computing real values: the
+//! simulation's *results* are bit-identical to the serial elision (the
+//! determinism tests assert this), while its *timing* comes from the
+//! platform models. This is what lets the benchmark harness regenerate
+//! the shape of the paper's Figures 9 and 10 on a laptop.
+//!
+//! ```
+//! use jade_core::prelude::*;
+//! use jade_sim::{Platform, SimExecutor};
+//!
+//! let exec = SimExecutor::new(Platform::mica(4));
+//! let (v, report) = exec.run(|ctx| {
+//!     let xs: Vec<Shared<f64>> = (0..8).map(|i| ctx.create(i as f64)).collect();
+//!     for &x in &xs {
+//!         ctx.withonly("square", |s| { s.rd_wr(x); }, move |c| {
+//!             c.charge(1e5); // simulated work units
+//!             let v = *c.rd(&x);
+//!             *c.wr(&x) = v * v;
+//!         });
+//!     }
+//!     xs.iter().map(|x| *ctx.rd(x)).sum::<f64>()
+//! });
+//! assert_eq!(v, (0..8).map(|i| (i * i) as f64).sum::<f64>());
+//! assert!(report.time > jade_sim::SimTime::ZERO);
+//! ```
+
+pub mod event;
+pub mod machine;
+pub mod network;
+pub mod objmgr;
+pub mod platform;
+pub mod proc;
+pub mod report;
+pub mod runtime;
+pub mod sched;
+pub mod time;
+pub mod tracelog;
+
+pub use machine::MachineSpec;
+pub use network::NetStats;
+pub use objmgr::Granularity;
+pub use platform::{NetworkKind, Platform};
+pub use report::{ObjTraffic, SimReport};
+pub use runtime::{SimConfig, SimCtx, SimExecutor, SuspendCreator};
+pub use time::{SimSpan, SimTime};

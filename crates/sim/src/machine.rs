@@ -1,0 +1,74 @@
+//! Machine descriptions for heterogeneous platforms.
+//!
+//! The paper runs the same Jade program on SGI multiprocessor nodes,
+//! iPSC/860 i860 nodes, SPARC ELC workstations, and the HRV
+//! workstation's SPARC + i860 functional units. A [`MachineSpec`]
+//! captures what the runtime needs to know about one such machine:
+//! how fast it executes task work, what its native data layout is
+//! (driving format conversion on transfers), and which special-purpose
+//! device classes it provides (driving `Placement::Device`
+//! constraints, §4.5/§7.2).
+
+use jade_core::ids::DeviceClass;
+use jade_transport::DataLayout;
+
+/// Static description of one machine in a platform.
+#[derive(Debug, Clone)]
+pub struct MachineSpec {
+    /// Human-readable name for traces ("sparc-0", "i860-3", ...).
+    pub name: String,
+    /// Execution speed in work units per second. Work units are
+    /// calibrated as floating-point-operation equivalents, so 1992-era
+    /// machines sit in the tens of millions (e.g. 25e6 for a DASH
+    /// MIPS node). A task charging `w` units occupies the machine for
+    /// `w / speed` seconds.
+    pub speed: f64,
+    /// Native data representation; transfers between machines with
+    /// different layouts go through format conversion.
+    pub layout: DataLayout,
+    /// Special-purpose capabilities this machine provides.
+    pub devices: Vec<DeviceClass>,
+}
+
+impl MachineSpec {
+    /// A plain CPU machine.
+    pub fn cpu(name: impl Into<String>, speed: f64, layout: DataLayout) -> Self {
+        MachineSpec { name: name.into(), speed, layout, devices: vec![DeviceClass::Cpu] }
+    }
+
+    /// Add a device capability.
+    pub fn with_device(mut self, d: DeviceClass) -> Self {
+        if !self.devices.contains(&d) {
+            self.devices.push(d);
+        }
+        self
+    }
+
+    /// Whether the machine provides a device class. Every machine
+    /// counts as a `Cpu`.
+    pub fn has_device(&self, d: DeviceClass) -> bool {
+        d == DeviceClass::Cpu || self.devices.contains(&d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_queries() {
+        let m = MachineSpec::cpu("sparc-0", 20e6, DataLayout::sparc())
+            .with_device(DeviceClass::FrameSource);
+        assert!(m.has_device(DeviceClass::Cpu));
+        assert!(m.has_device(DeviceClass::FrameSource));
+        assert!(!m.has_device(DeviceClass::Accelerator));
+    }
+
+    #[test]
+    fn with_device_deduplicates() {
+        let m = MachineSpec::cpu("a", 1.0, DataLayout::x86_64())
+            .with_device(DeviceClass::Display)
+            .with_device(DeviceClass::Display);
+        assert_eq!(m.devices.iter().filter(|d| **d == DeviceClass::Display).count(), 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Simulation results: what a run reports back.
+
+use jade_core::stats::RuntimeStats;
+
+use crate::network::NetStats;
+use crate::time::{SimSpan, SimTime};
+
+/// Object-manager traffic counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ObjTraffic {
+    /// Authoritative versions moved (write fetches).
+    pub moves: u64,
+    /// Read replicas created.
+    pub copies: u64,
+    /// Ownership transfers satisfied without data (a valid replica was
+    /// already resident at the new writer).
+    pub upgrades: u64,
+    /// Replicas invalidated by writes.
+    pub invalidations: u64,
+    /// Transfers that crossed data formats (byte order / padding).
+    pub conversions: u64,
+}
+
+/// Everything a simulated execution reports.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Platform name ("dash", "ipsc860", "mica", ...).
+    pub platform: String,
+    /// Machine count.
+    pub machines: usize,
+    /// Simulated completion time (all tasks finished).
+    pub time: SimTime,
+    /// Dependency-engine counters.
+    pub stats: RuntimeStats,
+    /// Network counters.
+    pub net: NetStats,
+    /// Object-manager counters.
+    pub traffic: ObjTraffic,
+    /// Per-machine compute-busy time.
+    pub busy: Vec<SimSpan>,
+    /// The rendered Figure 7-style narrative, when logging was on.
+    pub log: Option<String>,
+    /// The dynamic task graph, when tracing was on.
+    pub trace: Option<jade_core::trace::TaskGraphTrace>,
+}
+
+impl SimReport {
+    /// Mean machine utilization over the run: busy time / (machines ×
+    /// completion time).
+    pub fn utilization(&self) -> f64 {
+        if self.time == SimTime::ZERO || self.machines == 0 {
+            return 0.0;
+        }
+        let busy: f64 = self.busy.iter().map(|b| b.as_secs_f64()).sum();
+        busy / (self.machines as f64 * self.time.as_secs_f64())
+    }
+
+    /// Speedup relative to a baseline (typically the 1-machine run of
+    /// the same workload): `base_time / this_time`.
+    pub fn speedup_vs(&self, base: &SimReport) -> f64 {
+        base.time.as_secs_f64() / self.time.as_secs_f64()
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} x{}: {} (util {:.0}%)",
+            self.platform,
+            self.machines,
+            self.time,
+            self.utilization() * 100.0
+        )?;
+        writeln!(
+            f,
+            "  net: {} msgs, {} bytes, contention {:.3}s",
+            self.net.messages,
+            self.net.bytes,
+            self.net.contention.as_secs_f64()
+        )?;
+        write!(
+            f,
+            "  objects: {} moves, {} copies, {} upgrades, {} invalidations, {} conversions",
+            self.traffic.moves,
+            self.traffic.copies,
+            self.traffic.upgrades,
+            self.traffic.invalidations,
+            self.traffic.conversions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(machines: usize, secs: f64, busy_each: f64) -> SimReport {
+        SimReport {
+            platform: "test".into(),
+            machines,
+            time: SimTime((secs * 1e9) as u64),
+            stats: RuntimeStats::default(),
+            net: NetStats::default(),
+            traffic: ObjTraffic::default(),
+            busy: vec![SimSpan((busy_each * 1e9) as u64); machines],
+            log: None,
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn utilization_and_speedup() {
+        let base = report(1, 10.0, 10.0);
+        let par = report(4, 3.0, 2.5);
+        assert!((base.utilization() - 1.0).abs() < 1e-9);
+        assert!((par.utilization() - 2.5 / 3.0).abs() < 1e-9);
+        assert!((par.speedup_vs(&base) - 10.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_compiles_counters() {
+        let s = report(2, 1.0, 0.5).to_string();
+        assert!(s.contains("util"));
+        assert!(s.contains("moves"));
+    }
+}

@@ -1,0 +1,1037 @@
+//! The distributed Jade runtime over the discrete-event simulator.
+//!
+//! [`SimExecutor`] executes an unmodified Jade program on a simulated
+//! heterogeneous message-passing platform, implementing the runtime
+//! responsibilities the paper lists in §5:
+//!
+//! * **Parallel execution** — the shared [`DepGraph`] engine decides
+//!   which tasks may run; ready tasks are distributed over machines.
+//! * **Object management** — the [`ObjDirectory`] moves/copies object
+//!   versions; every transfer passes through the typed transport with
+//!   the sender's data layout, so heterogeneous runs exercise format
+//!   conversion on real bytes.
+//! * **Dynamic load balancing & locality** — see [`crate::sched`].
+//! * **Latency hiding** — ready tasks are assigned to machines up to a
+//!   configurable lookahead; their object fetches proceed while the
+//!   machine executes other tasks (Figure 7(f)).
+//! * **Throttling** — optional suspend-the-creator watermarks.
+//!
+//! Each machine's CPU is a preemptive, time-sliced run queue (compute
+//! bursts execute in quanta; runtime work such as task creation and
+//! dispatch is prioritized). Any number of *suspended* tasks may be
+//! resident on a machine — a task blocked in a `with-cont` releases
+//! the CPU, which is what lets the pipelined back-substitution of
+//! §4.2 overlap with the factorization.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use crossbeam::channel::bounded;
+use jade_core::ctx::{violation, HoldSet, JadeCtx, ReadGuard, WriteGuard};
+use jade_core::graph::{AccessStatus, DepGraph, Wake};
+use jade_core::handle::{Object, Shared};
+use jade_core::ids::{ObjectId, TaskId};
+use jade_core::spec::{AccessKind, ContBuilder, ContOp, DeclState, SpecBuilder};
+use jade_core::store::{ObjectStore, Slot};
+use jade_transport::message::HEADER_WIRE_BYTES;
+use jade_transport::{PortDecoder, PortEncoder};
+
+use crate::event::{EventKind, EventQueue};
+use crate::network::NetworkModel;
+use crate::objmgr::{Granularity, ObjDirectory, CTRL_BYTES};
+use crate::platform::Platform;
+use crate::proc::{spawn_proc, ProcChannels, ProcHandle, ProcReq, ProcResp, SimBody};
+use crate::report::{ObjTraffic, SimReport};
+use crate::sched::{affinity, choose, eligible, Candidate};
+use crate::time::{SimSpan, SimTime};
+use crate::tracelog::{SimEventKind, SimLog};
+
+/// Wire size of a shipped task descriptor (id, spec, closure token).
+const DESC_BYTES: usize = 256;
+
+/// Task-creation throttling for the simulator: suspend the creating
+/// task at `hi` live tasks until the count falls below `lo`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuspendCreator {
+    /// High watermark.
+    pub hi: u64,
+    /// Low watermark.
+    pub lo: u64,
+}
+
+/// Configuration of a simulated execution.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The platform to simulate.
+    pub platform: Platform,
+    /// Enable the locality heuristic (§5). Ablation A1.
+    pub locality: bool,
+    /// Tasks (beyond the one executing) that may be assigned to a
+    /// machine so their fetches overlap execution (§5 latency hiding,
+    /// Figure 7(f)). 0 disables prefetching. Ablation A2.
+    pub lookahead: usize,
+    /// Optional suspend-creator throttling (§3.3). Ablation A3.
+    pub throttle: Option<SuspendCreator>,
+    /// Coherence granularity: Jade objects, or the page-DSM baseline
+    /// of §6.1 (experiment B-DSM).
+    pub granularity: Granularity,
+    /// Record the Figure 7-style event narrative.
+    pub log: bool,
+    /// Capture the dynamic task graph (Figure 4).
+    pub trace: bool,
+}
+
+impl SimConfig {
+    /// Default configuration for a platform: locality on, lookahead 2,
+    /// no throttle, object granularity.
+    pub fn new(platform: Platform) -> Self {
+        SimConfig {
+            platform,
+            locality: true,
+            lookahead: 2,
+            throttle: None,
+            granularity: Granularity::Object,
+            log: false,
+            trace: false,
+        }
+    }
+}
+
+/// Entry point: a configured simulated Jade executor.
+#[derive(Debug, Clone)]
+pub struct SimExecutor {
+    cfg: SimConfig,
+}
+
+impl SimExecutor {
+    /// Executor with default config for `platform`.
+    pub fn new(platform: Platform) -> Self {
+        SimExecutor { cfg: SimConfig::new(platform) }
+    }
+
+    /// Executor from an explicit config.
+    pub fn from_config(cfg: SimConfig) -> Self {
+        SimExecutor { cfg }
+    }
+
+    /// Toggle the locality heuristic.
+    pub fn locality(mut self, on: bool) -> Self {
+        self.cfg.locality = on;
+        self
+    }
+
+    /// Set the per-machine assignment lookahead (latency hiding).
+    pub fn lookahead(mut self, n: usize) -> Self {
+        self.cfg.lookahead = n;
+        self
+    }
+
+    /// Enable suspend-creator throttling.
+    pub fn throttle(mut self, hi: u64, lo: u64) -> Self {
+        self.cfg.throttle = Some(SuspendCreator { hi, lo });
+        self
+    }
+
+    /// Use the page-DSM baseline coherence granularity.
+    pub fn granularity(mut self, g: Granularity) -> Self {
+        self.cfg.granularity = g;
+        self
+    }
+
+    /// Record the Figure 7 narrative log.
+    pub fn logged(mut self) -> Self {
+        self.cfg.log = true;
+        self
+    }
+
+    /// Capture the dynamic task graph.
+    pub fn traced(mut self) -> Self {
+        self.cfg.trace = true;
+        self
+    }
+
+    /// Execute a Jade program on the simulated platform.
+    pub fn run<R, F>(&self, program: F) -> (R, SimReport)
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut SimCtx) -> R + Send + 'static,
+    {
+        let (tx, rx) = bounded::<R>(1);
+        let body: SimBody = Box::new(move |ctx| {
+            let r = program(ctx);
+            let _ = tx.send(r);
+        });
+        let report = Loop::execute(self.cfg.clone(), body);
+        let result = rx.try_recv().expect("root program produced no result");
+        (result, report)
+    }
+}
+
+#[derive(Debug)]
+enum BlockedOp {
+    /// Engine said MustWait on an access; retry residency after wake.
+    AccessWait { object: ObjectId, kind: AccessKind },
+    /// Access granted; waiting for the object to arrive.
+    AccessFetch { object: ObjectId },
+    /// Engine said MustWait inside a with-cont.
+    ContWait { converted: Vec<(ObjectId, AccessKind)> },
+    /// with-cont granted; waiting for converted objects to arrive.
+    ContFetch,
+    /// Creator suspended by the throttle watermarks.
+    Throttle,
+}
+
+/// One simulated machine's dynamic state. The CPU is a time-sliced
+/// run queue: compute bursts execute in quanta so that short runtime
+/// operations (task creation, dispatch) are not starved behind long
+/// application charges — modelling a preemptive 1992 Unix scheduler.
+struct Mach {
+    runq: VecDeque<(TaskId, f64)>,
+    active: Option<(TaskId, f64)>,
+    busy: SimSpan,
+    load: i64,
+    /// Started, unfinished, unblocked tasks (the machine executes one
+    /// task context at a time, like a real Jade node; queued tasks
+    /// stay stealable until started).
+    running: i64,
+    pending: VecDeque<TaskId>,
+}
+
+/// Scheduling quantum of the simulated machines' CPUs.
+const QUANTUM_SECS: f64 = 0.01;
+
+struct Loop {
+    cfg: SimConfig,
+    now: SimTime,
+    events: EventQueue,
+    engine: DepGraph,
+    net: Box<dyn NetworkModel>,
+    mach: Vec<Mach>,
+    stores: Vec<ObjectStore>,
+    dir: ObjDirectory,
+    procs: HashMap<TaskId, ProcHandle>,
+    bodies: HashMap<TaskId, SimBody>,
+    ready_pool: VecDeque<TaskId>,
+    assigned: HashMap<TaskId, usize>,
+    creator_machine: HashMap<TaskId, usize>,
+    pending_fetches: HashMap<TaskId, usize>,
+    blocked: HashMap<TaskId, BlockedOp>,
+    throttle_waiters: VecDeque<TaskId>,
+    unfinished: u64,
+    root_done: bool,
+    traffic: ObjTraffic,
+    log: SimLog,
+    poison: Option<String>,
+}
+
+impl Loop {
+    fn execute(cfg: SimConfig, root_body: SimBody) -> SimReport {
+        let n = cfg.platform.len();
+        assert!(n > 0, "platform needs at least one machine");
+        let mut engine = DepGraph::new();
+        if cfg.trace {
+            engine.enable_trace();
+        }
+        let mut lp = Loop {
+            now: SimTime::ZERO,
+            events: EventQueue::new(),
+            engine,
+            net: cfg.platform.build_network(),
+            mach: (0..n)
+                .map(|_| Mach {
+                    runq: VecDeque::new(),
+                    active: None,
+                    busy: SimSpan::ZERO,
+                    load: 0,
+                    running: 0,
+                    pending: VecDeque::new(),
+                })
+                .collect(),
+            stores: (0..n).map(|_| ObjectStore::new()).collect(),
+            dir: ObjDirectory::new(cfg.granularity),
+            procs: HashMap::new(),
+            bodies: HashMap::new(),
+            ready_pool: VecDeque::new(),
+            assigned: HashMap::new(),
+            creator_machine: HashMap::new(),
+            pending_fetches: HashMap::new(),
+            blocked: HashMap::new(),
+            throttle_waiters: VecDeque::new(),
+            unfinished: 0,
+            root_done: false,
+            traffic: ObjTraffic::default(),
+            log: SimLog::new(cfg.log),
+            poison: None,
+            cfg,
+        };
+        lp.run_loop(root_body)
+    }
+
+    fn run_loop(&mut self, root_body: SimBody) -> SimReport {
+        // The main program runs as the root task on machine 0.
+        self.assigned.insert(TaskId::ROOT, 0);
+        self.mach[0].load += 1;
+        self.mach[0].running += 1;
+        self.procs
+            .insert(TaskId::ROOT, spawn_proc(TaskId::ROOT, self.cfg.platform.len(), root_body));
+        self.drive(TaskId::ROOT, ProcResp::Proceed);
+
+        while !(self.root_done && self.unfinished == 0) {
+            if self.poison.is_some() {
+                break;
+            }
+            let Some((t, ev)) = self.events.pop() else {
+                panic!(
+                    "jade-sim: simulation stalled with {} unfinished task(s) \
+                     (root_done={}) — this indicates a runtime bug",
+                    self.unfinished, self.root_done
+                );
+            };
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            match ev {
+                EventKind::Resume(tid) => {
+                    if self.procs.contains_key(&tid) {
+                        self.drive(tid, ProcResp::Proceed);
+                    }
+                }
+                EventKind::FetchArrive { task, .. } => {
+                    let left = {
+                        let c = self
+                            .pending_fetches
+                            .get_mut(&task)
+                            .expect("fetch arrival without pending count");
+                        *c -= 1;
+                        *c
+                    };
+                    if left == 0 {
+                        self.pending_fetches.remove(&task);
+                        self.on_fetches_done(task);
+                    }
+                }
+                EventKind::TryStart(m) => self.try_start(m),
+                EventKind::SliceDone(m) => self.on_slice_done(m),
+            }
+        }
+
+        if let Some(p) = self.poison.take() {
+            // Drop all task processes so their threads unwind.
+            self.procs.clear();
+            panic!("{p}");
+        }
+
+        let labels: HashMap<TaskId, String> = self
+            .log
+            .events()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                SimEventKind::TaskCreated { task, label, .. } => Some((*task, label.clone())),
+                _ => None,
+            })
+            .collect();
+        let log_text = if self.cfg.log {
+            Some(self.log.render(|t| {
+                if t.is_root() {
+                    "root".to_string()
+                } else {
+                    labels.get(&t).cloned().unwrap_or_else(|| "?".to_string())
+                }
+            }))
+        } else {
+            None
+        };
+        SimReport {
+            platform: self.cfg.platform.name.clone(),
+            machines: self.cfg.platform.len(),
+            time: self.now,
+            stats: self.engine.stats,
+            net: self.net.stats(),
+            traffic: self.traffic,
+            busy: self.mach.iter().map(|m| m.busy).collect(),
+            log: log_text,
+            trace: self.engine.take_trace(),
+        }
+    }
+
+    fn machine_of(&self, t: TaskId) -> usize {
+        *self.assigned.get(&t).expect("task has a machine")
+    }
+
+    fn set_block(&mut self, t: TaskId, op: BlockedOp) {
+        let m = self.machine_of(t);
+        if self.blocked.insert(t, op).is_none() {
+            self.mach[m].load -= 1;
+            // A suspended task releases its machine: another queued
+            // task may start meanwhile (this is what overlaps the
+            // §4.2 pipelined consumer with its producers).
+            self.mach[m].running -= 1;
+            self.events.push(self.now, EventKind::TryStart(m));
+        }
+    }
+
+    fn clear_block(&mut self, t: TaskId) -> Option<BlockedOp> {
+        let op = self.blocked.remove(&t);
+        if op.is_some() {
+            let m = self.machine_of(t);
+            self.mach[m].load += 1;
+            self.mach[m].running += 1;
+        }
+        op
+    }
+
+    /// Queue `work` units of compute for `t` on machine `m`'s
+    /// time-sliced CPU. When the burst completes, a `Resume(t)` event
+    /// fires. `priority` bursts (runtime work: task creation/dispatch,
+    /// and the main program) go to the front of the run queue.
+    fn enqueue_burst(&mut self, m: usize, t: TaskId, work: f64, priority: bool) {
+        if priority {
+            self.mach[m].runq.push_front((t, work));
+        } else {
+            self.mach[m].runq.push_back((t, work));
+        }
+        self.kick_cpu(m);
+    }
+
+    /// Queue a fixed runtime-overhead span as priority work.
+    fn enqueue_overhead(&mut self, m: usize, t: TaskId, span: SimSpan) {
+        let work = span.as_secs_f64() * self.cfg.platform.machines[m].speed;
+        self.enqueue_burst(m, t, work, true);
+    }
+
+    /// Start the next CPU slice on `m` if the CPU is idle.
+    fn kick_cpu(&mut self, m: usize) {
+        if self.mach[m].active.is_some() {
+            return;
+        }
+        let Some((t, work)) = self.mach[m].runq.pop_front() else { return };
+        let speed = self.cfg.platform.machines[m].speed;
+        let quantum = QUANTUM_SECS * speed;
+        let slice = work.min(quantum);
+        let span = SimSpan::from_work(slice, speed);
+        self.mach[m].busy = self.mach[m].busy + span;
+        self.mach[m].active = Some((t, work - slice));
+        self.events.push(self.now + span, EventKind::SliceDone(m));
+    }
+
+    /// A CPU slice ended: either the burst is done (resume the task)
+    /// or it rotates to the back of the run queue.
+    fn on_slice_done(&mut self, m: usize) {
+        let (t, remaining) = self.mach[m].active.take().expect("slice without active burst");
+        if remaining > 0.0 {
+            self.mach[m].runq.push_back((t, remaining));
+        } else {
+            self.events.push(self.now, EventKind::Resume(t));
+        }
+        self.kick_cpu(m);
+    }
+
+    // ------------------------------------------------------------------
+    // Driving task processes
+    // ------------------------------------------------------------------
+
+    fn drive(&mut self, tid: TaskId, first: ProcResp) {
+        let mut resp = first;
+        loop {
+            if self.poison.is_some() {
+                return;
+            }
+            let req = self.procs.get(&tid).expect("driving a live process").step(resp);
+            match req {
+                ProcReq::Charge(work) => {
+                    let m = self.machine_of(tid);
+                    self.enqueue_burst(m, tid, work.max(0.0), tid.is_root());
+                    return;
+                }
+                ProcReq::CreateObject { name, slot } => {
+                    let m = self.machine_of(tid);
+                    let oid = self.engine.create_object(tid);
+                    self.dir.register(oid, m, slot.wire_size());
+                    self.stores[m].insert(oid, slot);
+                    let _ = name;
+                    resp = ProcResp::Created(oid);
+                }
+                ProcReq::Withonly { label, decls, placement, body } => {
+                    match self.engine.create_task(tid, &label, decls, placement) {
+                        Err(e) => resp = ProcResp::Violation(e),
+                        Ok((new, wakes)) => {
+                            let m = self.machine_of(tid);
+                            self.unfinished += 1;
+                            self.creator_machine.insert(new, m);
+                            self.bodies.insert(new, body);
+                            self.log.push(
+                                self.now,
+                                SimEventKind::TaskCreated { task: new, label, machine: m },
+                            );
+                            self.apply_wakes(wakes);
+                            if let Some(t) = self.cfg.throttle {
+                                if self.engine.live_tasks() >= t.hi {
+                                    self.set_block(tid, BlockedOp::Throttle);
+                                    self.throttle_waiters.push_back(tid);
+                                    self.log.push(self.now, SimEventKind::TaskBlocked { task: tid });
+                                    return;
+                                }
+                            }
+                            let span = self.cfg.platform.task_create_overhead;
+                            self.enqueue_overhead(m, tid, span);
+                            return;
+                        }
+                    }
+                }
+                ProcReq::WithCont(ops) => {
+                    let converted: Vec<(ObjectId, AccessKind)> = ops
+                        .iter()
+                        .filter_map(|&(o, op)| match op {
+                            ContOp::ToRd => Some((o, AccessKind::Read)),
+                            ContOp::ToWr => Some((o, AccessKind::Write)),
+                            _ => None,
+                        })
+                        .collect();
+                    match self.engine.with_cont(tid, ops) {
+                        Err(e) => resp = ProcResp::Violation(e),
+                        Ok((must_block, wakes)) => {
+                            self.apply_wakes(wakes);
+                            if must_block {
+                                self.set_block(tid, BlockedOp::ContWait { converted });
+                                self.log.push(self.now, SimEventKind::TaskBlocked { task: tid });
+                                return;
+                            }
+                            let m = self.machine_of(tid);
+                            let n = self.start_fetches(tid, m, &converted, self.now);
+                            if n > 0 {
+                                self.set_block(tid, BlockedOp::ContFetch);
+                                return;
+                            }
+                            resp = ProcResp::Proceed;
+                        }
+                    }
+                }
+                ProcReq::Access { object, kind } => {
+                    match self.engine.check_access(tid, object, kind) {
+                        Err(e) => resp = ProcResp::Violation(e),
+                        Ok(AccessStatus::MustWait) => {
+                            self.set_block(tid, BlockedOp::AccessWait { object, kind });
+                            self.log.push(self.now, SimEventKind::TaskBlocked { task: tid });
+                            return;
+                        }
+                        Ok(AccessStatus::Granted) => {
+                            let m = self.machine_of(tid);
+                            let n = self.start_fetches(tid, m, &[(object, kind)], self.now);
+                            if n > 0 {
+                                self.set_block(tid, BlockedOp::AccessFetch { object });
+                                self.log
+                                    .push(self.now, SimEventKind::FetchPending { task: tid, object });
+                                return;
+                            }
+                            let slot = self.stores[m].get(object).expect("resident").clone();
+                            resp = ProcResp::Object(slot);
+                        }
+                    }
+                }
+                ProcReq::Done => {
+                    self.on_task_done(tid);
+                    return;
+                }
+                ProcReq::Panicked(msg) => {
+                    self.poison = Some(msg);
+                    return;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Wakes, blocking, completion
+    // ------------------------------------------------------------------
+
+    fn apply_wakes(&mut self, wakes: Vec<Wake>) {
+        for w in wakes {
+            match w {
+                Wake::Ready(t) => {
+                    debug_assert!(self.bodies.contains_key(&t), "ready task without a body");
+                    self.ready_pool.push_back(t);
+                }
+                Wake::Unblocked(t) => self.on_unblocked(t),
+            }
+        }
+        self.schedule_assignments();
+    }
+
+    fn on_unblocked(&mut self, t: TaskId) {
+        match self.clear_block(t) {
+            Some(BlockedOp::AccessWait { object, kind }) => {
+                // Re-validate: several waiters can be woken by one
+                // grant wave (e.g. commuting updates, which serialize
+                // at access time); only the first to re-check wins the
+                // exclusivity, the rest re-block.
+                match self.engine.check_access(t, object, kind) {
+                    Err(e) => {
+                        self.drive(t, ProcResp::Violation(e));
+                        return;
+                    }
+                    Ok(AccessStatus::MustWait) => {
+                        self.set_block(t, BlockedOp::AccessWait { object, kind });
+                        return;
+                    }
+                    Ok(AccessStatus::Granted) => {}
+                }
+                let m = self.machine_of(t);
+                self.log.push(self.now, SimEventKind::TaskResumed { task: t });
+                let n = self.start_fetches(t, m, &[(object, kind)], self.now);
+                if n > 0 {
+                    self.set_block(t, BlockedOp::AccessFetch { object });
+                    self.log.push(self.now, SimEventKind::FetchPending { task: t, object });
+                } else {
+                    let slot = self.stores[m].get(object).expect("resident").clone();
+                    self.drive(t, ProcResp::Object(slot));
+                }
+            }
+            Some(BlockedOp::ContWait { converted }) => {
+                let m = self.machine_of(t);
+                self.log.push(self.now, SimEventKind::TaskResumed { task: t });
+                let n = self.start_fetches(t, m, &converted, self.now);
+                if n > 0 {
+                    self.set_block(t, BlockedOp::ContFetch);
+                } else {
+                    self.drive(t, ProcResp::Proceed);
+                }
+            }
+            other => panic!("unexpected unblock of {t}: {other:?}"),
+        }
+    }
+
+    fn on_fetches_done(&mut self, t: TaskId) {
+        if !self.procs.contains_key(&t) {
+            // Pre-start fetches complete: the machine may start it.
+            if let Some(&m) = self.assigned.get(&t) {
+                self.events.push(self.now, EventKind::TryStart(m));
+            }
+            return;
+        }
+        match self.clear_block(t) {
+            Some(BlockedOp::AccessFetch { object }) => {
+                let m = self.machine_of(t);
+                self.log.push(self.now, SimEventKind::TaskResumed { task: t });
+                let slot = self.stores[m].get(object).expect("fetched").clone();
+                self.drive(t, ProcResp::Object(slot));
+            }
+            Some(BlockedOp::ContFetch) => {
+                self.log.push(self.now, SimEventKind::TaskResumed { task: t });
+                self.drive(t, ProcResp::Proceed);
+            }
+            other => panic!("unexpected fetch completion for {t}: {other:?}"),
+        }
+    }
+
+    fn on_task_done(&mut self, tid: TaskId) {
+        let m = self.machine_of(tid);
+        // Refresh directory sizes for objects this task could write
+        // (accounting for growing vectors etc.).
+        for (oid, rights) in self.engine.declarations_of(tid) {
+            if rights.write == DeclState::Immediate {
+                if let Ok(slot) = self.stores[m].get(oid) {
+                    let sz = slot.wire_size();
+                    self.dir.update_size(oid, sz);
+                }
+            }
+        }
+        let wakes = self.engine.finish_task(tid);
+        self.procs.remove(&tid);
+        self.mach[m].load -= 1;
+        self.mach[m].running -= 1;
+        self.log.push(self.now, SimEventKind::TaskFinished { task: tid, machine: m });
+        if tid.is_root() {
+            self.root_done = true;
+        } else {
+            self.unfinished -= 1;
+        }
+        self.apply_wakes(wakes);
+        self.check_throttle_waiters();
+        self.rebalance();
+        self.events.push(self.now, EventKind::TryStart(m));
+    }
+
+    fn check_throttle_waiters(&mut self) {
+        if let Some(t) = self.cfg.throttle {
+            while self.engine.live_tasks() < t.lo {
+                let Some(w) = self.throttle_waiters.pop_front() else { break };
+                self.clear_block(w);
+                self.log.push(self.now, SimEventKind::TaskResumed { task: w });
+                self.drive(w, ProcResp::Proceed);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling and object movement
+    // ------------------------------------------------------------------
+
+    /// Dynamic load balancing (§5): move *unstarted* tasks from busy
+    /// machines' queues to idle machines. Started tasks never migrate
+    /// (as in Jade: a task moves before it executes, Figure 7(b)-(c)).
+    fn rebalance(&mut self) {
+        loop {
+            let n = self.cfg.platform.len();
+            let Some(idle) = (0..n).find(|&m| self.mach[m].load == 0) else { return };
+            // Victim: the machine with the most queued (unstarted)
+            // work beyond what it is currently executing.
+            let victim = (0..n)
+                .filter(|&v| v != idle && !self.mach[v].pending.is_empty() && self.mach[v].load >= 2)
+                .max_by_key(|&v| self.mach[v].pending.len());
+            let Some(victim) = victim else { return };
+            // Steal the most recently queued eligible task.
+            let spec = &self.cfg.platform.machines[idle];
+            let Some(pos) = (0..self.mach[victim].pending.len()).rev().find(|&i| {
+                let t = self.mach[victim].pending[i];
+                eligible(spec, idle, self.engine.placement(t))
+            }) else {
+                return;
+            };
+            let t = self.mach[victim].pending.remove(pos).expect("index in range");
+            self.mach[victim].load -= 1;
+            // The descriptor now travels from the victim machine.
+            self.creator_machine.insert(t, victim);
+            self.assign(t, idle);
+        }
+    }
+
+    fn schedule_assignments(&mut self) {
+        let mut i = 0;
+        while i < self.ready_pool.len() {
+            let t = self.ready_pool[i];
+            let placement = self.engine.placement(t);
+            if !self
+                .cfg
+                .platform
+                .machines
+                .iter()
+                .enumerate()
+                .any(|(mi, spec)| eligible(spec, mi, placement))
+            {
+                self.poison = Some(format!(
+                    "task {t} ('{}') requests placement {placement:?}, which no machine \
+                     of platform '{}' satisfies",
+                    self.engine.label(t),
+                    self.cfg.platform.name
+                ));
+                return;
+            }
+            let objs: Vec<ObjectId> =
+                self.engine.declarations_of(t).into_iter().map(|(o, _)| o).collect();
+            let cap = 1 + self.cfg.lookahead as i64;
+            let mut cands: Vec<Candidate> = Vec::new();
+            for (mi, spec) in self.cfg.platform.machines.iter().enumerate() {
+                if !eligible(spec, mi, placement) || self.mach[mi].load >= cap {
+                    continue;
+                }
+                // Affinity in 4 KiB classes: small resident objects
+                // should not override load balancing.
+                let aff = if self.cfg.locality {
+                    affinity(&self.dir, &objs, mi) / 4096
+                } else {
+                    0
+                };
+                cands.push(Candidate {
+                    machine: mi,
+                    load: self.mach[mi].load.max(0) as usize,
+                    speed: spec.speed,
+                    affinity: aff,
+                });
+            }
+            match choose(&cands) {
+                Some(m) => {
+                    self.ready_pool.remove(i);
+                    self.assign(t, m);
+                }
+                None => i += 1,
+            }
+        }
+    }
+
+    fn assign(&mut self, t: TaskId, m: usize) {
+        self.assigned.insert(t, m);
+        self.mach[m].load += 1;
+        self.mach[m].pending.push_back(t);
+        let from = *self.creator_machine.get(&t).unwrap_or(&0);
+        self.log.push(self.now, SimEventKind::TaskAssigned { task: t, from, to: m });
+        let base = if from != m {
+            self.net.transfer(self.now, from, m, DESC_BYTES + HEADER_WIRE_BYTES)
+        } else {
+            self.now
+        };
+        // Fetch every immediately-declared read/write object; deferred
+        // declarations are fetched at conversion, and commuting
+        // declarations at access time (their order — and therefore the
+        // object's next location — is decided by whichever commuter
+        // touches it first).
+        let items: Vec<(ObjectId, AccessKind)> = self
+            .engine
+            .declarations_of(t)
+            .into_iter()
+            .filter_map(|(o, r)| {
+                if r.write == DeclState::Immediate {
+                    Some((o, AccessKind::Write))
+                } else if r.read == DeclState::Immediate {
+                    Some((o, AccessKind::Read))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let n = self.start_fetches(t, m, &items, base);
+        if n == 0 {
+            self.events.push(base, EventKind::TryStart(m));
+        }
+    }
+
+    fn try_start(&mut self, m: usize) {
+        // One task context executes at a time (suspended tasks do not
+        // count); the rest of the queue stays stealable.
+        if self.mach[m].running > 0 {
+            return;
+        }
+        let Some(i) = (0..self.mach[m].pending.len())
+            .find(|&i| !self.pending_fetches.contains_key(&self.mach[m].pending[i]))
+        else {
+            return;
+        };
+        let t = self.mach[m].pending.remove(i).expect("index in range");
+        self.mach[m].running += 1;
+        self.engine.start_task(t);
+        self.log.push(self.now, SimEventKind::TaskStarted { task: t, machine: m });
+        let body = self.bodies.remove(&t).expect("starting task has a body");
+        self.procs.insert(t, spawn_proc(t, self.cfg.platform.len(), body));
+        let span = self.cfg.platform.task_dispatch_overhead;
+        self.enqueue_overhead(m, t, span);
+    }
+
+    /// Plan and schedule the transfers needed for `t` (on machine `m`)
+    /// to access `items`; returns the number of in-flight fetches.
+    fn start_fetches(
+        &mut self,
+        t: TaskId,
+        m: usize,
+        items: &[(ObjectId, AccessKind)],
+        base: SimTime,
+    ) -> usize {
+        let mut count = 0;
+        for &(oid, kind) in items {
+            // A commuting update needs the authoritative version and
+            // exclusivity at the destination, exactly like a write.
+            let write = kind != AccessKind::Read;
+            let plan = self.dir.plan_fetch(oid, m, write);
+            // Materialize the value at the destination *before*
+            // invalidating replicas — the source may be among them.
+            let mut converted = false;
+            if plan.need_value && plan.value_source != m {
+                converted = self.sync_value(oid, plan.value_source, m);
+                if converted {
+                    self.traffic.conversions += 1;
+                }
+            }
+            for &inv in &plan.invalidate {
+                self.stores[inv].remove(oid);
+                self.traffic.invalidations += 1;
+            }
+            for tr in &plan.transfers {
+                // Request to the holder, then the data/control reply.
+                let t_req = self.net.transfer(base.max(self.now), m, tr.from, CTRL_BYTES);
+                let mut t_arr =
+                    self.net.transfer(t_req, tr.from, m, tr.bytes + HEADER_WIRE_BYTES);
+                if converted && tr.data {
+                    t_arr = t_arr
+                        + SimSpan(
+                            self.cfg.platform.convert_cost_per_byte.0 * tr.bytes as u64,
+                        );
+                }
+                count += 1;
+                *self.pending_fetches.entry(t).or_insert(0) += 1;
+                self.events.push(t_arr, EventKind::FetchArrive { task: t, bytes: tr.bytes as u64 });
+                if tr.data {
+                    if write {
+                        self.traffic.moves += 1;
+                        self.log.push(
+                            self.now,
+                            SimEventKind::ObjectMoved {
+                                object: oid,
+                                from: tr.from,
+                                to: m,
+                                bytes: tr.bytes as u64,
+                                converted,
+                            },
+                        );
+                    } else {
+                        self.traffic.copies += 1;
+                        self.log.push(
+                            self.now,
+                            SimEventKind::ObjectCopied {
+                                object: oid,
+                                from: tr.from,
+                                to: m,
+                                bytes: tr.bytes as u64,
+                                converted,
+                            },
+                        );
+                    }
+                } else {
+                    self.traffic.upgrades += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Move the object's value bytes from one machine's store to
+    /// another through the typed transport (exercising data-format
+    /// conversion). Returns whether conversion was required.
+    fn sync_value(&mut self, oid: ObjectId, from: usize, to: usize) -> bool {
+        let slot = self.stores[from]
+            .get(oid)
+            .unwrap_or_else(|_| panic!("{oid} value missing at its owner m{from}"))
+            .clone();
+        let src_layout = self.cfg.platform.machines[from].layout;
+        let dst_layout = self.cfg.platform.machines[to].layout;
+        let mut enc = PortEncoder::with_capacity(src_layout, slot.wire_size());
+        slot.encode(&mut enc);
+        let bytes = enc.finish();
+        let mut dec = PortDecoder::new(&bytes, src_layout);
+        let fresh = slot.decode_version(&mut dec);
+        self.stores[to].insert(oid, fresh);
+        src_layout.conversion_required(&dst_layout)
+    }
+}
+
+/// Execution context for simulated task bodies. Methods communicate
+/// with the event loop through the strict-alternation channel pair,
+/// so every operation happens at a well-defined simulated time.
+pub struct SimCtx {
+    task: TaskId,
+    machines: usize,
+    chans: ProcChannels,
+    holds: HoldSet,
+}
+
+impl SimCtx {
+    pub(crate) fn new(task: TaskId, machines: usize, chans: ProcChannels) -> Self {
+        SimCtx { task, machines, chans, holds: HoldSet::new() }
+    }
+
+    pub(crate) fn wait_go(&mut self) -> Result<(), ()> {
+        match self.chans.resp_rx.recv() {
+            Ok(ProcResp::Proceed) => Ok(()),
+            _ => Err(()),
+        }
+    }
+
+    pub(crate) fn holds_any(&self) -> bool {
+        self.holds.any_held()
+    }
+
+    fn call(&mut self, req: ProcReq) -> ProcResp {
+        self.chans.req_tx.send(req).expect("simulator event loop gone");
+        self.chans.resp_rx.recv().expect("simulator event loop gone")
+    }
+}
+
+impl JadeCtx for SimCtx {
+    fn create_named<T: Object>(&mut self, name: &str, value: T) -> Shared<T> {
+        match self.call(ProcReq::CreateObject {
+            name: name.to_string(),
+            slot: Slot::new(name, value),
+        }) {
+            ProcResp::Created(oid) => Shared::from_raw(oid),
+            ProcResp::Violation(e) => violation(e),
+            other => panic!("unexpected response to CreateObject: {other:?}"),
+        }
+    }
+
+    fn withonly<S, F>(&mut self, label: &str, spec: S, body: F)
+    where
+        S: FnOnce(&mut SpecBuilder),
+        F: FnOnce(&mut Self) + Send + 'static,
+    {
+        let mut builder = SpecBuilder::new();
+        spec(&mut builder);
+        let (decls, placement) = builder.build();
+        for d in &decls {
+            if self.holds.conflicts(d.object, d.rights) {
+                violation(jade_core::error::JadeError::ChildConflictsWithHeldGuard {
+                    parent: self.task,
+                    object: d.object,
+                });
+            }
+        }
+        match self.call(ProcReq::Withonly {
+            label: label.to_string(),
+            decls,
+            placement,
+            body: Box::new(body),
+        }) {
+            ProcResp::Proceed => {}
+            ProcResp::Violation(e) => violation(e),
+            other => panic!("unexpected response to Withonly: {other:?}"),
+        }
+    }
+
+    fn with_cont<C>(&mut self, changes: C)
+    where
+        C: FnOnce(&mut ContBuilder),
+    {
+        let mut builder = ContBuilder::new();
+        changes(&mut builder);
+        match self.call(ProcReq::WithCont(builder.build())) {
+            ProcResp::Proceed => {}
+            ProcResp::Violation(e) => violation(e),
+            other => panic!("unexpected response to WithCont: {other:?}"),
+        }
+    }
+
+    fn rd<T: Object>(&mut self, h: &Shared<T>) -> ReadGuard<T> {
+        match self.call(ProcReq::Access { object: h.id(), kind: AccessKind::Read }) {
+            ProcResp::Object(slot) => {
+                ReadGuard::new(slot.typed::<T>(), self.holds.acquire(h.id(), AccessKind::Read))
+            }
+            ProcResp::Violation(e) => violation(e),
+            other => panic!("unexpected response to Access: {other:?}"),
+        }
+    }
+
+    fn wr<T: Object>(&mut self, h: &Shared<T>) -> WriteGuard<T> {
+        match self.call(ProcReq::Access { object: h.id(), kind: AccessKind::Write }) {
+            ProcResp::Object(slot) => {
+                WriteGuard::new(slot.typed::<T>(), self.holds.acquire(h.id(), AccessKind::Write))
+            }
+            ProcResp::Violation(e) => violation(e),
+            other => panic!("unexpected response to Access: {other:?}"),
+        }
+    }
+
+    fn cm<T: Object>(&mut self, h: &Shared<T>) -> WriteGuard<T> {
+        match self.call(ProcReq::Access { object: h.id(), kind: AccessKind::Commute }) {
+            ProcResp::Object(slot) => WriteGuard::new(
+                slot.typed::<T>(),
+                self.holds.acquire(h.id(), AccessKind::Commute),
+            ),
+            ProcResp::Violation(e) => violation(e),
+            other => panic!("unexpected response to Access: {other:?}"),
+        }
+    }
+
+    fn charge(&mut self, work: f64) {
+        match self.call(ProcReq::Charge(work)) {
+            ProcResp::Proceed => {}
+            other => panic!("unexpected response to Charge: {other:?}"),
+        }
+    }
+
+    fn machines(&self) -> usize {
+        self.machines
+    }
+
+    fn task(&self) -> TaskId {
+        self.task
+    }
+}
+
+/// `Arc` is used in signatures of the guards; re-export for doc links.
+#[doc(hidden)]
+pub type _ArcForDocs = Arc<()>;

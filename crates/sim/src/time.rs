@@ -1,0 +1,164 @@
+//! Simulated time.
+//!
+//! The simulator measures time in integer nanoseconds so that event
+//! ordering is exact and runs are bit-reproducible; work is expressed
+//! in abstract *work units* (what `JadeCtx::charge` accounts) and
+//! converted to time through a machine's speed in units/second.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Convert to seconds (for reports).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Convert to milliseconds (for reports).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Later of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.1}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+/// A span of simulated time (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimSpan(pub u64);
+
+impl SimSpan {
+    /// Zero-length span.
+    pub const ZERO: SimSpan = SimSpan(0);
+
+    /// Build a span from seconds, rounding to whole nanoseconds.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> SimSpan {
+        debug_assert!(s >= 0.0 && s.is_finite(), "invalid span {s}");
+        SimSpan((s * 1e9).round() as u64)
+    }
+
+    /// Build a span from microseconds.
+    #[inline]
+    pub fn from_micros(us: u64) -> SimSpan {
+        SimSpan(us * 1_000)
+    }
+
+    /// Build a span from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: u64) -> SimSpan {
+        SimSpan(ms * 1_000_000)
+    }
+
+    /// Span needed to execute `work` units at `speed` units/second.
+    #[inline]
+    pub fn from_work(work: f64, speed: f64) -> SimSpan {
+        debug_assert!(speed > 0.0, "machine speed must be positive");
+        SimSpan::from_secs_f64(work / speed)
+    }
+
+    /// Span needed to transfer `bytes` at `bandwidth` bytes/second.
+    #[inline]
+    pub fn from_bytes(bytes: usize, bandwidth: f64) -> SimSpan {
+        debug_assert!(bandwidth > 0.0, "bandwidth must be positive");
+        SimSpan::from_secs_f64(bytes as f64 / bandwidth)
+    }
+
+    /// Convert to seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+}
+
+impl Add<SimSpan> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimSpan) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimSpan> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimSpan) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for SimSpan {
+    type Output = SimSpan;
+    #[inline]
+    fn add(self, rhs: SimSpan) -> SimSpan {
+        SimSpan(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimSpan;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimSpan {
+        SimSpan(self.0.saturating_sub(rhs.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_to_span_deterministic() {
+        // 1000 work units at 2000 units/sec = 0.5 s.
+        assert_eq!(SimSpan::from_work(1000.0, 2000.0), SimSpan(500_000_000));
+    }
+
+    #[test]
+    fn bytes_to_span() {
+        // 1 MB at 1 MB/s = 1 s.
+        assert_eq!(SimSpan::from_bytes(1_000_000, 1e6), SimSpan(1_000_000_000));
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let t = SimTime(100) + SimSpan(50);
+        assert_eq!(t, SimTime(150));
+        assert!(SimTime(10) < SimTime(20));
+        assert_eq!(SimTime(150) - SimTime(100), SimSpan(50));
+        assert_eq!(SimTime(10).max(SimTime(20)), SimTime(20));
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(format!("{}", SimTime(500)), "500ns");
+        assert_eq!(format!("{}", SimTime(1_500)), "1.5us");
+        assert_eq!(format!("{}", SimTime(2_500_000)), "2.500ms");
+        assert_eq!(format!("{}", SimTime(3_250_000_000)), "3.250s");
+    }
+}

@@ -1,0 +1,487 @@
+//! Integration tests for the simulated distributed Jade runtime:
+//! serial-semantics preservation, heterogeneity, and the §5 runtime
+//! optimizations.
+
+use jade_core::prelude::*;
+use jade_sim::{Granularity, Platform, SimExecutor, SimTime};
+
+/// A program with real data dependencies: a chain of read-modify-write
+/// tasks plus an independent strand, exercising migration and
+/// replication.
+fn chain_program<C: JadeCtx>(ctx: &mut C) -> Vec<f64> {
+    let n = 10usize;
+    let cells: Vec<Shared<f64>> = (0..n).map(|i| ctx.create(1.0 + i as f64)).collect();
+    for i in 1..n {
+        let a = cells[i - 1];
+        let b = cells[i];
+        ctx.withonly(
+            "link",
+            |s| {
+                s.rd(a);
+                s.rd_wr(b);
+            },
+            move |c| {
+                c.charge(2e5);
+                let left = *c.rd(&a);
+                let mut bw = c.wr(&b);
+                *bw = *bw * 1.5 + left;
+            },
+        );
+    }
+    cells.iter().map(|c| *ctx.rd(c)).collect()
+}
+
+#[test]
+fn sim_matches_serial_elision_bitwise() {
+    let (serial, _) = jade_core::serial::run(chain_program);
+    for machines in [1, 2, 4, 7] {
+        for platform in [
+            Platform::dash(machines),
+            Platform::ipsc860(machines),
+            Platform::mica(machines),
+            Platform::workstations(machines),
+        ] {
+            let name = platform.name.clone();
+            let (got, _) = SimExecutor::new(platform).run(chain_program);
+            assert_eq!(got, serial, "{name} x{machines}");
+        }
+    }
+}
+
+#[test]
+fn sim_is_deterministic_across_runs() {
+    let run = || {
+        let (v, r) = SimExecutor::new(Platform::ipsc860(4)).run(chain_program);
+        (v, r.time, r.net.messages, r.net.bytes)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn independent_tasks_speed_up_with_machines() {
+    fn wide<C: JadeCtx>(ctx: &mut C) -> f64 {
+        let xs: Vec<Shared<f64>> = (0..16).map(|i| ctx.create(i as f64)).collect();
+        for &x in &xs {
+            ctx.withonly(
+                "work",
+                |s| {
+                    s.rd_wr(x);
+                },
+                move |c| {
+                    c.charge(5e6);
+                    *c.wr(&x) += 1.0;
+                },
+            );
+        }
+        xs.iter().map(|x| *ctx.rd(x)).sum()
+    }
+    let (_, r1) = SimExecutor::new(Platform::dash(1)).run(wide);
+    let (_, r8) = SimExecutor::new(Platform::dash(8)).run(wide);
+    let speedup = r1.time.as_secs_f64() / r8.time.as_secs_f64();
+    assert!(speedup > 4.0, "speedup {speedup:.2} too low (t1={}, t8={})", r1.time, r8.time);
+}
+
+#[test]
+fn heterogeneous_network_actually_converts() {
+    // SPARC (big endian) and DECstation (little endian) on the same
+    // Ethernet: transfers between them must be format-converted and
+    // the values must survive exactly.
+    let (vals, report) = SimExecutor::new(Platform::workstations(4)).run(chain_program);
+    let (serial, _) = jade_core::serial::run(chain_program);
+    assert_eq!(vals, serial);
+    assert!(report.traffic.conversions > 0, "no format conversions happened");
+}
+
+#[test]
+fn deferred_pipeline_overlaps_in_sim() {
+    // §4.2: a consumer with deferred reads overlaps the producers.
+    // With task-boundary sync only, the consumer would add its whole
+    // runtime after the last producer.
+    fn pipelined<C: JadeCtx>(ctx: &mut C) -> f64 {
+        let cols: Vec<Shared<f64>> = (0..8).map(|_| ctx.create(0.0)).collect();
+        let out = ctx.create(0.0);
+        for (i, &c) in cols.iter().enumerate() {
+            ctx.withonly(
+                "produce",
+                |s| {
+                    s.rd_wr(c);
+                },
+                move |cc| {
+                    cc.charge(4e6);
+                    *cc.wr(&c) = (i + 1) as f64;
+                },
+            );
+        }
+        let spec_cols = cols.clone();
+        let body_cols = cols.clone();
+        ctx.withonly(
+            "consume",
+            |s| {
+                s.rd_wr(out);
+                for &c in &spec_cols {
+                    s.df_rd(c);
+                }
+            },
+            move |cc| {
+                let mut acc = 0.0;
+                for &c in &body_cols {
+                    cc.with_cont(|b| {
+                        b.to_rd(c);
+                    });
+                    cc.charge(4e6); // consumer work per column
+                    acc += *cc.rd(&c);
+                    cc.with_cont(|b| {
+                        b.no_rd(c);
+                    });
+                }
+                *cc.wr(&out) = acc;
+            },
+        );
+        *ctx.rd(&out)
+    }
+    fn unpipelined<C: JadeCtx>(ctx: &mut C) -> f64 {
+        let cols: Vec<Shared<f64>> = (0..8).map(|_| ctx.create(0.0)).collect();
+        let out = ctx.create(0.0);
+        for (i, &c) in cols.iter().enumerate() {
+            ctx.withonly(
+                "produce",
+                |s| {
+                    s.rd_wr(c);
+                },
+                move |cc| {
+                    cc.charge(4e6);
+                    *cc.wr(&c) = (i + 1) as f64;
+                },
+            );
+        }
+        let spec_cols = cols.clone();
+        let body_cols = cols.clone();
+        ctx.withonly(
+            "consume",
+            |s| {
+                s.rd_wr(out);
+                for &c in &spec_cols {
+                    s.rd(c); // immediate: waits for ALL producers
+                }
+            },
+            move |cc| {
+                let mut acc = 0.0;
+                for &c in &body_cols {
+                    cc.charge(4e6);
+                    acc += *cc.rd(&c);
+                }
+                *cc.wr(&out) = acc;
+            },
+        );
+        *ctx.rd(&out)
+    }
+    let exec = SimExecutor::new(Platform::dash(2));
+    let (v1, rp) = exec.run(pipelined);
+    let (v2, ru) = exec.run(unpipelined);
+    assert_eq!(v1, v2);
+    assert_eq!(v1, 36.0);
+    assert!(
+        rp.time < ru.time,
+        "pipelined ({}) should beat task-boundary sync ({})",
+        rp.time,
+        ru.time
+    );
+}
+
+#[test]
+fn throttle_bounds_live_tasks_in_sim() {
+    fn flood<C: JadeCtx>(ctx: &mut C) -> f64 {
+        let acc = ctx.create(0.0);
+        for _ in 0..64 {
+            ctx.withonly(
+                "bump",
+                |s| {
+                    s.rd_wr(acc);
+                },
+                move |c| {
+                    c.charge(1e5);
+                    *c.wr(&acc) += 1.0;
+                },
+            );
+        }
+        *ctx.rd(&acc)
+    }
+    let (v, r) = SimExecutor::new(Platform::dash(4)).throttle(8, 4).run(flood);
+    assert_eq!(v, 64.0);
+    assert!(r.stats.peak_live_tasks <= 9, "peak {}", r.stats.peak_live_tasks);
+    let (v2, r2) = SimExecutor::new(Platform::dash(4)).run(flood);
+    assert_eq!(v2, 64.0);
+    assert!(r2.stats.peak_live_tasks > 9, "unthrottled peak {}", r2.stats.peak_live_tasks);
+}
+
+#[test]
+fn locality_heuristic_reduces_traffic() {
+    // Tasks repeatedly touch the same pair of large objects; with the
+    // locality heuristic they stick to one machine, without it they
+    // spread and drag the objects around.
+    fn affine<C: JadeCtx>(ctx: &mut C) -> f64 {
+        let a = ctx.create(vec![0.0f64; 4096]);
+        let b = ctx.create(vec![0.0f64; 4096]);
+        for round in 0..12 {
+            let big = if round % 2 == 0 { a } else { b };
+            ctx.withonly(
+                "touch",
+                |s| {
+                    s.rd_wr(big);
+                },
+                move |c| {
+                    c.charge(5e5);
+                    c.wr(&big)[0] += 1.0;
+                },
+            );
+        }
+        *ctx.rd(&a).first().unwrap() + *ctx.rd(&b).first().unwrap()
+    }
+    let (_, with) = SimExecutor::new(Platform::mica(4)).locality(true).run(affine);
+    let (_, without) = SimExecutor::new(Platform::mica(4)).locality(false).run(affine);
+    assert!(
+        with.net.bytes <= without.net.bytes,
+        "locality on moved {} bytes, off moved {}",
+        with.net.bytes,
+        without.net.bytes
+    );
+}
+
+#[test]
+fn dsm_page_baseline_generates_more_traffic() {
+    // Many small objects written by alternating tasks: object-grain
+    // Jade moves ~64B objects; page-grain DSM moves 4 KiB pages and
+    // false-shares.
+    fn small_objects<C: JadeCtx>(ctx: &mut C) -> f64 {
+        let objs: Vec<Shared<f64>> = (0..32).map(|_| ctx.create(0.0)).collect();
+        for round in 0..4 {
+            for &o in &objs {
+                let _ = round;
+                ctx.withonly(
+                    "w",
+                    |s| {
+                        s.rd_wr(o);
+                    },
+                    move |c| {
+                        c.charge(2e5);
+                        *c.wr(&o) += 1.0;
+                    },
+                );
+            }
+        }
+        objs.iter().map(|o| *ctx.rd(o)).sum()
+    }
+    let (v1, jade) = SimExecutor::new(Platform::mica(4)).run(small_objects);
+    let (v2, dsm) = SimExecutor::new(Platform::mica(4))
+        .granularity(Granularity::Page(4096))
+        .run(small_objects);
+    assert_eq!(v1, v2);
+    assert!(
+        dsm.net.bytes > jade.net.bytes * 3,
+        "DSM bytes {} vs Jade bytes {}",
+        dsm.net.bytes,
+        jade.net.bytes
+    );
+}
+
+#[test]
+fn placement_pins_tasks_to_devices() {
+    // §7.2-style: tasks placed on accelerator machines of the HRV.
+    fn pipeline<C: JadeCtx>(ctx: &mut C) -> f64 {
+        let frame = ctx.create(vec![0.0f64; 256]);
+        ctx.withonly(
+            "capture",
+            |s| {
+                s.rd_wr(frame);
+                s.place(Placement::Device(DeviceClass::FrameSource));
+            },
+            move |c| {
+                c.charge(1e6);
+                c.wr(&frame)[0] = 42.0;
+            },
+        );
+        ctx.withonly(
+            "transform",
+            |s| {
+                s.rd_wr(frame);
+                s.place(Placement::Device(DeviceClass::Accelerator));
+            },
+            move |c| {
+                c.charge(2e6);
+                c.wr(&frame)[0] *= 2.0;
+            },
+        );
+        ctx.rd(&frame)[0]
+    }
+    let (v, report) = SimExecutor::new(Platform::hrv(2)).logged().run(pipeline);
+    assert_eq!(v, 84.0);
+    let log = report.log.expect("logged run");
+    // The transform must have executed on an accelerator (machine 1
+    // or 2), requiring the frame to move off the SPARC host.
+    assert!(report.traffic.moves >= 1, "frame never moved:\n{log}");
+}
+
+#[test]
+fn explicit_machine_placement_honored() {
+    fn program<C: JadeCtx>(ctx: &mut C) -> f64 {
+        let x = ctx.create(0.0);
+        ctx.withonly(
+            "pinned",
+            |s| {
+                s.rd_wr(x);
+                s.place(Placement::Machine(MachineId(3)));
+            },
+            move |c| {
+                c.charge(1e5);
+                *c.wr(&x) = 7.0;
+            },
+        );
+        *ctx.rd(&x)
+    }
+    let (v, report) = SimExecutor::new(Platform::dash(4)).logged().run(program);
+    assert_eq!(v, 7.0);
+    let log = report.log.expect("logged");
+    assert!(log.contains("machine 3 starts"), "task not on machine 3:\n{log}");
+}
+
+#[test]
+fn lookahead_hides_fetch_latency() {
+    // Tasks each read a distinct large object resident on machine 0
+    // and compute; with lookahead the next task's fetch overlaps the
+    // current task's compute.
+    fn readers<C: JadeCtx>(ctx: &mut C) -> f64 {
+        let objs: Vec<Shared<Vec<f64>>> =
+            (0..8).map(|_| ctx.create(vec![1.0f64; 8192])).collect();
+        let outs: Vec<Shared<f64>> = (0..8).map(|_| ctx.create(0.0)).collect();
+        for (&o, &t) in objs.iter().zip(&outs) {
+            ctx.withonly(
+                "consume",
+                |s| {
+                    s.rd(o);
+                    s.rd_wr(t);
+                },
+                move |c| {
+                    c.charge(8e6);
+                    let sum: f64 = c.rd(&o).iter().sum();
+                    *c.wr(&t) = sum;
+                },
+            );
+        }
+        outs.iter().map(|t| *ctx.rd(t)).sum()
+    }
+    let (v1, with) = SimExecutor::new(Platform::ipsc860(2)).lookahead(2).run(readers);
+    let (v2, without) = SimExecutor::new(Platform::ipsc860(2)).lookahead(0).run(readers);
+    assert_eq!(v1, v2);
+    assert!(
+        with.time <= without.time,
+        "lookahead should not hurt: with={} without={}",
+        with.time,
+        without.time
+    );
+}
+
+#[test]
+fn faster_machines_get_more_work() {
+    // Heterogeneous load balancing: on a platform with one fast and
+    // one slow machine, the fast one should accumulate more busy time.
+    use jade_sim::{MachineSpec, NetworkKind, SimSpan};
+    use jade_transport::DataLayout;
+    let platform = Platform {
+        name: "mixed".into(),
+        machines: vec![
+            MachineSpec::cpu("slow", 10e6, DataLayout::sparc()),
+            MachineSpec::cpu("fast", 40e6, DataLayout::mips_le()),
+        ],
+        network: NetworkKind::Ethernet { latency: SimSpan::from_millis(1), bandwidth: 1.1e6 },
+        task_create_overhead: SimSpan::from_micros(50),
+        task_dispatch_overhead: SimSpan::from_micros(200),
+        convert_cost_per_byte: SimSpan(30),
+    };
+    fn wide<C: JadeCtx>(ctx: &mut C) -> f64 {
+        let xs: Vec<Shared<f64>> = (0..24).map(|i| ctx.create(i as f64)).collect();
+        for &x in &xs {
+            ctx.withonly(
+                "work",
+                |s| {
+                    s.rd_wr(x);
+                },
+                move |c| {
+                    c.charge(6e6);
+                    *c.wr(&x) += 1.0;
+                },
+            );
+        }
+        xs.iter().map(|x| *ctx.rd(x)).sum()
+    }
+    let (_, report) = SimExecutor::new(platform).run(wide);
+    // The fast machine (index 1) should be busy at least as long in
+    // completed work terms: compare processed work = busy * speed.
+    let slow_work = report.busy[0].as_secs_f64() * 10e6;
+    let fast_work = report.busy[1].as_secs_f64() * 40e6;
+    assert!(
+        fast_work > slow_work,
+        "fast machine did {fast_work:.0} work vs slow {slow_work:.0}"
+    );
+}
+
+#[test]
+fn fig7_style_log_narrates_execution() {
+    fn tiny<C: JadeCtx>(ctx: &mut C) -> f64 {
+        let col = ctx.create(vec![2.0f64; 64]);
+        ctx.withonly(
+            "Internal(0)",
+            |s| {
+                s.rd_wr(col);
+            },
+            move |c| {
+                c.charge(1e6);
+                c.wr(&col)[0] = 1.0;
+            },
+        );
+        ctx.rd(&col)[0]
+    }
+    let (_, report) = SimExecutor::new(Platform::mica(2)).logged().run(tiny);
+    let log = report.log.expect("log");
+    assert!(log.contains("creates task"));
+    assert!(log.contains("starts task"));
+    assert!(log.contains("finishes task"));
+}
+
+#[test]
+fn trace_captures_task_graph_in_sim() {
+    let (_, report) = SimExecutor::new(Platform::dash(2)).traced().run(chain_program);
+    let trace = report.trace.expect("trace");
+    assert_eq!(trace.tasks().iter().filter(|t| !t.is_root()).count(), 9);
+    // The chain has depth 9.
+    assert!(trace.critical_path_len() >= 9);
+}
+
+#[test]
+#[should_panic(expected = "undeclared")]
+fn sim_detects_undeclared_access() {
+    SimExecutor::new(Platform::dash(2)).run(|ctx| {
+        let a = ctx.create(0.0f64);
+        let b = ctx.create(0.0f64);
+        ctx.withonly(
+            "bad",
+            |s| {
+                s.rd(a);
+            },
+            move |c| {
+                let _ = *c.rd(&b);
+            },
+        );
+        *ctx.rd(&a)
+    });
+}
+
+#[test]
+fn single_machine_sim_completes() {
+    let (v, report) = SimExecutor::new(Platform::mica(1)).run(chain_program);
+    let (serial, _) = jade_core::serial::run(chain_program);
+    assert_eq!(v, serial);
+    assert!(report.time > SimTime::ZERO);
+    assert_eq!(report.machines, 1);
+}

@@ -1,0 +1,46 @@
+//! # jade-threads — the shared-memory Jade implementation
+//!
+//! Executes Jade programs on a pool of real OS threads sharing one
+//! address space, the way the paper's implementation ran on the SGI
+//! 4D/240S and the Stanford DASH (§7). The hardware (here: the Rust
+//! memory model plus one `RwLock` per object) provides the shared
+//! address space, so this executor "only needs to synchronize the
+//! computation" (§1): it drives the [`jade_core::graph::DepGraph`]
+//! dependency engine and schedules ready tasks onto workers.
+//!
+//! Implemented runtime policies from §5:
+//!
+//! * **Dynamic load balancing** — a central ready queue; any idle
+//!   worker picks up any ready task.
+//! * **Matching exploited with available concurrency** — optional task
+//!   creation throttling ([`Throttle`]): suspend the creating task, or
+//!   execute the new task inline in its creator. Both are deadlock-free
+//!   because the serial semantics guarantees a task never waits on a
+//!   *later* task (§3.3).
+//! * **Suspended tasks release their processor** — when a task blocks
+//!   (a `with-cont` conversion or a ceded access), the executor spawns
+//!   a compensation worker if ready tasks would otherwise starve, so
+//!   the effective parallelism stays at the configured width.
+//!
+//! ```
+//! use jade_core::prelude::*;
+//! use jade_threads::ThreadedExecutor;
+//!
+//! let exec = ThreadedExecutor::new(4);
+//! let (sum, stats) = exec.run(|ctx| {
+//!     let parts: Vec<Shared<f64>> = (0..8).map(|i| ctx.create(i as f64)).collect();
+//!     for &p in &parts {
+//!         ctx.withonly("square", |s| { s.rd_wr(p); }, move |c| {
+//!             let v = *c.rd(&p);
+//!             *c.wr(&p) = v * v;
+//!         });
+//!     }
+//!     parts.iter().map(|p| *ctx.rd(p)).sum::<f64>()
+//! });
+//! assert_eq!(sum, (0..8).map(|i| (i * i) as f64).sum());
+//! assert_eq!(stats.tasks_created, 8);
+//! ```
+
+mod executor;
+
+pub use executor::{ThreadCtx, ThreadedExecutor, Throttle};

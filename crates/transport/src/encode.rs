@@ -1,0 +1,431 @@
+//! Layout-aware scalar encoding and decoding.
+//!
+//! [`PortEncoder`] writes scalar values the way the *sending* machine
+//! represents them (byte order and field padding); [`PortDecoder`]
+//! reads them back given that same layout description, producing
+//! native values on the receiving machine. This is the mechanism the
+//! Jade object manager uses to move typed shared objects between
+//! heterogeneous machines without corrupting them.
+//!
+//! Every `put_*`/`get_*` pair is lossless for all layouts, which the
+//! property tests in `tests/portable_roundtrip.rs` verify exhaustively.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::layout::{ByteOrder, DataLayout};
+
+/// Writes scalars into a buffer using a specific machine layout.
+#[derive(Debug)]
+pub struct PortEncoder {
+    buf: BytesMut,
+    layout: DataLayout,
+}
+
+impl PortEncoder {
+    /// Create an encoder producing bytes in `layout`'s representation.
+    pub fn new(layout: DataLayout) -> Self {
+        PortEncoder { buf: BytesMut::with_capacity(64), layout }
+    }
+
+    /// Create an encoder with a pre-reserved capacity (useful when the
+    /// caller knows the approximate object size, e.g. a large column).
+    pub fn with_capacity(layout: DataLayout, cap: usize) -> Self {
+        PortEncoder { buf: BytesMut::with_capacity(cap), layout }
+    }
+
+    /// The layout this encoder marshals for.
+    #[inline]
+    pub fn layout(&self) -> DataLayout {
+        self.layout
+    }
+
+    /// Number of bytes written so far (the simulated wire size).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Pad with zero bytes so the next scalar of natural size `size`
+    /// starts at the alignment the layout's ABI would give it.
+    #[inline]
+    fn align_to(&mut self, size: usize) {
+        let align = size.min(self.layout.align.bytes());
+        if align > 1 {
+            let rem = self.buf.len() % align;
+            if rem != 0 {
+                for _ in 0..(align - rem) {
+                    self.buf.put_u8(0);
+                }
+            }
+        }
+    }
+
+    /// Write a single byte.
+    #[inline]
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Write a boolean as one byte.
+    #[inline]
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.put_u8(v as u8);
+    }
+
+    /// Write a 16-bit unsigned integer in the layout's byte order.
+    #[inline]
+    pub fn put_u16(&mut self, v: u16) {
+        self.align_to(2);
+        match self.layout.byte_order {
+            ByteOrder::Little => self.buf.put_u16_le(v),
+            ByteOrder::Big => self.buf.put_u16(v),
+        }
+    }
+
+    /// Write a 32-bit unsigned integer in the layout's byte order.
+    #[inline]
+    pub fn put_u32(&mut self, v: u32) {
+        self.align_to(4);
+        match self.layout.byte_order {
+            ByteOrder::Little => self.buf.put_u32_le(v),
+            ByteOrder::Big => self.buf.put_u32(v),
+        }
+    }
+
+    /// Write a 64-bit unsigned integer in the layout's byte order.
+    #[inline]
+    pub fn put_u64(&mut self, v: u64) {
+        self.align_to(8);
+        match self.layout.byte_order {
+            ByteOrder::Little => self.buf.put_u64_le(v),
+            ByteOrder::Big => self.buf.put_u64(v),
+        }
+    }
+
+    /// Write a 32-bit signed integer in the layout's byte order.
+    #[inline]
+    pub fn put_i32(&mut self, v: i32) {
+        self.put_u32(v as u32);
+    }
+
+    /// Write a 64-bit signed integer in the layout's byte order.
+    #[inline]
+    pub fn put_i64(&mut self, v: i64) {
+        self.put_u64(v as u64);
+    }
+
+    /// Write a `usize` as a 64-bit integer (lossless on all layouts;
+    /// heterogeneity affects only the byte order and padding, never the
+    /// value — the Jade runtime requires object transfers to be exact).
+    #[inline]
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Write an IEEE-754 single in the layout's byte order.
+    #[inline]
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Write an IEEE-754 double in the layout's byte order.
+    #[inline]
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Write a length-prefixed byte slice (no alignment inside).
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.put_slice(v);
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Bulk-write a slice of doubles. This is the hot path for moving
+    /// matrix columns and force arrays; it performs one alignment step
+    /// and then a straight (possibly byte-swapped) copy.
+    pub fn put_f64_slice(&mut self, v: &[f64]) {
+        self.put_usize(v.len());
+        self.align_to(8);
+        self.buf.reserve(v.len() * 8);
+        match self.layout.byte_order {
+            ByteOrder::Little => {
+                for x in v {
+                    self.buf.put_u64_le(x.to_bits());
+                }
+            }
+            ByteOrder::Big => {
+                for x in v {
+                    self.buf.put_u64(x.to_bits());
+                }
+            }
+        }
+    }
+
+    /// Finish encoding and take the wire bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Reads scalars from a buffer produced by a [`PortEncoder`] with the
+/// same layout description.
+#[derive(Debug)]
+pub struct PortDecoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    layout: DataLayout,
+}
+
+impl<'a> PortDecoder<'a> {
+    /// Create a decoder for `bytes` that were encoded in `layout`.
+    pub fn new(bytes: &'a [u8], layout: DataLayout) -> Self {
+        PortDecoder { buf: bytes, pos: 0, layout }
+    }
+
+    /// The layout the bytes were encoded with.
+    #[inline]
+    pub fn layout(&self) -> DataLayout {
+        self.layout
+    }
+
+    /// Bytes remaining to be decoded.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    #[inline]
+    fn align_to(&mut self, size: usize) {
+        let align = size.min(self.layout.align.bytes());
+        if align > 1 {
+            let rem = self.pos % align;
+            if rem != 0 {
+                self.pos += align - rem;
+            }
+        }
+    }
+
+    #[inline]
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    /// Read one byte.
+    #[inline]
+    pub fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Read a boolean (one byte; any nonzero value is `true`).
+    #[inline]
+    pub fn get_bool(&mut self) -> bool {
+        self.get_u8() != 0
+    }
+
+    /// Read a 16-bit unsigned integer.
+    #[inline]
+    pub fn get_u16(&mut self) -> u16 {
+        self.align_to(2);
+        let mut s = self.take(2);
+        match self.layout.byte_order {
+            ByteOrder::Little => s.get_u16_le(),
+            ByteOrder::Big => s.get_u16(),
+        }
+    }
+
+    /// Read a 32-bit unsigned integer.
+    #[inline]
+    pub fn get_u32(&mut self) -> u32 {
+        self.align_to(4);
+        let mut s = self.take(4);
+        match self.layout.byte_order {
+            ByteOrder::Little => s.get_u32_le(),
+            ByteOrder::Big => s.get_u32(),
+        }
+    }
+
+    /// Read a 64-bit unsigned integer.
+    #[inline]
+    pub fn get_u64(&mut self) -> u64 {
+        self.align_to(8);
+        let mut s = self.take(8);
+        match self.layout.byte_order {
+            ByteOrder::Little => s.get_u64_le(),
+            ByteOrder::Big => s.get_u64(),
+        }
+    }
+
+    /// Read a 32-bit signed integer.
+    #[inline]
+    pub fn get_i32(&mut self) -> i32 {
+        self.get_u32() as i32
+    }
+
+    /// Read a 64-bit signed integer.
+    #[inline]
+    pub fn get_i64(&mut self) -> i64 {
+        self.get_u64() as i64
+    }
+
+    /// Read a `usize` (encoded as 64 bits).
+    #[inline]
+    pub fn get_usize(&mut self) -> usize {
+        self.get_u64() as usize
+    }
+
+    /// Read an IEEE-754 single.
+    #[inline]
+    pub fn get_f32(&mut self) -> f32 {
+        f32::from_bits(self.get_u32())
+    }
+
+    /// Read an IEEE-754 double.
+    #[inline]
+    pub fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+
+    /// Read a length-prefixed byte slice.
+    pub fn get_bytes(&mut self) -> Vec<u8> {
+        let n = self.get_usize();
+        self.take(n).to_vec()
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> String {
+        String::from_utf8(self.get_bytes()).expect("portable string was not valid UTF-8")
+    }
+
+    /// Bulk-read a slice of doubles written by
+    /// [`PortEncoder::put_f64_slice`].
+    pub fn get_f64_slice(&mut self) -> Vec<f64> {
+        let n = self.get_usize();
+        self.align_to(8);
+        let raw = self.take(n * 8);
+        let mut out = Vec::with_capacity(n);
+        match self.layout.byte_order {
+            ByteOrder::Little => {
+                for c in raw.chunks_exact(8) {
+                    out.push(f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())));
+                }
+            }
+            ByteOrder::Big => {
+                for c in raw.chunks_exact(8) {
+                    out.push(f64::from_bits(u64::from_be_bytes(c.try_into().unwrap())));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layouts() -> [DataLayout; 5] {
+        DataLayout::all_presets()
+    }
+
+    #[test]
+    fn scalar_roundtrip_every_layout() {
+        for l in layouts() {
+            let mut e = PortEncoder::new(l);
+            e.put_u8(0xAB);
+            e.put_u16(0xBEEF);
+            e.put_u32(0xDEAD_BEEF);
+            e.put_u64(0x0123_4567_89AB_CDEF);
+            e.put_i32(-42);
+            e.put_i64(i64::MIN);
+            e.put_f32(3.5);
+            e.put_f64(-1.0 / 3.0);
+            e.put_bool(true);
+            e.put_usize(usize::MAX / 2);
+            let b = e.finish();
+            let mut d = PortDecoder::new(&b, l);
+            assert_eq!(d.get_u8(), 0xAB);
+            assert_eq!(d.get_u16(), 0xBEEF);
+            assert_eq!(d.get_u32(), 0xDEAD_BEEF);
+            assert_eq!(d.get_u64(), 0x0123_4567_89AB_CDEF);
+            assert_eq!(d.get_i32(), -42);
+            assert_eq!(d.get_i64(), i64::MIN);
+            assert_eq!(d.get_f32(), 3.5);
+            assert_eq!(d.get_f64(), -1.0 / 3.0);
+            assert!(d.get_bool());
+            assert_eq!(d.get_usize(), usize::MAX / 2);
+            assert_eq!(d.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn byte_order_actually_differs_on_wire() {
+        let mut be = PortEncoder::new(DataLayout::sparc());
+        be.put_u32(0x0102_0304);
+        let mut le = PortEncoder::new(DataLayout::i860());
+        le.put_u32(0x0102_0304);
+        let (bb, lb) = (be.finish(), le.finish());
+        assert_eq!(&bb[..], &[1, 2, 3, 4]);
+        assert_eq!(&lb[..], &[4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn alignment_padding_respects_layout() {
+        // u8 then u64: Word8 pads to offset 8, Word4 pads to offset 4.
+        let mut w8 = PortEncoder::new(DataLayout::x86_64());
+        w8.put_u8(1);
+        w8.put_u64(2);
+        assert_eq!(w8.finish().len(), 16);
+        let mut w4 = PortEncoder::new(DataLayout::sparc());
+        w4.put_u8(1);
+        w4.put_u64(2);
+        assert_eq!(w4.finish().len(), 12);
+    }
+
+    #[test]
+    fn f64_slice_bulk_matches_scalar_path() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sqrt() - 5.0).collect();
+        for l in layouts() {
+            let mut e = PortEncoder::new(l);
+            e.put_f64_slice(&xs);
+            let b = e.finish();
+            let mut d = PortDecoder::new(&b, l);
+            assert_eq!(d.get_f64_slice(), xs);
+        }
+    }
+
+    #[test]
+    fn nan_bits_survive() {
+        let weird = f64::from_bits(0x7FF8_DEAD_BEEF_0001);
+        for l in layouts() {
+            let mut e = PortEncoder::new(l);
+            e.put_f64(weird);
+            let b = e.finish();
+            let mut d = PortDecoder::new(&b, l);
+            assert_eq!(d.get_f64().to_bits(), weird.to_bits());
+        }
+    }
+
+    #[test]
+    fn strings_roundtrip() {
+        for l in layouts() {
+            let mut e = PortEncoder::new(l);
+            e.put_str("liquid wåter simulation");
+            let b = e.finish();
+            let mut d = PortDecoder::new(&b, l);
+            assert_eq!(d.get_str(), "liquid wåter simulation");
+        }
+    }
+}

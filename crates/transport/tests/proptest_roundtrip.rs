@@ -1,0 +1,87 @@
+//! Property tests of the heterogeneity substrate: every portable value
+//! survives marshalling under every machine layout — the invariant the
+//! Jade runtime's determinism rests on.
+
+use proptest::prelude::*;
+
+use jade_transport::{DataLayout, Message, MsgKind, PortDecoder, PortEncoder, Portable};
+
+fn roundtrip<T: Portable + PartialEq + std::fmt::Debug>(v: &T, layout: DataLayout) -> T {
+    let mut e = PortEncoder::new(layout);
+    v.encode(&mut e);
+    let b = e.finish();
+    let mut d = PortDecoder::new(&b, layout);
+    T::decode(&mut d)
+}
+
+proptest! {
+    #[test]
+    fn scalars_roundtrip_all_layouts(
+        a in any::<u64>(),
+        b in any::<i64>(),
+        c in any::<f64>(),
+        d in any::<u32>(),
+        e in any::<bool>(),
+    ) {
+        for layout in DataLayout::all_presets() {
+            prop_assert_eq!(roundtrip(&a, layout), a);
+            prop_assert_eq!(roundtrip(&b, layout), b);
+            // Compare bit patterns: NaNs must survive exactly.
+            prop_assert_eq!(roundtrip(&c, layout).to_bits(), c.to_bits());
+            prop_assert_eq!(roundtrip(&d, layout), d);
+            prop_assert_eq!(roundtrip(&e, layout), e);
+        }
+    }
+
+    #[test]
+    fn composite_values_roundtrip(
+        v in proptest::collection::vec((any::<u32>(), any::<f64>(), any::<bool>()), 0..40),
+        s in "\\PC{0,40}",
+        opt in proptest::option::of(any::<i64>()),
+    ) {
+        for layout in DataLayout::all_presets() {
+            let got = roundtrip(&v, layout);
+            prop_assert_eq!(got.len(), v.len());
+            for ((ga, gb, gc), (wa, wb, wc)) in got.iter().zip(&v) {
+                prop_assert_eq!(ga, wa);
+                prop_assert_eq!(gb.to_bits(), wb.to_bits());
+                prop_assert_eq!(gc, wc);
+            }
+            prop_assert_eq!(roundtrip(&s, layout), s.clone());
+            prop_assert_eq!(roundtrip(&opt, layout), opt);
+        }
+    }
+
+    #[test]
+    fn cross_architecture_messages_preserve_payload(
+        payload in proptest::collection::vec(any::<f64>(), 0..64),
+        seq in any::<u64>(),
+    ) {
+        // Pack on every architecture, unpack anywhere (the receiver
+        // reads the header's layout id): the value must be exact.
+        for src in DataLayout::all_presets() {
+            let msg = Message::pack(MsgKind::ObjectCopy, 0, 1, seq, src, &payload);
+            let got: Vec<f64> = msg.unpack();
+            prop_assert_eq!(got.len(), payload.len());
+            for (g, w) in got.iter().zip(&payload) {
+                prop_assert_eq!(g.to_bits(), w.to_bits());
+            }
+            prop_assert_eq!(msg.header.seq, seq);
+        }
+    }
+
+    #[test]
+    fn wire_bytes_bounded_and_header_roundtrips(
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+        src in 0u32..64,
+        dst in 0u32..64,
+    ) {
+        for layout in DataLayout::all_presets() {
+            let msg = Message::pack(MsgKind::TaskShip, src, dst, 1, layout, &payload);
+            // Length-prefixed bytes: 8-byte count (+ padding ≤ 8) + data.
+            prop_assert!(msg.payload.len() <= payload.len() + 16);
+            let parsed = Message::parse_header(&msg.header_bytes());
+            prop_assert_eq!(parsed, msg.header);
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Facade crate re-exporting the Jade reproduction workspace.
+pub use jade_apps as apps;
+pub use jade_core as core;
+pub use jade_sim as sim;
+pub use jade_threads as threads;
+pub use jade_transport as transport;

@@ -1,0 +1,154 @@
+//! Failure injection: programming-model violations and task panics
+//! must surface as clean, descriptive failures on every executor —
+//! Jade's "the implementation generates an error" (§5), not a hang or
+//! a corrupted result.
+
+use jade_core::prelude::*;
+use jade_sim::{Platform, SimExecutor};
+use jade_threads::ThreadedExecutor;
+
+fn catch(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+    let r = std::panic::catch_unwind(f);
+    std::panic::set_hook(hook);
+    match r {
+        Ok(()) => panic!("expected a panic"),
+        Err(p) => p
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default(),
+    }
+}
+
+#[test]
+fn task_panic_propagates_from_thread_pool() {
+    let msg = catch(|| {
+        ThreadedExecutor::new(2).run(|ctx| {
+            let a = ctx.create(0.0f64);
+            ctx.withonly("boom", |s| { s.rd_wr(a); }, move |_c| {
+                panic!("task exploded: {}", 42);
+            });
+            let _ = *ctx.rd(&a); // forces the root to meet the panic
+        });
+    });
+    assert!(msg.contains("task exploded: 42"), "got: {msg}");
+}
+
+#[test]
+fn task_panic_propagates_from_simulator() {
+    let msg = catch(|| {
+        SimExecutor::new(Platform::dash(2)).run(|ctx| {
+            let a = ctx.create(0.0f64);
+            ctx.withonly("boom", |s| { s.rd_wr(a); }, move |_c| {
+                panic!("sim task exploded");
+            });
+            *ctx.rd(&a)
+        });
+    });
+    assert!(msg.contains("sim task exploded"), "got: {msg}");
+}
+
+#[test]
+fn undeclared_write_is_descriptive_on_all_executors() {
+    fn bad<C: JadeCtx>(ctx: &mut C) {
+        let a = ctx.create(0.0f64);
+        ctx.withonly("sneaky", |s| { s.rd(a); }, move |c| {
+            *c.wr(&a) = 1.0; // only rd was declared
+        });
+        let _ = *ctx.rd(&a);
+    }
+    for msg in [
+        catch(|| {
+            jade_core::serial::run(bad);
+        }),
+        catch(|| {
+            ThreadedExecutor::new(2).run(bad);
+        }),
+        catch(|| {
+            SimExecutor::new(Platform::mica(2)).run(bad);
+        }),
+    ] {
+        assert!(msg.contains("undeclared write"), "got: {msg}");
+    }
+}
+
+#[test]
+fn leaked_guard_is_reported() {
+    // Completing a task while an access guard is still alive would
+    // leave the hold bookkeeping dangling; the pool reports it.
+    let msg = catch(|| {
+        ThreadedExecutor::new(2).run(|ctx| {
+            let a = ctx.create(vec![0.0f64]);
+            ctx.withonly("leaker", |s| { s.rd(a); }, move |c| {
+                let guard = c.rd(&a);
+                std::mem::forget(guard);
+            });
+            let _ = ctx.rd(&a).len();
+        });
+    });
+    assert!(msg.contains("holding an access guard"), "got: {msg}");
+}
+
+#[test]
+fn spawning_with_held_conflicting_guard_is_reported_everywhere() {
+    fn bad<C: JadeCtx>(ctx: &mut C) {
+        let a = ctx.create(0.0f64);
+        ctx.withonly("parent", |s| { s.rd_wr(a); }, move |c| {
+            let _g = c.wr(&a);
+            c.withonly("child", |s| { s.rd(a); }, move |cc| {
+                let _ = *cc.rd(&a);
+            });
+        });
+    }
+    for msg in [
+        catch(|| {
+            jade_core::serial::run(bad);
+        }),
+        catch(|| {
+            ThreadedExecutor::new(2).run(bad);
+        }),
+        catch(|| {
+            SimExecutor::new(Platform::dash(2)).run(bad);
+        }),
+    ] {
+        assert!(msg.contains("conflicting access guard"), "got: {msg}");
+    }
+}
+
+#[test]
+fn with_cont_on_undeclared_object_is_reported() {
+    let msg = catch(|| {
+        jade_core::serial::run(|ctx| {
+            let a = ctx.create(0.0f64);
+            let b = ctx.create(0.0f64);
+            ctx.withonly("bad-cont", |s| { s.df_rd(a); }, move |c| {
+                c.with_cont(|cb| {
+                    cb.to_rd(b); // never declared b
+                });
+            });
+        });
+    });
+    assert!(msg.contains("without a prior declaration"), "got: {msg}");
+}
+
+#[test]
+fn executors_remain_usable_after_a_failed_run() {
+    // A panicked run must not poison subsequent, independent runs.
+    let _ = catch(|| {
+        ThreadedExecutor::new(2).run(|ctx| {
+            let a = ctx.create(0.0f64);
+            ctx.withonly("boom", |s| { s.rd_wr(a); }, move |_c| panic!("first run dies"));
+            let _ = *ctx.rd(&a);
+        });
+    });
+    let (v, _) = ThreadedExecutor::new(2).run(|ctx| {
+        let a = ctx.create(21.0f64);
+        ctx.withonly("fine", |s| { s.rd_wr(a); }, move |c| {
+            *c.wr(&a) *= 2.0;
+        });
+        *ctx.rd(&a)
+    });
+    assert_eq!(v, 42.0);
+}

@@ -1,0 +1,170 @@
+//! Stress tests of hierarchical concurrency (§4.4): deeply nested
+//! task trees, parent/child access ceding, cousin tasks synchronizing
+//! through objects created at different levels, across all executors.
+
+use jade_core::prelude::*;
+use jade_sim::{Platform, SimExecutor};
+use jade_threads::ThreadedExecutor;
+
+/// A binary task tree of the given depth over one shared ledger:
+/// every node appends its path label, children between the parent's
+/// prefix and suffix — the serial order is a full pre/post-order walk
+/// and any scheduling deviation corrupts it.
+fn tree_program<C: JadeCtx>(ctx: &mut C, depth: u32) -> Vec<u64> {
+    let ledger = ctx.create_named("ledger", Vec::<u64>::new());
+    fn node<C: JadeCtx>(ctx: &mut C, ledger: Shared<Vec<u64>>, path: u64, depth: u32) {
+        ctx.withonly(
+            &format!("node{path}"),
+            |s| {
+                s.rd_wr(ledger);
+            },
+            move |c| {
+                c.charge(100.0);
+                c.wr(&ledger).push(path * 10 + 1); // pre
+                if depth > 0 {
+                    node(c, ledger, path * 2, depth - 1);
+                    node(c, ledger, path * 2 + 1, depth - 1);
+                }
+                // Serial semantics: this runs after the whole subtree.
+                c.wr(&ledger).push(path * 10 + 2); // post
+            },
+        );
+    }
+    node(ctx, ledger, 1, depth);
+    ctx.rd(&ledger).clone()
+}
+
+#[test]
+fn nested_trees_are_deterministic_everywhere() {
+    let (want, stats) = jade_core::serial::run(|ctx| tree_program(ctx, 4));
+    assert_eq!(stats.tasks_created, 2u64.pow(5) - 1);
+    assert_eq!(want.len(), 2 * (2usize.pow(5) - 1));
+    // Pre/post structure: first is root-pre, last is root-post.
+    assert_eq!(want[0], 11);
+    assert_eq!(*want.last().unwrap(), 12);
+    for workers in [1, 4] {
+        let (got, _) = ThreadedExecutor::new(workers).run(|ctx| tree_program(ctx, 4));
+        assert_eq!(got, want, "threaded x{workers}");
+    }
+    for platform in [Platform::dash(3), Platform::mica(2)] {
+        let name = platform.name.clone();
+        let (got, _) = SimExecutor::new(platform).run(|ctx| tree_program(ctx, 4));
+        assert_eq!(got, want, "sim {name}");
+    }
+}
+
+/// Fork/join with real parallelism between subtrees: disjoint
+/// accumulators per subtree, combined by the parent afterwards.
+fn forkjoin_program<C: JadeCtx>(ctx: &mut C, depth: u32) -> f64 {
+    fn node<C: JadeCtx>(ctx: &mut C, out: Shared<f64>, lo: u64, hi: u64, depth: u32) {
+        ctx.withonly(
+            "range-sum",
+            |s| {
+                s.rd_wr(out);
+            },
+            move |c| {
+                c.charge((hi - lo) as f64);
+                if depth == 0 || hi - lo <= 4 {
+                    *c.wr(&out) = (lo..hi).map(|x| x as f64).sum();
+                } else {
+                    let mid = (lo + hi) / 2;
+                    let l = c.create(0.0f64);
+                    let r = c.create(0.0f64);
+                    node(c, l, lo, mid, depth - 1);
+                    node(c, r, mid, hi, depth - 1);
+                    let total = *c.rd(&l) + *c.rd(&r);
+                    *c.wr(&out) = total;
+                }
+            },
+        );
+    }
+    let out = ctx.create(0.0f64);
+    node(ctx, out, 0, 1 << 10, depth);
+    *ctx.rd(&out)
+}
+
+#[test]
+fn forkjoin_sums_correctly_everywhere() {
+    let expect = ((1u64 << 10) * ((1 << 10) - 1) / 2) as f64;
+    let (serial, _) = jade_core::serial::run(|ctx| forkjoin_program(ctx, 6));
+    assert_eq!(serial, expect);
+    let (threaded, _) = ThreadedExecutor::new(8).run(|ctx| forkjoin_program(ctx, 6));
+    assert_eq!(threaded, expect);
+    let (simmed, report) =
+        SimExecutor::new(Platform::ipsc860(4)).run(|ctx| forkjoin_program(ctx, 6));
+    assert_eq!(simmed, expect);
+    assert!(report.stats.tasks_created > 100);
+}
+
+/// Cousin tasks (created in different subtrees) conflict on an object
+/// created by the root: the serial order between the subtrees must be
+/// enforced through materialized anchors.
+#[test]
+fn cousins_synchronize_through_root_objects() {
+    fn program<C: JadeCtx>(ctx: &mut C) -> Vec<u64> {
+        let shared_log = ctx.create_named("log", Vec::<u64>::new());
+        for branch in 0..3u64 {
+            ctx.withonly(
+                "branch",
+                |s| {
+                    s.rd_wr(shared_log);
+                },
+                move |c| {
+                    for leaf in 0..3u64 {
+                        c.withonly(
+                            "leaf",
+                            |s| {
+                                s.rd_wr(shared_log);
+                            },
+                            move |cc| {
+                                cc.charge(50.0);
+                                cc.wr(&shared_log).push(branch * 10 + leaf);
+                            },
+                        );
+                    }
+                },
+            );
+        }
+        ctx.rd(&shared_log).clone()
+    }
+    let (want, _) = jade_core::serial::run(program);
+    assert_eq!(want, vec![0, 1, 2, 10, 11, 12, 20, 21, 22]);
+    let (threaded, _) = ThreadedExecutor::new(4).run(program);
+    assert_eq!(threaded, want);
+    let (simmed, _) = SimExecutor::new(Platform::dash(3)).run(program);
+    assert_eq!(simmed, want);
+}
+
+/// Deep linear nesting (a 40-deep chain of single children) exercises
+/// the path bookkeeping and blocked-parent compensation.
+#[test]
+fn deep_linear_nesting() {
+    fn program<C: JadeCtx>(ctx: &mut C) -> u64 {
+        let x = ctx.create_named("x", 0u64);
+        fn nest<C: JadeCtx>(ctx: &mut C, x: Shared<u64>, depth: u32) {
+            ctx.withonly(
+                "nest",
+                |s| {
+                    s.rd_wr(x);
+                },
+                move |c| {
+                    *c.wr(&x) += 1;
+                    if depth > 0 {
+                        nest(c, x, depth - 1);
+                        // Read after the child: sees its increment.
+                        let v = *c.rd(&x);
+                        assert!(v >= 2);
+                    }
+                },
+            );
+        }
+        nest(ctx, x, 40);
+        *ctx.rd(&x)
+    }
+    let (serial, _) = jade_core::serial::run(program);
+    assert_eq!(serial, 41);
+    let (threaded, _) = ThreadedExecutor::new(2).run(program);
+    assert_eq!(threaded, 41);
+    let (simmed, _) = SimExecutor::new(Platform::mica(2)).run(program);
+    assert_eq!(simmed, 41);
+}
