@@ -24,11 +24,11 @@ impl Portable for Body {
         self.vel.encode(enc);
         enc.put_f64(self.mass);
     }
-    fn decode(dec: &mut PortDecoder<'_>) -> Self {
-        let pos = <[f64; 3]>::decode(dec);
-        let vel = <[f64; 3]>::decode(dec);
-        let mass = dec.get_f64();
-        Body { pos, vel, mass }
+    fn decode(dec: &mut PortDecoder<'_>) -> jade_transport::DecodeResult<Self> {
+        let pos = <[f64; 3]>::decode(dec)?;
+        let vel = <[f64; 3]>::decode(dec)?;
+        let mass = dec.get_f64()?;
+        Ok(Body { pos, vel, mass })
     }
     fn size_hint(&self) -> usize {
         56

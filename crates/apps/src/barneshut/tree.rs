@@ -44,18 +44,18 @@ impl Portable for OctNode {
         enc.put_i64(self.body);
         enc.put_u32(self.count);
     }
-    fn decode(dec: &mut PortDecoder<'_>) -> Self {
-        let center = <[f64; 3]>::decode(dec);
-        let half = dec.get_f64();
-        let mass = dec.get_f64();
-        let com = <[f64; 3]>::decode(dec);
+    fn decode(dec: &mut PortDecoder<'_>) -> jade_transport::DecodeResult<Self> {
+        let center = <[f64; 3]>::decode(dec)?;
+        let half = dec.get_f64()?;
+        let mass = dec.get_f64()?;
+        let com = <[f64; 3]>::decode(dec)?;
         let mut children = [NONE; 8];
         for c in children.iter_mut() {
-            *c = dec.get_i64();
+            *c = dec.get_i64()?;
         }
-        let body = dec.get_i64();
-        let count = dec.get_u32();
-        OctNode { center, half, mass, com, children, body, count }
+        let body = dec.get_i64()?;
+        let count = dec.get_u32()?;
+        Ok(OctNode { center, half, mass, com, children, body, count })
     }
     fn size_hint(&self) -> usize {
         16 * 8
@@ -73,8 +73,8 @@ impl Portable for Octree {
     fn encode(&self, enc: &mut PortEncoder) {
         self.nodes.encode(enc);
     }
-    fn decode(dec: &mut PortDecoder<'_>) -> Self {
-        Octree { nodes: Vec::<OctNode>::decode(dec) }
+    fn decode(dec: &mut PortDecoder<'_>) -> jade_transport::DecodeResult<Self> {
+        Ok(Octree { nodes: Vec::<OctNode>::decode(dec)? })
     }
     fn size_hint(&self) -> usize {
         8 + self.nodes.len() * 128

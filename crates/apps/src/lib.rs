@@ -16,6 +16,10 @@
 //! * [`video`] — the HRV digital-image-processing pipeline (§7.2);
 //! * [`barneshut`] — the Barnes-Hut N-body kernel (§7).
 
+// The numeric kernels iterate coordinate axes (`for k in 0..3`) and
+// matrix rows by index, mirroring the math they implement.
+#![allow(clippy::needless_range_loop)]
+
 pub mod barneshut;
 pub mod cholesky;
 pub mod lws;

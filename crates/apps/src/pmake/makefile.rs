@@ -25,8 +25,8 @@ impl Portable for FileState {
         enc.put_u64(self.version);
         enc.put_usize(self.size);
     }
-    fn decode(dec: &mut PortDecoder<'_>) -> Self {
-        FileState { version: dec.get_u64(), size: dec.get_usize() }
+    fn decode(dec: &mut PortDecoder<'_>) -> jade_transport::DecodeResult<Self> {
+        Ok(FileState { version: dec.get_u64()?, size: dec.get_usize()? })
     }
     fn size_hint(&self) -> usize {
         self.size.max(16)

@@ -25,8 +25,8 @@ impl jade_transport::Portable for Monitor {
         self.order.encode(enc);
         enc.put_u64(self.screen_hash);
     }
-    fn decode(dec: &mut jade_transport::PortDecoder<'_>) -> Self {
-        Monitor { order: Vec::<u64>::decode(dec), screen_hash: dec.get_u64() }
+    fn decode(dec: &mut jade_transport::PortDecoder<'_>) -> jade_transport::DecodeResult<Self> {
+        Ok(Monitor { order: Vec::<u64>::decode(dec)?, screen_hash: dec.get_u64()? })
     }
     fn size_hint(&self) -> usize {
         16 + self.order.len() * 8

@@ -36,7 +36,7 @@ pub fn rle_compress(data: &[u8]) -> Vec<u8> {
 pub fn rle_decompress(data: &[u8]) -> Vec<u8> {
     let mut out = Vec::new();
     for chunk in data.chunks_exact(2) {
-        out.extend(std::iter::repeat(chunk[1]).take(chunk[0] as usize));
+        out.extend(std::iter::repeat_n(chunk[1], chunk[0] as usize));
     }
     out
 }

@@ -35,7 +35,7 @@ fn cholesky_threaded(c: &mut Criterion) {
     g.bench_function("serial factor n=150", |b| {
         b.iter_batched_ref(
             || a.clone(),
-            |m| cholesky::serial::factor(m),
+            cholesky::serial::factor,
             criterion::BatchSize::SmallInput,
         )
     });

@@ -109,7 +109,7 @@ fn transport_conversion(c: &mut Criterion) {
             column.encode(&mut e);
             let buf = e.finish();
             let mut d = PortDecoder::new(&buf, DataLayout::x86_64());
-            black_box(Vec::<f64>::decode(&mut d));
+            black_box(Vec::<f64>::decode(&mut d).expect("intact buffer"));
         })
     });
     g.bench_function("encode+decode column, byte-swapped wire", |b| {
@@ -118,7 +118,7 @@ fn transport_conversion(c: &mut Criterion) {
             column.encode(&mut e);
             let buf = e.finish();
             let mut d = PortDecoder::new(&buf, DataLayout::sparc());
-            black_box(Vec::<f64>::decode(&mut d));
+            black_box(Vec::<f64>::decode(&mut d).expect("intact buffer"));
         })
     });
     g.bench_function("message pack+unpack (typed, sparc wire)", |b| {

@@ -1,0 +1,103 @@
+//! Fault-tolerance sweep: message-loss rate × transient crash count.
+//!
+//! For each point the same LWS workload runs under a seeded
+//! [`FaultPlan`]; the table reports completion time, retransmissions
+//! performed by the reliable-delivery layer, and crash-recovery
+//! re-executions. Invariants checked on every point:
+//!
+//! * the computed result is bit-identical to the fault-free run
+//!   (serial semantics hold under failure);
+//! * loss > 0 forces retransmits, and every drop is recovered by
+//!   exactly one retransmission;
+//! * faults only ever cost time, never correctness.
+//!
+//! Run: `cargo run --release -p jade-bench --bin exp_faults`
+
+use jade_apps::lws::{self, WaterSystem};
+use jade_bench::row;
+use jade_sim::{FaultPlan, Platform, SimExecutor, SimReport, SimSpan};
+
+const MACHINES: usize = 4;
+const MOLECULES: usize = 48;
+const STEPS: usize = 2;
+
+fn lws_faulted(plan: Option<FaultPlan>) -> ((Vec<f64>, WaterSystem), SimReport) {
+    let sys = WaterSystem::new(MOLECULES, 7);
+    let blocks = 4 * MACHINES;
+    let mut exec = SimExecutor::new(Platform::mica(MACHINES));
+    if let Some(p) = plan {
+        exec = exec.faults(p);
+    }
+    exec.run(move |ctx| lws::run_jade(ctx, &sys, blocks, STEPS, 0.002))
+}
+
+fn main() {
+    let losses = [0.0, 0.02, 0.05, 0.10];
+    let crash_counts = [0usize, 1, 2];
+
+    let (clean_value, clean) = lws_faulted(None);
+    println!(
+        "fault sweep: LWS, {MOLECULES} molecules x {STEPS} steps on {MACHINES} Mica workstations"
+    );
+    println!("fault-free baseline: {:.3}s\n", clean.time.as_secs_f64());
+
+    let w = 12;
+    println!(
+        "{}",
+        row(
+            &["loss".into(), "crashes".into(), "time".into(), "slowdown".into(),
+              "retransmits".into(), "timeouts".into(), "recoveries".into(), "degraded".into()],
+            w
+        )
+    );
+
+    for &loss in &losses {
+        for &crashes in &crash_counts {
+            let mut plan = FaultPlan::new(0xFA017 + crashes as u64).drop_prob(loss);
+            for m in 0..crashes {
+                // Crash distinct non-zero machines (machine 0 hosts the
+                // root task's home store in this sweep's narrative, and
+                // at least one machine must survive).
+                plan = plan.crash(m + 1, 1 + m as u64, SimSpan::from_millis(30));
+            }
+            let (value, r) = lws_faulted(Some(plan));
+
+            assert_eq!(
+                value, clean_value,
+                "loss={loss} crashes={crashes}: faults changed the computed result"
+            );
+            assert_eq!(
+                r.net.retransmits, r.net.dropped,
+                "every drop must be recovered by exactly one retransmission"
+            );
+            if loss > 0.0 {
+                assert!(
+                    r.net.retransmits > 0,
+                    "loss={loss}: a lossy network must force retransmissions"
+                );
+            } else {
+                assert_eq!(r.net.retransmits, 0, "no loss configured");
+            }
+            assert_eq!(r.faults.crashes, crashes as u64, "every armed crash fires once");
+
+            println!(
+                "{}",
+                row(
+                    &[
+                        format!("{:.0}%", loss * 100.0),
+                        format!("{crashes}"),
+                        format!("{:.3}s", r.time.as_secs_f64()),
+                        format!("{:.2}x", r.time.as_secs_f64() / clean.time.as_secs_f64()),
+                        format!("{}", r.net.retransmits),
+                        format!("{}", r.net.timeouts),
+                        format!("{}", r.faults.recoveries),
+                        format!("{}", r.faults.degraded),
+                    ],
+                    w
+                )
+            );
+        }
+    }
+
+    println!("\nevery point matched the fault-free result bit-for-bit.");
+}

@@ -223,10 +223,30 @@ pub trait JadeCtx: Sized {
     fn task(&self) -> TaskId;
 }
 
+std::thread_local! {
+    static LAST_VIOLATION: std::cell::RefCell<Option<JadeError>> =
+        const { std::cell::RefCell::new(None) };
+}
+
 /// Panic with a uniform message for programming-model violations.
+///
+/// The structured [`JadeError`] is stashed in a thread-local before
+/// unwinding so executors that catch the panic can recover the typed
+/// error (see [`take_violation`]) instead of parsing the message.
 #[cold]
 pub fn violation(err: JadeError) -> ! {
+    LAST_VIOLATION.with(|c| *c.borrow_mut() = Some(err.clone()));
     panic!("Jade programming model violation: {err}")
+}
+
+/// Retrieve (and clear) the typed error behind the most recent
+/// [`violation`] panic on this thread, if any.
+///
+/// Callers should pair this with the caught payload: the panic came
+/// from `violation` exactly when the payload is the `String` that
+/// [`violation`] formats from this error.
+pub fn take_violation() -> Option<JadeError> {
+    LAST_VIOLATION.with(|c| c.borrow_mut().take())
 }
 
 #[cfg(test)]

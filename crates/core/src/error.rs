@@ -82,6 +82,12 @@ pub enum JadeError {
         /// The object both sides touch.
         object: ObjectId,
     },
+    /// A task body completed while still holding an access guard,
+    /// leaving the hold bookkeeping dangling.
+    GuardLeaked {
+        /// The task that leaked the guard.
+        task: TaskId,
+    },
     /// Internal invariant violation; indicates a runtime bug, not a
     /// user error.
     Internal(String),
@@ -120,6 +126,11 @@ impl fmt::Display for JadeError {
                 "{parent} created a child declaring {object} while still holding a \
                  conflicting access guard on it; drop the guard before the withonly"
             ),
+            JadeError::GuardLeaked { task } => write!(
+                f,
+                "{task} completed while still holding an access guard; drop all guards \
+                 before the task body returns"
+            ),
             JadeError::Internal(msg) => write!(f, "internal Jade runtime error: {msg}"),
         }
     }
@@ -129,6 +140,91 @@ impl std::error::Error for JadeError {}
 
 /// Convenience alias used throughout the engine.
 pub type Result<T> = std::result::Result<T, JadeError>;
+
+/// An execution-level fault: why a run (as opposed to a single access
+/// check) could not complete.
+///
+/// [`JadeError`] describes violations of the programming model;
+/// `JadeFault` describes what the *executor* observed — a panicking
+/// task body, a spec violation surfacing mid-run, cancellation of
+/// still-pending work during structured shutdown, or a machine fault
+/// that exhausted its re-execution budget. Executors return these as
+/// values (`try_run`) so callers can recover, retry, or report without
+/// parsing panic strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JadeFault {
+    /// A task body panicked with an application payload.
+    TaskPanicked {
+        /// The task whose body unwound.
+        task: TaskId,
+        /// The panic payload rendered as text.
+        message: String,
+    },
+    /// A task violated its access specification; the underlying
+    /// [`JadeError`] says how.
+    SpecViolation {
+        /// The offending task.
+        task: TaskId,
+        /// The violation the dynamic checker detected.
+        error: JadeError,
+    },
+    /// A task was cancelled before it ran because a sibling faulted
+    /// and the executor performed a structured shutdown.
+    Cancelled {
+        /// The task that never ran.
+        task: TaskId,
+    },
+    /// A task could not complete within its re-execution budget after
+    /// repeated machine faults.
+    RetriesExhausted {
+        /// The task that kept failing.
+        task: TaskId,
+        /// How many executions were attempted.
+        attempts: u32,
+    },
+}
+
+impl JadeFault {
+    /// The task the fault is attributed to.
+    pub fn task(&self) -> TaskId {
+        match self {
+            JadeFault::TaskPanicked { task, .. }
+            | JadeFault::SpecViolation { task, .. }
+            | JadeFault::Cancelled { task }
+            | JadeFault::RetriesExhausted { task, .. } => *task,
+        }
+    }
+}
+
+impl fmt::Display for JadeFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JadeFault::TaskPanicked { task, message } => {
+                write!(f, "{task} panicked: {message}")
+            }
+            JadeFault::SpecViolation { task, error } => {
+                write!(f, "{task} violated its access specification: {error}")
+            }
+            JadeFault::Cancelled { task } => {
+                write!(f, "{task} was cancelled during shutdown after a sibling fault")
+            }
+            JadeFault::RetriesExhausted { task, attempts } => write!(
+                f,
+                "{task} failed on every machine it was tried on ({attempts} attempts); \
+                 re-execution budget exhausted"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JadeFault {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JadeFault::SpecViolation { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -145,6 +241,24 @@ mod tests {
         assert!(s.contains("task#3"));
         assert!(s.contains("obj#9"));
         assert!(s.contains("write"));
+    }
+
+    #[test]
+    fn fault_messages_and_source_chain() {
+        let f = JadeFault::TaskPanicked { task: TaskId(4), message: "task exploded: 42".into() };
+        assert!(f.to_string().contains("task#4"));
+        assert!(f.to_string().contains("task exploded: 42"));
+        assert_eq!(f.task(), TaskId(4));
+
+        let inner = JadeError::UnknownObject(ObjectId(2));
+        let f = JadeFault::SpecViolation { task: TaskId(1), error: inner.clone() };
+        assert!(f.to_string().contains(&inner.to_string()));
+        let src = std::error::Error::source(&f).expect("spec violation has a source");
+        assert!(src.to_string().contains("obj#2"));
+
+        let f = JadeFault::RetriesExhausted { task: TaskId(7), attempts: 3 };
+        assert!(f.to_string().contains("3 attempts"));
+        assert_eq!(JadeFault::Cancelled { task: TaskId(9) }.task(), TaskId(9));
     }
 
     #[test]

@@ -436,10 +436,11 @@ impl DepGraph {
                 } else if d.rights.read.is_active() && !hist.1.contains(&tid) {
                     hist.1.push(tid);
                 }
-                let tr = self.trace.as_mut().expect("trace enabled");
-                for (p, kind) in edges {
-                    if p != tid {
-                        tr.edge(TraceEdge { from: p, to: tid, object: d.object, kind });
+                if let Some(tr) = self.trace.as_mut() {
+                    for (p, kind) in edges {
+                        if p != tid {
+                            tr.edge(TraceEdge { from: p, to: tid, object: d.object, kind });
+                        }
                     }
                 }
             }
@@ -511,11 +512,9 @@ impl DepGraph {
         }
         for t in candidates {
             match self.rec(t).state {
-                TaskState::Pending => {
-                    if self.all_immediate_granted(t) {
-                        self.rec_mut(t).state = TaskState::Ready;
-                        wakes.push(Wake::Ready(t));
-                    }
+                TaskState::Pending if self.all_immediate_granted(t) => {
+                    self.rec_mut(t).state = TaskState::Ready;
+                    wakes.push(Wake::Ready(t));
                 }
                 TaskState::Blocked => {
                     let satisfied = {

@@ -89,8 +89,8 @@ impl<T: Object> Portable for Shared<T> {
     fn encode(&self, enc: &mut PortEncoder) {
         self.id.encode(enc);
     }
-    fn decode(dec: &mut PortDecoder<'_>) -> Self {
-        Shared::from_raw(ObjectId::decode(dec))
+    fn decode(dec: &mut PortDecoder<'_>) -> jade_transport::DecodeResult<Self> {
+        Ok(Shared::from_raw(ObjectId::decode(dec)?))
     }
     fn size_hint(&self) -> usize {
         8

@@ -23,8 +23,8 @@ impl Portable for ObjectId {
     fn encode(&self, enc: &mut PortEncoder) {
         enc.put_u64(self.0);
     }
-    fn decode(dec: &mut PortDecoder<'_>) -> Self {
-        ObjectId(dec.get_u64())
+    fn decode(dec: &mut PortDecoder<'_>) -> jade_transport::DecodeResult<Self> {
+        Ok(ObjectId(dec.get_u64()?))
     }
     fn size_hint(&self) -> usize {
         8
@@ -87,20 +87,15 @@ pub enum DeviceClass {
 /// Placement request a program may attach to a task; the paper's §4.5
 /// "Low-Level Control": "Programmers can explicitly specify the
 /// machine on which a task will execute".
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Placement {
     /// Let the runtime's load balancer choose.
+    #[default]
     Any,
     /// Run on a specific machine.
     Machine(MachineId),
     /// Run on any machine providing the given device class.
     Device(DeviceClass),
-}
-
-impl Default for Placement {
-    fn default() -> Self {
-        Placement::Any
-    }
 }
 
 #[cfg(test)]

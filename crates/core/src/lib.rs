@@ -72,7 +72,7 @@ pub mod trace;
 /// Convenient glob-import for writing Jade programs.
 pub mod prelude {
     pub use crate::ctx::{JadeCtx, ReadGuard, WriteGuard};
-    pub use crate::error::JadeError;
+    pub use crate::error::{JadeError, JadeFault};
     pub use crate::handle::{Object, Shared};
     pub use crate::ids::{DeviceClass, MachineId, ObjectId, Placement, TaskId};
     pub use crate::parts::PartedVec;

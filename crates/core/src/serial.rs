@@ -345,8 +345,7 @@ mod tests {
                     });
                 },
             );
-            let out = *ctx.rd(&col);
-            out
+            *ctx.rd(&col)
         });
         assert_eq!(v, 42.0);
         assert_eq!(stats.with_conts, 2);

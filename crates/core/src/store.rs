@@ -14,7 +14,7 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use jade_transport::{PortDecoder, PortEncoder};
+use jade_transport::{DecodeResult, PortDecoder, PortEncoder};
 use parking_lot::RwLock;
 
 use crate::error::{JadeError, Result};
@@ -30,8 +30,9 @@ pub type ErasedValue = Arc<dyn Any + Send + Sync>;
 pub struct ObjVtable {
     /// Encode the current value into the encoder's layout.
     pub encode: fn(&ErasedValue, &mut PortEncoder),
-    /// Decode a fresh version from wire bytes.
-    pub decode: fn(&mut PortDecoder<'_>) -> ErasedValue,
+    /// Decode a fresh version from wire bytes; corrupt or truncated
+    /// bytes are an error, not a panic.
+    pub decode: fn(&mut PortDecoder<'_>) -> DecodeResult<ErasedValue>,
     /// Approximate encoded size (drives simulated message sizes).
     pub size: fn(&ErasedValue) -> usize,
     /// The Rust type name, for traces and errors.
@@ -51,8 +52,8 @@ fn encode_impl<T: Object>(v: &ErasedValue, enc: &mut PortEncoder) {
     lock.read().encode(enc);
 }
 
-fn decode_impl<T: Object>(dec: &mut PortDecoder<'_>) -> ErasedValue {
-    Arc::new(RwLock::new(T::decode(dec)))
+fn decode_impl<T: Object>(dec: &mut PortDecoder<'_>) -> DecodeResult<ErasedValue> {
+    Ok(Arc::new(RwLock::new(T::decode(dec)?)))
 }
 
 fn size_impl<T: Object>(v: &ErasedValue) -> usize {
@@ -100,9 +101,14 @@ impl Slot {
     }
 
     /// Decode a transferred version, producing a slot with the same
-    /// vtable and name.
-    pub fn decode_version(&self, dec: &mut PortDecoder<'_>) -> Slot {
-        Slot { value: (self.vtable.decode)(dec), vtable: self.vtable, name: self.name.clone() }
+    /// vtable and name. Errors if the wire bytes are truncated or
+    /// corrupted.
+    pub fn decode_version(&self, dec: &mut PortDecoder<'_>) -> DecodeResult<Slot> {
+        Ok(Slot {
+            value: (self.vtable.decode)(dec)?,
+            vtable: self.vtable,
+            name: self.name.clone(),
+        })
     }
 
     /// Approximate wire size of the current value.
@@ -191,9 +197,19 @@ mod tests {
         slot.encode(&mut enc);
         let bytes = enc.finish();
         let mut dec = PortDecoder::new(&bytes, DataLayout::sparc());
-        let slot2 = slot.decode_version(&mut dec);
+        let slot2 = slot.decode_version(&mut dec).unwrap();
         let v = slot2.typed::<Vec<f64>>();
         assert_eq!(*v.read(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn truncated_version_bytes_are_an_error() {
+        let slot = Slot::new("column", vec![1.0f64, 2.0, 3.0]);
+        let mut enc = PortEncoder::new(DataLayout::sparc());
+        slot.encode(&mut enc);
+        let bytes = enc.finish();
+        let mut dec = PortDecoder::new(&bytes[..bytes.len() - 4], DataLayout::sparc());
+        assert!(slot.decode_version(&mut dec).is_err());
     }
 
     #[test]
@@ -244,7 +260,7 @@ mod tests {
         slot.encode(&mut enc);
         let bytes = enc.finish();
         let mut dec = PortDecoder::new(&bytes, DataLayout::sparc());
-        b.insert(ObjectId(1), slot.decode_version(&mut dec));
+        b.insert(ObjectId(1), slot.decode_version(&mut dec).unwrap());
         assert!(!a.contains(ObjectId(1)));
         let h: Shared<Vec<f64>> = Shared::from_raw(ObjectId(1));
         assert_eq!(*b.typed(&h).unwrap().read(), vec![5.0]);

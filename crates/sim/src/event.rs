@@ -29,6 +29,8 @@ pub enum EventKind {
     /// The executing CPU slice on a machine ended (time-sliced
     /// processor model).
     SliceDone(usize),
+    /// A transiently crashed machine comes back up.
+    Rejoin(usize),
 }
 
 #[derive(Debug)]

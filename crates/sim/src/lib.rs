@@ -36,6 +36,7 @@
 //! ```
 
 pub mod event;
+pub mod faults;
 pub mod machine;
 pub mod network;
 pub mod objmgr;
@@ -47,6 +48,7 @@ pub mod sched;
 pub mod time;
 pub mod tracelog;
 
+pub use faults::{CrashSpec, FaultPlan, FaultStats, SlowdownWindow};
 pub use machine::MachineSpec;
 pub use network::NetStats;
 pub use objmgr::Granularity;

@@ -261,6 +261,44 @@ impl ObjDirectory {
         plan
     }
 
+    /// A machine crashed: reassign residency away from it. Objects it
+    /// owned whose replicas survive elsewhere get a surviving replica
+    /// elected as the new owner (replicas hold the authoritative value
+    /// — any write would have invalidated them); its replica markers
+    /// are dropped so post-rejoin reads refetch. Objects solely
+    /// resident on the crashed machine keep it as owner: the value
+    /// survives on its stable store and becomes reachable again at
+    /// rejoin. Returns `(object, new_owner)` for each ownership move.
+    pub fn fail_machine(&mut self, machine: usize) -> Vec<(ObjectId, usize)> {
+        let mut moved = Vec::new();
+        let mut oids: Vec<ObjectId> = self.objs.keys().copied().collect();
+        oids.sort_unstable();
+        for oid in oids {
+            let e = self.objs.get_mut(&oid).expect("key just listed");
+            let Some(&survivor) = e.copies.iter().find(|&&c| c != machine) else {
+                continue;
+            };
+            if e.owner == machine {
+                e.owner = survivor;
+                moved.push((oid, survivor));
+            }
+            e.copies.retain(|&c| c != machine);
+        }
+        let mut pages: Vec<u64> = self.pages.keys().copied().collect();
+        pages.sort_unstable();
+        for p in pages {
+            let pe = self.pages.get_mut(&p).expect("key just listed");
+            let Some(&survivor) = pe.copies.iter().find(|&&c| c != machine) else {
+                continue;
+            };
+            if pe.owner == machine {
+                pe.owner = survivor;
+            }
+            pe.copies.retain(|&c| c != machine);
+        }
+        moved
+    }
+
     /// Drop `machine`'s replica markers for an object (used when the
     /// runtime processes invalidations).
     pub fn forget_replica(&mut self, oid: ObjectId, machine: usize) {

@@ -2,6 +2,7 @@
 
 use jade_core::stats::RuntimeStats;
 
+use crate::faults::FaultStats;
 use crate::network::NetStats;
 use crate::time::{SimSpan, SimTime};
 
@@ -36,6 +37,9 @@ pub struct SimReport {
     pub net: NetStats,
     /// Object-manager counters.
     pub traffic: ObjTraffic,
+    /// Fault-injection and recovery counters (all zero without a
+    /// fault plan).
+    pub faults: FaultStats,
     /// Per-machine compute-busy time.
     pub busy: Vec<SimSpan>,
     /// The rendered Figure 7-style narrative, when logging was on.
@@ -87,7 +91,21 @@ impl std::fmt::Display for SimReport {
             self.traffic.upgrades,
             self.traffic.invalidations,
             self.traffic.conversions
-        )
+        )?;
+        if self.faults.crashes > 0 || self.net.retransmits > 0 || self.net.dropped > 0 {
+            write!(
+                f,
+                "\n  faults: {} crashes, {} recoveries, {} degraded; {} dropped, \
+                 {} timeouts, {} retransmits",
+                self.faults.crashes,
+                self.faults.recoveries,
+                self.faults.degraded,
+                self.net.dropped,
+                self.net.timeouts,
+                self.net.retransmits
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -103,6 +121,7 @@ mod tests {
             stats: RuntimeStats::default(),
             net: NetStats::default(),
             traffic: ObjTraffic::default(),
+            faults: FaultStats::default(),
             busy: vec![SimSpan((busy_each * 1e9) as u64); machines],
             log: None,
             trace: None,

@@ -37,6 +37,7 @@ use jade_transport::message::HEADER_WIRE_BYTES;
 use jade_transport::{PortDecoder, PortEncoder};
 
 use crate::event::{EventKind, EventQueue};
+use crate::faults::{FaultInjector, FaultPlan, FaultStats};
 use crate::network::NetworkModel;
 use crate::objmgr::{Granularity, ObjDirectory, CTRL_BYTES};
 use crate::platform::Platform;
@@ -79,6 +80,10 @@ pub struct SimConfig {
     pub log: bool,
     /// Capture the dynamic task graph (Figure 4).
     pub trace: bool,
+    /// Deterministic fault injection: message drops (recovered by
+    /// retransmission), delay spikes, transient machine crashes (tasks
+    /// re-execute elsewhere), slowdown windows. `None` = fault-free.
+    pub faults: Option<FaultPlan>,
 }
 
 impl SimConfig {
@@ -93,6 +98,7 @@ impl SimConfig {
             granularity: Granularity::Object,
             log: false,
             trace: false,
+            faults: None,
         }
     }
 }
@@ -147,6 +153,12 @@ impl SimExecutor {
     /// Capture the dynamic task graph.
     pub fn traced(mut self) -> Self {
         self.cfg.trace = true;
+        self
+    }
+
+    /// Inject the given deterministic fault plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = Some(plan);
         self
     }
 
@@ -222,6 +234,17 @@ struct Loop {
     traffic: ObjTraffic,
     log: SimLog,
     poison: Option<String>,
+    injector: Option<FaultInjector>,
+    /// Per-machine end of the current outage (ZERO = never crashed).
+    down_until: Vec<SimTime>,
+    /// Tasks started per machine — the crash-arming clock.
+    starts: Vec<u64>,
+    /// Re-executions per task under crash recovery.
+    attempts: HashMap<TaskId, u32>,
+    /// In-flight fetch counts for tasks whose assignment was revoked
+    /// by a crash; arrivals are swallowed instead of waking anyone.
+    stale_fetches: HashMap<TaskId, usize>,
+    fstats: FaultStats,
 }
 
 impl Loop {
@@ -262,6 +285,12 @@ impl Loop {
             traffic: ObjTraffic::default(),
             log: SimLog::new(cfg.log),
             poison: None,
+            injector: cfg.faults.clone().map(FaultInjector::new),
+            down_until: vec![SimTime::ZERO; n],
+            starts: vec![0; n],
+            attempts: HashMap::new(),
+            stale_fetches: HashMap::new(),
+            fstats: FaultStats::default(),
             cfg,
         };
         lp.run_loop(root_body)
@@ -296,6 +325,15 @@ impl Loop {
                     }
                 }
                 EventKind::FetchArrive { task, .. } => {
+                    // Fetches started for an assignment a crash later
+                    // revoked still arrive; swallow them.
+                    if let Some(c) = self.stale_fetches.get_mut(&task) {
+                        *c -= 1;
+                        if *c == 0 {
+                            self.stale_fetches.remove(&task);
+                        }
+                        continue;
+                    }
                     let left = {
                         let c = self
                             .pending_fetches
@@ -311,6 +349,13 @@ impl Loop {
                 }
                 EventKind::TryStart(m) => self.try_start(m),
                 EventKind::SliceDone(m) => self.on_slice_done(m),
+                EventKind::Rejoin(m) => {
+                    self.log.push(self.now, SimEventKind::MachineRecovered { machine: m });
+                    // Ready tasks that found no surviving candidate
+                    // can place now, and the machine may start work.
+                    self.schedule_assignments();
+                    self.events.push(self.now, EventKind::TryStart(m));
+                }
             }
         }
 
@@ -340,13 +385,20 @@ impl Loop {
         } else {
             None
         };
+        let mut net = self.net.stats();
+        if let Some(inj) = &self.injector {
+            net.retransmits = inj.retransmits;
+            net.timeouts = inj.timeouts;
+            net.dropped = inj.dropped;
+        }
         SimReport {
             platform: self.cfg.platform.name.clone(),
             machines: self.cfg.platform.len(),
             time: self.now,
             stats: self.engine.stats,
-            net: self.net.stats(),
+            net,
             traffic: self.traffic,
+            faults: self.fstats,
             busy: self.mach.iter().map(|m| m.busy).collect(),
             log: log_text,
             trace: self.engine.take_trace(),
@@ -355,6 +407,111 @@ impl Loop {
 
     fn machine_of(&self, t: TaskId) -> usize {
         *self.assigned.get(&t).expect("task has a machine")
+    }
+
+    /// Whether `m` is inside a crash outage at the current time.
+    fn is_down(&self, m: usize) -> bool {
+        self.now < self.down_until[m]
+    }
+
+    // ------------------------------------------------------------------
+    // Reliable delivery and fault injection
+    // ------------------------------------------------------------------
+
+    /// Send `bytes` from `src` to `dst`, no earlier than `t`. Without
+    /// a fault plan this is exactly one network transfer. With one,
+    /// delivery is *reliable over a lossy link*: each transmission may
+    /// be dropped (seeded roll); the sender times out and retransmits
+    /// with bounded exponential backoff until an attempt gets through.
+    /// Messages to or from a machine in a crash outage wait for its
+    /// rejoin (the recovery protocol replays them). Returns the
+    /// arrival time of the successful delivery.
+    fn send(&mut self, t: SimTime, src: usize, dst: usize, bytes: usize) -> SimTime {
+        let mut base = t.max(self.down_until[src]).max(self.down_until[dst]);
+        if self.injector.is_none() {
+            return self.net.transfer(base, src, dst, bytes);
+        }
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let mut arrival = self.net.transfer(base, src, dst, bytes);
+            let inj = self.injector.as_mut().expect("checked above");
+            if let Some(spike) = inj.roll_spike() {
+                arrival += spike;
+            }
+            if !inj.roll_drop() || attempt >= inj.plan().max_msg_attempts {
+                return arrival;
+            }
+            // Lost on the wire: the sender's ack timer expires and the
+            // message is retransmitted after a backoff.
+            inj.dropped += 1;
+            inj.timeouts += 1;
+            inj.retransmits += 1;
+            let backoff = inj.backoff(attempt);
+            base += backoff;
+        }
+    }
+
+    /// Fire an armed transient crash of `m` if it is at a clean task
+    /// boundary (no live task contexts). Returns whether it fired.
+    fn maybe_crash(&mut self, m: usize) -> bool {
+        let Some(inj) = &self.injector else { return false };
+        let Some(idx) = inj.armed_crash(m, self.starts[m]) else { return false };
+        // Only crash between tasks: a consumed FnOnce body cannot be
+        // re-executed, so a machine with live or suspended task
+        // contexts defers its crash to the next clean boundary. (This
+        // is also what guarantees no uncommitted writes are lost —
+        // Jade effects commit at task completion.)
+        let has_ctx = self.mach[m].running != 0
+            || self.mach[m].active.is_some()
+            || !self.mach[m].runq.is_empty()
+            || self.procs.keys().any(|t| self.assigned.get(t) == Some(&m));
+        if has_ctx {
+            return false;
+        }
+        let down_for = self.injector.as_mut().expect("checked above").fire_crash(idx);
+        self.fstats.crashes += 1;
+        self.down_until[m] = self.now + down_for;
+        self.log.push(self.now, SimEventKind::MachineCrashed { machine: m });
+        self.events.push(self.down_until[m], EventKind::Rejoin(m));
+        // Surviving replicas take over residency for what m owned.
+        let _moved = self.dir.fail_machine(m);
+        // Unstarted tasks queued on m are recovered: their bodies were
+        // never consumed, so they re-execute elsewhere from scratch.
+        let victims: Vec<TaskId> = self.mach[m].pending.drain(..).collect();
+        self.mach[m].load -= victims.len() as i64;
+        for t in victims {
+            if let Some(n) = self.pending_fetches.remove(&t) {
+                *self.stale_fetches.entry(t).or_insert(0) += n;
+            }
+            self.log.push(self.now, SimEventKind::TaskReassigned { task: t, from: m });
+            self.fstats.recoveries += 1;
+            let tries = self.attempts.entry(t).or_insert(0);
+            *tries += 1;
+            let budget = self
+                .injector
+                .as_ref()
+                .map(|i| i.plan().max_task_attempts)
+                .expect("crash implies injector");
+            if *tries >= budget {
+                // Budget exhausted: degrade to the first surviving
+                // eligible machine and stop gambling on placement.
+                self.fstats.degraded += 1;
+                let placement = self.engine.placement(t);
+                let fallback = (0..self.cfg.platform.len()).find(|&mi| {
+                    !self.is_down(mi)
+                        && eligible(&self.cfg.platform.machines[mi], mi, placement)
+                });
+                match fallback {
+                    Some(mi) => self.assign(t, mi),
+                    None => self.ready_pool.push_back(t),
+                }
+            } else {
+                self.ready_pool.push_back(t);
+            }
+        }
+        self.schedule_assignments();
+        true
     }
 
     fn set_block(&mut self, t: TaskId, op: BlockedOp) {
@@ -398,13 +555,15 @@ impl Loop {
         self.enqueue_burst(m, t, work, true);
     }
 
-    /// Start the next CPU slice on `m` if the CPU is idle.
+    /// Start the next CPU slice on `m` if the CPU is idle. Slowdown
+    /// windows from the fault plan divide the effective speed.
     fn kick_cpu(&mut self, m: usize) {
         if self.mach[m].active.is_some() {
             return;
         }
         let Some((t, work)) = self.mach[m].runq.pop_front() else { return };
-        let speed = self.cfg.platform.machines[m].speed;
+        let slow = self.injector.as_ref().map_or(1.0, |i| i.slowdown(m, self.now));
+        let speed = self.cfg.platform.machines[m].speed / slow;
         let quantum = QUANTUM_SECS * speed;
         let slice = work.min(quantum);
         let span = SimSpan::from_work(slice, speed);
@@ -671,7 +830,10 @@ impl Loop {
     fn rebalance(&mut self) {
         loop {
             let n = self.cfg.platform.len();
-            let Some(idle) = (0..n).find(|&m| self.mach[m].load == 0) else { return };
+            let Some(idle) = (0..n).find(|&m| self.mach[m].load == 0 && !self.is_down(m))
+            else {
+                return;
+            };
             // Victim: the machine with the most queued (unstarted)
             // work beyond what it is currently executing.
             let victim = (0..n)
@@ -720,7 +882,10 @@ impl Loop {
             let cap = 1 + self.cfg.lookahead as i64;
             let mut cands: Vec<Candidate> = Vec::new();
             for (mi, spec) in self.cfg.platform.machines.iter().enumerate() {
-                if !eligible(spec, mi, placement) || self.mach[mi].load >= cap {
+                if !eligible(spec, mi, placement)
+                    || self.mach[mi].load >= cap
+                    || self.is_down(mi)
+                {
                     continue;
                 }
                 // Affinity in 4 KiB classes: small resident objects
@@ -754,7 +919,7 @@ impl Loop {
         let from = *self.creator_machine.get(&t).unwrap_or(&0);
         self.log.push(self.now, SimEventKind::TaskAssigned { task: t, from, to: m });
         let base = if from != m {
-            self.net.transfer(self.now, from, m, DESC_BYTES + HEADER_WIRE_BYTES)
+            self.send(self.now, from, m, DESC_BYTES + HEADER_WIRE_BYTES)
         } else {
             self.now
         };
@@ -784,6 +949,11 @@ impl Loop {
     }
 
     fn try_start(&mut self, m: usize) {
+        // A crashed machine starts nothing until it rejoins; and the
+        // start boundary is where armed transient crashes fire.
+        if self.is_down(m) || self.maybe_crash(m) {
+            return;
+        }
         // One task context executes at a time (suspended tasks do not
         // count); the rest of the queue stays stealable.
         if self.mach[m].running > 0 {
@@ -796,6 +966,7 @@ impl Loop {
         };
         let t = self.mach[m].pending.remove(i).expect("index in range");
         self.mach[m].running += 1;
+        self.starts[m] += 1;
         self.engine.start_task(t);
         self.log.push(self.now, SimEventKind::TaskStarted { task: t, machine: m });
         let body = self.bodies.remove(&t).expect("starting task has a body");
@@ -834,14 +1005,11 @@ impl Loop {
             }
             for tr in &plan.transfers {
                 // Request to the holder, then the data/control reply.
-                let t_req = self.net.transfer(base.max(self.now), m, tr.from, CTRL_BYTES);
-                let mut t_arr =
-                    self.net.transfer(t_req, tr.from, m, tr.bytes + HEADER_WIRE_BYTES);
+                let t_req = self.send(base.max(self.now), m, tr.from, CTRL_BYTES);
+                let mut t_arr = self.send(t_req, tr.from, m, tr.bytes + HEADER_WIRE_BYTES);
                 if converted && tr.data {
-                    t_arr = t_arr
-                        + SimSpan(
-                            self.cfg.platform.convert_cost_per_byte.0 * tr.bytes as u64,
-                        );
+                    t_arr +=
+                        SimSpan(self.cfg.platform.convert_cost_per_byte.0 * tr.bytes as u64);
                 }
                 count += 1;
                 *self.pending_fetches.entry(t).or_insert(0) += 1;
@@ -894,7 +1062,12 @@ impl Loop {
         slot.encode(&mut enc);
         let bytes = enc.finish();
         let mut dec = PortDecoder::new(&bytes, src_layout);
-        let fresh = slot.decode_version(&mut dec);
+        // The reliability layer guarantees delivery of intact bytes,
+        // so a decode failure here is a runtime invariant violation,
+        // not a simulated network fault.
+        let fresh = slot
+            .decode_version(&mut dec)
+            .unwrap_or_else(|e| panic!("{oid} version corrupted in transfer m{from}->m{to}: {e}"));
         self.stores[to].insert(oid, fresh);
         src_layout.conversion_required(&dst_layout)
     }

@@ -90,6 +90,24 @@ pub enum SimEventKind {
         /// Object in flight.
         object: ObjectId,
     },
+    /// A machine transiently crashed at a task boundary.
+    MachineCrashed {
+        /// The machine that went down.
+        machine: usize,
+    },
+    /// A crashed machine rejoined the platform.
+    MachineRecovered {
+        /// The machine that came back.
+        machine: usize,
+    },
+    /// An unstarted task was taken from a crashed machine for
+    /// re-execution elsewhere.
+    TaskReassigned {
+        /// The recovered task.
+        task: TaskId,
+        /// The machine that crashed with the task queued.
+        from: usize,
+    },
 }
 
 /// Time-stamped event log.
@@ -160,6 +178,17 @@ impl SimLog {
                 ),
                 SimEventKind::FetchPending { task, object } => format!(
                     "task {} [{}] waits for {object} in transit (latency hidden by other tasks)",
+                    task,
+                    labels(*task)
+                ),
+                SimEventKind::MachineCrashed { machine } => format!(
+                    "machine {machine} crashes (transient); queued tasks will re-execute elsewhere"
+                ),
+                SimEventKind::MachineRecovered { machine } => {
+                    format!("machine {machine} rejoins the platform")
+                }
+                SimEventKind::TaskReassigned { task, from } => format!(
+                    "task {} [{}] recovered from crashed machine {from} for re-execution",
                     task,
                     labels(*task)
                 ),

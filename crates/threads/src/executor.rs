@@ -1,10 +1,19 @@
 //! Worker-pool executor over the Jade dependency engine.
+//!
+//! Fault handling: a task body that panics (or violates its access
+//! specification) does not take the process down. The first fault is
+//! recorded as a typed [`JadeFault`], pending tasks are cancelled,
+//! blocked siblings and the root are woken and unwound with a private
+//! cancellation token, and every worker drains before
+//! [`ThreadedExecutor::try_run`] returns the fault as a value.
+//! [`ThreadedExecutor::run`] stays as the panicking wrapper.
 
 use std::collections::{HashMap, VecDeque};
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use jade_core::ctx::{violation, HoldSet, JadeCtx, ReadGuard, WriteGuard};
+use jade_core::ctx::{take_violation, violation, HoldSet, JadeCtx, ReadGuard, WriteGuard};
+use jade_core::error::{JadeError, JadeFault};
 use jade_core::graph::{AccessStatus, DepGraph, TaskState, Wake};
 use jade_core::handle::{Object, Shared};
 use jade_core::ids::TaskId;
@@ -13,6 +22,11 @@ use jade_core::stats::RuntimeStats;
 use jade_core::store::{ObjectStore, Slot};
 use jade_core::trace::TaskGraphTrace;
 use parking_lot::{Condvar, Mutex, MutexGuard};
+
+/// Private panic payload used to unwind task bodies (and the root)
+/// during structured shutdown. Recognized and swallowed by the
+/// executor's catch sites; never escapes to the caller.
+struct CancelToken;
 
 /// Task-creation throttling policy (§3.3, §5 "Matching Exploited
 /// Concurrency with Available Concurrency").
@@ -49,7 +63,53 @@ struct State {
     live_workers: usize,
     idle_workers: usize,
     blocked_tasks: usize,
-    poison: Option<String>,
+    fault: Option<JadeFault>,
+}
+
+impl State {
+    /// Record a fault. The first fault wins; cancellation cascades
+    /// triggered by it must not overwrite the root cause.
+    fn record_fault(&mut self, fault: JadeFault) {
+        if self.fault.is_none() {
+            self.fault = Some(fault);
+        }
+    }
+
+    /// Classify a caught panic payload from `task`'s body and record
+    /// the resulting fault. A [`CancelToken`] records nothing (the
+    /// causing fault is already present). Must run on the thread that
+    /// panicked so the violation thread-local is visible.
+    fn record_panic(&mut self, task: TaskId, payload: &(dyn std::any::Any + Send)) {
+        if payload.downcast_ref::<CancelToken>().is_some() {
+            return;
+        }
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "task panicked".to_string());
+        let fault = match take_violation() {
+            // Only trust the thread-local when the payload is the
+            // exact message `violation` raised; a body that caught a
+            // violation panic and then panicked differently is an
+            // ordinary task panic.
+            Some(err) if msg == format!("Jade programming model violation: {err}") => {
+                JadeFault::SpecViolation { task, error: err }
+            }
+            _ => JadeFault::TaskPanicked { task, message: msg },
+        };
+        self.record_fault(fault);
+    }
+
+    /// Drop every not-yet-started task: clear the ready queue and the
+    /// stored bodies, and release their `unfinished` counts so the
+    /// drain loop can converge.
+    fn cancel_pending(&mut self) {
+        self.ready.clear();
+        let cancelled = self.bodies.len() as u64;
+        self.bodies.clear();
+        self.unfinished -= cancelled;
+    }
 }
 
 struct Inner {
@@ -76,7 +136,7 @@ impl Inner {
     /// if no worker is idle, spawn a compensation worker (the surplus
     /// exits once the pool is over-provisioned again).
     fn compensate(self: &Arc<Self>, st: &mut State) {
-        if st.idle_workers == 0 && !(st.root_done && st.unfinished == 0) {
+        if st.idle_workers == 0 && st.fault.is_none() && !(st.root_done && st.unfinished == 0) {
             st.live_workers += 1;
             let inner = Arc::clone(self);
             std::thread::spawn(move || worker_loop(inner));
@@ -84,7 +144,10 @@ impl Inner {
     }
 
     /// Block the calling task-thread until `done` holds, keeping the
-    /// pool's effective width by compensating.
+    /// pool's effective width by compensating. If a fault is recorded
+    /// while waiting, the blocked task is unwound with a
+    /// [`CancelToken`] instead of waiting on work that will never
+    /// arrive — this is what guarantees shutdown wakes every sibling.
     fn wait_until(
         self: &Arc<Self>,
         st: &mut MutexGuard<'_, State>,
@@ -96,10 +159,9 @@ impl Inner {
         st.blocked_tasks += 1;
         self.compensate(st);
         while !done(st) {
-            if st.poison.is_some() {
+            if st.fault.is_some() {
                 st.blocked_tasks -= 1;
-                let msg = st.poison.clone().unwrap();
-                panic!("{msg}");
+                std::panic::panic_any(CancelToken);
             }
             self.cv.wait(st);
         }
@@ -110,7 +172,7 @@ impl Inner {
 fn worker_loop(inner: Arc<Inner>) {
     let mut st = inner.state.lock();
     loop {
-        if st.poison.is_some() {
+        if st.fault.is_some() {
             break;
         }
         if let Some(tid) = st.ready.pop_front() {
@@ -140,25 +202,22 @@ fn execute_task(inner: &Arc<Inner>, tid: TaskId, body: Body) {
     let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
     let leaked = ctx.holds.any_held();
     let mut st = inner.state.lock();
+    st.unfinished -= 1;
     match outcome {
+        Ok(()) if !leaked => {
+            let wakes = st.graph.finish_task(tid);
+            Inner::apply_wakes(&mut st, wakes);
+        }
         Ok(()) => {
-            if leaked {
-                st.poison =
-                    Some(format!("task {tid} completed while still holding an access guard"));
-            } else {
-                let wakes = st.graph.finish_task(tid);
-                st.unfinished -= 1;
-                Inner::apply_wakes(&mut st, wakes);
-            }
+            st.record_fault(JadeFault::SpecViolation {
+                task: tid,
+                error: JadeError::GuardLeaked { task: tid },
+            });
         }
-        Err(p) => {
-            let msg = p
-                .downcast_ref::<String>()
-                .cloned()
-                .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
-                .unwrap_or_else(|| "task panicked".to_string());
-            st.poison = Some(format!("task {tid} panicked: {msg}"));
-        }
+        Err(payload) => st.record_panic(tid, payload.as_ref()),
+    }
+    if st.fault.is_some() {
+        st.cancel_pending();
     }
     inner.cv.notify_all();
 }
@@ -189,9 +248,31 @@ impl ThreadedExecutor {
 
     /// Execute a Jade program; returns its result and runtime stats.
     /// All tasks are guaranteed finished on return.
+    ///
+    /// # Panics
+    /// Re-raises the root body's own panic; any other fault (a task
+    /// panic, a spec violation, cancellation) panics with the fault's
+    /// [`Display`](std::fmt::Display) rendering. Use [`try_run`]
+    /// (ThreadedExecutor::try_run) to receive faults as values.
     pub fn run<R>(&self, program: impl FnOnce(&mut ThreadCtx) -> R) -> (R, RuntimeStats) {
-        let (r, stats, _) = self.run_inner(program, false);
-        (r, stats)
+        match self.try_run_inner(program, false) {
+            Ok((r, stats, _)) => (r, stats),
+            Err(fault) => panic!("{fault}"),
+        }
+    }
+
+    /// Execute a Jade program, returning any fault as a value instead
+    /// of panicking. On `Err`, every worker has drained and all pending
+    /// tasks were cancelled — the pool is immediately reusable (each
+    /// run spawns a fresh pool) and no stray task threads survive.
+    ///
+    /// The root body's own panic is still re-raised (it is the caller's
+    /// panic, not a child fault).
+    pub fn try_run<R>(
+        &self,
+        program: impl FnOnce(&mut ThreadCtx) -> R,
+    ) -> Result<(R, RuntimeStats), JadeFault> {
+        self.try_run_inner(program, false).map(|(r, stats, _)| (r, stats))
     }
 
     /// Execute with dynamic task-graph capture.
@@ -199,15 +280,17 @@ impl ThreadedExecutor {
         &self,
         program: impl FnOnce(&mut ThreadCtx) -> R,
     ) -> (R, RuntimeStats, TaskGraphTrace) {
-        let (r, stats, tr) = self.run_inner(program, true);
-        (r, stats, tr.expect("trace enabled"))
+        match self.try_run_inner(program, true) {
+            Ok((r, stats, tr)) => (r, stats, tr.expect("trace enabled")),
+            Err(fault) => panic!("{fault}"),
+        }
     }
 
-    fn run_inner<R>(
+    fn try_run_inner<R>(
         &self,
         program: impl FnOnce(&mut ThreadCtx) -> R,
         trace: bool,
-    ) -> (R, RuntimeStats, Option<TaskGraphTrace>) {
+    ) -> Result<(R, RuntimeStats, Option<TaskGraphTrace>), JadeFault> {
         let mut graph = DepGraph::new();
         if trace {
             graph.enable_trace();
@@ -224,7 +307,7 @@ impl ThreadedExecutor {
                 live_workers: self.workers,
                 idle_workers: 0,
                 blocked_tasks: 0,
-                poison: None,
+                fault: None,
             }),
             cv: Condvar::new(),
             throttle: self.throttle,
@@ -234,39 +317,53 @@ impl ThreadedExecutor {
             std::thread::spawn(move || worker_loop(i));
         }
 
-        // If the root body panics, poison the pool so workers exit
-        // rather than waiting forever.
-        struct Bomb(Arc<Inner>, bool);
-        impl Drop for Bomb {
-            fn drop(&mut self) {
-                if !self.1 {
-                    let mut st = self.0.state.lock();
-                    st.poison = Some("root task panicked".to_string());
-                    st.root_done = true;
-                    self.0.cv.notify_all();
-                }
-            }
-        }
-        let mut bomb = Bomb(Arc::clone(&inner), false);
-
         let mut ctx =
             ThreadCtx { inner: Arc::clone(&inner), task: TaskId::ROOT, holds: HoldSet::new() };
-        let result = program(&mut ctx);
-        bomb.1 = true;
+        let outcome = catch_unwind(AssertUnwindSafe(|| program(&mut ctx)));
 
         let mut st = inner.state.lock();
         st.root_done = true;
         inner.cv.notify_all();
-        while st.unfinished > 0 && st.poison.is_none() {
-            inner.cv.wait(&mut st);
+        match outcome {
+            Ok(result) => {
+                while st.unfinished > 0 && st.fault.is_none() {
+                    inner.cv.wait(&mut st);
+                }
+                if st.fault.is_some() {
+                    let fault = Self::drain(&inner, &mut st);
+                    return Err(fault);
+                }
+                let stats = st.graph.stats;
+                let tr = st.graph.take_trace();
+                Ok((result, stats, tr))
+            }
+            Err(payload) => {
+                // The root unwound: either its own panic, or a
+                // CancelToken raised because a child faulted while the
+                // root was blocked.
+                st.record_panic(TaskId::ROOT, payload.as_ref());
+                let fault = Self::drain(&inner, &mut st);
+                if let JadeFault::TaskPanicked { task: TaskId::ROOT, .. } = &fault {
+                    // The root's own panic is the caller's panic, not a
+                    // child fault: re-raise the original payload so
+                    // `catch_unwind` callers see it unchanged.
+                    drop(st);
+                    resume_unwind(payload);
+                }
+                Err(fault)
+            }
         }
-        if let Some(p) = st.poison.take() {
-            drop(st);
-            panic!("{p}");
+    }
+
+    /// Cancel all pending work and wait for every worker to exit.
+    /// Returns the recorded fault (there must be one).
+    fn drain(inner: &Arc<Inner>, st: &mut MutexGuard<'_, State>) -> JadeFault {
+        st.cancel_pending();
+        inner.cv.notify_all();
+        while st.live_workers > 0 {
+            inner.cv.wait(st);
         }
-        let stats = st.graph.stats;
-        let tr = st.graph.take_trace();
-        (result, stats, tr)
+        st.fault.clone().expect("drain is only reached after a fault was recorded")
     }
 }
 
@@ -303,10 +400,11 @@ impl JadeCtx for ThreadCtx {
         }
 
         let mut st = self.inner.state.lock();
-        if let Some(p) = &st.poison {
-            let p = p.clone();
+        if st.fault.is_some() {
+            // A sibling already faulted; unwind this creator as part of
+            // the structured shutdown rather than adding new work.
             drop(st);
-            panic!("{p}");
+            std::panic::panic_any(CancelToken);
         }
 
         let mut inline = false;
@@ -340,13 +438,37 @@ impl JadeCtx for ThreadCtx {
             drop(st);
             let mut cctx =
                 ThreadCtx { inner: Arc::clone(&self.inner), task: tid, holds: HoldSet::new() };
-            body(&mut cctx);
-            debug_assert!(!cctx.holds.any_held(), "inlined task leaked an access guard");
+            let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut cctx)));
+            let leaked = cctx.holds.any_held();
             let mut st = self.inner.state.lock();
-            let wakes = st.graph.finish_task(tid);
             st.unfinished -= 1;
-            Inner::apply_wakes(&mut st, wakes);
-            self.inner.cv.notify_all();
+            match outcome {
+                Ok(()) if !leaked => {
+                    let wakes = st.graph.finish_task(tid);
+                    Inner::apply_wakes(&mut st, wakes);
+                    self.inner.cv.notify_all();
+                }
+                Ok(()) => {
+                    st.record_fault(JadeFault::SpecViolation {
+                        task: tid,
+                        error: JadeError::GuardLeaked { task: tid },
+                    });
+                    st.cancel_pending();
+                    self.inner.cv.notify_all();
+                    drop(st);
+                    std::panic::panic_any(CancelToken);
+                }
+                Err(payload) => {
+                    st.record_panic(tid, payload.as_ref());
+                    st.cancel_pending();
+                    self.inner.cv.notify_all();
+                    drop(st);
+                    // Re-raise so the creating task unwinds too; the
+                    // fault is already recorded, so the creator's catch
+                    // site treats this like a cancellation.
+                    resume_unwind(payload);
+                }
+            }
         } else {
             st.bodies.insert(tid, Box::new(body));
             Inner::apply_wakes(&mut st, wakes);
@@ -644,6 +766,119 @@ mod tests {
             // Force the root to wait for the task result.
             let _ = *ctx.rd(&a);
         });
+    }
+
+    #[test]
+    fn try_run_returns_task_panic_as_value_and_pool_is_reusable() {
+        let exec = ThreadedExecutor::new(4);
+        let err = exec
+            .try_run(|ctx| {
+                let a = ctx.create(0.0f64);
+                ctx.withonly("boom", |s| { s.rd_wr(a); }, move |_| {
+                    panic!("task exploded: 42");
+                });
+                let _ = *ctx.rd(&a);
+            })
+            .expect_err("faulted run must return Err");
+        match &err {
+            JadeFault::TaskPanicked { message, .. } => {
+                assert_eq!(message, "task exploded: 42")
+            }
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
+        // The same executor value runs cleanly afterwards.
+        let (v, _) = exec.try_run(|ctx| {
+            let a = ctx.create(1.0f64);
+            ctx.withonly("inc", |s| { s.rd_wr(a); }, move |c| {
+                *c.wr(&a) += 1.0;
+            });
+            *ctx.rd(&a)
+        }).expect("clean run succeeds");
+        assert_eq!(v, 2.0);
+    }
+
+    #[test]
+    fn panic_with_blocked_siblings_completes_without_hang() {
+        // One writer panics while several siblings (and the root) are
+        // blocked waiting on its result. Structured shutdown must wake
+        // and cancel them all; the run returns instead of hanging.
+        let exec = ThreadedExecutor::new(4);
+        let err = exec
+            .try_run(|ctx| {
+                let x = ctx.create(0.0f64);
+                ctx.withonly("bad-writer", |s| { s.rd_wr(x); }, move |_| {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    panic!("writer died");
+                });
+                for _ in 0..6 {
+                    ctx.withonly("reader", |s| { s.rd(x); }, move |c| {
+                        let _ = *c.rd(&x);
+                    });
+                }
+                let _ = *ctx.rd(&x);
+            })
+            .expect_err("writer panic must surface");
+        assert!(matches!(err, JadeFault::TaskPanicked { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn spec_violation_is_typed_not_stringly() {
+        let exec = ThreadedExecutor::new(2);
+        let err = exec
+            .try_run(|ctx| {
+                let a = ctx.create(0.0f64);
+                let b = ctx.create(0.0f64);
+                ctx.withonly("bad", |s| { s.rd(a); }, move |c| {
+                    let _ = *c.rd(&b);
+                });
+                let _ = *ctx.rd(&a);
+            })
+            .expect_err("undeclared access must fault");
+        match &err {
+            JadeFault::SpecViolation { error: JadeError::UndeclaredAccess { .. }, .. } => {}
+            other => panic!("expected typed UndeclaredAccess violation, got {other:?}"),
+        }
+        // Source chain reaches the JadeError.
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn leaked_guard_surfaces_as_typed_fault() {
+        let exec = ThreadedExecutor::new(2);
+        let err = exec
+            .try_run(|ctx| {
+                let a = ctx.create(0.0f64);
+                ctx.withonly("leaky", |s| { s.rd(a); }, move |c| {
+                    let g = c.rd(&a);
+                    std::mem::forget(g);
+                });
+                let _ = *ctx.rd(&a);
+            })
+            .expect_err("leaked guard must fault");
+        assert!(
+            matches!(
+                &err,
+                JadeFault::SpecViolation { error: JadeError::GuardLeaked { .. }, .. }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn root_panic_is_reraised_not_wrapped() {
+        let exec = ThreadedExecutor::new(2);
+        let payload = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            exec.try_run(|ctx| {
+                let a = ctx.create(0.0f64);
+                ctx.withonly("ok", |s| { s.rd_wr(a); }, move |c| {
+                    *c.wr(&a) += 1.0;
+                });
+                panic!("root gave up");
+            })
+        }))
+        .expect_err("root panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "root gave up");
     }
 
     #[test]

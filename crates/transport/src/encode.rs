@@ -12,6 +12,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::error::{DecodeError, DecodeResult};
 use crate::layout::{ByteOrder, DataLayout};
 
 /// Writes scalars into a buffer using a specific machine layout.
@@ -180,6 +181,11 @@ impl PortEncoder {
 
 /// Reads scalars from a buffer produced by a [`PortEncoder`] with the
 /// same layout description.
+///
+/// Every getter returns a [`DecodeError`] instead of panicking when
+/// the buffer runs out: wire bytes come from another machine over a
+/// possibly lossy network, so a truncated or corrupted payload must
+/// surface as a recoverable error, never a crash.
 #[derive(Debug)]
 pub struct PortDecoder<'a> {
     buf: &'a [u8],
@@ -199,10 +205,11 @@ impl<'a> PortDecoder<'a> {
         self.layout
     }
 
-    /// Bytes remaining to be decoded.
+    /// Bytes remaining to be decoded. Alignment skips can leave `pos`
+    /// past the end of a truncated buffer, hence the saturation.
     #[inline]
     pub fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
+        self.buf.len().saturating_sub(self.pos)
     }
 
     #[inline]
@@ -217,118 +224,118 @@ impl<'a> PortDecoder<'a> {
     }
 
     #[inline]
-    fn take(&mut self, n: usize) -> &'a [u8] {
+    fn take(&mut self, n: usize) -> DecodeResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated { needed: n, remaining: self.remaining() });
+        }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
-        s
+        Ok(s)
     }
 
     /// Read one byte.
     #[inline]
-    pub fn get_u8(&mut self) -> u8 {
-        self.take(1)[0]
+    pub fn get_u8(&mut self) -> DecodeResult<u8> {
+        Ok(self.take(1)?[0])
     }
 
     /// Read a boolean (one byte; any nonzero value is `true`).
     #[inline]
-    pub fn get_bool(&mut self) -> bool {
-        self.get_u8() != 0
+    pub fn get_bool(&mut self) -> DecodeResult<bool> {
+        Ok(self.get_u8()? != 0)
     }
 
     /// Read a 16-bit unsigned integer.
     #[inline]
-    pub fn get_u16(&mut self) -> u16 {
+    pub fn get_u16(&mut self) -> DecodeResult<u16> {
         self.align_to(2);
-        let mut s = self.take(2);
-        match self.layout.byte_order {
+        let mut s = self.take(2)?;
+        Ok(match self.layout.byte_order {
             ByteOrder::Little => s.get_u16_le(),
             ByteOrder::Big => s.get_u16(),
-        }
+        })
     }
 
     /// Read a 32-bit unsigned integer.
     #[inline]
-    pub fn get_u32(&mut self) -> u32 {
+    pub fn get_u32(&mut self) -> DecodeResult<u32> {
         self.align_to(4);
-        let mut s = self.take(4);
-        match self.layout.byte_order {
+        let mut s = self.take(4)?;
+        Ok(match self.layout.byte_order {
             ByteOrder::Little => s.get_u32_le(),
             ByteOrder::Big => s.get_u32(),
-        }
+        })
     }
 
     /// Read a 64-bit unsigned integer.
     #[inline]
-    pub fn get_u64(&mut self) -> u64 {
+    pub fn get_u64(&mut self) -> DecodeResult<u64> {
         self.align_to(8);
-        let mut s = self.take(8);
-        match self.layout.byte_order {
+        let mut s = self.take(8)?;
+        Ok(match self.layout.byte_order {
             ByteOrder::Little => s.get_u64_le(),
             ByteOrder::Big => s.get_u64(),
-        }
+        })
     }
 
     /// Read a 32-bit signed integer.
     #[inline]
-    pub fn get_i32(&mut self) -> i32 {
-        self.get_u32() as i32
+    pub fn get_i32(&mut self) -> DecodeResult<i32> {
+        Ok(self.get_u32()? as i32)
     }
 
     /// Read a 64-bit signed integer.
     #[inline]
-    pub fn get_i64(&mut self) -> i64 {
-        self.get_u64() as i64
+    pub fn get_i64(&mut self) -> DecodeResult<i64> {
+        Ok(self.get_u64()? as i64)
     }
 
     /// Read a `usize` (encoded as 64 bits).
     #[inline]
-    pub fn get_usize(&mut self) -> usize {
-        self.get_u64() as usize
+    pub fn get_usize(&mut self) -> DecodeResult<usize> {
+        Ok(self.get_u64()? as usize)
     }
 
     /// Read an IEEE-754 single.
     #[inline]
-    pub fn get_f32(&mut self) -> f32 {
-        f32::from_bits(self.get_u32())
+    pub fn get_f32(&mut self) -> DecodeResult<f32> {
+        Ok(f32::from_bits(self.get_u32()?))
     }
 
     /// Read an IEEE-754 double.
     #[inline]
-    pub fn get_f64(&mut self) -> f64 {
-        f64::from_bits(self.get_u64())
+    pub fn get_f64(&mut self) -> DecodeResult<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
     }
 
     /// Read a length-prefixed byte slice.
-    pub fn get_bytes(&mut self) -> Vec<u8> {
-        let n = self.get_usize();
-        self.take(n).to_vec()
+    pub fn get_bytes(&mut self) -> DecodeResult<Vec<u8>> {
+        let n = self.get_usize()?;
+        Ok(self.take(n)?.to_vec())
     }
 
     /// Read a length-prefixed UTF-8 string.
-    pub fn get_str(&mut self) -> String {
-        String::from_utf8(self.get_bytes()).expect("portable string was not valid UTF-8")
+    pub fn get_str(&mut self) -> DecodeResult<String> {
+        String::from_utf8(self.get_bytes()?).map_err(|_| DecodeError::InvalidUtf8)
     }
 
     /// Bulk-read a slice of doubles written by
     /// [`PortEncoder::put_f64_slice`].
-    pub fn get_f64_slice(&mut self) -> Vec<f64> {
-        let n = self.get_usize();
+    pub fn get_f64_slice(&mut self) -> DecodeResult<Vec<f64>> {
+        let n = self.get_usize()?;
+        let total = n.checked_mul(8).ok_or(DecodeError::LengthOverflow { len: n })?;
         self.align_to(8);
-        let raw = self.take(n * 8);
+        let raw = self.take(total)?;
         let mut out = Vec::with_capacity(n);
-        match self.layout.byte_order {
-            ByteOrder::Little => {
-                for c in raw.chunks_exact(8) {
-                    out.push(f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())));
-                }
-            }
-            ByteOrder::Big => {
-                for c in raw.chunks_exact(8) {
-                    out.push(f64::from_bits(u64::from_be_bytes(c.try_into().unwrap())));
-                }
-            }
+        for c in raw.chunks_exact(8) {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(c);
+            out.push(f64::from_bits(match self.layout.byte_order {
+                ByteOrder::Little => u64::from_le_bytes(word),
+                ByteOrder::Big => u64::from_be_bytes(word),
+            }));
         }
-        out
+        Ok(out)
     }
 }
 
@@ -356,16 +363,16 @@ mod tests {
             e.put_usize(usize::MAX / 2);
             let b = e.finish();
             let mut d = PortDecoder::new(&b, l);
-            assert_eq!(d.get_u8(), 0xAB);
-            assert_eq!(d.get_u16(), 0xBEEF);
-            assert_eq!(d.get_u32(), 0xDEAD_BEEF);
-            assert_eq!(d.get_u64(), 0x0123_4567_89AB_CDEF);
-            assert_eq!(d.get_i32(), -42);
-            assert_eq!(d.get_i64(), i64::MIN);
-            assert_eq!(d.get_f32(), 3.5);
-            assert_eq!(d.get_f64(), -1.0 / 3.0);
-            assert!(d.get_bool());
-            assert_eq!(d.get_usize(), usize::MAX / 2);
+            assert_eq!(d.get_u8().unwrap(), 0xAB);
+            assert_eq!(d.get_u16().unwrap(), 0xBEEF);
+            assert_eq!(d.get_u32().unwrap(), 0xDEAD_BEEF);
+            assert_eq!(d.get_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+            assert_eq!(d.get_i32().unwrap(), -42);
+            assert_eq!(d.get_i64().unwrap(), i64::MIN);
+            assert_eq!(d.get_f32().unwrap(), 3.5);
+            assert_eq!(d.get_f64().unwrap(), -1.0 / 3.0);
+            assert!(d.get_bool().unwrap());
+            assert_eq!(d.get_usize().unwrap(), usize::MAX / 2);
             assert_eq!(d.remaining(), 0);
         }
     }
@@ -402,7 +409,7 @@ mod tests {
             e.put_f64_slice(&xs);
             let b = e.finish();
             let mut d = PortDecoder::new(&b, l);
-            assert_eq!(d.get_f64_slice(), xs);
+            assert_eq!(d.get_f64_slice().unwrap(), xs);
         }
     }
 
@@ -414,7 +421,7 @@ mod tests {
             e.put_f64(weird);
             let b = e.finish();
             let mut d = PortDecoder::new(&b, l);
-            assert_eq!(d.get_f64().to_bits(), weird.to_bits());
+            assert_eq!(d.get_f64().unwrap().to_bits(), weird.to_bits());
         }
     }
 
@@ -425,7 +432,41 @@ mod tests {
             e.put_str("liquid wåter simulation");
             let b = e.finish();
             let mut d = PortDecoder::new(&b, l);
-            assert_eq!(d.get_str(), "liquid wåter simulation");
+            assert_eq!(d.get_str().unwrap(), "liquid wåter simulation");
         }
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let mut e = PortEncoder::new(DataLayout::sparc());
+        e.put_u64(0xFEED_FACE_CAFE_BEEF);
+        let b = e.finish();
+        let mut d = PortDecoder::new(&b[..5], DataLayout::sparc());
+        assert_eq!(d.get_u64(), Err(DecodeError::Truncated { needed: 8, remaining: 5 }));
+        // An empty buffer fails every scalar read.
+        let mut d = PortDecoder::new(&[], DataLayout::x86_64());
+        assert!(d.get_u8().is_err());
+        assert!(d.get_f64().is_err());
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_an_error() {
+        let mut e = PortEncoder::new(DataLayout::x86_64());
+        e.put_usize(usize::MAX / 2); // absurd element count
+        let b = e.finish();
+        let mut d = PortDecoder::new(&b, DataLayout::x86_64());
+        assert!(matches!(
+            d.get_f64_slice(),
+            Err(DecodeError::LengthOverflow { .. }) | Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error() {
+        let mut e = PortEncoder::new(DataLayout::x86_64());
+        e.put_bytes(&[0xFF, 0xFE, 0x80]);
+        let b = e.finish();
+        let mut d = PortDecoder::new(&b, DataLayout::x86_64());
+        assert_eq!(d.get_str(), Err(DecodeError::InvalidUtf8));
     }
 }

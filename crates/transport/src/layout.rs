@@ -91,13 +91,18 @@ impl DataLayout {
         [Self::sparc(), Self::mips_le(), Self::mips_be(), Self::i860(), Self::x86_64()]
     }
 
+    /// Look a preset up by wire id, or `None` for ids no machine
+    /// family uses (a corrupted header). Decode paths turn this into
+    /// [`crate::DecodeError::UnknownLayout`].
+    pub fn try_from_id(id: LayoutId) -> Option<DataLayout> {
+        Self::all_presets().into_iter().find(|l| l.id == id)
+    }
+
     /// Look a preset up by wire id. Unknown ids fall back to
-    /// [`DataLayout::x86_64`].
+    /// [`DataLayout::x86_64`]; use [`DataLayout::try_from_id`] when a
+    /// corrupted id should be an error instead.
     pub fn from_id(id: LayoutId) -> DataLayout {
-        Self::all_presets()
-            .into_iter()
-            .find(|l| l.id == id)
-            .unwrap_or_else(Self::x86_64)
+        Self::try_from_id(id).unwrap_or(Self::x86_64())
     }
 
     /// Whether moving data between `self` and `other` requires any
@@ -137,5 +142,6 @@ mod tests {
     #[test]
     fn unknown_id_falls_back_to_native() {
         assert_eq!(DataLayout::from_id(LayoutId(200)), DataLayout::x86_64());
+        assert_eq!(DataLayout::try_from_id(LayoutId(200)), None);
     }
 }

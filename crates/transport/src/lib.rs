@@ -34,23 +34,30 @@
 //! layouts.
 
 pub mod encode;
+pub mod error;
 pub mod layout;
 pub mod message;
 pub mod portable;
 
 pub use encode::{PortDecoder, PortEncoder};
+pub use error::{DecodeError, DecodeResult};
 pub use layout::{Align, ByteOrder, DataLayout, LayoutId};
 pub use message::{Message, MsgHeader, MsgKind};
 pub use portable::Portable;
 
 /// Encode a value in the given layout and decode it back with the same
 /// layout. Useful for simulating a same-architecture copy and in tests.
+///
+/// # Panics
+///
+/// The bytes being decoded were just produced by `encode`, so a decode
+/// failure is a broken `Portable` implementation and panics.
 pub fn roundtrip_same<T: Portable>(value: &T, layout: DataLayout) -> T {
     let mut enc = PortEncoder::new(layout);
     value.encode(&mut enc);
     let bytes = enc.finish();
     let mut dec = PortDecoder::new(&bytes, layout);
-    T::decode(&mut dec)
+    T::decode(&mut dec).unwrap_or_else(|e| panic!("just-encoded value failed to decode: {e}"))
 }
 
 /// Encode a value in `src` layout and decode it under the *same* layout
@@ -58,13 +65,20 @@ pub fn roundtrip_same<T: Portable>(value: &T, layout: DataLayout) -> T {
 /// layout from the message header). This models a cross-architecture
 /// transfer: the wire bytes differ between layouts but the decoded
 /// value is identical.
+///
+/// # Panics
+///
+/// Like [`roundtrip_same`], panics if the `Portable` implementation
+/// cannot decode what it just encoded.
 pub fn convert<T: Portable>(value: &T, src: DataLayout) -> (usize, T) {
     let mut enc = PortEncoder::new(src);
     value.encode(&mut enc);
     let bytes = enc.finish();
     let wire = bytes.len();
     let mut dec = PortDecoder::new(&bytes, src);
-    (wire, T::decode(&mut dec))
+    let v = T::decode(&mut dec)
+        .unwrap_or_else(|e| panic!("just-encoded value failed to decode: {e}"));
+    (wire, v)
 }
 
 #[cfg(test)]
@@ -73,7 +87,7 @@ mod tests {
 
     #[test]
     fn cross_layout_roundtrip_preserves_value() {
-        let v: Vec<f64> = vec![1.5, -2.25, 3.14159, f64::MIN_POSITIVE];
+        let v: Vec<f64> = vec![1.5, -2.25, std::f64::consts::PI, f64::MIN_POSITIVE];
         for src in DataLayout::all_presets() {
             let (_, back) = convert(&v, src);
             assert_eq!(v, back, "layout {:?}", src);

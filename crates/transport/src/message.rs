@@ -10,6 +10,7 @@
 use bytes::Bytes;
 
 use crate::encode::{PortDecoder, PortEncoder};
+use crate::error::{DecodeError, DecodeResult};
 use crate::layout::{DataLayout, LayoutId};
 use crate::portable::Portable;
 
@@ -106,11 +107,24 @@ impl Message {
     }
 
     /// Unmarshal the payload on the receiving machine, converting from
-    /// the sender's data format. Returns the native value.
-    pub fn unpack<T: Portable>(&self) -> T {
-        let layout = DataLayout::from_id(self.header.layout);
+    /// the sender's data format. A truncated or corrupted payload (or
+    /// an unknown layout id) is a [`DecodeError`], not a panic — the
+    /// receiver drops the message and lets the sender's reliability
+    /// layer retransmit.
+    pub fn try_unpack<T: Portable>(&self) -> DecodeResult<T> {
+        let layout = DataLayout::try_from_id(self.header.layout)
+            .ok_or(DecodeError::UnknownLayout(self.header.layout))?;
         let mut dec = PortDecoder::new(&self.payload, layout);
         T::decode(&mut dec)
+    }
+
+    /// Unmarshal the payload, panicking on malformed bytes. Convenience
+    /// for callers that just packed the message themselves (tests,
+    /// benchmarks); transports receiving foreign bytes should use
+    /// [`Message::try_unpack`].
+    pub fn unpack<T: Portable>(&self) -> T {
+        self.try_unpack()
+            .unwrap_or_else(|e| panic!("malformed message payload: {e}"))
     }
 
     /// Total bytes this message occupies on the wire (header plus
@@ -131,15 +145,26 @@ impl Message {
         out
     }
 
-    /// Parse a header serialized by [`Message::header_bytes`].
-    pub fn parse_header(raw: &[u8; HEADER_WIRE_BYTES]) -> MsgHeader {
-        MsgHeader {
-            kind: MsgKind::from_u8(raw[0]),
-            src: u32::from_be_bytes(raw[1..5].try_into().unwrap()),
-            dst: u32::from_be_bytes(raw[5..9].try_into().unwrap()),
-            seq: u64::from_be_bytes(raw[9..17].try_into().unwrap()),
-            layout: LayoutId(raw[17]),
+    /// Parse a header serialized by [`Message::header_bytes`]. Accepts
+    /// any byte slice so a short read off the wire is an error rather
+    /// than a panic.
+    pub fn parse_header(raw: &[u8]) -> DecodeResult<MsgHeader> {
+        if raw.len() != HEADER_WIRE_BYTES {
+            return Err(DecodeError::BadHeader { got: raw.len(), want: HEADER_WIRE_BYTES });
         }
+        let mut src = [0u8; 4];
+        src.copy_from_slice(&raw[1..5]);
+        let mut dst = [0u8; 4];
+        dst.copy_from_slice(&raw[5..9]);
+        let mut seq = [0u8; 8];
+        seq.copy_from_slice(&raw[9..17]);
+        Ok(MsgHeader {
+            kind: MsgKind::from_u8(raw[0]),
+            src: u32::from_be_bytes(src),
+            dst: u32::from_be_bytes(dst),
+            seq: u64::from_be_bytes(seq),
+            layout: LayoutId(raw[17]),
+        })
     }
 }
 
@@ -161,8 +186,34 @@ mod tests {
     fn header_wire_roundtrip() {
         let msg = Message::pack(MsgKind::TaskShip, 3, 7, 99, DataLayout::i860(), &123u64);
         let raw = msg.header_bytes();
-        let parsed = Message::parse_header(&raw);
+        let parsed = Message::parse_header(&raw).unwrap();
         assert_eq!(parsed, msg.header);
+    }
+
+    #[test]
+    fn short_header_is_an_error() {
+        let msg = Message::pack(MsgKind::TaskShip, 3, 7, 99, DataLayout::i860(), &123u64);
+        let raw = msg.header_bytes();
+        let err = Message::parse_header(&raw[..raw.len() - 1]).unwrap_err();
+        assert!(matches!(err, crate::error::DecodeError::BadHeader { .. }));
+    }
+
+    #[test]
+    fn truncated_payload_unpacks_to_an_error() {
+        let column: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let mut msg = Message::pack(MsgKind::ObjectMove, 0, 1, 1, DataLayout::sparc(), &column);
+        msg.payload = Bytes::copy_from_slice(&msg.payload[..msg.payload.len() - 3]);
+        assert!(msg.try_unpack::<Vec<f64>>().is_err());
+    }
+
+    #[test]
+    fn unknown_layout_id_unpacks_to_an_error() {
+        let mut msg = Message::pack(MsgKind::ObjectCopy, 0, 1, 1, DataLayout::sparc(), &1u64);
+        msg.header.layout = LayoutId(250);
+        assert!(matches!(
+            msg.try_unpack::<u64>(),
+            Err(crate::error::DecodeError::UnknownLayout(LayoutId(250)))
+        ));
     }
 
     #[test]

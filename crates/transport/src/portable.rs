@@ -8,6 +8,7 @@
 //! knows the types of all shared objects" (§6.1).
 
 use crate::encode::{PortDecoder, PortEncoder};
+use crate::error::DecodeResult;
 
 /// A value that can be marshalled into any machine layout and
 /// unmarshalled back without loss.
@@ -19,7 +20,9 @@ pub trait Portable: Sized {
     /// Write `self` into the encoder using its layout.
     fn encode(&self, enc: &mut PortEncoder);
     /// Read a value back, consuming the same bytes `encode` produced.
-    fn decode(dec: &mut PortDecoder<'_>) -> Self;
+    /// Truncated or corrupted wire bytes surface as a
+    /// [`crate::DecodeError`], never a panic.
+    fn decode(dec: &mut PortDecoder<'_>) -> DecodeResult<Self>;
     /// Approximate encoded size in bytes (used by the simulator to
     /// reserve buffers and account message sizes cheaply).
     fn size_hint(&self) -> usize {
@@ -35,7 +38,7 @@ macro_rules! portable_scalar {
                 enc.$put(*self);
             }
             #[inline]
-            fn decode(dec: &mut PortDecoder<'_>) -> Self {
+            fn decode(dec: &mut PortDecoder<'_>) -> DecodeResult<Self> {
                 dec.$get()
             }
             #[inline]
@@ -61,7 +64,7 @@ impl Portable for String {
     fn encode(&self, enc: &mut PortEncoder) {
         enc.put_str(self);
     }
-    fn decode(dec: &mut PortDecoder<'_>) -> Self {
+    fn decode(dec: &mut PortDecoder<'_>) -> DecodeResult<Self> {
         dec.get_str()
     }
     fn size_hint(&self) -> usize {
@@ -71,7 +74,9 @@ impl Portable for String {
 
 impl Portable for () {
     fn encode(&self, _enc: &mut PortEncoder) {}
-    fn decode(_dec: &mut PortDecoder<'_>) -> Self {}
+    fn decode(_dec: &mut PortDecoder<'_>) -> DecodeResult<Self> {
+        Ok(())
+    }
     fn size_hint(&self) -> usize {
         0
     }
@@ -84,13 +89,15 @@ impl<T: Portable> Portable for Vec<T> {
             v.encode(enc);
         }
     }
-    fn decode(dec: &mut PortDecoder<'_>) -> Self {
-        let n = dec.get_usize();
-        let mut out = Vec::with_capacity(n);
+    fn decode(dec: &mut PortDecoder<'_>) -> DecodeResult<Self> {
+        let n = dec.get_usize()?;
+        // A corrupted count must not drive a huge allocation: cap the
+        // reservation by what the buffer could possibly still hold.
+        let mut out = Vec::with_capacity(n.min(dec.remaining()));
         for _ in 0..n {
-            out.push(T::decode(dec));
+            out.push(T::decode(dec)?);
         }
-        out
+        Ok(out)
     }
     fn size_hint(&self) -> usize {
         8 + self.iter().map(Portable::size_hint).sum::<usize>()
@@ -107,12 +114,12 @@ impl<T: Portable> Portable for Option<T> {
             }
         }
     }
-    fn decode(dec: &mut PortDecoder<'_>) -> Self {
-        if dec.get_bool() {
-            Some(T::decode(dec))
+    fn decode(dec: &mut PortDecoder<'_>) -> DecodeResult<Self> {
+        Ok(if dec.get_bool()? {
+            Some(T::decode(dec)?)
         } else {
             None
-        }
+        })
     }
     fn size_hint(&self) -> usize {
         1 + self.as_ref().map_or(0, Portable::size_hint)
@@ -125,14 +132,16 @@ impl<T: Portable, const N: usize> Portable for [T; N] {
             v.encode(enc);
         }
     }
-    fn decode(dec: &mut PortDecoder<'_>) -> Self {
-        // Build through a Vec to avoid requiring T: Default/Copy.
+    fn decode(dec: &mut PortDecoder<'_>) -> DecodeResult<Self> {
+        // Build through a Vec to avoid requiring T: Default/Copy; the
+        // conversion cannot fail because exactly N elements were pushed.
         let mut out = Vec::with_capacity(N);
         for _ in 0..N {
-            out.push(T::decode(dec));
+            out.push(T::decode(dec)?);
         }
-        out.try_into()
-            .unwrap_or_else(|_| unreachable!("array length is fixed"))
+        Ok(out
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("array length is fixed")))
     }
     fn size_hint(&self) -> usize {
         self.iter().map(Portable::size_hint).sum()
@@ -144,10 +153,10 @@ impl<A: Portable, B: Portable> Portable for (A, B) {
         self.0.encode(enc);
         self.1.encode(enc);
     }
-    fn decode(dec: &mut PortDecoder<'_>) -> Self {
-        let a = A::decode(dec);
-        let b = B::decode(dec);
-        (a, b)
+    fn decode(dec: &mut PortDecoder<'_>) -> DecodeResult<Self> {
+        let a = A::decode(dec)?;
+        let b = B::decode(dec)?;
+        Ok((a, b))
     }
     fn size_hint(&self) -> usize {
         self.0.size_hint() + self.1.size_hint()
@@ -160,11 +169,11 @@ impl<A: Portable, B: Portable, C: Portable> Portable for (A, B, C) {
         self.1.encode(enc);
         self.2.encode(enc);
     }
-    fn decode(dec: &mut PortDecoder<'_>) -> Self {
-        let a = A::decode(dec);
-        let b = B::decode(dec);
-        let c = C::decode(dec);
-        (a, b, c)
+    fn decode(dec: &mut PortDecoder<'_>) -> DecodeResult<Self> {
+        let a = A::decode(dec)?;
+        let b = B::decode(dec)?;
+        let c = C::decode(dec)?;
+        Ok((a, b, c))
     }
     fn size_hint(&self) -> usize {
         self.0.size_hint() + self.1.size_hint() + self.2.size_hint()

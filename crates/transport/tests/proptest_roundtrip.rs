@@ -1,6 +1,8 @@
 //! Property tests of the heterogeneity substrate: every portable value
 //! survives marshalling under every machine layout — the invariant the
-//! Jade runtime's determinism rests on.
+//! Jade runtime's determinism rests on — and every *truncated* or
+//! corrupted buffer decodes to an error, never a panic: the invariant
+//! the fault-tolerant transport rests on.
 
 use proptest::prelude::*;
 
@@ -11,7 +13,25 @@ fn roundtrip<T: Portable + PartialEq + std::fmt::Debug>(v: &T, layout: DataLayou
     v.encode(&mut e);
     let b = e.finish();
     let mut d = PortDecoder::new(&b, layout);
-    T::decode(&mut d)
+    T::decode(&mut d).expect("full buffer must decode")
+}
+
+/// Encode `v`, truncate the wire bytes to every strict prefix length,
+/// and decode each prefix: all must return `Err` (the value does not
+/// fit in fewer bytes than its encoding) and none may panic.
+fn assert_truncation_errors<T: Portable + std::fmt::Debug>(v: &T, layout: DataLayout) {
+    let mut e = PortEncoder::new(layout);
+    v.encode(&mut e);
+    let b = e.finish();
+    for cut in 0..b.len() {
+        let mut d = PortDecoder::new(&b[..cut], layout);
+        assert!(
+            T::decode(&mut d).is_err(),
+            "decode of {cut}/{} bytes unexpectedly succeeded under {}",
+            b.len(),
+            layout.name
+        );
+    }
 }
 
 proptest! {
@@ -61,7 +81,7 @@ proptest! {
         // reads the header's layout id): the value must be exact.
         for src in DataLayout::all_presets() {
             let msg = Message::pack(MsgKind::ObjectCopy, 0, 1, seq, src, &payload);
-            let got: Vec<f64> = msg.unpack();
+            let got: Vec<f64> = msg.try_unpack().expect("intact payload must unpack");
             prop_assert_eq!(got.len(), payload.len());
             for (g, w) in got.iter().zip(&payload) {
                 prop_assert_eq!(g.to_bits(), w.to_bits());
@@ -80,8 +100,69 @@ proptest! {
             let msg = Message::pack(MsgKind::TaskShip, src, dst, 1, layout, &payload);
             // Length-prefixed bytes: 8-byte count (+ padding ≤ 8) + data.
             prop_assert!(msg.payload.len() <= payload.len() + 16);
-            let parsed = Message::parse_header(&msg.header_bytes());
+            let parsed = Message::parse_header(&msg.header_bytes()).expect("intact header");
             prop_assert_eq!(parsed, msg.header);
+        }
+    }
+
+    #[test]
+    fn truncated_scalars_error_never_panic(
+        a in any::<u64>(),
+        b in any::<f64>(),
+        c in any::<u16>(),
+    ) {
+        for layout in DataLayout::all_presets() {
+            assert_truncation_errors(&a, layout);
+            assert_truncation_errors(&b, layout);
+            assert_truncation_errors(&c, layout);
+        }
+    }
+
+    #[test]
+    fn truncated_composites_error_never_panic(
+        v in proptest::collection::vec(any::<f64>(), 1..24),
+        s in "\\PC{1,24}",
+        pair in (any::<u8>(), any::<f64>()),
+    ) {
+        // Nonempty values only: a zero-length Vec/String legitimately
+        // decodes from its 8-byte count alone, so "every strict prefix
+        // errors" holds exactly for encodings with nonempty payloads.
+        for layout in DataLayout::all_presets() {
+            assert_truncation_errors(&v, layout);
+            assert_truncation_errors(&s, layout);
+            assert_truncation_errors(&pair, layout);
+        }
+    }
+
+    #[test]
+    fn truncated_messages_error_never_panic(
+        payload in proptest::collection::vec(any::<f64>(), 1..32),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        use bytes::Bytes;
+        for src in DataLayout::all_presets() {
+            let mut msg = Message::pack(MsgKind::ObjectMove, 0, 1, 9, src, &payload);
+            let cut = (((msg.payload.len() as f64) * cut_frac) as usize).min(msg.payload.len() - 1);
+            msg.payload = Bytes::copy_from_slice(&msg.payload[..cut]);
+            prop_assert!(msg.try_unpack::<Vec<f64>>().is_err());
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic_the_decoder(
+        junk in proptest::collection::vec(any::<u8>(), 0..96),
+    ) {
+        // Arbitrary bytes fed to every decode path: any result is
+        // acceptable except a panic.
+        for layout in DataLayout::all_presets() {
+            let mut d = PortDecoder::new(&junk, layout);
+            let _ = Vec::<f64>::decode(&mut d);
+            let mut d = PortDecoder::new(&junk, layout);
+            let _ = String::decode(&mut d);
+            let mut d = PortDecoder::new(&junk, layout);
+            let _ = Vec::<(u32, bool, f64)>::decode(&mut d);
+            let mut d = PortDecoder::new(&junk, layout);
+            let _ = d.get_f64_slice();
         }
     }
 }

@@ -3,9 +3,11 @@
 //! Jade's "the implementation generates an error" (§5), not a hang or
 //! a corrupted result.
 
+use jade_apps::{cholesky, lws, pmake};
 use jade_core::prelude::*;
-use jade_sim::{Platform, SimExecutor};
+use jade_sim::{FaultPlan, Platform, SimExecutor, SimSpan};
 use jade_threads::ThreadedExecutor;
+use proptest::prelude::*;
 
 fn catch(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
     let hook = std::panic::take_hook();
@@ -151,4 +153,78 @@ fn executors_remain_usable_after_a_failed_run() {
         *ctx.rd(&a)
     });
     assert_eq!(v, 42.0);
+}
+
+// ---------------------------------------------------------------------------
+// Property: machine faults never change application results. For any
+// seeded fault plan with message loss below 1.0 and fewer transient
+// crashes than machines, the real applications — sparse Cholesky,
+// liquid-water simulation, parallel make — stay bit-identical to the
+// serial elision: Jade's access specifications fence every effect and
+// effects commit only at task completion, so a lossy network and
+// crashing machines can change timing but never values.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn faulted_apps_match_the_serial_oracle(
+        seed in any::<u64>(),
+        drop_milli in 0u32..400,
+        crashes in 0usize..3,
+        extra_machines in 0usize..2,
+    ) {
+        let machines = 3 + extra_machines; // 3..=4: always > crashes
+        let mut plan = FaultPlan::new(seed)
+            .drop_prob(f64::from(drop_milli) / 1000.0);
+        for m in 0..crashes.min(machines - 1) {
+            // Crash distinct non-zero machines once each, early in the
+            // run, leaving at least one machine alive throughout.
+            plan = plan.crash(m + 1, 1, SimSpan::from_millis(20));
+        }
+
+        // Sparse Cholesky factorization.
+        let a = cholesky::SparseSym::random_spd(36, 3, seed ^ 0x5eed);
+        let (want_l, _) = {
+            let a = a.clone();
+            jade_core::serial::run(move |ctx| cholesky::factor_program(ctx, &a))
+        };
+        let (got_l, _) = {
+            let a = a.clone();
+            SimExecutor::new(Platform::mica(machines))
+                .faults(plan.clone())
+                .run(move |ctx| cholesky::factor_program(ctx, &a))
+        };
+        prop_assert_eq!(got_l, want_l, "cholesky diverged under faults");
+
+        // Liquid-water molecular dynamics (one timestep).
+        let sys = lws::WaterSystem::new(16, seed ^ 0xaa);
+        let blocks = 2 * machines;
+        let (want_w, _) = {
+            let sys = sys.clone();
+            jade_core::serial::run(move |ctx| lws::run_jade(ctx, &sys, blocks, 1, 0.002))
+        };
+        let (got_w, _) = {
+            let sys = sys.clone();
+            SimExecutor::new(Platform::mica(machines))
+                .faults(plan.clone())
+                .run(move |ctx| lws::run_jade(ctx, &sys, blocks, 1, 0.002))
+        };
+        prop_assert_eq!(got_w, want_w, "lws diverged under faults");
+
+        // Parallel make over a random dependency DAG.
+        let mk = pmake::Makefile::random_dag(10, seed ^ 0x17);
+        let (want_m, _) = {
+            let mk = mk.clone();
+            jade_core::serial::run(move |ctx| pmake::make_jade(ctx, &mk))
+        };
+        let (got_m, _) = {
+            let mk = mk.clone();
+            SimExecutor::new(Platform::mica(machines))
+                .faults(plan)
+                .run(move |ctx| pmake::make_jade(ctx, &mk))
+        };
+        prop_assert_eq!(got_m, want_m, "pmake diverged under faults");
+    }
 }

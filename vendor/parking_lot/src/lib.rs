@@ -1,0 +1,356 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Provides the non-poisoning `Mutex`/`Condvar` API and an `RwLock`
+//! with the `arc_lock` extensions (`read_arc`/`write_arc` returning
+//! owned guards) that `jade-core` uses to hand access guards to task
+//! bodies. Built on `std::sync` primitives; lock poisoning is absorbed
+//! (parking_lot has no poisoning), which the executor's panic-recovery
+//! paths rely on.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A mutual-exclusion lock without poisoning.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    // Option so Condvar::wait can temporarily take the std guard.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Consume the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, absorbing poison from panicked holders.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let g = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        MutexGuard { inner: Some(g) }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().unwrap()
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().unwrap()
+    }
+}
+
+/// Condition variable paired with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a condition variable.
+    pub const fn new() -> Self {
+        Condvar { inner: std::sync::Condvar::new() }
+    }
+
+    /// Block until notified, releasing the guard's lock while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard already taken");
+        let g = match self.inner.wait(g) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.inner = Some(g);
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// Marker type standing in for parking_lot's raw lock type parameter
+/// in `ArcRwLock*Guard<RawRwLock, T>` signatures.
+#[derive(Debug)]
+pub enum RawRwLock {}
+
+#[derive(Debug, Default)]
+struct RwState {
+    readers: usize,
+    writer: bool,
+}
+
+/// A readers-writer lock supporting owned (`Arc`-based) guards.
+///
+/// Hand-rolled over `Mutex`+`Condvar` rather than `std::sync::RwLock`
+/// because the owned-guard API (`read_arc`/`write_arc`) needs guards
+/// that are not borrow-tied to the lock, which std cannot express.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    state: std::sync::Mutex<RwState>,
+    cond: std::sync::Condvar,
+    data: UnsafeCell<T>,
+}
+
+// Safety: access to `data` is mediated by the reader/writer protocol
+// below; the lock hands out either many shared refs or one exclusive
+// ref, never both.
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// Create an unlocked lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            state: std::sync::Mutex::new(RwState { readers: 0, writer: false }),
+            cond: std::sync::Condvar::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn lock_shared(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        while st.writer {
+            st = self.cond.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+        st.readers += 1;
+    }
+
+    fn lock_exclusive(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        while st.writer || st.readers > 0 {
+            st = self.cond.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+        st.writer = true;
+    }
+
+    fn unlock_shared(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.readers -= 1;
+        if st.readers == 0 {
+            self.cond.notify_all();
+        }
+    }
+
+    fn unlock_exclusive(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.writer = false;
+        self.cond.notify_all();
+    }
+
+    /// Acquire shared access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.lock_shared();
+        RwLockReadGuard { lock: self }
+    }
+
+    /// Acquire exclusive access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.lock_exclusive();
+        RwLockWriteGuard { lock: self }
+    }
+
+    /// Acquire shared access with an owned guard keeping the `Arc`
+    /// alive (parking_lot's `arc_lock` feature).
+    pub fn read_arc(this: &Arc<Self>) -> ArcRwLockReadGuard<RawRwLock, T> {
+        this.lock_shared();
+        ArcRwLockReadGuard { lock: Arc::clone(this), _raw: PhantomData }
+    }
+
+    /// Acquire exclusive access with an owned guard keeping the `Arc`
+    /// alive (parking_lot's `arc_lock` feature).
+    pub fn write_arc(this: &Arc<Self>) -> ArcRwLockWriteGuard<RawRwLock, T> {
+        this.lock_exclusive();
+        ArcRwLockWriteGuard { lock: Arc::clone(this), _raw: PhantomData }
+    }
+}
+
+/// Borrowed shared guard.
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.unlock_shared();
+    }
+}
+
+/// Borrowed exclusive guard.
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.unlock_exclusive();
+    }
+}
+
+/// Owned shared guard (keeps the lock's `Arc` alive).
+pub struct ArcRwLockReadGuard<R, T: ?Sized> {
+    lock: Arc<RwLock<T>>,
+    _raw: PhantomData<R>,
+}
+
+impl<R, T: ?Sized> Deref for ArcRwLockReadGuard<R, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<R, T: ?Sized> Drop for ArcRwLockReadGuard<R, T> {
+    fn drop(&mut self) {
+        self.lock.unlock_shared();
+    }
+}
+
+/// Owned exclusive guard (keeps the lock's `Arc` alive).
+pub struct ArcRwLockWriteGuard<R, T: ?Sized> {
+    lock: Arc<RwLock<T>>,
+    _raw: PhantomData<R>,
+}
+
+impl<R, T: ?Sized> Deref for ArcRwLockWriteGuard<R, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<R, T: ?Sized> DerefMut for ArcRwLockWriteGuard<R, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<R, T: ?Sized> Drop for ArcRwLockWriteGuard<R, T> {
+    fn drop(&mut self) {
+        self.lock.unlock_exclusive();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn mutex_and_condvar_roundtrip() {
+        let m = Arc::new(Mutex::new(0u32));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let h = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            *g = 7;
+            cv2.notify_all();
+        });
+        let mut g = m.lock();
+        while *g != 7 {
+            cv.wait(&mut g);
+        }
+        drop(g);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn rwlock_excludes_writers() {
+        let l = Arc::new(RwLock::new(0u64));
+        let hits = Arc::new(AtomicUsize::new(0));
+        let mut hs = Vec::new();
+        for _ in 0..4 {
+            let l = Arc::clone(&l);
+            let hits = Arc::clone(&hits);
+            hs.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    *l.write() += 1;
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 400);
+    }
+
+    #[test]
+    fn arc_guards_outlive_borrow() {
+        let l = Arc::new(RwLock::new(5i32));
+        let g = RwLock::read_arc(&l);
+        let g2 = RwLock::read_arc(&l);
+        assert_eq!(*g + *g2, 10);
+        drop((g, g2));
+        let mut w = RwLock::write_arc(&l);
+        *w = 6;
+        drop(w);
+        assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn mutex_absorbs_poison() {
+        let m = Arc::new(Mutex::new(1u8));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 1);
+    }
+}
