@@ -80,9 +80,14 @@ pub fn make_jade<C: JadeCtx>(ctx: &mut C, mk: &Makefile) -> MakeOutcome {
     }
 
     // Collect the final file system (implicitly waits for commands).
+    // Sorted so the root task's reads — and hence the object fetches
+    // they trigger on message-passing platforms — happen in a fixed
+    // order, keeping simulated *timing* deterministic, not just values.
     let mut files = HashMap::new();
-    for (name, h) in &handles {
-        files.insert(name.clone(), *ctx.rd(h));
+    let mut names: Vec<&String> = handles.keys().collect();
+    names.sort();
+    for name in names {
+        files.insert(name.clone(), *ctx.rd(&handles[name]));
     }
     MakeOutcome { files, rebuilt }
 }

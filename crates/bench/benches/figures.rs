@@ -12,7 +12,7 @@ use jade_apps::lws::{self, WaterSystem};
 use jade_apps::video;
 use jade_bench::lws_sim;
 use jade_sim::{Platform, SimExecutor};
-use jade_threads::ThreadedExecutor;
+use jade_threads::{RunConfig, Runtime, ThreadedExecutor};
 
 fn fig9_small(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig9-small");
@@ -44,7 +44,11 @@ fn cholesky_threaded(c: &mut Criterion) {
             let exec = ThreadedExecutor::new(workers);
             b.iter(|| {
                 let a = a.clone();
-                black_box(exec.run(move |ctx| cholesky::factor_program(ctx, &a)).0)
+                black_box(
+                    exec.execute(RunConfig::new(), move |ctx| cholesky::factor_program(ctx, &a))
+                        .expect("clean run")
+                        .result,
+                )
             })
         });
     }
@@ -67,7 +71,11 @@ fn lws_threaded(c: &mut Criterion) {
             let exec = ThreadedExecutor::new(workers);
             b.iter(|| {
                 let s = sys.clone();
-                black_box(exec.run(move |ctx| lws::run_jade(ctx, &s, 8, 1, 0.002)).0)
+                black_box(
+                    exec.execute(RunConfig::new(), move |ctx| lws::run_jade(ctx, &s, 8, 1, 0.002))
+                        .expect("clean run")
+                        .result,
+                )
             })
         });
     }

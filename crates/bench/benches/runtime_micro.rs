@@ -12,7 +12,7 @@ use jade_core::graph::DepGraph;
 use jade_core::ids::{Placement, TaskId};
 use jade_core::prelude::*;
 use jade_core::spec::SpecBuilder;
-use jade_threads::ThreadedExecutor;
+use jade_threads::{RunConfig, Runtime, ThreadedExecutor};
 use jade_transport::{DataLayout, Message, MsgKind, PortDecoder, PortEncoder, Portable};
 
 fn engine_task_lifecycle(c: &mut Criterion) {
@@ -81,17 +81,19 @@ fn threaded_task_throughput(c: &mut Criterion) {
         g.bench_function(format!("{tasks} tasks, 4 workers"), |b| {
             let exec = ThreadedExecutor::new(4);
             b.iter(|| {
-                let (v, _) = exec.run(|ctx| {
-                    let xs: Vec<Shared<f64>> = (0..32).map(|i| ctx.create(i as f64)).collect();
-                    for i in 0..tasks {
-                        let x = xs[(i % 32) as usize];
-                        ctx.withonly("inc", |s| { s.rd_wr(x); }, move |c| {
-                            *c.wr(&x) += 1.0;
-                        });
-                    }
-                    xs.iter().map(|x| *ctx.rd(x)).sum::<f64>()
-                });
-                black_box(v);
+                let rep = exec
+                    .execute(RunConfig::new(), move |ctx| {
+                        let xs: Vec<Shared<f64>> = (0..32).map(|i| ctx.create(i as f64)).collect();
+                        for i in 0..tasks {
+                            let x = xs[(i % 32) as usize];
+                            ctx.withonly("inc", |s| { s.rd_wr(x); }, move |c| {
+                                *c.wr(&x) += 1.0;
+                            });
+                        }
+                        xs.iter().map(|x| *ctx.rd(x)).sum::<f64>()
+                    })
+                    .expect("clean run");
+                black_box(rep.result);
             })
         });
     }

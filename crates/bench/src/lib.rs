@@ -15,16 +15,21 @@
 //! | `exp_dsm_baseline` | §6.1 — page-DSM false-sharing baseline |
 //! | `exp_ablations`    | §5 — locality, latency hiding, throttling, §4.2 pipelining |
 
-use jade_apps::lws::{self, WaterSystem};
-use jade_sim::{Platform, SimExecutor, SimReport};
+#![cfg_attr(test, deny(deprecated))]
 
-/// Run one LWS configuration on a simulated platform and report it.
+use jade_apps::lws::{self, WaterSystem};
+use jade_sim::{Platform, RunConfig, Runtime, SimExecutor, SimReport};
+
+/// Run one LWS configuration on a simulated platform and report it
+/// (through the uniform [`Runtime::execute`] entry point; the
+/// simulator's report rides in the execution report's extras).
 pub fn lws_sim(platform: Platform, n: usize, steps: usize, seed: u64) -> SimReport {
     let sys = WaterSystem::new(n, seed);
     let blocks = (4 * platform.len()).max(4);
-    let (_, report) =
-        SimExecutor::new(platform).run(move |ctx| lws::run_jade(ctx, &sys, blocks, steps, 0.002));
-    report
+    let mut rep = SimExecutor::new(platform)
+        .execute(RunConfig::new(), move |ctx| lws::run_jade(ctx, &sys, blocks, steps, 0.002))
+        .unwrap_or_else(|fault| panic!("{fault}"));
+    *rep.extras.take().expect("sim extras").downcast::<SimReport>().expect("SimReport extras")
 }
 
 /// The machine counts used for the Figure 9/10 sweeps.

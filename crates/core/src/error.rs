@@ -93,6 +93,25 @@ pub enum JadeError {
     Internal(String),
 }
 
+impl JadeError {
+    /// The task the violation is attributed to, when the variant
+    /// records one. `NotCovered` and `ChildConflictsWithHeldGuard`
+    /// blame the parent performing the bad creation; `UnknownObject`
+    /// and `Internal` carry no task.
+    pub fn task_hint(&self) -> Option<TaskId> {
+        match self {
+            JadeError::UndeclaredAccess { task, .. }
+            | JadeError::DeferredAccess { task, .. }
+            | JadeError::RetiredAccess { task, .. }
+            | JadeError::UnknownDeclaration { task, .. }
+            | JadeError::GuardLeaked { task } => Some(*task),
+            JadeError::NotCovered { parent, .. }
+            | JadeError::ChildConflictsWithHeldGuard { parent, .. } => Some(*parent),
+            JadeError::UnknownObject(_) | JadeError::Internal(_) => None,
+        }
+    }
+}
+
 impl fmt::Display for JadeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -565,6 +565,7 @@ impl DepGraph {
         self.rec_mut(tid).state = TaskState::Finished;
         if !tid.is_root() {
             self.live -= 1;
+            self.stats.tasks_finished += 1;
             if let Some(p) = self.rec(tid).parent {
                 self.rec_mut(p).children_alive -= 1;
             }

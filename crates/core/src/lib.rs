@@ -54,15 +54,19 @@
 //! assert_eq!(stats.tasks_created, 2);
 //! ```
 
+#![cfg_attr(test, deny(deprecated))]
+
 pub mod ctx;
 pub mod error;
 #[macro_use]
 pub mod macros;
 pub mod graph;
 pub mod handle;
+pub mod observe;
 pub mod parts;
 pub mod ids;
 pub mod queue;
+pub mod runtime;
 pub mod serial;
 pub mod spec;
 pub mod stats;
@@ -75,7 +79,9 @@ pub mod prelude {
     pub use crate::error::{JadeError, JadeFault};
     pub use crate::handle::{Object, Shared};
     pub use crate::ids::{DeviceClass, MachineId, ObjectId, Placement, TaskId};
+    pub use crate::observe::{Event, EventCollector, EventKind, RuntimeObserver};
     pub use crate::parts::PartedVec;
+    pub use crate::runtime::{Report, RunConfig, Runtime, Throttle};
     pub use crate::spec::{AccessKind, ContBuilder, SpecBuilder};
     pub use crate::stats::RuntimeStats;
 }

@@ -1,0 +1,670 @@
+//! Runtime observability: typed lifecycle events and built-in
+//! observers.
+//!
+//! The paper's §5/§8 argue Jade is viable because the runtime performs
+//! synchronization, checking and object management "on the program's
+//! behalf". [`crate::stats::RuntimeStats`] counts that work in
+//! aggregate; this module shows *where* it goes. Executors emit typed
+//! [`Event`]s at every task-lifecycle transition (created → enabled →
+//! dispatched → started → finished), at every engine wait (access
+//! waits, `with-cont` blocks), at inline-throttling decisions, and —
+//! in the simulator — at every message send/receive. Observers are
+//! *pull-free*: an [`ObserverHub`] fans each event out to the built-in
+//! timeline/contention observers and to any user [`RuntimeObserver`]s.
+//!
+//! Emission is strictly zero-cost when no observer is installed: every
+//! executor gates event *construction* (not just delivery) on
+//! [`ObserverHub::is_active`], so an unobserved run performs exactly
+//! one branch per potential event.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::ids::{ObjectId, TaskId};
+use crate::spec::AccessKind;
+
+/// What happened. Worker indices identify the executing lane: thread-
+/// pool workers in `jade-threads` (0 is the root's thread), machine
+/// indices in `jade-sim`, always 0 in the serial elision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A `withonly` created a task.
+    TaskCreated {
+        /// The creating task.
+        parent: TaskId,
+        /// The label given at creation.
+        label: String,
+    },
+    /// All immediate declarations enabled; the task may start.
+    TaskEnabled,
+    /// A worker/machine took responsibility for the task.
+    TaskDispatched {
+        /// The executing lane.
+        worker: usize,
+    },
+    /// The task body began executing.
+    TaskStarted {
+        /// The executing lane.
+        worker: usize,
+    },
+    /// The task body completed and released its queue positions.
+    TaskFinished {
+        /// The executing lane.
+        worker: usize,
+    },
+    /// The throttle decided to execute the task inline in its creator
+    /// (§3.3 task inlining).
+    TaskInlined,
+    /// An access check returned `MustWait`; the task suspends.
+    AccessWaitBegin {
+        /// The contended object.
+        object: ObjectId,
+        /// The kind of access that had to wait.
+        kind: AccessKind,
+    },
+    /// The suspended access resumed (granted, or re-checking).
+    AccessWaitEnd {
+        /// The contended object.
+        object: ObjectId,
+        /// The kind of access that waited.
+        kind: AccessKind,
+    },
+    /// A `with-cont` conversion must wait for an earlier task.
+    ContBlock,
+    /// The blocked `with-cont` resumed.
+    ContUnblock,
+    /// The simulator sent a runtime message (attributed to the root
+    /// task; machine indices are in the payload).
+    MessageSend {
+        /// Sending machine.
+        from: usize,
+        /// Receiving machine.
+        to: usize,
+        /// Payload size on the wire.
+        bytes: u64,
+    },
+    /// The simulator delivered a runtime message.
+    MessageRecv {
+        /// Sending machine.
+        from: usize,
+        /// Receiving machine.
+        to: usize,
+        /// Payload size on the wire.
+        bytes: u64,
+    },
+}
+
+/// One observed event: a timestamp (wall-clock nanoseconds since the
+/// run started for real executors, simulated nanoseconds in jade-sim),
+/// the task it concerns, and what happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the start of the run (simulated time in sim).
+    pub nanos: u64,
+    /// The task the event concerns (`TaskId::ROOT` for runtime-level
+    /// events such as message traffic).
+    pub task: TaskId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// A hook receiving every runtime event, in emission order.
+///
+/// Events arrive serialized (executors emit under their scheduler
+/// lock, the simulator from its single-threaded event loop), so
+/// implementations need no internal synchronization for ordering.
+/// Observers are consumed by the run; to get data out, share state
+/// (e.g. an `Arc<Mutex<_>>`, as [`EventCollector`] does).
+pub trait RuntimeObserver: Send {
+    /// Called once per event, in order.
+    fn on_event(&mut self, ev: &Event);
+}
+
+/// Artifacts produced by the built-in observers at the end of a run.
+#[derive(Debug, Default)]
+pub struct ObserverArtifacts {
+    /// Per-worker timeline, if requested.
+    pub timeline: Option<Timeline>,
+    /// Per-object contention profile, if requested.
+    pub contention: Option<ContentionProfile>,
+}
+
+/// Fan-out point the executors emit into. Holds the built-in
+/// observers (timeline, contention) plus any user observers; when none
+/// are installed the hub is *inactive* and executors skip event
+/// construction entirely.
+#[derive(Default)]
+pub struct ObserverHub {
+    timeline: Option<TimelineObserver>,
+    contention: Option<ContentionObserver>,
+    users: Vec<Box<dyn RuntimeObserver + Send>>,
+    active: bool,
+}
+
+impl std::fmt::Debug for ObserverHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObserverHub")
+            .field("timeline", &self.timeline.is_some())
+            .field("contention", &self.contention.is_some())
+            .field("users", &self.users.len())
+            .field("active", &self.active)
+            .finish()
+    }
+}
+
+impl ObserverHub {
+    /// A hub with no observers: [`is_active`](Self::is_active) is
+    /// `false` and [`emit`](Self::emit) is a no-op.
+    pub fn inactive() -> Self {
+        Self::default()
+    }
+
+    /// Build a hub from the built-in toggles plus user observers.
+    pub fn new(
+        timeline: bool,
+        contention: bool,
+        users: Vec<Box<dyn RuntimeObserver + Send>>,
+    ) -> Self {
+        let active = timeline || contention || !users.is_empty();
+        ObserverHub {
+            timeline: timeline.then(TimelineObserver::default),
+            contention: contention.then(ContentionObserver::default),
+            users,
+            active,
+        }
+    }
+
+    /// Whether any observer is installed. Executors must gate event
+    /// construction on this so unobserved runs pay nothing.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Deliver one event to every installed observer.
+    pub fn emit(&mut self, ev: Event) {
+        if !self.active {
+            return;
+        }
+        if let Some(t) = &mut self.timeline {
+            t.on_event(&ev);
+        }
+        if let Some(c) = &mut self.contention {
+            c.on_event(&ev);
+        }
+        for u in &mut self.users {
+            u.on_event(&ev);
+        }
+    }
+
+    /// Finish the run: close the built-in observers into their
+    /// artifacts. `span_nanos` is the run's total elapsed time.
+    pub fn finish(self, span_nanos: u64) -> ObserverArtifacts {
+        ObserverArtifacts {
+            timeline: self.timeline.map(|t| t.finish(span_nanos)),
+            contention: self.contention.map(|c| c.finish()),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Timeline capture
+// ----------------------------------------------------------------------
+
+/// One executed task occurrence on a worker's timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSlice {
+    /// The task.
+    pub task: TaskId,
+    /// Its creation label.
+    pub label: String,
+    /// The lane (worker thread / machine) it executed on.
+    pub worker: usize,
+    /// Body start, nanoseconds.
+    pub start_nanos: u64,
+    /// Body end, nanoseconds.
+    pub end_nanos: u64,
+}
+
+/// One interval a task spent suspended waiting on the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitSlice {
+    /// The waiting task.
+    pub task: TaskId,
+    /// The lane it was (last) executing on.
+    pub worker: usize,
+    /// The contended object (`None` for `with-cont` blocks).
+    pub object: Option<ObjectId>,
+    /// The access kind that waited (`None` for `with-cont` blocks).
+    pub kind: Option<AccessKind>,
+    /// Wait begin, nanoseconds.
+    pub start_nanos: u64,
+    /// Wait end, nanoseconds.
+    pub end_nanos: u64,
+}
+
+/// Per-worker timeline of an execution: where every task body ran and
+/// where every engine wait occurred. Exports to the Chrome
+/// `chrome://tracing` / Perfetto JSON format.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    slices: Vec<TaskSlice>,
+    waits: Vec<WaitSlice>,
+    span_nanos: u64,
+}
+
+impl Timeline {
+    /// Executed task slices, in completion order.
+    pub fn slices(&self) -> &[TaskSlice] {
+        &self.slices
+    }
+
+    /// Recorded wait intervals, in completion order.
+    pub fn waits(&self) -> &[WaitSlice] {
+        &self.waits
+    }
+
+    /// Total elapsed time of the run.
+    pub fn span_nanos(&self) -> u64 {
+        self.span_nanos
+    }
+
+    /// Number of lanes that executed at least one slice.
+    pub fn workers(&self) -> usize {
+        self.slices.iter().map(|s| s.worker + 1).max().unwrap_or(0)
+    }
+
+    /// Busy time of a task: its body span minus the engine waits that
+    /// occurred inside it. This is the weight the critical-path
+    /// analysis assigns to the task.
+    pub fn busy_nanos(&self, task: TaskId) -> u64 {
+        let Some(s) = self.slices.iter().find(|s| s.task == task) else {
+            return 0;
+        };
+        let span = s.end_nanos.saturating_sub(s.start_nanos);
+        let waited: u64 = self
+            .waits
+            .iter()
+            .filter(|w| w.task == task)
+            .map(|w| {
+                w.end_nanos.min(s.end_nanos).saturating_sub(w.start_nanos.max(s.start_nanos))
+            })
+            .sum();
+        span.saturating_sub(waited)
+    }
+
+    /// Total busy time over all executed tasks (the run's work, `W`).
+    pub fn total_busy_nanos(&self) -> u64 {
+        self.slices.iter().map(|s| self.busy_nanos(s.task)).sum()
+    }
+
+    /// Render as Chrome trace-event JSON (the `chrome://tracing` /
+    /// Perfetto "JSON Array Format" with complete `"X"` events).
+    /// Timestamps and durations are microseconds.
+    pub fn to_chrome_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn us(nanos: u64) -> String {
+            format!("{:.3}", nanos as f64 / 1e3)
+        }
+        let mut s = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        let mut first = true;
+        for w in 0..self.workers() {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                s,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{w},\
+                 \"args\":{{\"name\":\"worker {w}\"}}}}"
+            );
+        }
+        for sl in &self.slices {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":0,\"tid\":{},\"args\":{{\"task\":\"{}\"}}}}",
+                esc(&sl.label),
+                us(sl.start_nanos),
+                us(sl.end_nanos.saturating_sub(sl.start_nanos)),
+                sl.worker,
+                sl.task,
+            );
+        }
+        for w in &self.waits {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            let what = match (w.object, w.kind) {
+                (Some(o), Some(k)) => format!("wait {o} ({k})"),
+                (Some(o), None) => format!("wait {o}"),
+                _ => "with-cont block".to_string(),
+            };
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"cat\":\"wait\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":0,\"tid\":{},\"args\":{{\"task\":\"{}\"}}}}",
+                esc(&what),
+                us(w.start_nanos),
+                us(w.end_nanos.saturating_sub(w.start_nanos)),
+                w.worker,
+                w.task,
+            );
+        }
+        s.push_str("\n]}\n");
+        s
+    }
+}
+
+/// Built-in observer assembling a [`Timeline`] from lifecycle events.
+#[derive(Debug, Default)]
+struct TimelineObserver {
+    labels: HashMap<TaskId, String>,
+    /// Last known lane of a task (set at start; used for wait lanes).
+    lane: HashMap<TaskId, usize>,
+    open: HashMap<TaskId, (usize, u64)>,
+    open_waits: HashMap<TaskId, (Option<ObjectId>, Option<AccessKind>, u64)>,
+    out: Timeline,
+}
+
+impl TimelineObserver {
+    fn close_wait(&mut self, task: TaskId, nanos: u64) {
+        if let Some((object, kind, start)) = self.open_waits.remove(&task) {
+            let worker = self.lane.get(&task).copied().unwrap_or(0);
+            self.out.waits.push(WaitSlice {
+                task,
+                worker,
+                object,
+                kind,
+                start_nanos: start,
+                end_nanos: nanos,
+            });
+        }
+    }
+
+    fn finish(mut self, span_nanos: u64) -> Timeline {
+        // Close anything still open (e.g. a faulted run) at the span end.
+        let open: Vec<TaskId> = self.open_waits.keys().copied().collect();
+        for t in open {
+            self.close_wait(t, span_nanos);
+        }
+        self.out.span_nanos = span_nanos;
+        self.out
+    }
+}
+
+impl RuntimeObserver for TimelineObserver {
+    fn on_event(&mut self, ev: &Event) {
+        match &ev.kind {
+            EventKind::TaskCreated { label, .. } => {
+                self.labels.insert(ev.task, label.clone());
+            }
+            EventKind::TaskStarted { worker } => {
+                self.lane.insert(ev.task, *worker);
+                self.open.insert(ev.task, (*worker, ev.nanos));
+            }
+            EventKind::TaskFinished { .. } => {
+                if let Some((worker, start)) = self.open.remove(&ev.task) {
+                    let label = self
+                        .labels
+                        .get(&ev.task)
+                        .cloned()
+                        .unwrap_or_else(|| ev.task.to_string());
+                    self.out.slices.push(TaskSlice {
+                        task: ev.task,
+                        label,
+                        worker,
+                        start_nanos: start,
+                        end_nanos: ev.nanos,
+                    });
+                }
+            }
+            EventKind::AccessWaitBegin { object, kind } => {
+                self.open_waits.insert(ev.task, (Some(*object), Some(*kind), ev.nanos));
+            }
+            EventKind::ContBlock => {
+                self.open_waits.insert(ev.task, (None, None, ev.nanos));
+            }
+            EventKind::AccessWaitEnd { .. } | EventKind::ContUnblock => {
+                self.close_wait(ev.task, ev.nanos);
+            }
+            _ => {}
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Contention profiling
+// ----------------------------------------------------------------------
+
+/// Aggregated wait time charged to one shared object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectContention {
+    /// The object accesses waited on.
+    pub object: ObjectId,
+    /// Total time tasks spent suspended on it.
+    pub total_wait_nanos: u64,
+    /// Number of distinct wait intervals.
+    pub waits: u64,
+}
+
+/// Which shared objects serialize the computation: per-object total
+/// wait time, sorted worst-first.
+#[derive(Debug, Clone, Default)]
+pub struct ContentionProfile {
+    entries: Vec<ObjectContention>,
+}
+
+impl ContentionProfile {
+    /// Per-object totals, sorted by wait time descending.
+    pub fn entries(&self) -> &[ObjectContention] {
+        &self.entries
+    }
+
+    /// Total wait time across all objects.
+    pub fn total_wait_nanos(&self) -> u64 {
+        self.entries.iter().map(|e| e.total_wait_nanos).sum()
+    }
+
+    /// Human-readable table, worst objects first.
+    pub fn render(&self) -> String {
+        let mut s = String::from("object      waits   total wait\n");
+        for e in &self.entries {
+            let _ = writeln!(
+                s,
+                "{:<10} {:>6} {:>9.3}ms",
+                e.object.to_string(),
+                e.waits,
+                e.total_wait_nanos as f64 / 1e6
+            );
+        }
+        s
+    }
+}
+
+/// Built-in observer accumulating a [`ContentionProfile`] from
+/// access-wait begin/end pairs.
+#[derive(Debug, Default)]
+struct ContentionObserver {
+    pending: HashMap<TaskId, (ObjectId, u64)>,
+    totals: HashMap<ObjectId, (u64, u64)>,
+}
+
+impl ContentionObserver {
+    fn finish(self) -> ContentionProfile {
+        let mut entries: Vec<ObjectContention> = self
+            .totals
+            .into_iter()
+            .map(|(object, (total_wait_nanos, waits))| ObjectContention {
+                object,
+                total_wait_nanos,
+                waits,
+            })
+            .collect();
+        entries.sort_by(|a, b| {
+            b.total_wait_nanos.cmp(&a.total_wait_nanos).then(a.object.cmp(&b.object))
+        });
+        ContentionProfile { entries }
+    }
+}
+
+impl RuntimeObserver for ContentionObserver {
+    fn on_event(&mut self, ev: &Event) {
+        match &ev.kind {
+            EventKind::AccessWaitBegin { object, .. } => {
+                self.pending.insert(ev.task, (*object, ev.nanos));
+            }
+            EventKind::AccessWaitEnd { .. } => {
+                if let Some((object, start)) = self.pending.remove(&ev.task) {
+                    let e = self.totals.entry(object).or_insert((0, 0));
+                    e.0 += ev.nanos.saturating_sub(start);
+                    e.1 += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Test/user helper
+// ----------------------------------------------------------------------
+
+/// A shareable event sink for tests and ad-hoc tooling: hand
+/// [`observer`](Self::observer) to a [`crate::runtime::RunConfig`] and
+/// read the recorded events back after the run.
+#[derive(Debug, Clone, Default)]
+pub struct EventCollector {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl EventCollector {
+    /// A fresh, empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A boxed observer feeding this collector.
+    pub fn observer(&self) -> Box<dyn RuntimeObserver + Send> {
+        Box::new(CollectorSink(Arc::clone(&self.events)))
+    }
+
+    /// Everything recorded so far, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("collector poisoned").clone()
+    }
+}
+
+struct CollectorSink(Arc<Mutex<Vec<Event>>>);
+
+impl RuntimeObserver for CollectorSink {
+    fn on_event(&mut self, ev: &Event) {
+        self.0.lock().expect("collector poisoned").push(ev.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(nanos: u64, task: u32, kind: EventKind) -> Event {
+        Event { nanos, task: TaskId(task), kind }
+    }
+
+    #[test]
+    fn inactive_hub_reports_inactive_and_drops_events() {
+        let mut hub = ObserverHub::inactive();
+        assert!(!hub.is_active());
+        hub.emit(ev(1, 1, EventKind::TaskEnabled));
+        let arts = hub.finish(10);
+        assert!(arts.timeline.is_none());
+        assert!(arts.contention.is_none());
+    }
+
+    #[test]
+    fn timeline_builds_slices_and_busy_excludes_waits() {
+        let mut hub = ObserverHub::new(true, true, Vec::new());
+        assert!(hub.is_active());
+        hub.emit(ev(0, 1, EventKind::TaskCreated { parent: TaskId::ROOT, label: "a".into() }));
+        hub.emit(ev(1, 1, EventKind::TaskStarted { worker: 2 }));
+        hub.emit(ev(
+            3,
+            1,
+            EventKind::AccessWaitBegin { object: ObjectId(7), kind: AccessKind::Read },
+        ));
+        hub.emit(ev(
+            8,
+            1,
+            EventKind::AccessWaitEnd { object: ObjectId(7), kind: AccessKind::Read },
+        ));
+        hub.emit(ev(11, 1, EventKind::TaskFinished { worker: 2 }));
+        let arts = hub.finish(20);
+        let tl = arts.timeline.expect("timeline requested");
+        assert_eq!(tl.slices().len(), 1);
+        assert_eq!(tl.slices()[0].label, "a");
+        assert_eq!(tl.slices()[0].worker, 2);
+        // 10ns span minus 5ns wait.
+        assert_eq!(tl.busy_nanos(TaskId(1)), 5);
+        assert_eq!(tl.total_busy_nanos(), 5);
+        assert_eq!(tl.workers(), 3);
+        let cp = arts.contention.expect("contention requested");
+        assert_eq!(cp.entries().len(), 1);
+        assert_eq!(cp.entries()[0].object, ObjectId(7));
+        assert_eq!(cp.entries()[0].total_wait_nanos, 5);
+        assert_eq!(cp.total_wait_nanos(), 5);
+        assert!(cp.render().contains("obj#7"));
+    }
+
+    #[test]
+    fn chrome_json_is_wellformed_and_escaped() {
+        let mut hub = ObserverHub::new(true, false, Vec::new());
+        hub.emit(ev(
+            0,
+            1,
+            EventKind::TaskCreated { parent: TaskId::ROOT, label: "quo\"te\\x".into() },
+        ));
+        hub.emit(ev(1_000, 1, EventKind::TaskStarted { worker: 0 }));
+        hub.emit(ev(5_000, 1, EventKind::TaskFinished { worker: 0 }));
+        let json = hub.finish(10_000).timeline.unwrap().to_chrome_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("quo\\\"te\\\\x"));
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"dur\":4.000"));
+        // Balanced braces as a cheap structural check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn collector_records_in_order() {
+        let col = EventCollector::new();
+        let mut hub = ObserverHub::new(false, false, vec![col.observer()]);
+        assert!(hub.is_active());
+        hub.emit(ev(1, 1, EventKind::TaskEnabled));
+        hub.emit(ev(2, 1, EventKind::TaskDispatched { worker: 0 }));
+        let evs = col.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind, EventKind::TaskEnabled);
+        assert_eq!(evs[1].kind, EventKind::TaskDispatched { worker: 0 });
+    }
+}

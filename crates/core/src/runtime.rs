@@ -1,0 +1,387 @@
+//! The uniform entry point for executing a Jade program.
+//!
+//! The paper's Jade has exactly one way to run a program — the serial
+//! semantics, extracted in parallel. Our reproduction grew three:
+//! `run`, `try_run` and `run_traced` on the thread pool, plus a
+//! separate jade-sim surface, each exposing a different incompatible
+//! slice of introspection. This module collapses them into one:
+//!
+//! ```text
+//! Runtime::execute(RunConfig, program) -> Result<Report<R>, JadeFault>
+//! ```
+//!
+//! implemented uniformly by the serial elision
+//! ([`crate::serial::SerialRuntime`]), the shared-memory thread pool
+//! (`jade_threads::ThreadedExecutor`) and the heterogeneous simulator
+//! (`jade_sim::SimExecutor`). [`RunConfig`] carries workers, throttle,
+//! trace and observer options; [`Report`] bundles the program result,
+//! [`RuntimeStats`], and every captured artifact (dynamic task graph,
+//! per-worker timeline, contention profile, backend extras).
+
+use std::any::Any;
+use std::fmt;
+
+use crate::ctx::JadeCtx;
+use crate::error::JadeFault;
+use crate::ids::TaskId;
+use crate::observe::{ContentionProfile, ObserverHub, RuntimeObserver, Timeline};
+use crate::stats::RuntimeStats;
+use crate::trace::TaskGraphTrace;
+
+/// Task-creation throttling policy (§3.3 of the paper discusses the
+/// cost of excess task creation; the executors bound it).
+///
+/// The thread pool honors every variant. The simulator honors
+/// `SuspendCreator` (mapped onto its creation window) and ignores
+/// `Inline` — a simulated machine cannot inline a task that the
+/// scheduler may place remotely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Throttle {
+    /// No throttling: create tasks as fast as the program does.
+    #[default]
+    None,
+    /// Suspend the creating task when `hi` tasks are outstanding and
+    /// resume it when the backlog drains to `lo`.
+    SuspendCreator {
+        /// Outstanding-task high-water mark.
+        hi: u64,
+        /// Resume threshold.
+        lo: u64,
+    },
+    /// Execute new tasks inline in their creator once `hi` tasks are
+    /// outstanding (task inlining).
+    Inline {
+        /// Outstanding-task high-water mark.
+        hi: u64,
+    },
+}
+
+/// Options for one [`Runtime::execute`] call: worker count, throttle,
+/// which artifacts to capture, and observers to install.
+///
+/// ```
+/// use jade_core::runtime::{RunConfig, Throttle};
+/// let cfg = RunConfig::new()
+///     .with_workers(4)
+///     .with_throttle(Throttle::Inline { hi: 256 })
+///     .with_trace()
+///     .with_timeline();
+/// ```
+#[derive(Default)]
+pub struct RunConfig {
+    /// Worker override; `None` uses the executor's own configuration.
+    pub workers: Option<usize>,
+    /// Throttle override; `Throttle::None` keeps the executor's own.
+    pub throttle: Throttle,
+    /// Capture the dynamic task graph ([`Report::trace`]).
+    pub trace: bool,
+    /// Capture a per-worker timeline ([`Report::timeline`]).
+    pub timeline: bool,
+    /// Capture a per-object contention profile ([`Report::contention`]).
+    pub contention: bool,
+    /// User observers receiving every lifecycle event.
+    pub observers: Vec<Box<dyn RuntimeObserver + Send>>,
+}
+
+impl fmt::Debug for RunConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunConfig")
+            .field("workers", &self.workers)
+            .field("throttle", &self.throttle)
+            .field("trace", &self.trace)
+            .field("timeline", &self.timeline)
+            .field("contention", &self.contention)
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+impl RunConfig {
+    /// The default configuration: executor's own worker count and
+    /// throttle, no artifacts, no observers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the executor's worker (machine) count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Override the executor's throttle policy.
+    pub fn with_throttle(mut self, throttle: Throttle) -> Self {
+        self.throttle = throttle;
+        self
+    }
+
+    /// Capture the dynamic task graph.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Capture a per-worker timeline (enables Chrome-trace export and
+    /// critical-path analysis).
+    pub fn with_timeline(mut self) -> Self {
+        self.timeline = true;
+        self
+    }
+
+    /// Capture a per-object contention profile.
+    pub fn with_contention(mut self) -> Self {
+        self.contention = true;
+        self
+    }
+
+    /// Install a user observer.
+    pub fn with_observer(mut self, observer: Box<dyn RuntimeObserver + Send>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Everything on: trace + timeline + contention.
+    pub fn profiled(self) -> Self {
+        self.with_trace().with_timeline().with_contention()
+    }
+
+    /// Move the observer configuration out into the hub the executor
+    /// emits into (leaves this config with no observers).
+    pub fn take_hub(&mut self) -> ObserverHub {
+        ObserverHub::new(self.timeline, self.contention, std::mem::take(&mut self.observers))
+    }
+}
+
+/// Everything one execution produced: the program's result, engine
+/// statistics, elapsed time, and whichever artifacts [`RunConfig`]
+/// requested.
+#[derive(Debug)]
+pub struct Report<R> {
+    /// The program's return value.
+    pub result: R,
+    /// Engine statistics for the run.
+    pub stats: RuntimeStats,
+    /// Elapsed time: wall-clock nanoseconds for real executors,
+    /// simulated nanoseconds for jade-sim. Always ≥ 1.
+    pub elapsed_nanos: u64,
+    /// Workers (machines) the run was configured with.
+    pub workers: usize,
+    /// Dynamic task graph, if `RunConfig::with_trace` was set.
+    pub trace: Option<TaskGraphTrace>,
+    /// Per-worker timeline, if `RunConfig::with_timeline` was set.
+    pub timeline: Option<Timeline>,
+    /// Contention profile, if `RunConfig::with_contention` was set.
+    pub contention: Option<ContentionProfile>,
+    /// Backend-specific extras (e.g. jade-sim's `SimReport` with
+    /// network and fault statistics); access via [`Report::extra`].
+    pub extras: Option<Box<dyn Any + Send>>,
+}
+
+impl<R> Report<R> {
+    /// Build a report from the mandatory fields; artifact fields start
+    /// empty and are filled in by the executor.
+    ///
+    /// Checks the lifecycle accounting identity: every created task
+    /// either ran to completion on the engine or was inlined.
+    pub fn new(result: R, stats: RuntimeStats, elapsed_nanos: u64, workers: usize) -> Self {
+        debug_assert_eq!(
+            stats.tasks_created,
+            stats.tasks_finished + stats.tasks_inlined,
+            "task accounting out of balance: {} created vs {} finished + {} inlined",
+            stats.tasks_created,
+            stats.tasks_finished,
+            stats.tasks_inlined
+        );
+        Report {
+            result,
+            stats,
+            elapsed_nanos: elapsed_nanos.max(1),
+            workers,
+            trace: None,
+            timeline: None,
+            contention: None,
+            extras: None,
+        }
+    }
+
+    /// Split into the legacy `(result, stats)` pair.
+    pub fn into_parts(self) -> (R, RuntimeStats) {
+        (self.result, self.stats)
+    }
+
+    /// Downcast the backend-specific extras.
+    pub fn extra<T: 'static>(&self) -> Option<&T> {
+        self.extras.as_deref().and_then(|e| e.downcast_ref::<T>())
+    }
+
+    /// Critical-path analysis over the captured task graph, weighting
+    /// each task by its measured busy time. Requires both
+    /// [`RunConfig::with_trace`] and [`RunConfig::with_timeline`].
+    pub fn critical_path(&self) -> Option<CriticalPath> {
+        let trace = self.trace.as_ref()?;
+        let timeline = self.timeline.as_ref()?;
+        let (critical_nanos, path) = trace.critical_path_weighted(|t| timeline.busy_nanos(t));
+        Some(CriticalPath {
+            path,
+            critical_nanos,
+            work_nanos: timeline.total_busy_nanos(),
+            elapsed_nanos: self.elapsed_nanos,
+        })
+    }
+}
+
+/// The longest weighted dependence chain of a run and the speedup
+/// bound it implies — the quantitative form of the paper's §8
+/// discussion of how much parallelism the specifications expose.
+///
+/// With task weights taken as measured *busy* time (body span minus
+/// engine waits), chains of immediately-declared tasks occupy disjoint
+/// intervals of the run, so `critical_nanos ≤ elapsed_nanos` and the
+/// bound dominates the measured speedup. Programs that pipeline via
+/// `with_cont`/deferred declarations may overlap a consumer with its
+/// producer; for those the bound is conservative (it assumes no
+/// pipelining) and is reported as such.
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    /// Tasks along the longest weighted chain, in dependence order.
+    pub path: Vec<TaskId>,
+    /// Total busy time along that chain (`T_∞`, the span).
+    pub critical_nanos: u64,
+    /// Total busy time over all tasks (`W`, the work).
+    pub work_nanos: u64,
+    /// The run's elapsed time (`T_p`).
+    pub elapsed_nanos: u64,
+}
+
+impl CriticalPath {
+    /// Number of tasks on the critical path.
+    pub fn length_tasks(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Achievable speedup bound `W / T_∞` (work over span). `1.0` for
+    /// an empty program.
+    pub fn parallelism_bound(&self) -> f64 {
+        if self.critical_nanos == 0 {
+            return if self.work_nanos == 0 { 1.0 } else { f64::INFINITY };
+        }
+        self.work_nanos as f64 / self.critical_nanos as f64
+    }
+
+    /// Measured speedup `W / T_p` (work over elapsed): how much faster
+    /// the run was than executing its task bodies back-to-back.
+    pub fn measured_speedup(&self) -> f64 {
+        self.work_nanos as f64 / self.elapsed_nanos as f64
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "critical path {} tasks, {:.3}ms of {:.3}ms work; bound {:.2}x, measured {:.2}x",
+            self.length_tasks(),
+            self.critical_nanos as f64 / 1e6,
+            self.work_nanos as f64 / 1e6,
+            self.parallelism_bound(),
+            self.measured_speedup()
+        )
+    }
+}
+
+/// A backend that can execute a Jade program: implemented by the
+/// serial elision, the thread pool, and the simulator, so every app
+/// binary is written once against this trait.
+///
+/// ```
+/// use jade_core::prelude::*;
+/// use jade_core::serial::SerialRuntime;
+///
+/// let report = SerialRuntime
+///     .execute(RunConfig::new(), |ctx| {
+///         let x = ctx.create_named("x", 1.0f64);
+///         ctx.withonly("double", |s| { s.rd_wr(x); }, move |c| {
+///             *c.wr(&x) *= 2.0;
+///         });
+///         *ctx.rd(&x)
+///     })
+///     .expect("clean run");
+/// assert_eq!(report.result, 2.0);
+/// assert_eq!(report.stats.tasks_created, 1);
+/// ```
+pub trait Runtime {
+    /// The execution context handed to the program.
+    type Ctx: JadeCtx;
+
+    /// Execute `program` under `cfg`, returning the [`Report`] or the
+    /// typed fault that stopped the run. Programming-model violations
+    /// surface as [`JadeFault::SpecViolation`]; a panic in a task body
+    /// surfaces as [`JadeFault::TaskPanicked`]; a panic in the main
+    /// program (the root task) resumes unwinding in the caller.
+    fn execute<R, F>(&self, cfg: RunConfig, program: F) -> Result<Report<R>, JadeFault>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut Self::Ctx) -> R + Send + 'static;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_config_builders_compose() {
+        let mut cfg = RunConfig::new()
+            .with_workers(3)
+            .with_throttle(Throttle::Inline { hi: 8 })
+            .profiled();
+        assert_eq!(cfg.workers, Some(3));
+        assert_eq!(cfg.throttle, Throttle::Inline { hi: 8 });
+        assert!(cfg.trace && cfg.timeline && cfg.contention);
+        let hub = cfg.take_hub();
+        assert!(hub.is_active());
+        // A bare config yields an inactive hub.
+        let mut bare = RunConfig::new();
+        assert!(!bare.take_hub().is_active());
+    }
+
+    #[test]
+    fn report_accounting_identity_holds() {
+        let mut stats = RuntimeStats::default();
+        stats.tasks_created = 5;
+        stats.tasks_finished = 3;
+        stats.tasks_inlined = 2;
+        let rep = Report::new(42u32, stats, 0, 4);
+        assert_eq!(rep.result, 42);
+        assert_eq!(rep.elapsed_nanos, 1, "elapsed is clamped to >= 1");
+        assert_eq!(rep.workers, 4);
+        assert!(rep.trace.is_none() && rep.timeline.is_none() && rep.contention.is_none());
+        let (r, s) = rep.into_parts();
+        assert_eq!(r, 42);
+        assert_eq!(s.tasks_created, 5);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "task accounting out of balance")]
+    fn report_accounting_imbalance_is_caught() {
+        let mut stats = RuntimeStats::default();
+        stats.tasks_created = 5;
+        stats.tasks_finished = 3;
+        let _ = Report::new((), stats, 1, 1);
+    }
+
+    #[test]
+    fn critical_path_numbers() {
+        let cp = CriticalPath {
+            path: vec![TaskId(1), TaskId(2)],
+            critical_nanos: 250,
+            work_nanos: 1000,
+            elapsed_nanos: 500,
+        };
+        assert_eq!(cp.length_tasks(), 2);
+        assert!((cp.parallelism_bound() - 4.0).abs() < 1e-12);
+        assert!((cp.measured_speedup() - 2.0).abs() < 1e-12);
+        assert!(cp.parallelism_bound() >= cp.measured_speedup());
+        assert!(cp.summary().contains("bound 4.00x"));
+        let empty = CriticalPath { path: vec![], critical_nanos: 0, work_nanos: 0, elapsed_nanos: 1 };
+        assert_eq!(empty.parallelism_bound(), 1.0);
+    }
+}

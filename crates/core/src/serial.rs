@@ -13,10 +13,16 @@
 //!   accesses, uncovered child declarations) surface here without any
 //!   concurrency involved.
 
-use crate::ctx::{violation, HoldSet, JadeCtx, ReadGuard, WriteGuard};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use crate::ctx::{take_violation, violation, HoldSet, JadeCtx, ReadGuard, WriteGuard};
+use crate::error::JadeFault;
 use crate::graph::{AccessStatus, DepGraph, Wake};
 use crate::handle::{Object, Shared};
 use crate::ids::TaskId;
+use crate::observe::{Event, EventKind, ObserverHub};
+use crate::runtime::{Report, RunConfig, Runtime};
 use crate::spec::{AccessKind, ContBuilder, SpecBuilder};
 use crate::stats::RuntimeStats;
 use crate::store::{ObjectStore, Slot};
@@ -29,10 +35,12 @@ pub struct SerialCtx {
     current: TaskId,
     holds: Vec<(TaskId, HoldSet)>,
     virtual_work: f64,
+    hub: ObserverHub,
+    t0: Instant,
 }
 
 impl SerialCtx {
-    fn new(trace: bool) -> Self {
+    fn new(trace: bool, hub: ObserverHub) -> Self {
         let mut engine = DepGraph::new();
         if trace {
             engine.enable_trace();
@@ -43,7 +51,14 @@ impl SerialCtx {
             current: TaskId::ROOT,
             holds: vec![(TaskId::ROOT, HoldSet::new())],
             virtual_work: 0.0,
+            hub,
+            t0: Instant::now(),
         }
+    }
+
+    fn emit(&mut self, task: TaskId, kind: EventKind) {
+        let nanos = self.t0.elapsed().as_nanos() as u64;
+        self.hub.emit(Event { nanos, task, kind });
     }
 
     fn hold_set(&self) -> &HoldSet {
@@ -64,7 +79,7 @@ impl SerialCtx {
 /// Run a Jade program serially; returns its result and the runtime
 /// statistics (declarations, checks, conflicts...).
 pub fn run<R>(program: impl FnOnce(&mut SerialCtx) -> R) -> (R, RuntimeStats) {
-    let mut ctx = SerialCtx::new(false);
+    let mut ctx = SerialCtx::new(false, ObserverHub::inactive());
     let r = program(&mut ctx);
     let stats = ctx.engine.stats;
     (r, stats)
@@ -72,10 +87,65 @@ pub fn run<R>(program: impl FnOnce(&mut SerialCtx) -> R) -> (R, RuntimeStats) {
 
 /// Run serially with dynamic task-graph capture (Figure 4).
 pub fn run_traced<R>(program: impl FnOnce(&mut SerialCtx) -> R) -> (R, TaskGraphTrace) {
-    let mut ctx = SerialCtx::new(true);
+    let mut ctx = SerialCtx::new(true, ObserverHub::inactive());
     let r = program(&mut ctx);
     let trace = ctx.engine.take_trace().expect("trace enabled");
     (r, trace)
+}
+
+/// The serial elision as a [`Runtime`] backend: same inline execution
+/// as [`run`], surfaced through the uniform `execute` entry point so
+/// conformance tests and app binaries can swap it in for the parallel
+/// executors. `workers`/`throttle` options are ignored (there is one
+/// lane and nothing to throttle); trace, timeline, contention and
+/// observers are honored.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SerialRuntime;
+
+impl Runtime for SerialRuntime {
+    type Ctx = SerialCtx;
+
+    fn execute<R, F>(&self, mut cfg: RunConfig, program: F) -> Result<Report<R>, JadeFault>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut SerialCtx) -> R + Send + 'static,
+    {
+        let hub = cfg.take_hub();
+        let mut ctx = SerialCtx::new(cfg.trace, hub);
+        match catch_unwind(AssertUnwindSafe(|| program(&mut ctx))) {
+            Ok(result) => {
+                let elapsed = ctx.t0.elapsed().as_nanos() as u64;
+                let stats = ctx.engine.stats;
+                let trace = ctx.engine.take_trace();
+                let hub = std::mem::replace(&mut ctx.hub, ObserverHub::inactive());
+                let arts = hub.finish(elapsed.max(1));
+                let mut rep = Report::new(result, stats, elapsed, 1);
+                rep.trace = trace;
+                rep.timeline = arts.timeline;
+                rep.contention = arts.contention;
+                Ok(rep)
+            }
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "task panicked with a non-string payload".to_string());
+                if let Some(err) = take_violation() {
+                    if message == format!("Jade programming model violation: {err}") {
+                        let task = err.task_hint().unwrap_or(ctx.current);
+                        return Err(JadeFault::SpecViolation { task, error: err });
+                    }
+                }
+                if ctx.current.is_root() {
+                    // The main program itself panicked: not a task
+                    // fault, propagate to the caller unchanged.
+                    resume_unwind(payload);
+                }
+                Err(JadeFault::TaskPanicked { task: ctx.current, message })
+            }
+        }
+    }
 }
 
 impl JadeCtx for SerialCtx {
@@ -110,7 +180,16 @@ impl JadeCtx for SerialCtx {
             "serial elision: every earlier task already completed, so the new task \
              must be immediately ready"
         );
+        if self.hub.is_active() {
+            let parent = self.current;
+            self.emit(tid, EventKind::TaskCreated { parent, label: label.to_string() });
+            self.emit(tid, EventKind::TaskEnabled);
+            self.emit(tid, EventKind::TaskDispatched { worker: 0 });
+        }
         self.engine.start_task(tid);
+        if self.hub.is_active() {
+            self.emit(tid, EventKind::TaskStarted { worker: 0 });
+        }
         let saved = self.current;
         self.current = tid;
         self.holds.push((tid, HoldSet::new()));
@@ -119,6 +198,9 @@ impl JadeCtx for SerialCtx {
         debug_assert!(!holds.any_held(), "task body leaked an access guard");
         self.current = saved;
         self.engine.finish_task(tid);
+        if self.hub.is_active() {
+            self.emit(tid, EventKind::TaskFinished { worker: 0 });
+        }
     }
 
     fn with_cont<C>(&mut self, changes: C)
@@ -365,5 +447,90 @@ mod tests {
     #[test]
     fn machines_is_one() {
         run(|ctx| assert_eq!(ctx.machines(), 1));
+    }
+
+    #[test]
+    fn execute_reports_stats_and_requested_artifacts() {
+        let rep = SerialRuntime
+            .execute(RunConfig::new().profiled(), |ctx| {
+                let acc = ctx.create_named("acc", 0.0f64);
+                for i in 0..3 {
+                    ctx.withonly(
+                        &format!("add{i}"),
+                        |s| {
+                            s.rd_wr(acc);
+                        },
+                        move |c| {
+                            *c.wr(&acc) += i as f64;
+                        },
+                    );
+                }
+                *ctx.rd(&acc)
+            })
+            .expect("clean run");
+        assert_eq!(rep.result, 3.0);
+        assert_eq!(rep.stats.tasks_created, 3);
+        assert_eq!(rep.stats.tasks_finished, 3);
+        assert_eq!(rep.workers, 1);
+        let trace = rep.trace.as_ref().expect("trace requested");
+        assert_eq!(trace.tasks().iter().filter(|t| !t.is_root()).count(), 3);
+        let tl = rep.timeline.as_ref().expect("timeline requested");
+        assert_eq!(tl.slices().len(), 3);
+        assert!(tl.slices().iter().all(|s| s.worker == 0));
+        assert!(rep.contention.is_some());
+        assert!(rep.critical_path().is_some());
+    }
+
+    #[test]
+    fn execute_without_artifacts_captures_nothing() {
+        let rep = SerialRuntime
+            .execute(RunConfig::new(), |ctx| {
+                let x = ctx.create(1u64);
+                ctx.withonly("t", |s| { s.rd_wr(x); }, move |c| *c.wr(&x) += 1);
+                *ctx.rd(&x)
+            })
+            .expect("clean run");
+        assert_eq!(rep.result, 2);
+        assert!(rep.trace.is_none() && rep.timeline.is_none() && rep.contention.is_none());
+    }
+
+    #[test]
+    fn execute_surfaces_violation_as_typed_fault() {
+        let fault = SerialRuntime
+            .execute(RunConfig::new(), |ctx| {
+                let a = ctx.create(1.0f64);
+                let b = ctx.create(2.0f64);
+                ctx.withonly(
+                    "bad",
+                    |s| {
+                        s.rd(a);
+                    },
+                    move |c| {
+                        let _ = *c.rd(&b);
+                    },
+                );
+            })
+            .expect_err("undeclared access must fault");
+        match fault {
+            crate::error::JadeFault::SpecViolation { error, .. } => {
+                assert!(matches!(error, crate::error::JadeError::UndeclaredAccess { .. }));
+            }
+            other => panic!("expected SpecViolation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn execute_surfaces_task_panic_as_typed_fault() {
+        let fault = SerialRuntime
+            .execute(RunConfig::new(), |ctx| {
+                ctx.withonly("boom", |_| {}, |_| panic!("task exploded"));
+            })
+            .expect_err("panicking task must fault");
+        match fault {
+            crate::error::JadeFault::TaskPanicked { message, .. } => {
+                assert!(message.contains("task exploded"));
+            }
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
     }
 }

@@ -15,6 +15,11 @@ pub struct RuntimeStats {
     /// throttling (§3.3: legal because serial semantics precludes a
     /// task waiting on a later task).
     pub tasks_inlined: u64,
+    /// Tasks that ran to completion as scheduled tasks (root excluded;
+    /// inlined tasks are counted in `tasks_inlined` instead, so
+    /// `tasks_created == tasks_finished + tasks_inlined` at the end of
+    /// every run).
+    pub tasks_finished: u64,
     /// Declarations processed across all specifications.
     pub declarations: u64,
     /// Dynamic access checks performed (each guard acquisition).
@@ -38,6 +43,7 @@ impl RuntimeStats {
     pub fn merge(&mut self, other: &RuntimeStats) {
         self.tasks_created += other.tasks_created;
         self.tasks_inlined += other.tasks_inlined;
+        self.tasks_finished += other.tasks_finished;
         self.declarations += other.declarations;
         self.access_checks += other.access_checks;
         self.access_waits += other.access_waits;
@@ -53,6 +59,7 @@ impl std::fmt::Display for RuntimeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "tasks created:     {}", self.tasks_created)?;
         writeln!(f, "tasks inlined:     {}", self.tasks_inlined)?;
+        writeln!(f, "tasks finished:    {}", self.tasks_finished)?;
         writeln!(f, "declarations:      {}", self.declarations)?;
         writeln!(f, "access checks:     {}", self.access_checks)?;
         writeln!(f, "access waits:      {}", self.access_waits)?;
@@ -80,7 +87,7 @@ mod tests {
     #[test]
     fn display_mentions_all_fields() {
         let s = RuntimeStats::default().to_string();
-        for key in ["tasks created", "inlined", "with-cont", "conflicts", "objects"] {
+        for key in ["tasks created", "inlined", "finished", "with-cont", "conflicts", "objects"] {
             assert!(s.contains(key), "missing {key}");
         }
     }

@@ -99,6 +99,51 @@ impl TaskGraphTrace {
         best
     }
 
+    /// The heaviest dependence chain under a per-task weight (e.g.
+    /// measured busy nanoseconds): returns the chain's total weight
+    /// and the tasks along it in dependence order. The root task and
+    /// edges touching it are excluded — the root is the sequential
+    /// program, not a schedulable task.
+    pub fn critical_path_weighted(&self, weight: impl Fn(TaskId) -> u64) -> (u64, Vec<TaskId>) {
+        let mut depth: HashMap<TaskId, u64> = HashMap::new();
+        let mut back: HashMap<TaskId, TaskId> = HashMap::new();
+        let mut best: Option<TaskId> = None;
+        // Tasks are recorded in serial creation order and every edge
+        // points earlier→later, so one forward pass suffices.
+        for &t in &self.order {
+            if t.is_root() {
+                continue;
+            }
+            let mut pred_depth = 0u64;
+            for p in self.predecessors(t) {
+                if p.is_root() {
+                    continue;
+                }
+                let d = depth.get(&p).copied().unwrap_or(0);
+                if d > pred_depth {
+                    pred_depth = d;
+                    back.insert(t, p);
+                }
+            }
+            let d = pred_depth + weight(t);
+            depth.insert(t, d);
+            if best.is_none_or(|b| d > depth[&b]) {
+                best = Some(t);
+            }
+        }
+        let Some(mut cur) = best else {
+            return (0, Vec::new());
+        };
+        let total = depth[&cur];
+        let mut path = vec![cur];
+        while let Some(&p) = back.get(&cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        (total, path)
+    }
+
     /// Render as Graphviz DOT (used by the Fig 4 binary).
     pub fn to_dot(&self) -> String {
         let mut s = String::from("digraph jade_tasks {\n  rankdir=TB;\n");
@@ -176,6 +221,37 @@ mod tests {
             });
         }
         assert_eq!(tr.critical_path_len(), 3);
+    }
+
+    #[test]
+    fn weighted_critical_path_picks_heaviest_chain() {
+        let mut tr = TaskGraphTrace::new();
+        for i in 1..=4 {
+            tr.task(TaskId(i), &format!("t{i}"));
+        }
+        // diamond: 1 -> 2, 1 -> 3, 2 -> 4, 3 -> 4
+        for (f, t) in [(1, 2), (1, 3), (2, 4), (3, 4)] {
+            tr.edge(TraceEdge {
+                from: TaskId(f),
+                to: TaskId(t),
+                object: ObjectId(0),
+                kind: AccessKind::Write,
+            });
+        }
+        // Branch through 3 is heavier than through 2.
+        let w = |t: TaskId| match t.0 {
+            1 => 10,
+            2 => 1,
+            3 => 100,
+            4 => 10,
+            _ => 0,
+        };
+        let (total, path) = tr.critical_path_weighted(w);
+        assert_eq!(total, 120);
+        assert_eq!(path, vec![TaskId(1), TaskId(3), TaskId(4)]);
+        let (zero, empty) = TaskGraphTrace::new().critical_path_weighted(w);
+        assert_eq!(zero, 0);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -34,6 +34,24 @@
 //! assert_eq!(v, (0..8).map(|i| (i * i) as f64).sum::<f64>());
 //! assert!(report.time > jade_sim::SimTime::ZERO);
 //! ```
+//!
+//! Programs can also run through the uniform entry point
+//! [`jade_core::runtime::Runtime::execute`] with a
+//! [`RunConfig`](jade_core::runtime::RunConfig); the report carries
+//! the result, statistics and any requested artifacts (timeline,
+//! contention, task graph), with the full [`SimReport`] in
+//! [`Report::extras`](jade_core::runtime::Report::extras).
+//!
+//! ## Access specifications
+//!
+//! Task specifications use the shared builders from `jade_core::spec`,
+//! re-exported here so both frontends present the identical surface:
+//! [`SpecBuilder`] with `rd`/`wr`/`rd_wr` (immediate declarations),
+//! `df_rd`/`df_wr` (deferred declarations), and [`ContBuilder`] with
+//! `to_rd`/`to_wr` (convert deferred to immediate) and `no_rd`/`no_wr`
+//! (retire a declaration early).
+
+#![cfg_attr(test, deny(deprecated))]
 
 pub mod event;
 pub mod faults;
@@ -56,3 +74,7 @@ pub use platform::{NetworkKind, Platform};
 pub use report::{ObjTraffic, SimReport};
 pub use runtime::{SimConfig, SimCtx, SimExecutor, SuspendCreator};
 pub use time::{SimSpan, SimTime};
+
+// The spec-builder surface, identical in jade-threads and jade-sim.
+pub use jade_core::runtime::{Report, RunConfig, Runtime};
+pub use jade_core::spec::{ContBuilder, SpecBuilder};

@@ -57,8 +57,16 @@ pub enum ProcReq {
     },
     /// Body returned normally.
     Done,
-    /// Body panicked; the message describes the panic.
-    Panicked(String),
+    /// Body panicked; the message describes the panic. When the panic
+    /// was raised by `jade_core::ctx::violation`, the typed error is
+    /// recovered from the proc thread's thread-local and carried
+    /// alongside so the loop can surface a typed `JadeFault`.
+    Panicked {
+        /// The panic payload rendered as text.
+        message: String,
+        /// The typed violation, when the panic came from `violation`.
+        violation: Option<JadeError>,
+    },
 }
 
 impl std::fmt::Debug for ProcReq {
@@ -70,7 +78,7 @@ impl std::fmt::Debug for ProcReq {
             ProcReq::Access { object, kind } => write!(f, "Access({object}, {kind})"),
             ProcReq::CreateObject { name, .. } => write!(f, "CreateObject({name})"),
             ProcReq::Done => write!(f, "Done"),
-            ProcReq::Panicked(m) => write!(f, "Panicked({m})"),
+            ProcReq::Panicked { message, .. } => write!(f, "Panicked({message})"),
         }
     }
 }
@@ -113,9 +121,10 @@ impl ProcHandle {
         self.resp_tx
             .send(resp)
             .expect("task process hung up before its Done/Panicked request");
-        self.req_rx
-            .recv()
-            .unwrap_or_else(|_| ProcReq::Panicked("task process vanished".to_string()))
+        self.req_rx.recv().unwrap_or_else(|_| ProcReq::Panicked {
+            message: "task process vanished".to_string(),
+            violation: None,
+        })
     }
 }
 
@@ -154,9 +163,12 @@ pub fn spawn_proc(
             let msg = match outcome {
                 Ok(()) => {
                     if ctx.holds_any() {
-                        ProcReq::Panicked(format!(
-                            "task {task} completed while still holding an access guard"
-                        ))
+                        ProcReq::Panicked {
+                            message: format!(
+                                "task {task} completed while still holding an access guard"
+                            ),
+                            violation: Some(JadeError::GuardLeaked { task }),
+                        }
                     } else {
                         ProcReq::Done
                     }
@@ -167,7 +179,13 @@ pub fn spawn_proc(
                         .cloned()
                         .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
                         .unwrap_or_else(|| "task panicked".to_string());
-                    ProcReq::Panicked(m)
+                    // Trust the thread-local only when the payload is
+                    // the exact message `violation` raised (mirrors the
+                    // threaded executor's classification).
+                    let violation = jade_core::ctx::take_violation().filter(|err| {
+                        m == format!("Jade programming model violation: {err}")
+                    });
+                    ProcReq::Panicked { message: m, violation }
                 }
             };
             let _ = req_tx.send(msg);
@@ -194,7 +212,10 @@ mod tests {
     fn panicking_body_reports() {
         let h = spawn_proc(TaskId(2), 1, Box::new(|_ctx| panic!("boom {}", 42)));
         match h.step(ProcResp::Proceed) {
-            ProcReq::Panicked(m) => assert!(m.contains("boom 42")),
+            ProcReq::Panicked { message, violation } => {
+                assert!(message.contains("boom 42"));
+                assert!(violation.is_none(), "plain panic carries no violation");
+            }
             other => panic!("expected Panicked, got {other:?}"),
         }
     }

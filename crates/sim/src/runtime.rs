@@ -28,9 +28,12 @@ use std::sync::Arc;
 
 use crossbeam::channel::bounded;
 use jade_core::ctx::{violation, HoldSet, JadeCtx, ReadGuard, WriteGuard};
+use jade_core::error::{JadeError, JadeFault};
 use jade_core::graph::{AccessStatus, DepGraph, Wake};
 use jade_core::handle::{Object, Shared};
 use jade_core::ids::{ObjectId, TaskId};
+use jade_core::observe::{Event as ObsEvent, EventKind as ObsKind, ObserverArtifacts, ObserverHub};
+use jade_core::runtime::{Report, RunConfig, Runtime, Throttle};
 use jade_core::spec::{AccessKind, ContBuilder, ContOp, DeclState, SpecBuilder};
 use jade_core::store::{ObjectStore, Slot};
 use jade_transport::message::HEADER_WIRE_BYTES;
@@ -212,6 +215,18 @@ struct Mach {
 /// Scheduling quantum of the simulated machines' CPUs.
 const QUANTUM_SECS: f64 = 0.01;
 
+/// Why the event loop stopped early: a task panicked (possibly a
+/// typed programming-model violation) or scheduling became impossible.
+#[derive(Debug)]
+struct Poison {
+    /// The task the failure is attributed to.
+    task: TaskId,
+    /// Human-readable description (the legacy panic payload).
+    message: String,
+    /// The typed violation, when the panic came from `violation`.
+    violation: Option<JadeError>,
+}
+
 struct Loop {
     cfg: SimConfig,
     now: SimTime,
@@ -233,7 +248,8 @@ struct Loop {
     root_done: bool,
     traffic: ObjTraffic,
     log: SimLog,
-    poison: Option<String>,
+    poison: Option<Poison>,
+    hub: ObserverHub,
     injector: Option<FaultInjector>,
     /// Per-machine end of the current outage (ZERO = never crashed).
     down_until: Vec<SimTime>,
@@ -249,6 +265,22 @@ struct Loop {
 
 impl Loop {
     fn execute(cfg: SimConfig, root_body: SimBody) -> SimReport {
+        let (report, poison, _arts) =
+            Loop::execute_observed(cfg, ObserverHub::inactive(), root_body);
+        if let Some(p) = poison {
+            panic!("{}", p.message);
+        }
+        report
+    }
+
+    /// Run with an observer hub installed; returns the report, any
+    /// poison (instead of panicking, so callers can surface a typed
+    /// fault), and the artifacts the hub's built-in observers produced.
+    fn execute_observed(
+        cfg: SimConfig,
+        hub: ObserverHub,
+        root_body: SimBody,
+    ) -> (SimReport, Option<Poison>, ObserverArtifacts) {
         let n = cfg.platform.len();
         assert!(n > 0, "platform needs at least one machine");
         let mut engine = DepGraph::new();
@@ -291,9 +323,14 @@ impl Loop {
             attempts: HashMap::new(),
             stale_fetches: HashMap::new(),
             fstats: FaultStats::default(),
+            hub,
             cfg,
         };
-        lp.run_loop(root_body)
+        let report = lp.run_loop(root_body);
+        let poison = lp.poison.take();
+        let hub = std::mem::replace(&mut lp.hub, ObserverHub::inactive());
+        let arts = hub.finish(report.time.0.max(1));
+        (report, poison, arts)
     }
 
     fn run_loop(&mut self, root_body: SimBody) -> SimReport {
@@ -359,10 +396,10 @@ impl Loop {
             }
         }
 
-        if let Some(p) = self.poison.take() {
-            // Drop all task processes so their threads unwind.
+        if self.poison.is_some() {
+            // Drop all task processes so their threads unwind; the
+            // caller decides whether to panic or return a typed fault.
             self.procs.clear();
-            panic!("{p}");
         }
 
         let labels: HashMap<TaskId, String> = self
@@ -409,6 +446,14 @@ impl Loop {
         *self.assigned.get(&t).expect("task has a machine")
     }
 
+    /// Deliver one lifecycle event to the observer hub at the current
+    /// simulated time (no-op when no observer is installed).
+    fn observe(&mut self, task: TaskId, kind: ObsKind) {
+        if self.hub.is_active() {
+            self.hub.emit(ObsEvent { nanos: self.now.0, task, kind });
+        }
+    }
+
     /// Whether `m` is inside a crash outage at the current time.
     fn is_down(&self, m: usize) -> bool {
         self.now < self.down_until[m]
@@ -427,29 +472,51 @@ impl Loop {
     /// rejoin (the recovery protocol replays them). Returns the
     /// arrival time of the successful delivery.
     fn send(&mut self, t: SimTime, src: usize, dst: usize, bytes: usize) -> SimTime {
-        let mut base = t.max(self.down_until[src]).max(self.down_until[dst]);
-        if self.injector.is_none() {
-            return self.net.transfer(base, src, dst, bytes);
-        }
-        let mut attempt = 0u32;
-        loop {
-            attempt += 1;
-            let mut arrival = self.net.transfer(base, src, dst, bytes);
-            let inj = self.injector.as_mut().expect("checked above");
-            if let Some(spike) = inj.roll_spike() {
-                arrival += spike;
+        let base = t.max(self.down_until[src]).max(self.down_until[dst]);
+        // The injector is taken out for the duration of the retry loop
+        // so the network model can be borrowed alongside it.
+        let arrival = match self.injector.take() {
+            None => self.net.transfer(base, src, dst, bytes),
+            Some(mut inj) => {
+                let mut base = base;
+                let mut attempt = 0u32;
+                let arrival = loop {
+                    attempt += 1;
+                    let mut arrival = self.net.transfer(base, src, dst, bytes);
+                    if let Some(spike) = inj.roll_spike() {
+                        arrival += spike;
+                    }
+                    if !inj.roll_drop() || attempt >= inj.plan().max_msg_attempts {
+                        break arrival;
+                    }
+                    // Lost on the wire: the sender's ack timer expires and
+                    // the message is retransmitted after a backoff.
+                    inj.dropped += 1;
+                    inj.timeouts += 1;
+                    inj.retransmits += 1;
+                    let backoff = inj.backoff(attempt);
+                    base += backoff;
+                };
+                self.injector = Some(inj);
+                arrival
             }
-            if !inj.roll_drop() || attempt >= inj.plan().max_msg_attempts {
-                return arrival;
-            }
-            // Lost on the wire: the sender's ack timer expires and the
-            // message is retransmitted after a backoff.
-            inj.dropped += 1;
-            inj.timeouts += 1;
-            inj.retransmits += 1;
-            let backoff = inj.backoff(attempt);
-            base += backoff;
+        };
+        if self.hub.is_active() {
+            // Message traffic is runtime-level work, attributed to the
+            // root task; the machine pair rides in the payload.
+            let b = bytes as u64;
+            self.hub.emit(ObsEvent {
+                nanos: base.0,
+                task: TaskId::ROOT,
+                kind: ObsKind::MessageSend { from: src, to: dst, bytes: b },
+            });
+            self.hub.emit(ObsEvent {
+                nanos: arrival.0,
+                task: TaskId::ROOT,
+                kind: ObsKind::MessageRecv { from: src, to: dst, bytes: b },
+            });
         }
+        arrival
     }
 
     /// Fire an armed transient crash of `m` if it is at a clean task
@@ -515,6 +582,13 @@ impl Loop {
     }
 
     fn set_block(&mut self, t: TaskId, op: BlockedOp) {
+        match &op {
+            BlockedOp::AccessWait { object, kind } => {
+                self.observe(t, ObsKind::AccessWaitBegin { object: *object, kind: *kind });
+            }
+            BlockedOp::ContWait { .. } => self.observe(t, ObsKind::ContBlock),
+            _ => {}
+        }
         let m = self.machine_of(t);
         if self.blocked.insert(t, op).is_none() {
             self.mach[m].load -= 1;
@@ -528,7 +602,14 @@ impl Loop {
 
     fn clear_block(&mut self, t: TaskId) -> Option<BlockedOp> {
         let op = self.blocked.remove(&t);
-        if op.is_some() {
+        if let Some(inner) = &op {
+            match inner {
+                BlockedOp::AccessWait { object, kind } => {
+                    self.observe(t, ObsKind::AccessWaitEnd { object: *object, kind: *kind });
+                }
+                BlockedOp::ContWait { .. } => self.observe(t, ObsKind::ContUnblock),
+                _ => {}
+            }
             let m = self.machine_of(t);
             self.mach[m].load += 1;
             self.mach[m].running += 1;
@@ -617,6 +698,12 @@ impl Loop {
                             self.unfinished += 1;
                             self.creator_machine.insert(new, m);
                             self.bodies.insert(new, body);
+                            if self.hub.is_active() {
+                                self.observe(
+                                    new,
+                                    ObsKind::TaskCreated { parent: tid, label: label.clone() },
+                                );
+                            }
                             self.log.push(
                                 self.now,
                                 SimEventKind::TaskCreated { task: new, label, machine: m },
@@ -690,8 +777,8 @@ impl Loop {
                     self.on_task_done(tid);
                     return;
                 }
-                ProcReq::Panicked(msg) => {
-                    self.poison = Some(msg);
+                ProcReq::Panicked { message, violation } => {
+                    self.poison = Some(Poison { task: tid, message, violation });
                     return;
                 }
             }
@@ -707,6 +794,7 @@ impl Loop {
             match w {
                 Wake::Ready(t) => {
                     debug_assert!(self.bodies.contains_key(&t), "ready task without a body");
+                    self.observe(t, ObsKind::TaskEnabled);
                     self.ready_pool.push_back(t);
                 }
                 Wake::Unblocked(t) => self.on_unblocked(t),
@@ -798,6 +886,9 @@ impl Loop {
         self.mach[m].load -= 1;
         self.mach[m].running -= 1;
         self.log.push(self.now, SimEventKind::TaskFinished { task: tid, machine: m });
+        if !tid.is_root() {
+            self.observe(tid, ObsKind::TaskFinished { worker: m });
+        }
         if tid.is_root() {
             self.root_done = true;
         } else {
@@ -869,12 +960,16 @@ impl Loop {
                 .enumerate()
                 .any(|(mi, spec)| eligible(spec, mi, placement))
             {
-                self.poison = Some(format!(
-                    "task {t} ('{}') requests placement {placement:?}, which no machine \
-                     of platform '{}' satisfies",
-                    self.engine.label(t),
-                    self.cfg.platform.name
-                ));
+                self.poison = Some(Poison {
+                    task: t,
+                    message: format!(
+                        "task {t} ('{}') requests placement {placement:?}, which no machine \
+                         of platform '{}' satisfies",
+                        self.engine.label(t),
+                        self.cfg.platform.name
+                    ),
+                    violation: None,
+                });
                 return;
             }
             let objs: Vec<ObjectId> =
@@ -918,6 +1013,7 @@ impl Loop {
         self.mach[m].pending.push_back(t);
         let from = *self.creator_machine.get(&t).unwrap_or(&0);
         self.log.push(self.now, SimEventKind::TaskAssigned { task: t, from, to: m });
+        self.observe(t, ObsKind::TaskDispatched { worker: m });
         let base = if from != m {
             self.send(self.now, from, m, DESC_BYTES + HEADER_WIRE_BYTES)
         } else {
@@ -969,6 +1065,7 @@ impl Loop {
         self.starts[m] += 1;
         self.engine.start_task(t);
         self.log.push(self.now, SimEventKind::TaskStarted { task: t, machine: m });
+        self.observe(t, ObsKind::TaskStarted { worker: m });
         let body = self.bodies.remove(&t).expect("starting task has a body");
         self.procs.insert(t, spawn_proc(t, self.cfg.platform.len(), body));
         let span = self.cfg.platform.task_dispatch_overhead;
@@ -1202,6 +1299,59 @@ impl JadeCtx for SimCtx {
 
     fn task(&self) -> TaskId {
         self.task
+    }
+}
+
+/// The uniform entry point over the simulator.
+///
+/// `RunConfig::workers` is ignored — the machine count is the
+/// platform's. `Throttle::Inline` is ignored (a simulated machine
+/// cannot inline a task the scheduler may place remotely);
+/// `Throttle::SuspendCreator` maps onto the simulator's
+/// suspend-creator watermarks. The full [`SimReport`] (network
+/// traffic, fault statistics, per-machine busy spans) rides in
+/// [`Report::extras`] and is recovered with
+/// `report.extra::<SimReport>()`.
+impl Runtime for SimExecutor {
+    type Ctx = SimCtx;
+
+    fn execute<R, F>(&self, mut cfg: RunConfig, program: F) -> Result<Report<R>, JadeFault>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut SimCtx) -> R + Send + 'static,
+    {
+        let mut sim_cfg = self.cfg.clone();
+        sim_cfg.trace = sim_cfg.trace || cfg.trace;
+        if let Throttle::SuspendCreator { hi, lo } = cfg.throttle {
+            sim_cfg.throttle = Some(SuspendCreator { hi, lo });
+        }
+        let hub = cfg.take_hub();
+        let (tx, rx) = bounded::<R>(1);
+        let body: SimBody = Box::new(move |ctx| {
+            let r = program(ctx);
+            let _ = tx.send(r);
+        });
+        let (mut srep, poison, arts) = Loop::execute_observed(sim_cfg, hub, body);
+        if let Some(p) = poison {
+            if let Some(err) = p.violation {
+                let task = err.task_hint().unwrap_or(p.task);
+                return Err(JadeFault::SpecViolation { task, error: err });
+            }
+            if p.task.is_root() {
+                // The main program itself panicked: propagate, exactly
+                // like an un-Jade program would.
+                std::panic::resume_unwind(Box::new(p.message));
+            }
+            return Err(JadeFault::TaskPanicked { task: p.task, message: p.message });
+        }
+        let result = rx.try_recv().expect("root program produced no result");
+        let trace = srep.trace.take();
+        let mut rep = Report::new(result, srep.stats, srep.time.0, srep.machines);
+        rep.trace = trace;
+        rep.timeline = arts.timeline;
+        rep.contention = arts.contention;
+        rep.extras = Some(Box::new(srep));
+        Ok(rep)
     }
 }
 

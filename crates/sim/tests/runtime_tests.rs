@@ -2,8 +2,11 @@
 //! serial-semantics preservation, heterogeneity, and the §5 runtime
 //! optimizations.
 
+#![deny(deprecated)]
+
+use jade_core::error::{JadeError, JadeFault};
 use jade_core::prelude::*;
-use jade_sim::{Granularity, Platform, SimExecutor, SimTime};
+use jade_sim::{Granularity, Platform, SimExecutor, SimReport, SimTime};
 
 /// A program with real data dependencies: a chain of read-modify-write
 /// tasks plus an independent strand, exercising migration and
@@ -484,4 +487,144 @@ fn single_machine_sim_completes() {
     assert_eq!(v, serial);
     assert!(report.time > SimTime::ZERO);
     assert_eq!(report.machines, 1);
+}
+
+// ----------------------------------------------------------------------
+// The uniform Runtime::execute entry point over the simulator
+// ----------------------------------------------------------------------
+
+#[test]
+fn execute_reports_artifacts_and_sim_extras() {
+    let (serial, _) = jade_core::serial::run(chain_program);
+    let exec = SimExecutor::new(Platform::dash(4));
+    let rep = exec.execute(RunConfig::new().profiled(), chain_program).expect("clean run");
+    assert_eq!(rep.result, serial);
+    assert_eq!(rep.workers, 4);
+    assert!(rep.elapsed_nanos > 0);
+
+    let trace = rep.trace.as_ref().expect("trace requested");
+    assert_eq!(trace.tasks().iter().filter(|t| !t.is_root()).count() as u64, 9);
+    let timeline = rep.timeline.as_ref().expect("timeline requested");
+    assert!(timeline.workers() <= 4, "lanes are machine indices");
+    assert!(timeline.slices().iter().all(|sl| sl.worker < 4));
+    assert!(rep.contention.is_some());
+
+    let crit = rep.critical_path().expect("trace + timeline present");
+    // The chain serializes all 9 link tasks.
+    assert_eq!(crit.length_tasks(), 9);
+    assert!(crit.parallelism_bound() + 1e-9 >= crit.measured_speedup());
+
+    let srep = rep.extra::<SimReport>().expect("sim report rides in extras");
+    assert_eq!(srep.machines, 4);
+    assert!(srep.time > SimTime::ZERO);
+}
+
+#[test]
+fn execute_maps_suspend_creator_throttle() {
+    let exec = SimExecutor::new(Platform::mica(3));
+    let rep = exec
+        .execute(
+            RunConfig::new().with_throttle(Throttle::SuspendCreator { hi: 4, lo: 2 }),
+            chain_program,
+        )
+        .expect("clean run");
+    let (serial, _) = jade_core::serial::run(chain_program);
+    assert_eq!(rep.result, serial);
+}
+
+#[test]
+fn execute_surfaces_violation_as_typed_fault() {
+    let exec = SimExecutor::new(Platform::mica(2));
+    let fault = exec
+        .execute(RunConfig::new(), |ctx| {
+            let x = ctx.create(1.0f64);
+            ctx.withonly("sneaky", |_s| {}, move |c| {
+                let _ = *c.rd(&x); // undeclared
+            });
+            ctx.rd(&x);
+        })
+        .expect_err("undeclared access must fault");
+    match fault {
+        JadeFault::SpecViolation { error: JadeError::UndeclaredAccess { .. }, .. } => {}
+        other => panic!("expected UndeclaredAccess violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn execute_surfaces_task_panic_as_typed_fault() {
+    let exec = SimExecutor::new(Platform::mica(2));
+    let fault = exec
+        .execute(RunConfig::new(), |ctx| {
+            ctx.withonly("bomb", |_s| {}, |_c| panic!("boom 77"));
+        })
+        .expect_err("panicking task must fault");
+    match fault {
+        JadeFault::TaskPanicked { message, .. } => assert!(message.contains("boom 77")),
+        other => panic!("expected TaskPanicked, got {other:?}"),
+    }
+}
+
+#[test]
+fn observer_sees_wellformed_event_sequence_in_sim() {
+    use std::collections::HashMap;
+
+    let collector = EventCollector::new();
+    let exec = SimExecutor::new(Platform::dash(3));
+    let rep = exec
+        .execute(RunConfig::new().with_observer(collector.observer()), chain_program)
+        .expect("clean run");
+    let events = collector.events();
+    assert!(!events.is_empty());
+
+    // Emission index of each lifecycle stage per task.
+    let mut created = HashMap::new();
+    let mut enabled = HashMap::new();
+    let mut dispatched = HashMap::new();
+    let mut started = HashMap::new();
+    let mut finished = HashMap::new();
+    // Note: emission order is not globally time-sorted — message
+    // deliveries are stamped with their (future) arrival time when the
+    // send is planned. Per-task lifecycle order is what matters.
+    let mut times = HashMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        times.insert((ev.task, i), ev.nanos);
+        match ev.kind {
+            EventKind::TaskCreated { .. } => {
+                created.insert(ev.task, i);
+            }
+            EventKind::TaskEnabled => {
+                enabled.insert(ev.task, i);
+            }
+            EventKind::TaskDispatched { .. } => {
+                dispatched.insert(ev.task, i);
+            }
+            EventKind::TaskStarted { .. } => {
+                started.insert(ev.task, i);
+            }
+            EventKind::TaskFinished { .. } => {
+                finished.insert(ev.task, i);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(created.len() as u64, rep.stats.tasks_created);
+    for (t, &c) in &created {
+        let e = enabled[t];
+        let d = dispatched[t];
+        let s = started[t];
+        let f = finished[t];
+        assert!(c < e && e < d && d < s && s < f, "lifecycle order violated for {t}");
+        let ts = |i| times[&(*t, i)];
+        assert!(ts(c) <= ts(e) && ts(e) <= ts(d) && ts(d) <= ts(s) && ts(s) <= ts(f));
+    }
+}
+
+#[test]
+fn no_observer_means_no_artifacts_in_sim() {
+    let exec = SimExecutor::new(Platform::mica(2));
+    let rep = exec.execute(RunConfig::new(), chain_program).expect("clean run");
+    assert!(rep.trace.is_none());
+    assert!(rep.timeline.is_none());
+    assert!(rep.contention.is_none());
+    assert!(rep.extra::<SimReport>().is_some(), "extras always carry the sim report");
 }

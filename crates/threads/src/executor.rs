@@ -1,54 +1,51 @@
 //! Worker-pool executor over the Jade dependency engine.
 //!
+//! The entry point is [`Runtime::execute`] with a
+//! [`RunConfig`]: one call that subsumes the deprecated
+//! `run`/`try_run`/`run_traced` trio and returns a typed
+//! [`Report`] bundling the result, statistics and any captured
+//! artifacts (task graph, per-worker timeline, contention profile).
+//!
 //! Fault handling: a task body that panics (or violates its access
 //! specification) does not take the process down. The first fault is
 //! recorded as a typed [`JadeFault`], pending tasks are cancelled,
 //! blocked siblings and the root are woken and unwound with a private
-//! cancellation token, and every worker drains before
-//! [`ThreadedExecutor::try_run`] returns the fault as a value.
-//! [`ThreadedExecutor::run`] stays as the panicking wrapper.
+//! cancellation token, and every worker drains before `execute`
+//! returns the fault as a value.
+//!
+//! Observability: when the [`RunConfig`] installs observers, the
+//! executor emits lifecycle [`Event`]s under its scheduler lock —
+//! created/enabled/dispatched/started/finished per task, access-wait
+//! and `with-cont` block intervals, and inline decisions. Worker lane
+//! 0 is the root task's thread; pool workers are 1..=N; compensation
+//! workers get fresh indices beyond N.
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Instant;
 
 use jade_core::ctx::{take_violation, violation, HoldSet, JadeCtx, ReadGuard, WriteGuard};
 use jade_core::error::{JadeError, JadeFault};
 use jade_core::graph::{AccessStatus, DepGraph, TaskState, Wake};
 use jade_core::handle::{Object, Shared};
 use jade_core::ids::TaskId;
+use jade_core::observe::{Event, EventKind, ObserverHub};
+use jade_core::runtime::{Report, RunConfig, Runtime};
 use jade_core::spec::{AccessKind, ContBuilder, SpecBuilder};
 use jade_core::stats::RuntimeStats;
 use jade_core::store::{ObjectStore, Slot};
 use jade_core::trace::TaskGraphTrace;
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
+// The throttle policy moved to jade-core so `RunConfig` can carry it
+// uniformly across backends; re-exported here for compatibility.
+pub use jade_core::runtime::Throttle;
+
 /// Private panic payload used to unwind task bodies (and the root)
 /// during structured shutdown. Recognized and swallowed by the
 /// executor's catch sites; never escapes to the caller.
 struct CancelToken;
-
-/// Task-creation throttling policy (§3.3, §5 "Matching Exploited
-/// Concurrency with Available Concurrency").
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Throttle {
-    /// Never throttle: every `withonly` enqueues a task.
-    None,
-    /// When more than `hi` tasks are live, suspend the creating task
-    /// until the count falls below `lo`.
-    SuspendCreator {
-        /// High watermark triggering suspension.
-        hi: u64,
-        /// Low watermark releasing the creator.
-        lo: u64,
-    },
-    /// When more than `hi` tasks are live, execute the new task inline
-    /// in its creator (Jade's legal task inlining).
-    Inline {
-        /// High watermark triggering inlining.
-        hi: u64,
-    },
-}
 
 type Body = Box<dyn FnOnce(&mut ThreadCtx) + Send + 'static>;
 
@@ -64,6 +61,9 @@ struct State {
     idle_workers: usize,
     blocked_tasks: usize,
     fault: Option<JadeFault>,
+    hub: ObserverHub,
+    /// Next lane index handed to a compensation worker.
+    next_worker: usize,
 }
 
 impl State {
@@ -116,12 +116,24 @@ struct Inner {
     state: Mutex<State>,
     cv: Condvar,
     throttle: Throttle,
+    /// Run epoch; event timestamps are nanoseconds since this instant.
+    start: Instant,
 }
 
 impl Inner {
-    fn apply_wakes(st: &mut State, wakes: Vec<Wake>) {
+    /// Emit a lifecycle event if any observer is installed. Must be
+    /// called with the state lock held, which serializes emission.
+    fn emit(&self, st: &mut State, task: TaskId, kind: EventKind) {
+        if st.hub.is_active() {
+            let nanos = self.start.elapsed().as_nanos() as u64;
+            st.hub.emit(Event { nanos, task, kind });
+        }
+    }
+
+    fn apply_wakes(&self, st: &mut State, wakes: Vec<Wake>) {
         for w in wakes {
             if let Wake::Ready(t) = w {
+                self.emit(st, t, EventKind::TaskEnabled);
                 // Only queue tasks whose bodies the pool manages;
                 // inline-executed and root tasks are woken via the
                 // condvar broadcast instead.
@@ -138,8 +150,10 @@ impl Inner {
     fn compensate(self: &Arc<Self>, st: &mut State) {
         if st.idle_workers == 0 && st.fault.is_none() && !(st.root_done && st.unfinished == 0) {
             st.live_workers += 1;
+            let lane = st.next_worker;
+            st.next_worker += 1;
             let inner = Arc::clone(self);
-            std::thread::spawn(move || worker_loop(inner));
+            std::thread::spawn(move || worker_loop(inner, lane));
         }
     }
 
@@ -169,7 +183,7 @@ impl Inner {
     }
 }
 
-fn worker_loop(inner: Arc<Inner>) {
+fn worker_loop(inner: Arc<Inner>, worker: usize) {
     let mut st = inner.state.lock();
     loop {
         if st.fault.is_some() {
@@ -177,9 +191,11 @@ fn worker_loop(inner: Arc<Inner>) {
         }
         if let Some(tid) = st.ready.pop_front() {
             let body = st.bodies.remove(&tid).expect("queued task has a body");
+            inner.emit(&mut st, tid, EventKind::TaskDispatched { worker });
             st.graph.start_task(tid);
+            inner.emit(&mut st, tid, EventKind::TaskStarted { worker });
             drop(st);
-            execute_task(&inner, tid, body);
+            execute_task(&inner, tid, body, worker);
             st = inner.state.lock();
             continue;
         }
@@ -197,8 +213,9 @@ fn worker_loop(inner: Arc<Inner>) {
     inner.cv.notify_all();
 }
 
-fn execute_task(inner: &Arc<Inner>, tid: TaskId, body: Body) {
-    let mut ctx = ThreadCtx { inner: Arc::clone(inner), task: tid, holds: HoldSet::new() };
+fn execute_task(inner: &Arc<Inner>, tid: TaskId, body: Body, worker: usize) {
+    let mut ctx =
+        ThreadCtx { inner: Arc::clone(inner), task: tid, holds: HoldSet::new(), worker };
     let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
     let leaked = ctx.holds.any_held();
     let mut st = inner.state.lock();
@@ -206,7 +223,8 @@ fn execute_task(inner: &Arc<Inner>, tid: TaskId, body: Body) {
     match outcome {
         Ok(()) if !leaked => {
             let wakes = st.graph.finish_task(tid);
-            Inner::apply_wakes(&mut st, wakes);
+            inner.emit(&mut st, tid, EventKind::TaskFinished { worker });
+            inner.apply_wakes(&mut st, wakes);
         }
         Ok(()) => {
             st.record_fault(JadeFault::SpecViolation {
@@ -252,11 +270,20 @@ impl ThreadedExecutor {
     /// # Panics
     /// Re-raises the root body's own panic; any other fault (a task
     /// panic, a spec violation, cancellation) panics with the fault's
-    /// [`Display`](std::fmt::Display) rendering. Use [`try_run`]
-    /// (ThreadedExecutor::try_run) to receive faults as values.
-    pub fn run<R>(&self, program: impl FnOnce(&mut ThreadCtx) -> R) -> (R, RuntimeStats) {
-        match self.try_run_inner(program, false) {
-            Ok((r, stats, _)) => (r, stats),
+    /// [`Display`](std::fmt::Display) rendering.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Runtime::execute(RunConfig::new(), program)` and inspect the `Report`"
+    )]
+    pub fn run<R>(
+        &self,
+        program: impl FnOnce(&mut ThreadCtx) -> R + Send + 'static,
+    ) -> (R, RuntimeStats)
+    where
+        R: Send + 'static,
+    {
+        match self.execute(RunConfig::new(), program) {
+            Ok(rep) => rep.into_parts(),
             Err(fault) => panic!("{fault}"),
         }
     }
@@ -268,31 +295,74 @@ impl ThreadedExecutor {
     ///
     /// The root body's own panic is still re-raised (it is the caller's
     /// panic, not a child fault).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Runtime::execute(RunConfig::new(), program)`; it already returns \
+                `Result<Report, JadeFault>`"
+    )]
     pub fn try_run<R>(
         &self,
-        program: impl FnOnce(&mut ThreadCtx) -> R,
-    ) -> Result<(R, RuntimeStats), JadeFault> {
-        self.try_run_inner(program, false).map(|(r, stats, _)| (r, stats))
+        program: impl FnOnce(&mut ThreadCtx) -> R + Send + 'static,
+    ) -> Result<(R, RuntimeStats), JadeFault>
+    where
+        R: Send + 'static,
+    {
+        self.execute(RunConfig::new(), program).map(Report::into_parts)
     }
 
     /// Execute with dynamic task-graph capture.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Runtime::execute(RunConfig::new().with_trace(), program)` and read \
+                `Report::trace`"
+    )]
     pub fn run_traced<R>(
         &self,
-        program: impl FnOnce(&mut ThreadCtx) -> R,
-    ) -> (R, RuntimeStats, TaskGraphTrace) {
-        match self.try_run_inner(program, true) {
-            Ok((r, stats, tr)) => (r, stats, tr.expect("trace enabled")),
+        program: impl FnOnce(&mut ThreadCtx) -> R + Send + 'static,
+    ) -> (R, RuntimeStats, TaskGraphTrace)
+    where
+        R: Send + 'static,
+    {
+        match self.execute(RunConfig::new().with_trace(), program) {
+            Ok(rep) => {
+                let trace = rep.trace.expect("trace enabled");
+                (rep.result, rep.stats, trace)
+            }
             Err(fault) => panic!("{fault}"),
         }
     }
 
-    fn try_run_inner<R>(
-        &self,
-        program: impl FnOnce(&mut ThreadCtx) -> R,
-        trace: bool,
-    ) -> Result<(R, RuntimeStats, Option<TaskGraphTrace>), JadeFault> {
+    /// Cancel all pending work and wait for every worker to exit.
+    /// Returns the recorded fault (there must be one).
+    fn drain(inner: &Arc<Inner>, st: &mut MutexGuard<'_, State>) -> JadeFault {
+        st.cancel_pending();
+        inner.cv.notify_all();
+        while st.live_workers > 0 {
+            inner.cv.wait(st);
+        }
+        st.fault.clone().expect("drain is only reached after a fault was recorded")
+    }
+}
+
+impl Runtime for ThreadedExecutor {
+    type Ctx = ThreadCtx;
+
+    /// Execute on the thread pool. `cfg.workers` overrides the pool
+    /// width, `cfg.throttle` (when not `Throttle::None`) overrides the
+    /// executor's policy; trace/timeline/contention/observers are all
+    /// honored. Worker lane 0 is the root's thread; pool workers are
+    /// 1..=N.
+    fn execute<R, F>(&self, mut cfg: RunConfig, program: F) -> Result<Report<R>, JadeFault>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut ThreadCtx) -> R + Send + 'static,
+    {
+        let workers = cfg.workers.unwrap_or(self.workers).max(1);
+        let throttle =
+            if cfg.throttle == Throttle::None { self.throttle } else { cfg.throttle };
+        let hub = cfg.take_hub();
         let mut graph = DepGraph::new();
-        if trace {
+        if cfg.trace {
             graph.enable_trace();
         }
         let inner = Arc::new(Inner {
@@ -303,22 +373,29 @@ impl ThreadedExecutor {
                 bodies: HashMap::new(),
                 unfinished: 0,
                 root_done: false,
-                base_workers: self.workers,
-                live_workers: self.workers,
+                base_workers: workers,
+                live_workers: workers,
                 idle_workers: 0,
                 blocked_tasks: 0,
                 fault: None,
+                hub,
+                next_worker: workers + 1,
             }),
             cv: Condvar::new(),
-            throttle: self.throttle,
+            throttle,
+            start: Instant::now(),
         });
-        for _ in 0..self.workers {
+        for lane in 1..=workers {
             let i = Arc::clone(&inner);
-            std::thread::spawn(move || worker_loop(i));
+            std::thread::spawn(move || worker_loop(i, lane));
         }
 
-        let mut ctx =
-            ThreadCtx { inner: Arc::clone(&inner), task: TaskId::ROOT, holds: HoldSet::new() };
+        let mut ctx = ThreadCtx {
+            inner: Arc::clone(&inner),
+            task: TaskId::ROOT,
+            holds: HoldSet::new(),
+            worker: 0,
+        };
         let outcome = catch_unwind(AssertUnwindSafe(|| program(&mut ctx)));
 
         let mut st = inner.state.lock();
@@ -335,7 +412,15 @@ impl ThreadedExecutor {
                 }
                 let stats = st.graph.stats;
                 let tr = st.graph.take_trace();
-                Ok((result, stats, tr))
+                let hub = std::mem::replace(&mut st.hub, ObserverHub::inactive());
+                drop(st);
+                let elapsed = inner.start.elapsed().as_nanos() as u64;
+                let arts = hub.finish(elapsed.max(1));
+                let mut rep = Report::new(result, stats, elapsed, workers);
+                rep.trace = tr;
+                rep.timeline = arts.timeline;
+                rep.contention = arts.contention;
+                Ok(rep)
             }
             Err(payload) => {
                 // The root unwound: either its own panic, or a
@@ -354,17 +439,6 @@ impl ThreadedExecutor {
             }
         }
     }
-
-    /// Cancel all pending work and wait for every worker to exit.
-    /// Returns the recorded fault (there must be one).
-    fn drain(inner: &Arc<Inner>, st: &mut MutexGuard<'_, State>) -> JadeFault {
-        st.cancel_pending();
-        inner.cv.notify_all();
-        while st.live_workers > 0 {
-            inner.cv.wait(st);
-        }
-        st.fault.clone().expect("drain is only reached after a fault was recorded")
-    }
 }
 
 /// Execution context handed to task bodies on the thread pool.
@@ -372,6 +446,8 @@ pub struct ThreadCtx {
     inner: Arc<Inner>,
     task: TaskId,
     holds: HoldSet,
+    /// The lane this task is executing on (0 = root's thread).
+    worker: usize,
 }
 
 impl JadeCtx for ThreadCtx {
@@ -428,16 +504,31 @@ impl JadeCtx for ThreadCtx {
             .create_task(self.task, label, decls, placement)
             .unwrap_or_else(|e| violation(e));
         st.unfinished += 1;
+        if st.hub.is_active() {
+            let parent = self.task;
+            self.inner.emit(
+                &mut st,
+                tid,
+                EventKind::TaskCreated { parent, label: label.to_string() },
+            );
+        }
 
         if inline {
-            Inner::apply_wakes(&mut st, wakes); // tid has no stored body; skipped
+            self.inner.apply_wakes(&mut st, wakes); // tid has no stored body; skipped
             let inner = Arc::clone(&self.inner);
             inner.wait_until(&mut st, |s| s.graph.state(tid) == TaskState::Ready);
+            self.inner.emit(&mut st, tid, EventKind::TaskInlined);
+            self.inner.emit(&mut st, tid, EventKind::TaskDispatched { worker: self.worker });
             st.graph.start_task(tid);
+            self.inner.emit(&mut st, tid, EventKind::TaskStarted { worker: self.worker });
             st.graph.stats.tasks_inlined += 1;
             drop(st);
-            let mut cctx =
-                ThreadCtx { inner: Arc::clone(&self.inner), task: tid, holds: HoldSet::new() };
+            let mut cctx = ThreadCtx {
+                inner: Arc::clone(&self.inner),
+                task: tid,
+                holds: HoldSet::new(),
+                worker: self.worker,
+            };
             let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut cctx)));
             let leaked = cctx.holds.any_held();
             let mut st = self.inner.state.lock();
@@ -445,7 +536,16 @@ impl JadeCtx for ThreadCtx {
             match outcome {
                 Ok(()) if !leaked => {
                     let wakes = st.graph.finish_task(tid);
-                    Inner::apply_wakes(&mut st, wakes);
+                    // The engine counts every completion; an inlined
+                    // task is accounted in `tasks_inlined` instead, so
+                    // `created == finished + inlined` stays balanced.
+                    st.graph.stats.tasks_finished -= 1;
+                    self.inner.emit(
+                        &mut st,
+                        tid,
+                        EventKind::TaskFinished { worker: self.worker },
+                    );
+                    self.inner.apply_wakes(&mut st, wakes);
                     self.inner.cv.notify_all();
                 }
                 Ok(()) => {
@@ -471,7 +571,7 @@ impl JadeCtx for ThreadCtx {
             }
         } else {
             st.bodies.insert(tid, Box::new(body));
-            Inner::apply_wakes(&mut st, wakes);
+            self.inner.apply_wakes(&mut st, wakes);
             self.inner.cv.notify_all();
         }
     }
@@ -487,12 +587,14 @@ impl JadeCtx for ThreadCtx {
             .graph
             .with_cont(self.task, builder.build())
             .unwrap_or_else(|e| violation(e));
-        Inner::apply_wakes(&mut st, wakes);
+        self.inner.apply_wakes(&mut st, wakes);
         self.inner.cv.notify_all();
         if must_block {
             let task = self.task;
+            self.inner.emit(&mut st, task, EventKind::ContBlock);
             let inner = Arc::clone(&self.inner);
             inner.wait_until(&mut st, |s| s.graph.state(task) == TaskState::Running);
+            self.inner.emit(&mut st, task, EventKind::ContUnblock);
         }
     }
 
@@ -539,8 +641,18 @@ impl ThreadCtx {
                 Ok(AccessStatus::Granted) => break,
                 Ok(AccessStatus::MustWait) => {
                     let task = self.task;
+                    self.inner.emit(
+                        &mut st,
+                        task,
+                        EventKind::AccessWaitBegin { object: h.id(), kind },
+                    );
                     let inner = Arc::clone(&self.inner);
                     inner.wait_until(&mut st, |s| s.graph.state(task) == TaskState::Running);
+                    self.inner.emit(
+                        &mut st,
+                        task,
+                        EventKind::AccessWaitEnd { object: h.id(), kind },
+                    );
                 }
                 Err(e) => violation(e),
             }
@@ -554,10 +666,21 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
 
+    /// `execute` with default options, unwrapped like the old `run`.
+    fn run<R: Send + 'static>(
+        exec: &ThreadedExecutor,
+        program: impl FnOnce(&mut ThreadCtx) -> R + Send + 'static,
+    ) -> (R, RuntimeStats) {
+        match exec.execute(RunConfig::new(), program) {
+            Ok(rep) => rep.into_parts(),
+            Err(fault) => panic!("{fault}"),
+        }
+    }
+
     #[test]
     fn independent_tasks_run_and_root_collects() {
         let exec = ThreadedExecutor::new(4);
-        let (v, stats) = exec.run(|ctx| {
+        let (v, stats) = run(&exec, |ctx| {
             let xs: Vec<Shared<f64>> = (0..16).map(|i| ctx.create(i as f64)).collect();
             for &x in &xs {
                 ctx.withonly("inc", |s| { s.rd_wr(x); }, move |c| {
@@ -576,7 +699,7 @@ mod tests {
         // in serial order on every run.
         for _ in 0..20 {
             let exec = ThreadedExecutor::new(8);
-            let (v, _) = exec.run(|ctx| {
+            let (v, _) = run(&exec, |ctx| {
                 let x = ctx.create(1.0f64);
                 for i in 1..=6 {
                     let k = i as f64;
@@ -604,11 +727,13 @@ mod tests {
         let peak = Arc::new(AtomicU64::new(0));
         let cur = Arc::new(AtomicU64::new(0));
         let exec = ThreadedExecutor::new(4);
-        let (peak_seen, _) = exec.run(|ctx| {
+        let peak2 = peak.clone();
+        let cur2 = cur.clone();
+        let (peak_seen, _) = run(&exec, move |ctx| {
             let x = ctx.create(7.0f64);
             for _ in 0..8 {
-                let peak = peak.clone();
-                let cur = cur.clone();
+                let peak = peak2.clone();
+                let cur = cur2.clone();
                 ctx.withonly("reader", |s| { s.rd(x); }, move |c| {
                     let _v = *c.rd(&x);
                     let now = cur.fetch_add(1, Ordering::SeqCst) + 1;
@@ -626,7 +751,7 @@ mod tests {
     #[test]
     fn hierarchical_parent_waits_for_child_write() {
         let exec = ThreadedExecutor::new(4);
-        let (v, _) = exec.run(|ctx| {
+        let (v, _) = run(&exec, |ctx| {
             let x = ctx.create(0.0f64);
             ctx.withonly("parent", |s| { s.rd_wr(x); }, move |c| {
                 *c.wr(&x) = 1.0;
@@ -645,7 +770,7 @@ mod tests {
     #[test]
     fn deferred_pipeline_overlaps_and_preserves_values() {
         let exec = ThreadedExecutor::new(4);
-        let (sum, stats) = exec.run(|ctx| {
+        let (sum, stats) = run(&exec, |ctx| {
             let cols: Vec<Shared<f64>> = (0..6).map(|_| ctx.create(0.0f64)).collect();
             let out = ctx.create(0.0f64);
             // Producers, in order.
@@ -689,7 +814,7 @@ mod tests {
     #[test]
     fn inline_throttling_bounds_live_tasks() {
         let exec = ThreadedExecutor::new(2).with_throttle(Throttle::Inline { hi: 1 });
-        let (v, stats) = exec.run(|ctx| {
+        let (v, stats) = run(&exec, |ctx| {
             let acc = ctx.create(0.0f64);
             // A slow head task keeps the live count at the watermark
             // while the loop creates the rest, making inlining
@@ -714,7 +839,7 @@ mod tests {
     fn suspend_creator_throttling_bounds_live_tasks() {
         let exec =
             ThreadedExecutor::new(2).with_throttle(Throttle::SuspendCreator { hi: 8, lo: 4 });
-        let (v, stats) = exec.run(|ctx| {
+        let (v, stats) = run(&exec, |ctx| {
             let xs: Vec<Shared<f64>> = (0..64).map(|i| ctx.create(i as f64)).collect();
             for &x in &xs {
                 ctx.withonly("inc", |s| { s.rd_wr(x); }, move |c| {
@@ -748,7 +873,7 @@ mod tests {
         let (serial, _) = jade_core::serial::run(program);
         for workers in [1, 2, 4, 8] {
             let exec = ThreadedExecutor::new(workers);
-            let (par, _) = exec.run(program);
+            let (par, _) = run(&exec, program);
             assert_eq!(par, serial, "workers={workers}");
         }
     }
@@ -757,7 +882,7 @@ mod tests {
     #[should_panic(expected = "undeclared")]
     fn undeclared_access_panics_through_pool() {
         let exec = ThreadedExecutor::new(2);
-        exec.run(|ctx| {
+        run(&exec, |ctx| {
             let a = ctx.create(0.0f64);
             let b = ctx.create(0.0f64);
             ctx.withonly("bad", |s| { s.rd(a); }, move |c| {
@@ -772,7 +897,7 @@ mod tests {
     fn try_run_returns_task_panic_as_value_and_pool_is_reusable() {
         let exec = ThreadedExecutor::new(4);
         let err = exec
-            .try_run(|ctx| {
+            .execute(RunConfig::new(), |ctx| {
                 let a = ctx.create(0.0f64);
                 ctx.withonly("boom", |s| { s.rd_wr(a); }, move |_| {
                     panic!("task exploded: 42");
@@ -787,14 +912,14 @@ mod tests {
             other => panic!("expected TaskPanicked, got {other:?}"),
         }
         // The same executor value runs cleanly afterwards.
-        let (v, _) = exec.try_run(|ctx| {
+        let rep = exec.execute(RunConfig::new(), |ctx| {
             let a = ctx.create(1.0f64);
             ctx.withonly("inc", |s| { s.rd_wr(a); }, move |c| {
                 *c.wr(&a) += 1.0;
             });
             *ctx.rd(&a)
         }).expect("clean run succeeds");
-        assert_eq!(v, 2.0);
+        assert_eq!(rep.result, 2.0);
     }
 
     #[test]
@@ -804,7 +929,7 @@ mod tests {
         // and cancel them all; the run returns instead of hanging.
         let exec = ThreadedExecutor::new(4);
         let err = exec
-            .try_run(|ctx| {
+            .execute(RunConfig::new(), |ctx| {
                 let x = ctx.create(0.0f64);
                 ctx.withonly("bad-writer", |s| { s.rd_wr(x); }, move |_| {
                     std::thread::sleep(std::time::Duration::from_millis(20));
@@ -825,7 +950,7 @@ mod tests {
     fn spec_violation_is_typed_not_stringly() {
         let exec = ThreadedExecutor::new(2);
         let err = exec
-            .try_run(|ctx| {
+            .execute(RunConfig::new(), |ctx| {
                 let a = ctx.create(0.0f64);
                 let b = ctx.create(0.0f64);
                 ctx.withonly("bad", |s| { s.rd(a); }, move |c| {
@@ -846,7 +971,7 @@ mod tests {
     fn leaked_guard_surfaces_as_typed_fault() {
         let exec = ThreadedExecutor::new(2);
         let err = exec
-            .try_run(|ctx| {
+            .execute(RunConfig::new(), |ctx| {
                 let a = ctx.create(0.0f64);
                 ctx.withonly("leaky", |s| { s.rd(a); }, move |c| {
                     let g = c.rd(&a);
@@ -868,7 +993,7 @@ mod tests {
     fn root_panic_is_reraised_not_wrapped() {
         let exec = ThreadedExecutor::new(2);
         let payload = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            exec.try_run(|ctx| {
+            exec.execute(RunConfig::new(), |ctx| {
                 let a = ctx.create(0.0f64);
                 ctx.withonly("ok", |s| { s.rd_wr(a); }, move |c| {
                     *c.wr(&a) += 1.0;
@@ -884,7 +1009,7 @@ mod tests {
     #[test]
     fn many_small_tasks_stress() {
         let exec = ThreadedExecutor::new(8);
-        let (total, stats) = exec.run(|ctx| {
+        let (total, stats) = run(&exec, |ctx| {
             let buckets: Vec<Shared<f64>> = (0..32).map(|_| ctx.create(0.0f64)).collect();
             for i in 0..512 {
                 let b = buckets[i % 32];
@@ -896,5 +1021,144 @@ mod tests {
         });
         assert_eq!(total, 512.0);
         assert_eq!(stats.tasks_created, 512);
+        assert_eq!(stats.tasks_finished + stats.tasks_inlined, 512);
+    }
+
+    #[test]
+    fn run_config_overrides_workers_and_throttle() {
+        let exec = ThreadedExecutor::new(1);
+        let rep = exec
+            .execute(
+                RunConfig::new()
+                    .with_workers(4)
+                    .with_throttle(Throttle::SuspendCreator { hi: 8, lo: 4 }),
+                |ctx| {
+                    let xs: Vec<Shared<f64>> = (0..32).map(|i| ctx.create(i as f64)).collect();
+                    for &x in &xs {
+                        ctx.withonly("inc", |s| { s.rd_wr(x); }, move |c| {
+                            *c.wr(&x) += 1.0;
+                        });
+                    }
+                    assert_eq!(ctx.machines(), 4);
+                    xs.iter().map(|x| *ctx.rd(x)).sum::<f64>()
+                },
+            )
+            .expect("clean run");
+        assert_eq!(rep.workers, 4);
+        assert_eq!(rep.result, (0..32).map(|i| i as f64 + 1.0).sum::<f64>());
+        assert!(rep.stats.peak_live_tasks <= 9, "peak {}", rep.stats.peak_live_tasks);
+    }
+
+    #[test]
+    fn execute_captures_timeline_and_contention() {
+        let exec = ThreadedExecutor::new(4);
+        let rep = exec
+            .execute(RunConfig::new().profiled(), |ctx| {
+                let x = ctx.create(0.0f64);
+                for _ in 0..6 {
+                    ctx.withonly("bump", |s| { s.rd_wr(x); }, move |c| {
+                        let cur = *c.rd(&x);
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        *c.wr(&x) = cur + 1.0;
+                    });
+                }
+                *ctx.rd(&x)
+            })
+            .expect("clean run");
+        assert_eq!(rep.result, 6.0);
+        let tl = rep.timeline.as_ref().expect("timeline requested");
+        assert_eq!(tl.slices().len(), 6);
+        assert!(tl.slices().iter().all(|s| s.end_nanos >= s.start_nanos));
+        // A serializing chain on one object: the contention profile
+        // sees it whenever at least one access actually waited.
+        let cp = rep.contention.as_ref().expect("contention requested");
+        if rep.stats.access_waits > 0 {
+            assert!(cp.total_wait_nanos() > 0 || !cp.entries().is_empty());
+        }
+        // Critical path over a serializing chain covers every task,
+        // and the bound can never promise less than what was measured.
+        let crit = rep.critical_path().expect("trace + timeline present");
+        assert_eq!(crit.length_tasks(), 6);
+        assert!(crit.parallelism_bound() >= crit.measured_speedup() - 1e-9);
+        let json = tl.to_chrome_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("bump"));
+    }
+
+    #[test]
+    fn observer_sees_wellformed_event_sequence() {
+        use jade_core::observe::EventCollector;
+        let col = EventCollector::new();
+        let exec = ThreadedExecutor::new(4).with_throttle(Throttle::Inline { hi: 4 });
+        let rep = exec
+            .execute(RunConfig::new().with_observer(col.observer()), |ctx| {
+                let xs: Vec<Shared<f64>> = (0..24).map(|i| ctx.create(i as f64)).collect();
+                for &x in &xs {
+                    ctx.withonly("inc", |s| { s.rd_wr(x); }, move |c| {
+                        *c.wr(&x) += 1.0;
+                    });
+                }
+                xs.iter().map(|x| *ctx.rd(x)).sum::<f64>()
+            })
+            .expect("clean run");
+        let events = col.events();
+        assert!(!events.is_empty(), "observer must receive events");
+        // Per task: created ≤ enabled ≤ dispatched ≤ started ≤ finished
+        // in emission order.
+        use std::collections::HashMap;
+        #[derive(Default)]
+        struct Seen {
+            created: Option<usize>,
+            enabled: Option<usize>,
+            dispatched: Option<usize>,
+            started: Option<usize>,
+            finished: Option<usize>,
+        }
+        let mut by_task: HashMap<TaskId, Seen> = HashMap::new();
+        for (i, ev) in events.iter().enumerate() {
+            let e = by_task.entry(ev.task).or_default();
+            match ev.kind {
+                EventKind::TaskCreated { .. } => e.created = Some(i),
+                EventKind::TaskEnabled => e.enabled = Some(i),
+                EventKind::TaskDispatched { .. } => e.dispatched = Some(i),
+                EventKind::TaskStarted { .. } => e.started = Some(i),
+                EventKind::TaskFinished { .. } => e.finished = Some(i),
+                _ => {}
+            }
+        }
+        let mut tasks_seen = 0;
+        for (task, seen) in &by_task {
+            if task.is_root() {
+                continue;
+            }
+            tasks_seen += 1;
+            let c = seen.created.unwrap_or_else(|| panic!("{task} missing created"));
+            let e = seen.enabled.unwrap_or_else(|| panic!("{task} missing enabled"));
+            let d = seen.dispatched.unwrap_or_else(|| panic!("{task} missing dispatched"));
+            let s = seen.started.unwrap_or_else(|| panic!("{task} missing started"));
+            let f = seen.finished.unwrap_or_else(|| panic!("{task} missing finished"));
+            assert!(c <= e && e <= d && d <= s && s <= f, "{task} out of order");
+        }
+        assert_eq!(tasks_seen as u64, rep.stats.tasks_created);
+        // Timestamps never decrease in emission order.
+        assert!(events.windows(2).all(|w| w[0].nanos <= w[1].nanos));
+    }
+
+    #[test]
+    fn no_observer_means_no_artifacts() {
+        let exec = ThreadedExecutor::new(2);
+        let rep = exec
+            .execute(RunConfig::new(), |ctx| {
+                let x = ctx.create(0.0f64);
+                ctx.withonly("t", |s| { s.rd_wr(x); }, move |c| {
+                    *c.wr(&x) += 1.0;
+                });
+                *ctx.rd(&x)
+            })
+            .expect("clean run");
+        assert!(rep.trace.is_none());
+        assert!(rep.timeline.is_none());
+        assert!(rep.contention.is_none());
+        assert!(rep.critical_path().is_none());
     }
 }

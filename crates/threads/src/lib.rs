@@ -22,25 +22,47 @@
 //!   a compensation worker if ready tasks would otherwise starve, so
 //!   the effective parallelism stays at the configured width.
 //!
+//! Programs run through the uniform entry point
+//! [`jade_core::runtime::Runtime::execute`] with a
+//! [`RunConfig`](jade_core::runtime::RunConfig); the report carries
+//! the result, statistics and any requested artifacts:
+//!
 //! ```
 //! use jade_core::prelude::*;
 //! use jade_threads::ThreadedExecutor;
 //!
 //! let exec = ThreadedExecutor::new(4);
-//! let (sum, stats) = exec.run(|ctx| {
-//!     let parts: Vec<Shared<f64>> = (0..8).map(|i| ctx.create(i as f64)).collect();
-//!     for &p in &parts {
-//!         ctx.withonly("square", |s| { s.rd_wr(p); }, move |c| {
-//!             let v = *c.rd(&p);
-//!             *c.wr(&p) = v * v;
-//!         });
-//!     }
-//!     parts.iter().map(|p| *ctx.rd(p)).sum::<f64>()
-//! });
-//! assert_eq!(sum, (0..8).map(|i| (i * i) as f64).sum());
-//! assert_eq!(stats.tasks_created, 8);
+//! let report = exec
+//!     .execute(RunConfig::new(), |ctx| {
+//!         let parts: Vec<Shared<f64>> = (0..8).map(|i| ctx.create(i as f64)).collect();
+//!         for &p in &parts {
+//!             ctx.withonly("square", |s| { s.rd_wr(p); }, move |c| {
+//!                 let v = *c.rd(&p);
+//!                 *c.wr(&p) = v * v;
+//!             });
+//!         }
+//!         parts.iter().map(|p| *ctx.rd(p)).sum::<f64>()
+//!     })
+//!     .expect("clean run");
+//! assert_eq!(report.result, (0..8).map(|i| (i * i) as f64).sum());
+//! assert_eq!(report.stats.tasks_created, 8);
 //! ```
+//!
+//! ## Access specifications
+//!
+//! Task specifications use the shared builders from `jade_core::spec`,
+//! re-exported here so both frontends present the identical surface:
+//! [`SpecBuilder`] with `rd`/`wr`/`rd_wr` (immediate declarations),
+//! `df_rd`/`df_wr` (deferred declarations), and [`ContBuilder`] with
+//! `to_rd`/`to_wr` (convert deferred to immediate) and `no_rd`/`no_wr`
+//! (retire a declaration early).
+
+#![cfg_attr(test, deny(deprecated))]
 
 mod executor;
 
 pub use executor::{ThreadCtx, ThreadedExecutor, Throttle};
+
+// The spec-builder surface, identical in jade-threads and jade-sim.
+pub use jade_core::runtime::{Report, RunConfig, Runtime};
+pub use jade_core::spec::{ContBuilder, SpecBuilder};

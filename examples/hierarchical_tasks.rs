@@ -14,7 +14,7 @@
 
 use jade_core::prelude::*;
 use jade_core::withonly;
-use jade_sim::{Platform, SimExecutor};
+use jade_sim::{Platform, SimExecutor, SimReport};
 use jade_threads::ThreadedExecutor;
 
 /// The integrand: smooth with a sharp feature, so adaptivity matters.
@@ -66,12 +66,18 @@ fn main() {
     let (serial, stats) = jade_core::serial::run(|ctx| integrate(ctx, -1.0, 1.0));
     println!("serial elision:  ∫f = {serial:.9}   ({} interval tasks)", stats.tasks_created);
 
-    let (threaded, tstats) = ThreadedExecutor::new(8).run(|ctx| integrate(ctx, -1.0, 1.0));
-    println!("8 threads:       ∫f = {threaded:.9}   ({} tasks)", tstats.tasks_created);
+    let trep = ThreadedExecutor::new(8)
+        .execute(RunConfig::new(), |ctx| integrate(ctx, -1.0, 1.0))
+        .expect("clean run");
+    let threaded = trep.result;
+    println!("8 threads:       ∫f = {threaded:.9}   ({} tasks)", trep.stats.tasks_created);
     assert_eq!(serial, threaded, "hierarchical execution must stay deterministic");
 
-    let (simmed, report) =
-        SimExecutor::new(Platform::dash(8)).run(|ctx| integrate(ctx, -1.0, 1.0));
+    let srep = SimExecutor::new(Platform::dash(8))
+        .execute(RunConfig::new(), |ctx| integrate(ctx, -1.0, 1.0))
+        .expect("clean run");
+    let simmed = srep.result;
+    let report = srep.extra::<SimReport>().expect("sim extras");
     println!(
         "simulated DASH:  ∫f = {simmed:.9}   (sim time {}, util {:.0}%)",
         report.time,

@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example parallel_make`
 
 use jade_apps::pmake::{self, Makefile};
-use jade_sim::{Platform, SimExecutor};
+use jade_sim::{Platform, RunConfig, Runtime, SimExecutor, SimReport};
 use jade_threads::ThreadedExecutor;
 
 fn main() {
@@ -16,18 +16,22 @@ fn main() {
     println!("full build rebuilds {} targets", serial.rebuilt.len());
 
     let mk1 = mk.clone();
-    let (out, stats) = ThreadedExecutor::new(4).run(move |ctx| pmake::make_jade(ctx, &mk1));
-    assert_eq!(out.rebuilt.len(), serial.rebuilt.len());
+    let rep = ThreadedExecutor::new(4)
+        .execute(RunConfig::new(), move |ctx| pmake::make_jade(ctx, &mk1))
+        .expect("clean run");
+    assert_eq!(rep.result.rebuilt.len(), serial.rebuilt.len());
     println!(
         "threaded make: {} command tasks, {} dependence edges",
-        stats.tasks_created, stats.conflicts
+        rep.stats.tasks_created, rep.stats.conflicts
     );
 
     // Simulated workstation farm: compilations distribute across
     // machines; the library link waits for every object.
     let mk2 = mk.clone();
-    let (_, report) =
-        SimExecutor::new(Platform::workstations(6)).run(move |ctx| pmake::make_jade(ctx, &mk2));
+    let srep = SimExecutor::new(Platform::workstations(6))
+        .execute(RunConfig::new(), move |ctx| pmake::make_jade(ctx, &mk2))
+        .expect("clean run");
+    let report = srep.extra::<SimReport>().expect("sim extras");
     println!(
         "6 workstations: simulated build time {}, utilization {:.0}%",
         report.time,
@@ -40,7 +44,10 @@ fn main() {
         mk3.files.insert(name.clone(), *st);
     }
     mk3.files.get_mut("m3.c").unwrap().version += 100; // "edit": newer than any built artifact
-    let (inc, _) = ThreadedExecutor::new(4).run(move |ctx| pmake::make_jade(ctx, &mk3));
+    let inc = ThreadedExecutor::new(4)
+        .execute(RunConfig::new(), move |ctx| pmake::make_jade(ctx, &mk3))
+        .expect("clean run")
+        .result;
     let mut rebuilt: Vec<&String> = inc.rebuilt.iter().collect();
     rebuilt.sort();
     println!("after touching m3.c, rebuilt: {rebuilt:?}");
@@ -48,8 +55,10 @@ fn main() {
     // A chain-shaped makefile has no parallelism at all — the runtime
     // discovers that too.
     let chain = Makefile::chain(10, 6e6);
-    let (_, chain_report) =
-        SimExecutor::new(Platform::workstations(6)).run(move |ctx| pmake::make_jade(ctx, &chain));
+    let chain_rep = SimExecutor::new(Platform::workstations(6))
+        .execute(RunConfig::new(), move |ctx| pmake::make_jade(ctx, &chain))
+        .expect("clean run");
+    let chain_report = chain_rep.extra::<SimReport>().expect("sim extras");
     println!(
         "chain makefile on 6 machines: utilization {:.0}% (no parallelism to find)",
         chain_report.utilization() * 100.0

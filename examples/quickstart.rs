@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use jade_core::prelude::*;
-use jade_sim::{Platform, SimExecutor};
+use jade_sim::{Platform, SimExecutor, SimReport};
 use jade_threads::ThreadedExecutor;
 
 /// The Jade program: a tiny map/reduce over shared objects. Written
@@ -69,18 +69,25 @@ fn main() {
     let (serial, stats) = jade_core::serial::run(program);
     println!("serial elision:      {serial:.0}   ({} tasks)", stats.tasks_created);
 
-    // Real shared-memory threads.
-    let (threaded, _) = ThreadedExecutor::new(4).run(program);
-    println!("4 threads:           {threaded:.0}");
+    // Real shared-memory threads, through the uniform entry point.
+    let threaded = ThreadedExecutor::new(4)
+        .execute(RunConfig::new(), program)
+        .expect("clean run");
+    println!("4 threads:           {:.0}", threaded.result);
 
     // Simulated message-passing network of heterogeneous workstations.
-    let (sim, report) = SimExecutor::new(Platform::workstations(4)).run(program);
+    // The same `execute` call; the simulator's full report (network
+    // traffic, simulated time) rides in `Report::extras`.
+    let sim = SimExecutor::new(Platform::workstations(4))
+        .execute(RunConfig::new(), program)
+        .expect("clean run");
+    let srep = sim.extra::<SimReport>().expect("sim extras");
     println!(
-        "simulated hetnet x4: {sim:.0}   (simulated time {}, {} msgs, {} format conversions)",
-        report.time, report.net.messages, report.traffic.conversions
+        "simulated hetnet x4: {:.0}   (simulated time {}, {} msgs, {} format conversions)",
+        sim.result, srep.time, srep.net.messages, srep.traffic.conversions
     );
 
-    assert_eq!(serial, threaded);
-    assert_eq!(serial, sim);
+    assert_eq!(serial, threaded.result);
+    assert_eq!(serial, sim.result);
     println!("all executions produced identical results — Jade's serial semantics");
 }

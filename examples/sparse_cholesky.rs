@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example sparse_cholesky`
 
 use jade_apps::cholesky::{self, SparseSym, SubstMode};
-use jade_sim::{Platform, SimExecutor};
+use jade_sim::{Platform, RunConfig, Runtime, SimExecutor, SimReport};
 use jade_threads::ThreadedExecutor;
 
 fn main() {
@@ -22,9 +22,11 @@ fn main() {
 
     // The Jade program on real threads.
     let a1 = a.clone();
-    let (l_jade, stats) =
-        ThreadedExecutor::new(4).run(move |ctx| cholesky::factor_program(ctx, &a1));
-    assert_eq!(l_jade.cols, l_serial.cols, "parallel factor must equal serial");
+    let frep = ThreadedExecutor::new(4)
+        .execute(RunConfig::new(), move |ctx| cholesky::factor_program(ctx, &a1))
+        .expect("clean run");
+    let stats = frep.stats;
+    assert_eq!(frep.result.cols, l_serial.cols, "parallel factor must equal serial");
     println!(
         "threaded factor: {} tasks, {} dependence conflicts detected",
         stats.tasks_created, stats.conflicts
@@ -35,8 +37,12 @@ fn main() {
     let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.17).sin()).collect();
     let a2 = a.clone();
     let b2 = b.clone();
-    let (y, _) = ThreadedExecutor::new(4)
-        .run(move |ctx| cholesky::factor_then_subst(ctx, &a2, &b2, SubstMode::Pipelined));
+    let y = ThreadedExecutor::new(4)
+        .execute(RunConfig::new(), move |ctx| {
+            cholesky::factor_then_subst(ctx, &a2, &b2, SubstMode::Pipelined)
+        })
+        .expect("clean run")
+        .result;
     let y_ref = cholesky::serial::forward_subst(&l_serial, &b);
     assert_eq!(y, y_ref);
     println!("pipelined forward substitution matches the serial solve");
@@ -46,8 +52,12 @@ fn main() {
     for mode in [SubstMode::TaskBoundary, SubstMode::Pipelined] {
         let a3 = a.clone();
         let b3 = b.clone();
-        let (_, report) = SimExecutor::new(Platform::ipsc860(8))
-            .run(move |ctx| cholesky::factor_then_subst(ctx, &a3, &b3, mode));
+        let srep = SimExecutor::new(Platform::ipsc860(8))
+            .execute(RunConfig::new(), move |ctx| {
+                cholesky::factor_then_subst(ctx, &a3, &b3, mode)
+            })
+            .expect("clean run");
+        let report = srep.extra::<SimReport>().expect("sim extras");
         println!(
             "iPSC/860 x8, {mode:?}: simulated time {}, {} object moves, {} copies",
             report.time, report.traffic.moves, report.traffic.copies
@@ -56,8 +66,10 @@ fn main() {
 
     // Supernodal variant: coarser objects and tasks (§3.2).
     let a4 = a.clone();
-    let (_, sn_stats) =
-        ThreadedExecutor::new(4).run(move |ctx| cholesky::factor_super_program(ctx, &a4));
+    let sn_stats = ThreadedExecutor::new(4)
+        .execute(RunConfig::new(), move |ctx| cholesky::factor_super_program(ctx, &a4))
+        .expect("clean run")
+        .stats;
     println!(
         "supernodal factor: {} tasks (columnwise used {})",
         sn_stats.tasks_created, stats.tasks_created

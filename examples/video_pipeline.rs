@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example video_pipeline`
 
 use jade_apps::video;
-use jade_sim::{Platform, SimExecutor};
+use jade_sim::{Platform, RunConfig, Runtime, SimExecutor, SimReport};
 
 fn main() {
     let frames = 24;
@@ -16,9 +16,11 @@ fn main() {
     println!("throughput of the two-withonly pipeline vs accelerator count:");
     let mut last_time = None;
     for accels in [1, 2, 3, 4] {
-        let (result, report) = SimExecutor::new(Platform::hrv(accels))
-            .run(move |ctx| video::video_pipeline(ctx, frames, w, h));
-        assert_eq!(result, reference, "pipeline corrupted a frame");
+        let rep = SimExecutor::new(Platform::hrv(accels))
+            .execute(RunConfig::new(), move |ctx| video::video_pipeline(ctx, frames, w, h))
+            .expect("clean run");
+        assert_eq!(rep.result, reference, "pipeline corrupted a frame");
+        let report = rep.extra::<SimReport>().expect("sim extras");
         let secs = report.time.as_secs_f64();
         let fps = frames as f64 / secs;
         let speedup = last_time.map(|t: f64| t / secs).unwrap_or(1.0);

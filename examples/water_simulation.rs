@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example water_simulation`
 
 use jade_apps::lws::{self, WaterSystem};
-use jade_sim::{Platform, SimExecutor};
+use jade_sim::{Platform, RunConfig, Runtime, SimExecutor, SimReport};
 use jade_threads::ThreadedExecutor;
 
 fn main() {
@@ -20,9 +20,11 @@ fn main() {
 
     // Jade on threads.
     let s1 = sys.clone();
-    let ((e_thr, _), stats) =
-        ThreadedExecutor::new(4).run(move |ctx| lws::run_jade(ctx, &s1, 8, steps, 0.002));
-    println!("4 threads:     potential energies {e_thr:?} ({} tasks)", stats.tasks_created);
+    let trep = ThreadedExecutor::new(4)
+        .execute(RunConfig::new(), move |ctx| lws::run_jade(ctx, &s1, 8, steps, 0.002))
+        .expect("clean run");
+    let (e_thr, _) = trep.result;
+    println!("4 threads:     potential energies {e_thr:?} ({} tasks)", trep.stats.tasks_created);
     for (a, b) in e_thr.iter().zip(&serial_e) {
         assert!((a - b).abs() < 1e-9, "physics diverged: {a} vs {b}");
     }
@@ -32,8 +34,10 @@ fn main() {
         let name = platform.name.clone();
         let s2 = sys.clone();
         let blocks = 4 * platform.len();
-        let (_, report) =
-            SimExecutor::new(platform).run(move |ctx| lws::run_jade(ctx, &s2, blocks, steps, 0.002));
+        let srep = SimExecutor::new(platform)
+            .execute(RunConfig::new(), move |ctx| lws::run_jade(ctx, &s2, blocks, steps, 0.002))
+            .expect("clean run");
+        let report = srep.extra::<SimReport>().expect("sim extras");
         println!(
             "{name:>8} x8:  simulated time {:>12}   utilization {:>4.0}%   {} msgs / {} bytes",
             report.time.to_string(),

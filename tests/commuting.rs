@@ -4,9 +4,24 @@
 //! — so order-independent updates produce identical results on every
 //! executor despite the scheduling freedom.
 
+#![deny(deprecated)]
+
 use jade_core::prelude::*;
 use jade_sim::{Platform, SimExecutor};
 use jade_threads::ThreadedExecutor;
+
+/// `Runtime::execute` with the legacy `(result, stats)` shape,
+/// panicking on a fault the way `ThreadedExecutor::run` used to.
+fn trun<R, F>(workers: usize, f: F) -> (R, RuntimeStats)
+where
+    R: Send + 'static,
+    F: FnOnce(&mut jade_threads::ThreadCtx) -> R + Send + 'static,
+{
+    ThreadedExecutor::new(workers)
+        .execute(RunConfig::new(), f)
+        .unwrap_or_else(|fault| panic!("{fault}"))
+        .into_parts()
+}
 
 /// N tasks add integer amounts into one shared accumulator with `cm`,
 /// plus interleaved exact multiplications ordered by `wr`. Integer
@@ -69,7 +84,7 @@ fn commuting_updates_deterministic_everywhere() {
     assert_eq!(want.1, vec![4.0; 4]);
     assert_eq!(stats.tasks_created, 21);
     for workers in [1, 4, 8] {
-        let (got, _) = ThreadedExecutor::new(workers).run(histogram_program);
+        let (got, _) = trun(workers, histogram_program);
         assert_eq!(got, want, "threaded x{workers}");
     }
     for platform in [Platform::dash(4), Platform::ipsc860(3), Platform::workstations(4)] {
@@ -87,12 +102,12 @@ fn commuters_overlap_outside_their_guards() {
     use std::sync::Arc;
     let peak = Arc::new(AtomicU64::new(0));
     let cur = Arc::new(AtomicU64::new(0));
-    let exec = ThreadedExecutor::new(4);
-    exec.run(|ctx| {
+    let (peak2, cur2) = (peak.clone(), cur.clone());
+    trun(4, move |ctx| {
         let acc = ctx.create(0.0f64);
         for _ in 0..6 {
-            let peak = peak.clone();
-            let cur = cur.clone();
+            let peak = peak2.clone();
+            let cur = cur2.clone();
             ctx.withonly(
                 "cm-task",
                 |s| {

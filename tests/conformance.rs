@@ -1,0 +1,96 @@
+//! Backend conformance: the serial elision, the shared-memory
+//! executor, and the message-passing simulation all implement the one
+//! [`Runtime`] trait, and for a deterministic Jade program they must
+//! produce the identical result *and* the identical dynamic task
+//! graph — the serial semantics (paper §3) pins both down regardless
+//! of how the implementation exploits the exposed concurrency.
+
+#![deny(deprecated)]
+
+use jade_apps::{cholesky, lws, pmake};
+use jade_core::runtime::{Report, RunConfig, Runtime};
+use jade_core::serial::SerialRuntime;
+use jade_sim::{Platform, SimExecutor};
+use jade_threads::ThreadedExecutor;
+
+/// Run `program` on one backend with tracing and return the result
+/// plus the task graph rendered to canonical text.
+fn traced<RT, R, F>(rt: &RT, program: F) -> (R, String)
+where
+    RT: Runtime,
+    R: Send + 'static,
+    F: FnOnce(&mut RT::Ctx) -> R + Send + 'static,
+{
+    let rep: Report<R> = rt
+        .execute(RunConfig::new().with_trace(), program)
+        .unwrap_or_else(|fault| panic!("{fault}"));
+    let graph = rep.trace.as_ref().expect("tracing was requested").to_text();
+    (rep.result, graph)
+}
+
+fn assert_conform<R: PartialEq + std::fmt::Debug>(
+    name: &str,
+    serial: (R, String),
+    threads: (R, String),
+    sim: (R, String),
+) {
+    assert_eq!(serial.0, threads.0, "{name}: threads result differs from serial");
+    assert_eq!(serial.0, sim.0, "{name}: sim result differs from serial");
+    assert_eq!(serial.1, threads.1, "{name}: threads task graph differs from serial");
+    assert_eq!(serial.1, sim.1, "{name}: sim task graph differs from serial");
+}
+
+#[test]
+fn cholesky_conforms_across_backends() {
+    let a = cholesky::SparseSym::random_spd(32, 4, 11);
+    let serial = {
+        let a = a.clone();
+        traced(&SerialRuntime, move |ctx| cholesky::factor_program(ctx, &a))
+    };
+    let threads = {
+        let a = a.clone();
+        traced(&ThreadedExecutor::new(4), move |ctx| {
+            cholesky::factor_program(ctx, &a)
+        })
+    };
+    let sim = traced(&SimExecutor::new(Platform::dash(4)), move |ctx| {
+        cholesky::factor_program(ctx, &a)
+    });
+    assert_conform("cholesky", serial, threads, sim);
+}
+
+#[test]
+fn lws_conforms_across_backends() {
+    let sys = lws::WaterSystem::new(24, 5);
+    let serial = {
+        let sys = sys.clone();
+        traced(&SerialRuntime, move |ctx| lws::run_jade(ctx, &sys, 6, 2, 0.002))
+    };
+    let threads = {
+        let sys = sys.clone();
+        traced(&ThreadedExecutor::new(4), move |ctx| {
+            lws::run_jade(ctx, &sys, 6, 2, 0.002)
+        })
+    };
+    let sim = traced(&SimExecutor::new(Platform::dash(4)), move |ctx| {
+        lws::run_jade(ctx, &sys, 6, 2, 0.002)
+    });
+    assert_conform("lws", serial, threads, sim);
+}
+
+#[test]
+fn pmake_conforms_across_backends() {
+    let mk = pmake::Makefile::random_dag(16, 3);
+    let serial = {
+        let mk = mk.clone();
+        traced(&SerialRuntime, move |ctx| pmake::make_jade(ctx, &mk))
+    };
+    let threads = {
+        let mk = mk.clone();
+        traced(&ThreadedExecutor::new(4), move |ctx| pmake::make_jade(ctx, &mk))
+    };
+    let sim = traced(&SimExecutor::new(Platform::dash(4)), move |ctx| {
+        pmake::make_jade(ctx, &mk)
+    });
+    assert_conform("pmake", serial, threads, sim);
+}

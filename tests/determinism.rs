@@ -9,8 +9,24 @@
 //! Mica and heterogeneous-workstation platforms; results must be
 //! bit-identical everywhere.
 
+#![deny(deprecated)]
+
+use jade_core::stats::RuntimeStats;
 use jade_sim::{Platform, SimExecutor};
-use jade_threads::ThreadedExecutor;
+use jade_threads::{RunConfig, Runtime, ThreadedExecutor, Throttle};
+
+/// `Runtime::execute` with the legacy `(result, stats)` shape,
+/// panicking on a fault the way `ThreadedExecutor::run` used to.
+fn trun<R, F>(workers: usize, f: F) -> (R, RuntimeStats)
+where
+    R: Send + 'static,
+    F: FnOnce(&mut jade_threads::ThreadCtx) -> R + Send + 'static,
+{
+    ThreadedExecutor::new(workers)
+        .execute(RunConfig::new(), f)
+        .unwrap_or_else(|fault| panic!("{fault}"))
+        .into_parts()
+}
 
 use jade_apps::barneshut;
 use jade_apps::cholesky::{self, SparseSym, SubstMode};
@@ -60,7 +76,7 @@ fn cholesky_factorization_is_deterministic_everywhere() {
         },
         |w| {
             let a = a.clone();
-            ThreadedExecutor::new(w).run(move |ctx| cholesky::factor_program(ctx, &a)).0.cols
+            trun(w, move |ctx| cholesky::factor_program(ctx, &a)).0.cols
         },
         |p| {
             let a = a.clone();
@@ -80,8 +96,7 @@ fn supernodal_cholesky_is_deterministic_everywhere() {
         },
         |w| {
             let a = a.clone();
-            ThreadedExecutor::new(w)
-                .run(move |ctx| cholesky::factor_super_program(ctx, &a))
+            trun(w, move |ctx| cholesky::factor_super_program(ctx, &a))
                 .0
                 .cols
         },
@@ -110,8 +125,7 @@ fn pipelined_solve_is_deterministic_everywhere() {
             },
             |w| {
                 let (a, b) = (a2.clone(), b2.clone());
-                ThreadedExecutor::new(w)
-                    .run(move |ctx| cholesky::factor_then_subst(ctx, &a, &b, mode))
+                trun(w, move |ctx| cholesky::factor_then_subst(ctx, &a, &b, mode))
                     .0
             },
             |p| {
@@ -135,7 +149,7 @@ fn lws_is_deterministic_everywhere() {
         },
         |w| {
             let s = sys.clone();
-            ThreadedExecutor::new(w).run(move |ctx| lws::run_jade(ctx, &s, 4, 2, 0.002)).0
+            trun(w, move |ctx| lws::run_jade(ctx, &s, 4, 2, 0.002)).0
         },
         |p| {
             let s = sys.clone();
@@ -156,7 +170,7 @@ fn make_is_deterministic_everywhere() {
         },
         |w| {
             let mk = mk.clone();
-            let out = ThreadedExecutor::new(w).run(move |ctx| pmake::make_jade(ctx, &mk)).0;
+            let out = trun(w, move |ctx| pmake::make_jade(ctx, &mk)).0;
             (sorted_files(&out), sorted_set(&out))
         },
         |p| {
@@ -188,7 +202,7 @@ fn video_pipeline_is_deterministic_everywhere() {
     let want = jade_core::serial::run(|ctx| video::video_pipeline(ctx, 6, 48, 32)).0;
     for workers in [1, 3, 8] {
         let got =
-            ThreadedExecutor::new(workers).run(|ctx| video::video_pipeline(ctx, 6, 48, 32)).0;
+            trun(workers, |ctx| video::video_pipeline(ctx, 6, 48, 32)).0;
         assert_eq!(got, want, "video: threaded x{workers}");
     }
     for accels in [1, 2, 4] {
@@ -224,8 +238,7 @@ fn barneshut_is_deterministic_everywhere() {
         |w| {
             let b = bodies.clone();
             project(
-                ThreadedExecutor::new(w)
-                    .run(move |ctx| barneshut::run_jade(ctx, &b, 4, 2, 0.6, 0.01))
+                trun(w, move |ctx| barneshut::run_jade(ctx, &b, 4, 2, 0.6, 0.01))
                     .0,
             )
         },
@@ -258,8 +271,7 @@ fn barneshut_parallel_tree_build_is_deterministic_everywhere() {
         |w| {
             let b = bodies.clone();
             project(
-                ThreadedExecutor::new(w)
-                    .run(move |ctx| barneshut::run_partree(ctx, &b, 4, 2, 0.6, 0.01))
+                trun(w, move |ctx| barneshut::run_partree(ctx, &b, 4, 2, 0.6, 0.01))
                     .0,
             )
         },
@@ -284,8 +296,12 @@ fn throttled_executions_also_match() {
     };
     let a1 = a.clone();
     let (got_threads, _stats) = ThreadedExecutor::new(4)
-        .with_throttle(jade_threads::Throttle::Inline { hi: 4 })
-        .run(move |ctx| cholesky::factor_program(ctx, &a1));
+        .execute(
+            RunConfig::new().with_throttle(Throttle::Inline { hi: 4 }),
+            move |ctx| cholesky::factor_program(ctx, &a1),
+        )
+        .unwrap_or_else(|fault| panic!("{fault}"))
+        .into_parts();
     // Whether any task was actually inlined depends on host timing
     // (deterministically covered in jade-threads' unit tests); what
     // must hold here is result equality.

@@ -3,11 +3,26 @@
 //! Jade's "the implementation generates an error" (§5), not a hang or
 //! a corrupted result.
 
+#![deny(deprecated)]
+
 use jade_apps::{cholesky, lws, pmake};
 use jade_core::prelude::*;
 use jade_sim::{FaultPlan, Platform, SimExecutor, SimSpan};
 use jade_threads::ThreadedExecutor;
 use proptest::prelude::*;
+
+/// `Runtime::execute` with the legacy `(result, stats)` shape,
+/// panicking on a fault the way `ThreadedExecutor::run` used to.
+fn trun<R, F>(workers: usize, f: F) -> (R, RuntimeStats)
+where
+    R: Send + 'static,
+    F: FnOnce(&mut jade_threads::ThreadCtx) -> R + Send + 'static,
+{
+    ThreadedExecutor::new(workers)
+        .execute(RunConfig::new(), f)
+        .unwrap_or_else(|fault| panic!("{fault}"))
+        .into_parts()
+}
 
 fn catch(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
     let hook = std::panic::take_hook();
@@ -27,7 +42,7 @@ fn catch(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
 #[test]
 fn task_panic_propagates_from_thread_pool() {
     let msg = catch(|| {
-        ThreadedExecutor::new(2).run(|ctx| {
+        trun(2, |ctx| {
             let a = ctx.create(0.0f64);
             ctx.withonly("boom", |s| { s.rd_wr(a); }, move |_c| {
                 panic!("task exploded: {}", 42);
@@ -66,7 +81,7 @@ fn undeclared_write_is_descriptive_on_all_executors() {
             jade_core::serial::run(bad);
         }),
         catch(|| {
-            ThreadedExecutor::new(2).run(bad);
+            trun(2, bad);
         }),
         catch(|| {
             SimExecutor::new(Platform::mica(2)).run(bad);
@@ -81,7 +96,7 @@ fn leaked_guard_is_reported() {
     // Completing a task while an access guard is still alive would
     // leave the hold bookkeeping dangling; the pool reports it.
     let msg = catch(|| {
-        ThreadedExecutor::new(2).run(|ctx| {
+        trun(2, |ctx| {
             let a = ctx.create(vec![0.0f64]);
             ctx.withonly("leaker", |s| { s.rd(a); }, move |c| {
                 let guard = c.rd(&a);
@@ -109,7 +124,7 @@ fn spawning_with_held_conflicting_guard_is_reported_everywhere() {
             jade_core::serial::run(bad);
         }),
         catch(|| {
-            ThreadedExecutor::new(2).run(bad);
+            trun(2, bad);
         }),
         catch(|| {
             SimExecutor::new(Platform::dash(2)).run(bad);
@@ -139,13 +154,13 @@ fn with_cont_on_undeclared_object_is_reported() {
 fn executors_remain_usable_after_a_failed_run() {
     // A panicked run must not poison subsequent, independent runs.
     let _ = catch(|| {
-        ThreadedExecutor::new(2).run(|ctx| {
+        trun(2, |ctx| {
             let a = ctx.create(0.0f64);
             ctx.withonly("boom", |s| { s.rd_wr(a); }, move |_c| panic!("first run dies"));
             let _ = *ctx.rd(&a);
         });
     });
-    let (v, _) = ThreadedExecutor::new(2).run(|ctx| {
+    let (v, _) = trun(2, |ctx| {
         let a = ctx.create(21.0f64);
         ctx.withonly("fine", |s| { s.rd_wr(a); }, move |c| {
             *c.wr(&a) *= 2.0;

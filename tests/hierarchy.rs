@@ -2,9 +2,24 @@
 //! task trees, parent/child access ceding, cousin tasks synchronizing
 //! through objects created at different levels, across all executors.
 
+#![deny(deprecated)]
+
 use jade_core::prelude::*;
 use jade_sim::{Platform, SimExecutor};
 use jade_threads::ThreadedExecutor;
+
+/// `Runtime::execute` with the legacy `(result, stats)` shape,
+/// panicking on a fault the way `ThreadedExecutor::run` used to.
+fn trun<R, F>(workers: usize, f: F) -> (R, RuntimeStats)
+where
+    R: Send + 'static,
+    F: FnOnce(&mut jade_threads::ThreadCtx) -> R + Send + 'static,
+{
+    ThreadedExecutor::new(workers)
+        .execute(RunConfig::new(), f)
+        .unwrap_or_else(|fault| panic!("{fault}"))
+        .into_parts()
+}
 
 /// A binary task tree of the given depth over one shared ledger:
 /// every node appends its path label, children between the parent's
@@ -43,7 +58,7 @@ fn nested_trees_are_deterministic_everywhere() {
     assert_eq!(want[0], 11);
     assert_eq!(*want.last().unwrap(), 12);
     for workers in [1, 4] {
-        let (got, _) = ThreadedExecutor::new(workers).run(|ctx| tree_program(ctx, 4));
+        let (got, _) = trun(workers, |ctx| tree_program(ctx, 4));
         assert_eq!(got, want, "threaded x{workers}");
     }
     for platform in [Platform::dash(3), Platform::mica(2)] {
@@ -88,7 +103,7 @@ fn forkjoin_sums_correctly_everywhere() {
     let expect = ((1u64 << 10) * ((1 << 10) - 1) / 2) as f64;
     let (serial, _) = jade_core::serial::run(|ctx| forkjoin_program(ctx, 6));
     assert_eq!(serial, expect);
-    let (threaded, _) = ThreadedExecutor::new(8).run(|ctx| forkjoin_program(ctx, 6));
+    let (threaded, _) = trun(8, |ctx| forkjoin_program(ctx, 6));
     assert_eq!(threaded, expect);
     let (simmed, report) =
         SimExecutor::new(Platform::ipsc860(4)).run(|ctx| forkjoin_program(ctx, 6));
@@ -129,7 +144,7 @@ fn cousins_synchronize_through_root_objects() {
     }
     let (want, _) = jade_core::serial::run(program);
     assert_eq!(want, vec![0, 1, 2, 10, 11, 12, 20, 21, 22]);
-    let (threaded, _) = ThreadedExecutor::new(4).run(program);
+    let (threaded, _) = trun(4, program);
     assert_eq!(threaded, want);
     let (simmed, _) = SimExecutor::new(Platform::dash(3)).run(program);
     assert_eq!(simmed, want);
@@ -163,7 +178,7 @@ fn deep_linear_nesting() {
     }
     let (serial, _) = jade_core::serial::run(program);
     assert_eq!(serial, 41);
-    let (threaded, _) = ThreadedExecutor::new(2).run(program);
+    let (threaded, _) = trun(2, program);
     assert_eq!(threaded, 41);
     let (simmed, _) = SimExecutor::new(Platform::mica(2)).run(program);
     assert_eq!(simmed, 41);

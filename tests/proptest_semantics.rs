@@ -4,10 +4,25 @@
 //! retired mid-task), random nested children — the threaded executor
 //! produces bitwise the same results as the serial elision.
 
+#![deny(deprecated)]
+
 use proptest::prelude::*;
 
 use jade_core::prelude::*;
-use jade_threads::{ThreadedExecutor, Throttle};
+use jade_threads::ThreadedExecutor;
+
+/// `Runtime::execute` with the legacy `(result, stats)` shape,
+/// panicking on a fault the way `ThreadedExecutor::run` used to.
+fn trun<R, F>(workers: usize, f: F) -> (R, RuntimeStats)
+where
+    R: Send + 'static,
+    F: FnOnce(&mut jade_threads::ThreadCtx) -> R + Send + 'static,
+{
+    ThreadedExecutor::new(workers)
+        .execute(RunConfig::new(), f)
+        .unwrap_or_else(|fault| panic!("{fault}"))
+        .into_parts()
+}
 
 /// One declared access in a generated task.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -208,14 +223,19 @@ proptest! {
 
         let (want, _) = jade_core::serial::run(|ctx| program(ctx, n_objects, &plans));
         for workers in [1usize, 4] {
-            let (got, _) =
-                ThreadedExecutor::new(workers).run(|ctx| program(ctx, n_objects, &plans));
+            let ps = plans.clone();
+            let (got, _) = trun(workers, move |ctx| program(ctx, n_objects, &ps));
             prop_assert_eq!(&got, &want, "workers={}", workers);
         }
         // Throttling changes scheduling, never results.
+        let ps = plans.clone();
         let (throttled, _) = ThreadedExecutor::new(2)
-            .with_throttle(Throttle::Inline { hi: 2 })
-            .run(|ctx| program(ctx, n_objects, &plans));
+            .execute(
+                RunConfig::new().with_throttle(Throttle::Inline { hi: 2 }),
+                move |ctx| program(ctx, n_objects, &ps),
+            )
+            .unwrap_or_else(|fault| panic!("{fault}"))
+            .into_parts();
         prop_assert_eq!(&throttled, &want);
     }
 }
