@@ -100,6 +100,68 @@ fn threaded_task_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+fn sharded_engine_lifecycle(c: &mut Criterion) {
+    // The sharded engine's counterpart of the `engine` group above:
+    // the same one-task lifecycle through the lock-table commit path
+    // the work-stealing executor uses.
+    use jade_core::engine::ShardedEngine;
+    let mut g = c.benchmark_group("sharded-engine");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("alloc+attach+start+finish independent task", |b| {
+        b.iter_batched_ref(
+            || {
+                let eng = ShardedEngine::new();
+                let o = eng.create_object(TaskId::ROOT);
+                (eng, o)
+            },
+            |(eng, o)| {
+                let mut sb = SpecBuilder::new();
+                sb.rd_wr(*o);
+                let tid = eng.alloc_task(TaskId::ROOT, "t", Placement::Any);
+                eng.attach_task(tid, sb.build().0).unwrap();
+                eng.start_task(tid);
+                eng.finish_task(tid);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// Spawn/dispatch throughput of the work-stealing scheduler on the
+/// E-SCHED fine-grained independent workload (trivial bodies, one
+/// object per in-flight task slot), swept across worker counts. The
+/// interesting read-out is the *shape*: the sharded scheduler must not
+/// lose throughput as workers are added the way a global-lock
+/// scheduler convoys.
+fn dispatch_throughput(c: &mut Criterion) {
+    const TASKS: u64 = 2048;
+    let mut g = c.benchmark_group("dispatch");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(TASKS));
+    for workers in [1usize, 2, 4, 8, 16] {
+        g.bench_function(format!("independent tasks, {workers} workers"), |b| {
+            let exec = ThreadedExecutor::new(workers);
+            b.iter(|| {
+                let rep = exec
+                    .execute(RunConfig::new(), move |ctx| {
+                        let xs: Vec<Shared<u64>> = (0..64).map(|_| ctx.create(0u64)).collect();
+                        for i in 0..TASKS {
+                            let x = xs[(i % 64) as usize];
+                            ctx.withonly("t", |s| { s.rd_wr(x); }, move |c| {
+                                *c.wr(&x) += 1;
+                            });
+                        }
+                        xs.iter().map(|x| *ctx.rd(x)).sum::<u64>()
+                    })
+                    .expect("clean run");
+                assert_eq!(black_box(rep.result), TASKS);
+            })
+        });
+    }
+    g.finish();
+}
+
 fn transport_conversion(c: &mut Criterion) {
     let column: Vec<f64> = (0..4096).map(|i| i as f64 * 0.5).collect();
     let bytes = 8 * column.len() as u64;
@@ -157,6 +219,8 @@ fn serial_elision_overhead(c: &mut Criterion) {
 criterion_group!(
     benches,
     engine_task_lifecycle,
+    sharded_engine_lifecycle,
+    dispatch_throughput,
     threaded_task_throughput,
     transport_conversion,
     serial_elision_overhead

@@ -1,0 +1,75 @@
+//! E-SCHED companion probe: serial per-task cost of the sharded
+//! dependency engine, split by lifecycle phase (alloc / attach /
+//! start / finish), plus a create-burst/drain pattern that regresses
+//! the former quadratic recomputation (queue depth grows to ~1500
+//! during the burst; per-task cost must stay flat). Numbers feed
+//! `EXPERIMENTS.md § E-SCHED`.
+use jade_core::engine::ShardedEngine;
+use jade_core::ids::{Placement, TaskId};
+use jade_core::spec::SpecBuilder;
+use std::time::Instant;
+
+fn main() {
+    let n: u64 = 100_000;
+    // 1) pure lifecycle, distinct object per task (always ready)
+    let eng = ShardedEngine::new();
+    let oids: Vec<_> = (0..64).map(|_| eng.create_object(TaskId::ROOT)).collect();
+    let (mut t_alloc, mut t_attach, mut t_start, mut t_finish) = (0u128, 0u128, 0u128, 0u128);
+    let t0 = Instant::now();
+    for i in 0..n {
+        let mut sb = SpecBuilder::new();
+        sb.rd_wr(oids[(i % 64) as usize]);
+        let c0 = Instant::now();
+        let tid = eng.alloc_task(TaskId::ROOT, "t", Placement::Any);
+        let c1 = Instant::now();
+        let _w = eng.attach_task(tid, sb.build().0).unwrap();
+        let c2 = Instant::now();
+        eng.start_task(tid);
+        let c3 = Instant::now();
+        let _w2 = eng.finish_task(tid);
+        let c4 = Instant::now();
+        t_alloc += (c1 - c0).as_nanos();
+        t_attach += (c2 - c1).as_nanos();
+        t_start += (c3 - c2).as_nanos();
+        t_finish += (c4 - c3).as_nanos();
+    }
+    let dt = t0.elapsed();
+    println!(
+        "engine alloc+attach+start+finish (64-obj round robin): {:.0} ns/task ({:.0} ktask/s)",
+        dt.as_nanos() as f64 / n as f64,
+        n as f64 / dt.as_secs_f64() / 1e3
+    );
+    println!(
+        "  alloc {} ns  attach {} ns  start {} ns  finish {} ns",
+        t_alloc / n as u128,
+        t_attach / n as u128,
+        t_start / n as u128,
+        t_finish / n as u128
+    );
+
+    // 2) creation burst then drain, mimicking exp_sched's structure
+    let eng = ShardedEngine::new();
+    let oids: Vec<_> = (0..64).map(|_| eng.create_object(TaskId::ROOT)).collect();
+    let t0 = Instant::now();
+    let tids: Vec<_> = (0..n)
+        .map(|i| {
+            let mut sb = SpecBuilder::new();
+            sb.rd_wr(oids[(i % 64) as usize]);
+            let tid = eng.alloc_task(TaskId::ROOT, "t", Placement::Any);
+            let _w = eng.attach_task(tid, sb.build().0).unwrap();
+            tid
+        })
+        .collect();
+    let t_create = t0.elapsed();
+    let t1 = Instant::now();
+    for tid in tids {
+        eng.start_task(tid);
+        let _w = eng.finish_task(tid);
+    }
+    let t_drain = t1.elapsed();
+    println!(
+        "burst: create {:.0} ns/task, drain {:.0} ns/task",
+        t_create.as_nanos() as f64 / n as f64,
+        t_drain.as_nanos() as f64 / n as f64
+    );
+}

@@ -26,22 +26,37 @@
 
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 use std::sync::Arc;
 
-use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Mutex, RawRwLock, RwLock};
+use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, RawRwLock, RwLock};
 
 use crate::error::JadeError;
 use crate::handle::{Object, Shared};
 use crate::ids::{ObjectId, TaskId};
 use crate::spec::{AccessKind, ContBuilder, DeclRights, SpecBuilder};
 
+/// Per-object read/write hold counters. Guard acquisition and release
+/// are plain atomic increments/decrements — no lock is taken on the
+/// guard hot path once an object's cell exists.
+#[derive(Debug, Default)]
+struct HoldCell {
+    reads: AtomicU32,
+    writes: AtomicU32,
+}
+
 /// Tracks which guards a running task currently holds, so the runtime
 /// can reject creating a child whose declarations conflict with a
 /// guard still held by the creator (the child's serial position would
 /// be ambiguous otherwise).
+///
+/// Counters are per-object atomics; the map of cells is behind an
+/// `RwLock` that is write-locked only the first time a task touches an
+/// object, so repeated guard acquisitions are lock-free on release and
+/// read-locked (shared, uncontended) on acquire.
 #[derive(Debug, Clone, Default)]
 pub struct HoldSet {
-    inner: Arc<Mutex<HashMap<ObjectId, (u32, u32)>>>,
+    cells: Arc<RwLock<HashMap<ObjectId, Arc<HoldCell>>>>,
 }
 
 impl HoldSet {
@@ -50,29 +65,38 @@ impl HoldSet {
         Self::default()
     }
 
+    fn cell(&self, object: ObjectId) -> Arc<HoldCell> {
+        if let Some(c) = self.cells.read().get(&object) {
+            return c.clone();
+        }
+        self.cells.write().entry(object).or_default().clone()
+    }
+
     /// Record acquisition of a guard; the returned token releases the
     /// hold when dropped. Commuting-update guards count as writes
     /// (they grant exclusive mutable access).
     pub fn acquire(&self, object: ObjectId, kind: AccessKind) -> HoldToken {
-        let mut map = self.inner.lock();
-        let e = map.entry(object).or_insert((0, 0));
+        let cell = self.cell(object);
         match kind {
-            AccessKind::Read => e.0 += 1,
-            AccessKind::Write | AccessKind::Commute => e.1 += 1,
-        }
-        HoldToken { set: self.inner.clone(), object, kind }
+            AccessKind::Read => cell.reads.fetch_add(1, Relaxed),
+            AccessKind::Write | AccessKind::Commute => cell.writes.fetch_add(1, Relaxed),
+        };
+        HoldToken { cell, kind }
     }
 
     /// Whether a child declaring `rights` on `object` would conflict
     /// with guards currently held.
     pub fn conflicts(&self, object: ObjectId, rights: DeclRights) -> bool {
-        let map = self.inner.lock();
-        match map.get(&object) {
-            None | Some((0, 0)) => false,
-            Some((_reads, writes)) => {
+        match self.cells.read().get(&object) {
+            None => false,
+            Some(cell) => {
+                let (reads, writes) = (cell.reads.load(Relaxed), cell.writes.load(Relaxed));
+                if reads == 0 && writes == 0 {
+                    return false;
+                }
                 // A held write guard conflicts with any child access;
                 // a held read guard conflicts with a child write.
-                *writes > 0 || rights.write.is_active()
+                writes > 0 || rights.write.is_active()
             }
         }
     }
@@ -80,27 +104,26 @@ impl HoldSet {
     /// Whether any guard is currently held (used by executors to
     /// assert clean task completion).
     pub fn any_held(&self) -> bool {
-        self.inner.lock().values().any(|&(r, w)| r > 0 || w > 0)
+        self.cells
+            .read()
+            .values()
+            .any(|c| c.reads.load(Relaxed) > 0 || c.writes.load(Relaxed) > 0)
     }
 }
 
 /// RAII token recording one held guard.
 #[derive(Debug)]
 pub struct HoldToken {
-    set: Arc<Mutex<HashMap<ObjectId, (u32, u32)>>>,
-    object: ObjectId,
+    cell: Arc<HoldCell>,
     kind: AccessKind,
 }
 
 impl Drop for HoldToken {
     fn drop(&mut self) {
-        let mut map = self.set.lock();
-        if let Some(e) = map.get_mut(&self.object) {
-            match self.kind {
-                AccessKind::Read => e.0 = e.0.saturating_sub(1),
-                AccessKind::Write | AccessKind::Commute => e.1 = e.1.saturating_sub(1),
-            }
-        }
+        match self.kind {
+            AccessKind::Read => self.cell.reads.fetch_sub(1, Relaxed),
+            AccessKind::Write | AccessKind::Commute => self.cell.writes.fetch_sub(1, Relaxed),
+        };
     }
 }
 

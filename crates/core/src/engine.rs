@@ -1,0 +1,1338 @@
+//! The sharded dependency engine: [`DepGraph`](crate::graph::DepGraph)
+//! semantics without a global lock.
+//!
+//! [`ShardedEngine`] implements the same serial-semantics state
+//! machine as `DepGraph` — per-object serial-order declaration queues,
+//! hierarchical task paths, §4.4 coverage, `with-cont`, commuting
+//! updates — but partitions all mutable state so that concurrent
+//! executors (the `jade-threads` work-stealing pool) never rendezvous
+//! on one mutex:
+//!
+//! * **Shard table.** Object queues live in `SHARD_COUNT` shards, each
+//!   its own [`QueueArena`] behind its own mutex; an object's shard is
+//!   `ObjectId % SHARD_COUNT`. Operations on disjoint objects run
+//!   fully in parallel.
+//! * **Cross-object commit.** A multi-object operation (a `withonly`
+//!   specification or a `with-cont` batch) locks the shards of every
+//!   object it touches *jointly, in ascending shard order* — the
+//!   classic total-order argument makes the commit deadlock-free —
+//!   mutates the queues, and releases. The commit holds no other
+//!   locks, so its span is a few queue-node updates.
+//! * **Task slots.** Per-task mutable state (lifecycle state, blocked
+//!   waits, child counters) sits in per-task *leaf* mutexes: they may
+//!   be taken under shard locks, but nothing is ever acquired while
+//!   one is held, so they cannot participate in a cycle.
+//! * **Readiness counting.** Instead of re-scanning a task's
+//!   declarations on every queue change (which would need all its
+//!   shards at once), each task carries an atomic `missing` counter of
+//!   immediate-mode rights not yet enabled. Queue recomputation
+//!   reports *transitions* ([`QueueArena::recompute_diff`]) — grants
+//!   decrement, revocations increment — and the 1→0 edge promotes the
+//!   task to `Ready` exactly once (a state check under the task's leaf
+//!   mutex deduplicates racing promoters). A creation *guard* of +1
+//!   keeps the counter positive until the whole specification is
+//!   attached, so a task can never be dispatched half-created.
+//!
+//! A task promoted to `Ready` may subsequently *lose* a grant (a
+//! hierarchical child's declaration inserts ahead of its parent's —
+//! see `queue.rs`). This is benign: actually touching an object goes
+//! through [`check_access`](ShardedEngine::check_access) at guard
+//! time, which blocks the task until the right is re-enabled. The
+//! serial semantics never depended on `Ready` meaning "still enabled",
+//! only on "was fully enabled once and will be again".
+//!
+//! Statistics are [`AtomicStats`]; the dynamic task-graph trace is
+//! captured per-shard and stitched into one [`TaskGraphTrace`] (in
+//! task-id order, which is creation order) when taken.
+
+use crate::fasthash::FastMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
+
+use crate::error::{JadeError, Result};
+use crate::graph::{path_precedes, AccessStatus, TaskState, Wake};
+use crate::ids::{ObjectId, Placement, TaskId};
+use crate::queue::{NodeRef, QueueArena, Transition};
+use crate::spec::{AccessKind, ContOp, DeclRights, DeclState, Declaration};
+use crate::stats::AtomicStats;
+use crate::trace::{TaskGraphTrace, TraceEdge};
+
+/// Number of object-queue shards. A power of two comfortably above
+/// typical worker counts: collisions cost contention, not correctness.
+pub const SHARD_COUNT: usize = 64;
+
+#[inline]
+fn shard_of(oid: ObjectId) -> usize {
+    (oid.0 as usize) % SHARD_COUNT
+}
+
+/// One shard: the declaration queues of every object mapped here,
+/// plus (when tracing) the per-object logical access history and the
+/// dependence edges discovered on these objects.
+#[derive(Debug, Default)]
+struct Shard {
+    arena: QueueArena,
+    /// Serial access history per object: (last writer, readers since
+    /// that write) — same structure as `DepGraph`'s. Feeds the
+    /// `conflicts` counter always and the trace when one is attached.
+    hist: FastMap<ObjectId, (Option<TaskId>, Vec<TaskId>)>,
+    edges: Vec<TraceEdge>,
+}
+
+/// Per-task mutable state, protected by the slot's leaf mutex.
+#[derive(Debug)]
+struct TaskSync {
+    state: TaskState,
+    /// Outstanding waits while `Blocked`.
+    waiting: Vec<(ObjectId, AccessKind)>,
+    next_child_idx: u32,
+}
+
+/// One task's record. Immutable fields are plain; mutable state is
+/// split between the `sync` leaf mutex, the `decls` leaf mutex, and
+/// the `missing` atomic so different paths never contend.
+#[derive(Debug)]
+struct TaskSlot {
+    label: String,
+    parent: Option<TaskId>,
+    path: Vec<u32>,
+    placement: Placement,
+    /// Immediate-mode rights not yet enabled, plus the creation guard.
+    /// Signed: transient drift below the true count is possible for
+    /// *running* tasks (whose readiness no longer matters) — see
+    /// module docs.
+    missing: AtomicI64,
+    sync: Mutex<TaskSync>,
+    /// Signalled on `Blocked` → `Running` transitions and on poison.
+    cv: Condvar,
+    /// Declaration/anchor nodes of this task, in declaration order.
+    decls: Mutex<Vec<(ObjectId, NodeRef)>>,
+}
+
+impl TaskSlot {
+    fn new(label: &str, parent: Option<TaskId>, path: Vec<u32>, placement: Placement) -> Self {
+        TaskSlot {
+            label: label.to_string(),
+            parent,
+            path,
+            placement,
+            // The creation guard: held until the spec is attached.
+            missing: AtomicI64::new(1),
+            sync: Mutex::new(TaskSync {
+                state: TaskState::Pending,
+                waiting: Vec::new(),
+                next_child_idx: 0,
+            }),
+            cv: Condvar::new(),
+            decls: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn decl(&self, oid: ObjectId) -> Option<NodeRef> {
+        self.decls.lock().iter().find(|(o, _)| *o == oid).map(|(_, n)| *n)
+    }
+}
+
+/// A set of jointly held shard guards, acquired in ascending shard
+/// order (the deadlock-freedom invariant of the cross-object commit).
+/// The one-shard case — every single-object spec, the overwhelmingly
+/// common shape — carries its guard inline, with no allocation.
+enum ShardSet<'a> {
+    One(usize, MutexGuard<'a, Shard>),
+    Many(Vec<(usize, MutexGuard<'a, Shard>)>),
+}
+
+impl<'a> ShardSet<'a> {
+    fn get(&mut self, oid: ObjectId) -> &mut Shard {
+        let idx = shard_of(oid);
+        match self {
+            ShardSet::One(i, g) => {
+                debug_assert_eq!(*i, idx, "object's shard not part of this commit");
+                &mut *g
+            }
+            ShardSet::Many(guards) => {
+                let pos = guards
+                    .iter()
+                    .position(|(i, _)| *i == idx)
+                    .expect("object's shard not part of this commit");
+                &mut guards[pos].1
+            }
+        }
+    }
+}
+
+/// The sharded dependency engine. All methods take `&self`: the
+/// engine is shared between worker threads without an enclosing lock.
+#[derive(Debug)]
+pub struct ShardedEngine {
+    shards: Box<[Mutex<Shard>]>,
+    tasks: RwLock<Vec<Arc<TaskSlot>>>,
+    next_object: AtomicU64,
+    live: AtomicU64,
+    /// Counters describing the work the engine performed.
+    pub stats: AtomicStats,
+    tracing: AtomicBool,
+    poisoned: AtomicBool,
+}
+
+impl Default for ShardedEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedEngine {
+    /// Create an engine with a running root task (the main program).
+    pub fn new() -> Self {
+        let root = Arc::new(TaskSlot::new("root", None, Vec::new(), Placement::Any));
+        root.sync.lock().state = TaskState::Running;
+        root.missing.store(0, Ordering::Relaxed);
+        ShardedEngine {
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(Shard::default())).collect(),
+            tasks: RwLock::new(vec![root]),
+            next_object: AtomicU64::new(0),
+            live: AtomicU64::new(0),
+            stats: AtomicStats::new(),
+            tracing: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Enable dynamic task-graph capture (Figure 4 reproduction).
+    pub fn enable_trace(&self) {
+        self.tracing.store(true, Ordering::Release);
+    }
+
+    #[inline]
+    fn tracing(&self) -> bool {
+        self.tracing.load(Ordering::Acquire)
+    }
+
+    /// Stitch the per-shard trace fragments into one trace: tasks in
+    /// id order (== creation order, ids are allocated monotonically)
+    /// and edges deduplicated per from/to pair, exactly as `DepGraph`
+    /// records them.
+    pub fn take_trace(&self) -> Option<TaskGraphTrace> {
+        if !self.tracing() {
+            return None;
+        }
+        let mut tr = TaskGraphTrace::new();
+        for (i, slot) in self.tasks.read().iter().enumerate() {
+            tr.task(TaskId(i as u32), &slot.label);
+        }
+        let mut edges = Vec::new();
+        for sh in self.shards.iter() {
+            edges.extend(std::mem::take(&mut sh.lock().edges));
+        }
+        // Canonical order so runs are byte-identical regardless of
+        // which worker recorded which shard's edges first.
+        edges.sort_by_key(|e| (e.to, e.from, e.object, e.kind as u8));
+        for e in edges {
+            tr.edge(e);
+        }
+        Some(tr)
+    }
+
+    fn slot(&self, t: TaskId) -> Arc<TaskSlot> {
+        self.tasks.read()[t.0 as usize].clone()
+    }
+
+    /// Current lifecycle state of a task.
+    pub fn state(&self, t: TaskId) -> TaskState {
+        self.slot(t).sync.lock().state
+    }
+
+    /// Label given at creation.
+    pub fn label(&self, t: TaskId) -> String {
+        self.slot(t).label.clone()
+    }
+
+    /// Parent task (`None` for the root).
+    pub fn parent(&self, t: TaskId) -> Option<TaskId> {
+        self.slot(t).parent
+    }
+
+    /// Placement requested for the task.
+    pub fn placement(&self, t: TaskId) -> Placement {
+        self.slot(t).placement
+    }
+
+    /// Number of created-but-unfinished tasks (root excluded); the
+    /// executors' throttling policies read this.
+    pub fn live_tasks(&self) -> u64 {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Number of tasks ever created, including the root.
+    pub fn total_tasks(&self) -> usize {
+        self.tasks.read().len()
+    }
+
+    // ------------------------------------------------------------------
+    // Shard locking
+    // ------------------------------------------------------------------
+
+    fn shard(&self, oid: ObjectId) -> MutexGuard<'_, Shard> {
+        self.shards[shard_of(oid)].lock()
+    }
+
+    /// Jointly lock the shards of all given objects in ascending shard
+    /// order (deduplicated) — the cross-object commit.
+    fn lock_shards(&self, oids: &[ObjectId]) -> ShardSet<'_> {
+        if let [oid] = oids {
+            let i = shard_of(*oid);
+            return ShardSet::One(i, self.shards[i].lock());
+        }
+        let mut idxs: Vec<usize> = oids.iter().map(|&o| shard_of(o)).collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        if let [i] = idxs[..] {
+            return ShardSet::One(i, self.shards[i].lock());
+        }
+        ShardSet::Many(idxs.into_iter().map(|i| (i, self.shards[i].lock())).collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Transition processing (grants and revocations)
+    // ------------------------------------------------------------------
+
+    /// Fold queue-flag transitions into task readiness. May be called
+    /// with shard locks held: it takes only task leaf mutexes.
+    ///
+    /// Transitions arrive in queue order, so one task's grants are
+    /// adjacent (a task has at most one node per queue and the grants
+    /// of one recompute come from one queue); each run is folded into
+    /// a single slot lookup and a single `missing` update.
+    fn apply_transitions(&self, trs: &[Transition], wakes: &mut Vec<Wake>) {
+        let mut i = 0;
+        while i < trs.len() {
+            let task = trs[i].task;
+            let mut j = i;
+            let mut granted = 0i64;
+            while j < trs.len() && trs[j].task == task {
+                granted += if trs[j].granted { 1 } else { -1 };
+                j += 1;
+            }
+            let slot = self.slot(task);
+            if granted < 0 {
+                // Net revocation: a Ready/Running task re-validates at
+                // guard time, so only the counter needs correcting.
+                slot.missing.fetch_add(-granted, Ordering::AcqRel);
+            } else if granted > 0 {
+                let before = slot.missing.fetch_sub(granted, Ordering::AcqRel);
+                let mut s = slot.sync.lock();
+                match s.state {
+                    TaskState::Pending if before == granted => {
+                        s.state = TaskState::Ready;
+                        wakes.push(Wake::Ready(task));
+                        slot.cv.notify_all();
+                    }
+                    TaskState::Blocked => {
+                        for tr in &trs[i..j] {
+                            if !tr.granted {
+                                continue;
+                            }
+                            if let Some(pos) =
+                                s.waiting.iter().position(|w| *w == (tr.object, tr.kind))
+                            {
+                                s.waiting.remove(pos);
+                            }
+                        }
+                        if s.waiting.is_empty() {
+                            s.state = TaskState::Running;
+                            wakes.push(Wake::Unblocked(task));
+                            slot.cv.notify_all();
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            i = j;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Objects
+    // ------------------------------------------------------------------
+
+    /// Register a new shared object created by `creator`. The creator
+    /// receives an implicit immediate `rd_wr` declaration at its serial
+    /// position, and the root its implicit deferred `rd_wr` at the
+    /// queue tail — same layout as `DepGraph::create_object`.
+    pub fn create_object(&self, creator: TaskId) -> ObjectId {
+        let oid = ObjectId(self.next_object.fetch_add(1, Ordering::Relaxed));
+        self.stats.objects_created.fetch_add(1, Ordering::Relaxed);
+        let mut sh = self.shard(oid);
+        sh.arena.register_object(oid);
+        let root_rights = DeclRights {
+            read: DeclState::Deferred,
+            write: DeclState::Deferred,
+            commute: DeclState::None,
+        };
+        let root_node = sh.arena.push_tail(oid, TaskId::ROOT, root_rights);
+        self.slot(TaskId::ROOT).decls.lock().push((oid, root_node));
+        if !creator.is_root() {
+            self.ensure_positioned_node(&mut sh, creator, oid, DeclRights::RD_WR);
+        }
+        // The only nodes are the creator's (freshly granted) and the
+        // root's deferred tail: no third task can be affected, so the
+        // transitions need no counting (the creator is running).
+        let _ = sh.arena.recompute_diff(oid);
+        oid
+    }
+
+    /// Whether an object id has been registered.
+    pub fn has_object(&self, oid: ObjectId) -> bool {
+        self.shard(oid).arena.has_object(oid)
+    }
+
+    /// Find the node of `task` on `oid` inside the (locked) shard, or
+    /// create one at the task's serial position, materializing
+    /// ancestor anchors as needed. Mirrors `DepGraph`'s logic; all
+    /// queue nodes for `oid` live in this one shard.
+    fn ensure_positioned_node(
+        &self,
+        sh: &mut Shard,
+        task: TaskId,
+        oid: ObjectId,
+        rights: DeclRights,
+    ) -> NodeRef {
+        let slot = self.slot(task);
+        if let Some(nr) = slot.decl(oid) {
+            if rights.is_declared() {
+                let n = sh.arena.node_mut(nr);
+                n.rights = n.rights.merge(rights);
+            }
+            return nr;
+        }
+        let nr = match slot.parent {
+            None => {
+                // Root without a node: append at tail (root sorts last).
+                sh.arena.push_tail(oid, task, rights)
+            }
+            Some(parent) => {
+                let pnode = self.ensure_positioned_node(sh, parent, oid, DeclRights::NONE);
+                // A *newly created* task may always insert directly
+                // before its parent (it is the parent's newest child);
+                // an older task must find its position by order walk.
+                if self.is_newest_child_position(&slot) {
+                    sh.arena.insert_before(pnode, task, rights)
+                } else {
+                    self.insert_by_order(sh, task, &slot.path, oid, rights)
+                }
+            }
+        };
+        slot.decls.lock().push((oid, nr));
+        nr
+    }
+
+    fn is_newest_child_position(&self, slot: &TaskSlot) -> bool {
+        match slot.parent {
+            None => true,
+            Some(p) => {
+                let idx = *slot.path.last().expect("non-root task has a path");
+                self.slot(p).sync.lock().next_child_idx == idx + 1
+            }
+        }
+    }
+
+    fn insert_by_order(
+        &self,
+        sh: &mut Shard,
+        task: TaskId,
+        my_path: &[u32],
+        oid: ObjectId,
+        rights: DeclRights,
+    ) -> NodeRef {
+        let mut before: Option<NodeRef> = None;
+        let table = self.tasks.read();
+        for (nr, node) in sh.arena.iter(oid) {
+            let other_path = &table[node.task.0 as usize].path;
+            if path_precedes(my_path, other_path) {
+                before = Some(nr);
+                break;
+            }
+        }
+        drop(table);
+        match before {
+            Some(b) => sh.arena.insert_before(b, task, rights),
+            None => sh.arena.push_tail(oid, task, rights),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Task creation (two-phase)
+    // ------------------------------------------------------------------
+
+    /// Phase 1 of `withonly`: allocate the task id, path and slot. The
+    /// slot is born `Pending` with its creation guard held, so nothing
+    /// can dispatch it until [`attach_task`](Self::attach_task)
+    /// releases the guard. Split from attachment so the executor can
+    /// record the task (body, creation event) before any declaration
+    /// becomes visible to other workers.
+    pub fn alloc_task(&self, parent: TaskId, label: &str, placement: Placement) -> TaskId {
+        let pslot = self.slot(parent);
+        debug_assert!(
+            matches!(pslot.sync.lock().state, TaskState::Running | TaskState::Ready),
+            "only an executing task can create children"
+        );
+        let child_idx = {
+            let mut s = pslot.sync.lock();
+            let i = s.next_child_idx;
+            s.next_child_idx += 1;
+            i
+        };
+        let mut path = pslot.path.clone();
+        path.push(child_idx);
+        let slot = Arc::new(TaskSlot::new(label, Some(parent), path, placement));
+        let tid = {
+            let mut table = self.tasks.write();
+            let tid = TaskId(table.len() as u32);
+            table.push(slot);
+            tid
+        };
+        let live = self.live.fetch_add(1, Ordering::Relaxed) + 1;
+        self.stats.tasks_created.fetch_add(1, Ordering::Relaxed);
+        self.stats.observe_live(live);
+        tid
+    }
+
+    /// Phase 2 of `withonly`: validate coverage and insert the task's
+    /// declarations at its serial position — the cross-object commit.
+    /// Shards of all declared objects are locked jointly in ascending
+    /// shard order; on return the creation guard is released, and the
+    /// returned wakes include `Ready(tid)` if the task may start.
+    pub fn attach_task(&self, tid: TaskId, decls: Vec<Declaration>) -> Result<Vec<Wake>> {
+        let slot = self.slot(tid);
+        let parent = slot.parent.expect("attach_task is never called for the root");
+        let pslot = self.slot(parent);
+        self.stats.declarations.fetch_add(decls.len() as u64, Ordering::Relaxed);
+
+        // Single-declaration specs — the common shape — lock their one
+        // shard straight away; only multi-object commits build the
+        // sorted object list.
+        let objects: Vec<ObjectId>;
+        let mut set = match &decls[..] {
+            [d] => self.lock_shards(std::slice::from_ref(&d.object)),
+            _ => {
+                objects = {
+                    let mut os: Vec<ObjectId> = decls.iter().map(|d| d.object).collect();
+                    os.sort_unstable();
+                    os.dedup();
+                    os
+                };
+                self.lock_shards(&objects)
+            }
+        };
+        // Validate before mutating any queue, remembering the parent's
+        // queue position on each object when it already has one.
+        let mut pnodes: Vec<Option<NodeRef>> = Vec::with_capacity(decls.len());
+        for d in &decls {
+            if !set.get(d.object).arena.has_object(d.object) {
+                return Err(JadeError::UnknownObject(d.object));
+            }
+            pnodes.push(self.check_coverage(&mut set, parent, &pslot, &slot.label, d)?);
+        }
+
+        let tracing = self.tracing();
+        let mut wakes = Vec::new();
+        let mut fresh: Vec<(ObjectId, NodeRef)> = Vec::with_capacity(decls.len());
+        for (d, cached) in decls.iter().zip(pnodes) {
+            let sh = set.get(d.object);
+            let pnode = match cached {
+                Some(nr) => nr,
+                None => self.ensure_positioned_node(sh, parent, d.object, DeclRights::NONE),
+            };
+            let nr = sh.arena.insert_before(pnode, tid, d.rights);
+            slot.decls.lock().push((d.object, nr));
+            fresh.push((d.object, nr));
+            // Count the immediate sides into the readiness counter
+            // while the guard still holds the task un-promotable.
+            let imm = [d.rights.read, d.rights.write, d.rights.commute]
+                .iter()
+                .filter(|s| **s == DeclState::Immediate)
+                .count() as i64;
+            if imm > 0 {
+                slot.missing.fetch_add(imm, Ordering::AcqRel);
+            }
+            // Dependence accounting from the per-object access history
+            // (last writer + readers since): the dynamic dependence
+            // edges of the task graph (Figure 4), O(edges) instead of
+            // an O(queue-depth) predecessor walk.
+            let hist = sh.hist.entry(d.object).or_default();
+            let mut new_edges = 0u64;
+            let mut edge = |p: TaskId, kind: AccessKind, trace: &mut Vec<TraceEdge>| {
+                if p != tid {
+                    new_edges += 1;
+                    if tracing {
+                        trace.push(TraceEdge { from: p, to: tid, object: d.object, kind });
+                    }
+                }
+            };
+            if d.rights.read.is_active() {
+                if let Some(w) = hist.0 {
+                    edge(w, AccessKind::Read, &mut sh.edges);
+                }
+            }
+            if d.rights.write.is_active() {
+                if let Some(w) = hist.0 {
+                    edge(w, AccessKind::Write, &mut sh.edges);
+                }
+                for i in 0..hist.1.len() {
+                    edge(hist.1[i], AccessKind::Write, &mut sh.edges);
+                }
+            }
+            if d.rights.commute.is_active() {
+                if let Some(w) = hist.0 {
+                    edge(w, AccessKind::Commute, &mut sh.edges);
+                }
+            }
+            if d.rights.write.is_active() {
+                hist.0 = Some(tid);
+                hist.1.clear();
+            } else if d.rights.read.is_active() && !hist.1.contains(&tid) {
+                hist.1.push(tid);
+            }
+            self.stats.conflicts.fetch_add(new_edges, Ordering::Relaxed);
+        }
+        // Recompute once per distinct object, driven by `fresh` (which
+        // lists the inserted nodes in declaration order) so the
+        // single-declaration path needs no sorted object list at all.
+        for k in 0..fresh.len() {
+            let oid = fresh[k].0;
+            if fresh[..k].iter().any(|&(o, _)| o == oid) {
+                continue;
+            }
+            let trs = if fresh.len() == 1 {
+                set.get(oid).arena.recompute_diff_incremental(oid, &[fresh[k].1])
+            } else {
+                let f: Vec<NodeRef> =
+                    fresh.iter().filter(|&&(o, _)| o == oid).map(|&(_, n)| n).collect();
+                set.get(oid).arena.recompute_diff_incremental(oid, &f)
+            };
+            self.apply_transitions(&trs, &mut wakes);
+        }
+        drop(set);
+
+        // Release the creation guard; the 1→0 edge promotes.
+        if slot.missing.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut s = slot.sync.lock();
+            if s.state == TaskState::Pending {
+                s.state = TaskState::Ready;
+                wakes.push(Wake::Ready(tid));
+                slot.cv.notify_all();
+            }
+        }
+        Ok(wakes)
+    }
+
+    /// Enforce §4.4 coverage against the nearest rights-holding
+    /// ancestor, with the same escape as `DepGraph::check_coverage`
+    /// for objects no ancestor ever declared.
+    /// On success returns the parent's own node on `d.object` if it
+    /// has one (declared or anchor), so `attach_task` can insert
+    /// before it without re-scanning the parent's declaration list.
+    fn check_coverage(
+        &self,
+        set: &mut ShardSet<'_>,
+        parent: TaskId,
+        pslot: &TaskSlot,
+        child_label: &str,
+        d: &Declaration,
+    ) -> Result<Option<NodeRef>> {
+        // Fast path: the immediate parent (whose slot the caller
+        // already holds) usually carries the declaration itself.
+        if let Some(nr) = pslot.decl(d.object) {
+            let rights = set.get(d.object).arena.node(nr).rights;
+            if rights.is_declared() {
+                return Self::coverage_verdict(parent, rights, child_label, d).map(|()| Some(nr));
+            }
+            // Anchor node: the covering rights (if any) live further
+            // up, but the parent's queue position is this node.
+            self.check_coverage_walk(set, pslot.parent, child_label, d)?;
+            return Ok(Some(nr));
+        }
+        self.check_coverage_walk(set, pslot.parent, child_label, d)?;
+        Ok(None)
+    }
+
+    fn check_coverage_walk(
+        &self,
+        set: &mut ShardSet<'_>,
+        from: Option<TaskId>,
+        child_label: &str,
+        d: &Declaration,
+    ) -> Result<()> {
+        let mut cur = from;
+        while let Some(t) = cur {
+            let slot = self.slot(t);
+            if let Some(nr) = slot.decl(d.object) {
+                let rights = set.get(d.object).arena.node(nr).rights;
+                if rights.is_declared() {
+                    return Self::coverage_verdict(t, rights, child_label, d);
+                }
+            }
+            cur = slot.parent;
+        }
+        Ok(())
+    }
+
+    fn coverage_verdict(
+        holder: TaskId,
+        rights: DeclRights,
+        child_label: &str,
+        d: &Declaration,
+    ) -> Result<()> {
+        if rights.covers(d.rights) {
+            return Ok(());
+        }
+        let kind = if d.rights.write.is_active() && !rights.write.is_active() {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        Err(JadeError::NotCovered {
+            parent: holder,
+            child_label: child_label.to_string(),
+            object: d.object,
+            kind,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Task lifecycle
+    // ------------------------------------------------------------------
+
+    /// Mark a ready task as running (an executor picked it up).
+    pub fn start_task(&self, tid: TaskId) {
+        let slot = self.slot(tid);
+        let mut s = slot.sync.lock();
+        debug_assert_eq!(s.state, TaskState::Ready, "start of non-ready task");
+        s.state = TaskState::Running;
+    }
+
+    /// Task-body completion: release all queue positions (one
+    /// cross-object commit) and wake whoever becomes enabled.
+    pub fn finish_task(&self, tid: TaskId) -> Vec<Wake> {
+        let slot = self.slot(tid);
+        {
+            let mut s = slot.sync.lock();
+            debug_assert!(
+                matches!(s.state, TaskState::Running),
+                "finish of non-running task {tid}"
+            );
+            s.state = TaskState::Finished;
+        }
+        let decls = std::mem::take(&mut *slot.decls.lock());
+
+        let mut wakes = Vec::new();
+        // Single-declaration tasks — the common shape — skip the
+        // sorted object list and lock their one shard directly.
+        let objects: Vec<ObjectId>;
+        let mut set = match &decls[..] {
+            [(oid, _)] => self.lock_shards(std::slice::from_ref(oid)),
+            _ => {
+                objects = {
+                    let mut os: Vec<ObjectId> = decls.iter().map(|&(o, _)| o).collect();
+                    os.sort_unstable();
+                    os.dedup();
+                    os
+                };
+                self.lock_shards(&objects)
+            }
+        };
+        for &(oid, nr) in &decls {
+            set.get(oid).arena.remove(nr);
+        }
+        for k in 0..decls.len() {
+            let oid = decls[k].0;
+            if decls[..k].iter().any(|&(o, _)| o == oid) {
+                continue;
+            }
+            let trs = set.get(oid).arena.recompute_diff_incremental(oid, &[]);
+            self.apply_transitions(&trs, &mut wakes);
+        }
+        drop(set);
+
+        if !tid.is_root() {
+            self.live.fetch_sub(1, Ordering::Relaxed);
+            self.stats.tasks_finished.fetch_add(1, Ordering::Relaxed);
+        }
+        wakes
+    }
+
+    // ------------------------------------------------------------------
+    // with-cont and access checking
+    // ------------------------------------------------------------------
+
+    /// The engine half of `with { ... } cont;`: one cross-object
+    /// commit over every object the batch names, so the must-block
+    /// decision is atomic with the rights changes.
+    pub fn with_cont(
+        &self,
+        tid: TaskId,
+        ops: Vec<(ObjectId, ContOp)>,
+    ) -> Result<(bool, Vec<Wake>)> {
+        self.stats.with_conts.fetch_add(1, Ordering::Relaxed);
+        let slot = self.slot(tid);
+        let objects: Vec<ObjectId> = {
+            let mut os: Vec<ObjectId> = ops.iter().map(|&(o, _)| o).collect();
+            os.sort_unstable();
+            os.dedup();
+            os
+        };
+        let mut set = self.lock_shards(&objects);
+        let mut converted: Vec<(ObjectId, AccessKind)> = Vec::new();
+        let mut touched: Vec<ObjectId> = Vec::new();
+        for (oid, op) in ops {
+            let nr = slot
+                .decl(oid)
+                .ok_or(JadeError::UnknownDeclaration { task: tid, object: oid })?;
+            let node = set.get(oid).arena.node_mut(nr);
+            match op {
+                ContOp::ToRd => match node.rights.read {
+                    DeclState::Deferred => {
+                        node.rights.read = DeclState::Immediate;
+                        converted.push((oid, AccessKind::Read));
+                    }
+                    DeclState::Immediate => converted.push((oid, AccessKind::Read)),
+                    DeclState::None => {
+                        return Err(JadeError::UnknownDeclaration { task: tid, object: oid })
+                    }
+                    DeclState::Retired => {
+                        return Err(JadeError::RetiredAccess {
+                            task: tid,
+                            object: oid,
+                            kind: AccessKind::Read,
+                        })
+                    }
+                },
+                ContOp::ToWr => match node.rights.write {
+                    DeclState::Deferred => {
+                        node.rights.write = DeclState::Immediate;
+                        converted.push((oid, AccessKind::Write));
+                    }
+                    DeclState::Immediate => converted.push((oid, AccessKind::Write)),
+                    DeclState::None => {
+                        return Err(JadeError::UnknownDeclaration { task: tid, object: oid })
+                    }
+                    DeclState::Retired => {
+                        return Err(JadeError::RetiredAccess {
+                            task: tid,
+                            object: oid,
+                            kind: AccessKind::Write,
+                        })
+                    }
+                },
+                ContOp::NoRd => {
+                    if node.rights.read == DeclState::None {
+                        return Err(JadeError::UnknownDeclaration { task: tid, object: oid });
+                    }
+                    node.rights.read = DeclState::Retired;
+                    touched.push(oid);
+                }
+                ContOp::NoWr => {
+                    if node.rights.write == DeclState::None {
+                        return Err(JadeError::UnknownDeclaration { task: tid, object: oid });
+                    }
+                    node.rights.write = DeclState::Retired;
+                    touched.push(oid);
+                }
+                ContOp::NoCm => {
+                    if node.rights.commute == DeclState::None {
+                        return Err(JadeError::UnknownDeclaration { task: tid, object: oid });
+                    }
+                    node.rights.commute = DeclState::Retired;
+                    set.get(oid).arena.set_commute_holding(nr, false);
+                    touched.push(oid);
+                }
+            }
+        }
+        let mut wakes = Vec::new();
+        touched.sort_unstable();
+        touched.dedup();
+        for oid in touched {
+            let trs = set.get(oid).arena.recompute_diff_incremental(oid, &[]);
+            self.apply_transitions(&trs, &mut wakes);
+        }
+        // Compute waits from the (stable, still locked) flags and
+        // register the block *before* releasing the shards — a grant
+        // can then only arrive after the waits are visible, so no
+        // wakeup is lost.
+        let mut waits: Vec<(ObjectId, AccessKind)> = Vec::new();
+        for (oid, kind) in converted {
+            let nr = slot.decl(oid).expect("converted node exists");
+            if !set.get(oid).arena.node(nr).granted(kind) && !waits.contains(&(oid, kind)) {
+                waits.push((oid, kind));
+            }
+        }
+        let must_block = !waits.is_empty();
+        if must_block {
+            self.stats.with_cont_blocks.fetch_add(1, Ordering::Relaxed);
+            let mut s = slot.sync.lock();
+            s.waiting = waits;
+            s.state = TaskState::Blocked;
+        }
+        drop(set);
+        Ok((must_block, wakes))
+    }
+
+    /// Dynamic access check (the guard layer's slow path). Single
+    /// shard lock; blocking registers the wait while that lock is
+    /// still held, so the granting transition cannot be missed.
+    pub fn check_access(
+        &self,
+        tid: TaskId,
+        oid: ObjectId,
+        kind: AccessKind,
+    ) -> Result<AccessStatus> {
+        self.stats.access_checks.fetch_add(1, Ordering::Relaxed);
+        let slot = self.slot(tid);
+        let nr = slot
+            .decl(oid)
+            .ok_or(JadeError::UndeclaredAccess { task: tid, object: oid, kind })?;
+        let mut sh = self.shard(oid);
+        let node = sh.arena.node_mut(nr);
+        // The root's implicit declaration has no commute side; a root
+        // commuting access is satisfied by its (stronger) write right.
+        let kind = if kind == AccessKind::Commute
+            && tid.is_root()
+            && node.rights.commute == DeclState::None
+        {
+            AccessKind::Write
+        } else {
+            kind
+        };
+        let side = match kind {
+            AccessKind::Read => node.rights.read,
+            AccessKind::Write => node.rights.write,
+            AccessKind::Commute => node.rights.commute,
+        };
+        match side {
+            DeclState::None => {
+                return Err(JadeError::UndeclaredAccess { task: tid, object: oid, kind })
+            }
+            DeclState::Retired => {
+                return Err(JadeError::RetiredAccess { task: tid, object: oid, kind })
+            }
+            DeclState::Deferred => {
+                if tid.is_root() {
+                    match kind {
+                        AccessKind::Read => node.rights.read = DeclState::Immediate,
+                        AccessKind::Write => node.rights.write = DeclState::Immediate,
+                        AccessKind::Commute => node.rights.commute = DeclState::Immediate,
+                    }
+                } else {
+                    return Err(JadeError::DeferredAccess { task: tid, object: oid, kind });
+                }
+            }
+            DeclState::Immediate => {}
+        }
+        if sh.arena.node(nr).granted(kind) {
+            if kind == AccessKind::Commute {
+                // Acquire the object's update exclusivity: other
+                // commuting tasks now wait until this one finishes or
+                // issues no_cm (§4.3 — serialized but unordered).
+                sh.arena.set_commute_holding(nr, true);
+                let trs = sh.arena.recompute_diff_incremental(oid, &[]);
+                // Only revocations of peer commuters can result.
+                let mut wakes = Vec::new();
+                self.apply_transitions(&trs, &mut wakes);
+                debug_assert!(wakes.is_empty(), "acquiring exclusivity cannot wake anyone");
+            }
+            Ok(AccessStatus::Granted)
+        } else {
+            self.stats.access_waits.fetch_add(1, Ordering::Relaxed);
+            let mut s = slot.sync.lock();
+            s.waiting = vec![(oid, kind)];
+            s.state = TaskState::Blocked;
+            Ok(AccessStatus::MustWait)
+        }
+    }
+
+    /// Does the task currently hold an enabled right of this kind?
+    pub fn is_granted(&self, tid: TaskId, oid: ObjectId, kind: AccessKind) -> bool {
+        let Some(nr) = self.slot(tid).decl(oid) else { return false };
+        let sh = self.shard(oid);
+        let n = sh.arena.node(nr);
+        n.granted(kind)
+            && match kind {
+                AccessKind::Read => n.rights.read == DeclState::Immediate,
+                AccessKind::Write => n.rights.write == DeclState::Immediate,
+                AccessKind::Commute => n.rights.commute == DeclState::Immediate,
+            }
+    }
+
+    // ------------------------------------------------------------------
+    // Blocking and cancellation
+    // ------------------------------------------------------------------
+
+    /// Park the calling thread until `tid` leaves `Blocked` (returns
+    /// `true`) or the engine is poisoned (returns `false`). The
+    /// blocked→running transition in [`apply_transitions`] signals the
+    /// slot's condvar, so no executor-wide broadcast is involved.
+    pub fn wait_until_runnable(&self, tid: TaskId) -> bool {
+        let slot = self.slot(tid);
+        let mut s = slot.sync.lock();
+        loop {
+            if self.poisoned.load(Ordering::Acquire) {
+                return false;
+            }
+            if s.state != TaskState::Blocked {
+                return true;
+            }
+            slot.cv.wait(&mut s);
+        }
+    }
+
+    /// Park the calling thread until `tid` has been promoted out of
+    /// `Pending` (returns `true`) or the engine is poisoned (returns
+    /// `false`). Used by executors that run a just-created task inline
+    /// in its creator: the creator must wait for the task's serial
+    /// position to be enabled before executing its body.
+    pub fn wait_until_ready(&self, tid: TaskId) -> bool {
+        let slot = self.slot(tid);
+        let mut s = slot.sync.lock();
+        loop {
+            if self.poisoned.load(Ordering::Acquire) {
+                return false;
+            }
+            if s.state != TaskState::Pending {
+                return true;
+            }
+            slot.cv.wait(&mut s);
+        }
+    }
+
+    /// Abort all engine-level waits: every thread parked in
+    /// [`wait_until_runnable`] returns `false`. Used by the executor's
+    /// fault path to cancel blocked tasks.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        for slot in self.tasks.read().iter() {
+            let _guard = slot.sync.lock();
+            slot.cv.notify_all();
+        }
+    }
+
+    /// Whether [`poison`](Self::poison) has been called.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecBuilder;
+
+    fn decls(f: impl FnOnce(&mut SpecBuilder)) -> Vec<Declaration> {
+        let mut b = SpecBuilder::new();
+        f(&mut b);
+        b.build().0
+    }
+
+    fn create(
+        e: &ShardedEngine,
+        parent: TaskId,
+        label: &str,
+        f: impl FnOnce(&mut SpecBuilder),
+    ) -> (TaskId, Vec<Wake>) {
+        let tid = e.alloc_task(parent, label, Placement::Any);
+        let wakes = e.attach_task(tid, decls(f)).unwrap();
+        (tid, wakes)
+    }
+
+    #[test]
+    fn independent_tasks_both_ready() {
+        let e = ShardedEngine::new();
+        let a = e.create_object(TaskId::ROOT);
+        let b = e.create_object(TaskId::ROOT);
+        let (t1, w1) = create(&e, TaskId::ROOT, "t1", |s| {
+            s.wr(a);
+        });
+        let (t2, w2) = create(&e, TaskId::ROOT, "t2", |s| {
+            s.wr(b);
+        });
+        assert!(w1.contains(&Wake::Ready(t1)));
+        assert!(w2.contains(&Wake::Ready(t2)));
+        assert_eq!(e.live_tasks(), 2);
+    }
+
+    #[test]
+    fn write_read_conflict_serializes() {
+        let e = ShardedEngine::new();
+        let a = e.create_object(TaskId::ROOT);
+        let (w, wakes) = create(&e, TaskId::ROOT, "writer", |s| {
+            s.wr(a);
+        });
+        assert!(wakes.contains(&Wake::Ready(w)));
+        let (r, wakes2) = create(&e, TaskId::ROOT, "reader", |s| {
+            s.rd(a);
+        });
+        assert!(wakes2.is_empty(), "reader must wait for the writer");
+        assert_eq!(e.state(r), TaskState::Pending);
+        e.start_task(w);
+        let wakes3 = e.finish_task(w);
+        assert_eq!(wakes3, vec![Wake::Ready(r)]);
+        assert_eq!(e.state(r), TaskState::Ready);
+    }
+
+    #[test]
+    fn child_insertion_revokes_and_restores_parent_grant() {
+        let e = ShardedEngine::new();
+        let a = e.create_object(TaskId::ROOT);
+        let (t, w) = create(&e, TaskId::ROOT, "parent", |s| {
+            s.rd_wr(a);
+        });
+        assert!(w.contains(&Wake::Ready(t)));
+        e.start_task(t);
+        assert!(e.is_granted(t, a, AccessKind::Write));
+        // The running parent spawns a child writer: the child's node
+        // inserts ahead and takes the grant.
+        let (c, cw) = create(&e, t, "child", |s| {
+            s.wr(a);
+        });
+        assert!(cw.contains(&Wake::Ready(c)));
+        assert!(!e.is_granted(t, a, AccessKind::Write), "parent grant revoked");
+        // Parent re-validates at guard time and blocks.
+        assert_eq!(e.check_access(t, a, AccessKind::Write).unwrap(), AccessStatus::MustWait);
+        e.start_task(c);
+        let wakes = e.finish_task(c);
+        assert!(wakes.contains(&Wake::Unblocked(t)), "parent resumes after the child");
+        assert!(e.is_granted(t, a, AccessKind::Write));
+    }
+
+    #[test]
+    fn multi_object_spec_is_atomic() {
+        let e = ShardedEngine::new();
+        // Objects spread over distinct shards.
+        let os: Vec<ObjectId> = (0..4).map(|_| e.create_object(TaskId::ROOT)).collect();
+        let (t, w) = create(&e, TaskId::ROOT, "all", |s| {
+            for &o in &os {
+                s.rd_wr(o);
+            }
+        });
+        assert!(w.contains(&Wake::Ready(t)));
+        e.start_task(t);
+        for &o in &os {
+            assert_eq!(e.check_access(t, o, AccessKind::Write).unwrap(), AccessStatus::Granted);
+        }
+        assert!(e.finish_task(t).is_empty());
+        assert_eq!(e.stats.snapshot().tasks_finished, 1);
+    }
+
+    #[test]
+    fn with_cont_conversion_blocks_until_enabled() {
+        let e = ShardedEngine::new();
+        let a = e.create_object(TaskId::ROOT);
+        let (w, _) = create(&e, TaskId::ROOT, "writer", |s| {
+            s.wr(a);
+        });
+        let (r, rw) = create(&e, TaskId::ROOT, "deferred-reader", |s| {
+            s.df_rd(a);
+        });
+        // The deferred reader starts immediately (deferred sides don't
+        // gate readiness).
+        assert!(rw.contains(&Wake::Ready(r)));
+        e.start_task(r);
+        let (blocked, _) = e.with_cont(r, vec![(a, ContOp::ToRd)]).unwrap();
+        assert!(blocked, "conversion waits for the earlier writer");
+        assert_eq!(e.state(r), TaskState::Blocked);
+        e.start_task(w);
+        let wakes = e.finish_task(w);
+        assert!(wakes.contains(&Wake::Unblocked(r)));
+        assert_eq!(e.state(r), TaskState::Running);
+    }
+
+    #[test]
+    fn retiring_rights_releases_successors() {
+        let e = ShardedEngine::new();
+        let a = e.create_object(TaskId::ROOT);
+        let (h, _) = create(&e, TaskId::ROOT, "holder", |s| {
+            s.df_wr(a);
+        });
+        let (r, rw) = create(&e, TaskId::ROOT, "reader", |s| {
+            s.rd(a);
+        });
+        assert!(rw.is_empty());
+        e.start_task(h);
+        let (blocked, wakes) = e.with_cont(h, vec![(a, ContOp::NoWr)]).unwrap();
+        assert!(!blocked);
+        assert!(wakes.contains(&Wake::Ready(r)));
+    }
+
+    #[test]
+    fn uncovered_child_access_is_rejected() {
+        let e = ShardedEngine::new();
+        let a = e.create_object(TaskId::ROOT);
+        let (t, _) = create(&e, TaskId::ROOT, "reader", |s| {
+            s.rd(a);
+        });
+        e.start_task(t);
+        let c = e.alloc_task(t, "writer-child", Placement::Any);
+        let err = e.attach_task(c, decls(|s| {
+            s.wr(a);
+        }));
+        assert!(matches!(err, Err(JadeError::NotCovered { .. })));
+    }
+
+    #[test]
+    fn commuting_updates_serialize_via_exclusivity() {
+        let e = ShardedEngine::new();
+        let a = e.create_object(TaskId::ROOT);
+        let (c1, w1) = create(&e, TaskId::ROOT, "c1", |s| {
+            s.cm(a);
+        });
+        let (c2, w2) = create(&e, TaskId::ROOT, "c2", |s| {
+            s.cm(a);
+        });
+        assert!(w1.contains(&Wake::Ready(c1)));
+        assert!(w2.contains(&Wake::Ready(c2)), "commuters are unordered");
+        e.start_task(c1);
+        e.start_task(c2);
+        assert_eq!(e.check_access(c1, a, AccessKind::Commute).unwrap(), AccessStatus::Granted);
+        // c1 holds the exclusivity: c2 must wait.
+        assert_eq!(e.check_access(c2, a, AccessKind::Commute).unwrap(), AccessStatus::MustWait);
+        let wakes = e.finish_task(c1);
+        assert!(wakes.contains(&Wake::Unblocked(c2)));
+        assert_eq!(e.check_access(c2, a, AccessKind::Commute).unwrap(), AccessStatus::Granted);
+    }
+
+    #[test]
+    fn root_deferred_access_auto_converts_and_waits() {
+        let e = ShardedEngine::new();
+        let a = e.create_object(TaskId::ROOT);
+        let (w, _) = create(&e, TaskId::ROOT, "writer", |s| {
+            s.wr(a);
+        });
+        // Root reads the result: auto-converts its deferred rd and
+        // must wait for the writer.
+        assert_eq!(
+            e.check_access(TaskId::ROOT, a, AccessKind::Read).unwrap(),
+            AccessStatus::MustWait
+        );
+        e.start_task(w);
+        let wakes = e.finish_task(w);
+        assert!(wakes.contains(&Wake::Unblocked(TaskId::ROOT)));
+        assert_eq!(e.check_access(TaskId::ROOT, a, AccessKind::Read).unwrap(), AccessStatus::Granted);
+    }
+
+    #[test]
+    fn trace_matches_depgraph_shape() {
+        // The same program driven through DepGraph and ShardedEngine
+        // must yield the same task-graph text.
+        let run_sharded = || {
+            let e = ShardedEngine::new();
+            e.enable_trace();
+            let a = e.create_object(TaskId::ROOT);
+            let (w, _) = create(&e, TaskId::ROOT, "w", |s| {
+                s.wr(a);
+            });
+            let (_r1, _) = create(&e, TaskId::ROOT, "r1", |s| {
+                s.rd(a);
+            });
+            let (_r2, _) = create(&e, TaskId::ROOT, "r2", |s| {
+                s.rd(a);
+            });
+            e.start_task(w);
+            e.finish_task(w);
+            e.take_trace().unwrap().to_text()
+        };
+        let run_graph = || {
+            let mut g = crate::graph::DepGraph::new();
+            g.enable_trace();
+            let a = g.create_object(TaskId::ROOT);
+            let (w, _) = g
+                .create_task(TaskId::ROOT, "w", decls(|s| {
+                    s.wr(a);
+                }), Placement::Any)
+                .unwrap();
+            g.create_task(TaskId::ROOT, "r1", decls(|s| {
+                s.rd(a);
+            }), Placement::Any)
+            .unwrap();
+            g.create_task(TaskId::ROOT, "r2", decls(|s| {
+                s.rd(a);
+            }), Placement::Any)
+            .unwrap();
+            g.start_task(w);
+            g.finish_task(w);
+            g.take_trace().unwrap().to_text()
+        };
+        assert_eq!(run_sharded(), run_graph());
+    }
+
+    #[test]
+    fn concurrent_creators_on_disjoint_objects() {
+        // Many threads hammer create/attach/start/finish on their own
+        // objects: nothing shared but the engine itself.
+        let e = Arc::new(ShardedEngine::new());
+        let objects: Vec<ObjectId> = (0..8).map(|_| e.create_object(TaskId::ROOT)).collect();
+        // Root-created top tasks, one per object, each then exercised
+        // from its own thread.
+        let tops: Vec<TaskId> = objects
+            .iter()
+            .map(|&o| {
+                let (t, w) = create(&e, TaskId::ROOT, "top", |s| {
+                    s.rd_wr(o);
+                });
+                assert!(w.contains(&Wake::Ready(t)));
+                e.start_task(t);
+                t
+            })
+            .collect();
+        let handles: Vec<_> = tops
+            .into_iter()
+            .zip(objects)
+            .map(|(t, o)| {
+                let e = e.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let c = e.alloc_task(t, "c", Placement::Any);
+                        let wakes = e
+                            .attach_task(
+                                c,
+                                decls(|s| {
+                                    s.rd_wr(o);
+                                }),
+                            )
+                            .unwrap();
+                        assert!(wakes.iter().any(|w| *w == Wake::Ready(c)));
+                        e.start_task(c);
+                        e.finish_task(c);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = e.stats.snapshot();
+        assert_eq!(s.tasks_created, 8 + 8 * 50);
+        assert_eq!(s.tasks_finished, 8 * 50);
+    }
+
+    #[test]
+    fn poison_releases_engine_waiters() {
+        let e = Arc::new(ShardedEngine::new());
+        let a = e.create_object(TaskId::ROOT);
+        let (w, _) = create(&e, TaskId::ROOT, "writer", |s| {
+            s.wr(a);
+        });
+        e.start_task(w);
+        // Root tries to read → must wait behind the writer.
+        assert_eq!(
+            e.check_access(TaskId::ROOT, a, AccessKind::Read).unwrap(),
+            AccessStatus::MustWait
+        );
+        let waiter = {
+            let e = e.clone();
+            std::thread::spawn(move || e.wait_until_runnable(TaskId::ROOT))
+        };
+        e.poison();
+        assert!(!waiter.join().unwrap(), "poison aborts the wait");
+    }
+}

@@ -385,28 +385,18 @@ impl DepGraph {
         }
 
         let mut touched: Vec<ObjectId> = Vec::with_capacity(decls.len());
+        let mut fresh: Vec<(ObjectId, NodeRef)> = Vec::with_capacity(decls.len());
         for d in &decls {
             let pnode = self.ensure_positioned_node(parent, d.object, DeclRights::NONE);
             let nr = self.arena.insert_before(pnode, tid, d.rights);
             self.rec_mut(tid).decls.push((d.object, nr));
             touched.push(d.object);
-            // Count the live conflicts this declaration waits on.
-            let mut preds: Vec<TaskId> = Vec::new();
-            if d.rights.read.is_active() {
-                preds.extend(self.arena.conflicting_predecessors(nr, AccessKind::Read));
-            }
-            if d.rights.write.is_active() {
-                for p in self.arena.conflicting_predecessors(nr, AccessKind::Write) {
-                    if !preds.contains(&p) {
-                        preds.push(p);
-                    }
-                }
-            }
-            self.stats.conflicts += preds.len() as u64;
+            fresh.push((d.object, nr));
             // Record the *logical* dependence edges (Figure 4) from
             // the serial-order access history, which also covers
-            // predecessors that already completed.
-            if self.trace.is_some() {
+            // predecessors that already completed. Their count is the
+            // conflicts statistic — O(edges), no queue walk.
+            {
                 let hist = self.trace_hist.entry(d.object).or_default();
                 let mut edges: Vec<(TaskId, AccessKind)> = Vec::new();
                 if d.rights.read.is_active() {
@@ -436,6 +426,8 @@ impl DepGraph {
                 } else if d.rights.read.is_active() && !hist.1.contains(&tid) {
                     hist.1.push(tid);
                 }
+                self.stats.conflicts +=
+                    edges.iter().filter(|&&(p, _)| p != tid).count() as u64;
                 if let Some(tr) = self.trace.as_mut() {
                     for (p, kind) in edges {
                         if p != tid {
@@ -448,7 +440,9 @@ impl DepGraph {
 
         let mut wakes = Vec::new();
         for oid in touched {
-            let grants = self.arena.recompute(oid);
+            let f: Vec<NodeRef> =
+                fresh.iter().filter(|&&(o, _)| o == oid).map(|&(_, n)| n).collect();
+            let grants = self.arena.recompute_incremental(oid, &f);
             self.process_grants(grants, &mut wakes);
         }
         // The recompute loop may already have promoted the new task
@@ -572,7 +566,7 @@ impl DepGraph {
         }
         let mut wakes = Vec::new();
         for oid in objects {
-            let grants = self.arena.recompute(oid);
+            let grants = self.arena.recompute_incremental(oid, &[]);
             self.process_grants(grants, &mut wakes);
         }
         wakes
@@ -654,7 +648,7 @@ impl DepGraph {
                         return Err(JadeError::UnknownDeclaration { task: tid, object: oid });
                     }
                     node.rights.commute = DeclState::Retired;
-                    node.commute_holding = false;
+                    self.arena.set_commute_holding(nr, false);
                     touched.insert(oid);
                 }
             }
@@ -663,7 +657,7 @@ impl DepGraph {
         let mut touched: Vec<ObjectId> = touched.into_iter().collect();
         touched.sort();
         for oid in touched {
-            let grants = self.arena.recompute(oid);
+            let grants = self.arena.recompute_incremental(oid, &[]);
             self.process_grants(grants, &mut wakes);
         }
         // Determine whether the converted immediates are enabled.
@@ -741,8 +735,8 @@ impl DepGraph {
                 // commuting tasks now wait until this one finishes or
                 // issues no_cm. Order among commuters is unconstrained
                 // — first granted access wins.
-                self.arena.node_mut(nr).commute_holding = true;
-                self.arena.recompute(oid);
+                self.arena.set_commute_holding(nr, true);
+                let _ = self.arena.recompute_incremental(oid, &[]);
             }
             Ok(AccessStatus::Granted)
         } else {

@@ -60,12 +60,15 @@ pub mod ctx;
 pub mod error;
 #[macro_use]
 pub mod macros;
+pub mod engine;
+pub mod fasthash;
 pub mod graph;
 pub mod handle;
 pub mod observe;
 pub mod parts;
 pub mod ids;
 pub mod queue;
+pub mod readyq;
 pub mod runtime;
 pub mod serial;
 pub mod spec;

@@ -95,10 +95,32 @@ pub struct Granted {
     pub kind: AccessKind,
 }
 
+/// A grant-flag transition produced by [`QueueArena::recompute_diff`]:
+/// an *immediate* right of `task` on `object` changed enabledness.
+/// `granted == false` is a revocation — reachable when a newly created
+/// task's declaration is inserted ahead of an already-enabled one
+/// (hierarchical creation inserts the child before its parent's node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Task whose declaration changed state.
+    pub task: TaskId,
+    /// Object concerned.
+    pub object: ObjectId,
+    /// Which side changed.
+    pub kind: AccessKind,
+    /// `true` = became enabled, `false` = became disabled.
+    pub granted: bool,
+}
+
 #[derive(Debug, Default, Clone, Copy)]
 struct Ends {
     head: Option<NodeRef>,
     tail: Option<NodeRef>,
+    /// Cached commute-exclusivity holder, maintained by
+    /// [`QueueArena::set_commute_holding`] and refreshed by the full
+    /// [`QueueArena::recompute_diff`] scan. Lets the incremental
+    /// recompute skip the O(queue) holder search.
+    holder: Option<NodeRef>,
 }
 
 /// Slab of queue nodes plus per-object head/tail pointers.
@@ -213,6 +235,12 @@ impl QueueArena {
             let n = self.node(r);
             (n.object, n.prev, n.next)
         };
+        {
+            let ends = self.ends.get_mut(&object).expect("unregistered object");
+            if ends.holder == Some(r) {
+                ends.holder = None;
+            }
+        }
         match prev {
             Some(p) => self.nodes[p.idx()].next = next,
             None => self.ends.get_mut(&object).expect("unregistered object").head = next,
@@ -233,6 +261,21 @@ impl QueueArena {
         QueueIter { arena: self, cur: self.ends.get(&object).and_then(|e| e.head) }
     }
 
+    /// Set or clear a node's commute-exclusivity flag, keeping the
+    /// per-queue holder cache in sync. Engines must use this instead
+    /// of writing `commute_holding` directly so that the incremental
+    /// recompute can resolve the holder in O(1).
+    pub fn set_commute_holding(&mut self, r: NodeRef, holding: bool) {
+        let object = self.node(r).object;
+        self.node_mut(r).commute_holding = holding;
+        let ends = self.ends.get_mut(&object).expect("unregistered object");
+        if holding {
+            ends.holder = Some(r);
+        } else if ends.holder == Some(r) {
+            ends.holder = None;
+        }
+    }
+
     /// Recompute the cached grant flags of every node in `object`'s
     /// queue. Returns the immediate rights that transitioned from
     /// not-granted to granted, in queue order (deterministic).
@@ -244,7 +287,25 @@ impl QueueArena {
     /// while one task *holds* the object's commute exclusivity, other
     /// commute grants are withheld (updates serialize).
     pub fn recompute(&mut self, object: ObjectId) -> Vec<Granted> {
+        self.recompute_diff(object)
+            .into_iter()
+            .filter(|t| t.granted)
+            .map(|t| Granted { task: t.task, object: t.object, kind: t.kind })
+            .collect()
+    }
+
+    /// Like [`recompute`](Self::recompute), but report *both*
+    /// directions: every immediate right whose enabledness flipped, in
+    /// queue order. The sharded engine keeps per-task readiness
+    /// counters (`missing` = immediate sides not yet granted), so it
+    /// needs revocations too — a grant a pending task already counted
+    /// can be taken back when a descendant's declaration is inserted
+    /// ahead of it.
+    pub fn recompute_diff(&mut self, object: ObjectId) -> Vec<Transition> {
         // First pass: is any node currently holding commute access?
+        // Refresh the holder cache while at it, so a direct
+        // `commute_holding` write followed by a full recompute leaves
+        // the cache consistent for later incremental calls.
         let mut holder: Option<NodeRef> = None;
         let mut cur = self.ends.get(&object).and_then(|e| e.head);
         while let Some(r) = cur {
@@ -254,6 +315,9 @@ impl QueueArena {
                 break;
             }
             cur = node.next;
+        }
+        if let Some(ends) = self.ends.get_mut(&object) {
+            ends.holder = holder;
         }
         let mut out = Vec::new();
         let mut read_seen = false;
@@ -266,17 +330,30 @@ impl QueueArena {
             let write_ok = !write_seen && !read_seen && !commute_seen;
             let commute_ok =
                 !write_seen && !read_seen && (holder.is_none() || holder == Some(r));
-            if read_ok && !node.read_granted && node.rights.read == DeclState::Immediate {
-                out.push(Granted { task: node.task, object, kind: AccessKind::Read });
+            if node.rights.read == DeclState::Immediate && read_ok != node.read_granted {
+                out.push(Transition {
+                    task: node.task,
+                    object,
+                    kind: AccessKind::Read,
+                    granted: read_ok,
+                });
             }
-            if write_ok && !node.write_granted && node.rights.write == DeclState::Immediate {
-                out.push(Granted { task: node.task, object, kind: AccessKind::Write });
+            if node.rights.write == DeclState::Immediate && write_ok != node.write_granted {
+                out.push(Transition {
+                    task: node.task,
+                    object,
+                    kind: AccessKind::Write,
+                    granted: write_ok,
+                });
             }
-            if commute_ok
-                && !node.commute_granted
-                && node.rights.commute == DeclState::Immediate
+            if node.rights.commute == DeclState::Immediate && commute_ok != node.commute_granted
             {
-                out.push(Granted { task: node.task, object, kind: AccessKind::Commute });
+                out.push(Transition {
+                    task: node.task,
+                    object,
+                    kind: AccessKind::Commute,
+                    granted: commute_ok,
+                });
             }
             node.read_granted = read_ok;
             node.write_granted = write_ok;
@@ -293,6 +370,117 @@ impl QueueArena {
             cur = node.next;
         }
         out
+    }
+
+    /// [`recompute_diff`](Self::recompute_diff) restricted to the
+    /// *prefix of the queue that can have changed*, for the engine hot
+    /// path. Sound only under the incremental contract:
+    ///
+    /// * grant flags were consistent before the current mutation batch
+    ///   (every public mutation is followed by a recompute), and
+    /// * the batch consists of node removals, rights *retirements*,
+    ///   holder changes made through
+    ///   [`set_commute_holding`](Self::set_commute_holding), and
+    ///   insertions whose new nodes are all listed in `fresh`.
+    ///
+    /// The scan walks head→tail exactly like the full recompute but
+    /// stops once the *pre-existing* (non-`fresh`) nodes already seen
+    /// block every kind: `old_write || (old_read && old_commute)`.
+    /// Past that point no node's flag can have changed — the computed
+    /// flags are all `false` (the blockers precede them now), and they
+    /// were already `false` before the batch (the same blockers
+    /// existed then: removals/retirements only shed blockers, and
+    /// `fresh` nodes are excluded from the stop condition, so an
+    /// insertion can never hide a revocation). Holder changes only
+    /// affect commute nodes with no earlier active read/write, which
+    /// always precede the stop point. For the common chain of
+    /// exclusive declarations this makes attach and finish O(1) in the
+    /// queue depth instead of O(depth).
+    pub fn recompute_diff_incremental(
+        &mut self,
+        object: ObjectId,
+        fresh: &[NodeRef],
+    ) -> Vec<Transition> {
+        let Some(ends) = self.ends.get(&object).copied() else { return Vec::new() };
+        // O(1) holder resolution from the cache (validated: the flag
+        // or the right may have been retired since it was set).
+        let holder = ends.holder.filter(|&h| {
+            let n = &self.nodes[h.idx()];
+            n.live && n.commute_holding && n.rights.commute.is_active()
+        });
+        let mut out = Vec::new();
+        let mut read_seen = false;
+        let mut write_seen = false;
+        let mut commute_seen = false;
+        let mut old_read = false;
+        let mut old_write = false;
+        let mut old_commute = false;
+        let mut cur = ends.head;
+        while let Some(r) = cur {
+            if old_write || (old_read && old_commute) {
+                break;
+            }
+            let node = &mut self.nodes[r.idx()];
+            let read_ok = !write_seen && !commute_seen;
+            let write_ok = !write_seen && !read_seen && !commute_seen;
+            let commute_ok =
+                !write_seen && !read_seen && (holder.is_none() || holder == Some(r));
+            if node.rights.read == DeclState::Immediate && read_ok != node.read_granted {
+                out.push(Transition {
+                    task: node.task,
+                    object,
+                    kind: AccessKind::Read,
+                    granted: read_ok,
+                });
+            }
+            if node.rights.write == DeclState::Immediate && write_ok != node.write_granted {
+                out.push(Transition {
+                    task: node.task,
+                    object,
+                    kind: AccessKind::Write,
+                    granted: write_ok,
+                });
+            }
+            if node.rights.commute == DeclState::Immediate && commute_ok != node.commute_granted
+            {
+                out.push(Transition {
+                    task: node.task,
+                    object,
+                    kind: AccessKind::Commute,
+                    granted: commute_ok,
+                });
+            }
+            node.read_granted = read_ok;
+            node.write_granted = write_ok;
+            node.commute_granted = commute_ok;
+            let is_fresh = fresh.contains(&r);
+            if node.rights.read.is_active() {
+                read_seen = true;
+                old_read |= !is_fresh;
+            }
+            if node.rights.write.is_active() {
+                write_seen = true;
+                old_write |= !is_fresh;
+            }
+            if node.rights.commute.is_active() {
+                commute_seen = true;
+                old_commute |= !is_fresh;
+            }
+            cur = node.next;
+        }
+        out
+    }
+
+    /// [`recompute`](Self::recompute) over the changed prefix only —
+    /// the `Granted`-shaped view of
+    /// [`recompute_diff_incremental`](Self::recompute_diff_incremental),
+    /// under the same contract.
+    pub fn recompute_incremental(&mut self, object: ObjectId, fresh: &[NodeRef]) -> Vec<Granted> {
+        self.recompute_diff_incremental(object, fresh)
+            .into_iter()
+            .filter(|t| t.granted)
+            .map(|t| Granted { task: t.task, object: t.object, kind: t.kind })
+            .collect()
     }
 
     /// Tasks with active declarations that precede `r` and conflict
@@ -519,6 +707,108 @@ mod tests {
         a.remove(w);
         let g = a.recompute(O);
         assert_eq!(g, vec![Granted { task: TaskId(2), object: O, kind: AccessKind::Commute }]);
+    }
+
+    #[test]
+    fn diff_reports_revocation_on_child_insertion() {
+        let mut a = arena();
+        let parent = a.push_tail(O, TaskId(1), DeclRights::RD_WR);
+        let g = a.recompute_diff(O);
+        assert_eq!(g.len(), 2, "parent granted read+write");
+        assert!(g.iter().all(|t| t.granted));
+        // A child writer inserted ahead takes both grants back.
+        let child = a.insert_before(parent, TaskId(2), DeclRights::WR);
+        let d = a.recompute_diff(O);
+        let revoked: Vec<_> = d.iter().filter(|t| !t.granted).collect();
+        assert_eq!(revoked.len(), 2, "parent loses read and write");
+        assert!(revoked.iter().all(|t| t.task == TaskId(1)));
+        assert!(d
+            .iter()
+            .any(|t| t.granted && t.task == TaskId(2) && t.kind == AccessKind::Write));
+        // Idempotent: nothing changed, nothing reported.
+        assert!(a.recompute_diff(O).is_empty());
+        a.remove(child);
+        let back = a.recompute_diff(O);
+        assert_eq!(back.len(), 2);
+        assert!(back.iter().all(|t| t.granted && t.task == TaskId(1)));
+    }
+
+    /// Every node's cached flags, for cross-checking the incremental
+    /// scan against the full one.
+    fn flags(a: &QueueArena) -> Vec<(TaskId, bool, bool, bool)> {
+        a.iter(O)
+            .map(|(_, n)| (n.task, n.read_granted, n.write_granted, n.commute_granted))
+            .collect()
+    }
+
+    #[test]
+    fn incremental_tail_attach_and_removal_match_full_recompute() {
+        let mut a = arena();
+        let mut refs = Vec::new();
+        for t in 1..=20 {
+            let rights = match t % 3 {
+                0 => DeclRights::RD,
+                1 => DeclRights::RD_WR,
+                _ => DeclRights::CM,
+            };
+            let r = a.push_tail(O, TaskId(t), rights);
+            let d = a.recompute_diff_incremental(O, &[r]);
+            // Replaying the full scan must find nothing left to fix
+            // and the flags must be byte-identical.
+            let before = flags(&a);
+            assert!(a.recompute_diff(O).is_empty(), "incremental missed a flip: {d:?}");
+            assert_eq!(flags(&a), before);
+            refs.push(r);
+        }
+        // Drain from the head: each removal's incremental diff leaves
+        // the queue exactly as a full recompute would.
+        for r in refs {
+            a.remove(r);
+            let _ = a.recompute_diff_incremental(O, &[]);
+            let before = flags(&a);
+            assert!(a.recompute_diff(O).is_empty());
+            assert_eq!(flags(&a), before);
+        }
+    }
+
+    #[test]
+    fn incremental_insert_reports_revocation_past_early_exit() {
+        let mut a = arena();
+        let parent = a.push_tail(O, TaskId(1), DeclRights::RD_WR);
+        a.recompute(O);
+        assert!(a.node(parent).write_granted);
+        // The child writer is inserted ahead: were it counted toward
+        // the early-exit condition, the scan would stop before ever
+        // revoking the parent's grants.
+        let child = a.insert_before(parent, TaskId(2), DeclRights::WR);
+        let d = a.recompute_diff_incremental(O, &[child]);
+        assert!(d.contains(&Transition { task: TaskId(1), object: O, kind: AccessKind::Write, granted: false }));
+        assert!(d.contains(&Transition { task: TaskId(1), object: O, kind: AccessKind::Read, granted: false }));
+        assert!(d.contains(&Transition { task: TaskId(2), object: O, kind: AccessKind::Write, granted: true }));
+        assert!(a.recompute_diff(O).is_empty(), "incremental left stale flags");
+    }
+
+    #[test]
+    fn set_commute_holding_keeps_holder_cache_for_incremental() {
+        let mut a = arena();
+        let c1 = a.push_tail(O, TaskId(1), DeclRights::CM);
+        let c2 = a.push_tail(O, TaskId(2), DeclRights::CM);
+        a.recompute(O);
+        assert!(a.node(c1).commute_granted && a.node(c2).commute_granted);
+        a.set_commute_holding(c2, true);
+        let d = a.recompute_diff_incremental(O, &[]);
+        assert_eq!(
+            d,
+            vec![Transition { task: TaskId(1), object: O, kind: AccessKind::Commute, granted: false }]
+        );
+        // Removing the holder clears the cache and re-enables the peer.
+        a.remove(c2);
+        let d = a.recompute_diff_incremental(O, &[]);
+        assert_eq!(
+            d,
+            vec![Transition { task: TaskId(1), object: O, kind: AccessKind::Commute, granted: true }]
+        );
+        assert!(a.recompute_diff(O).is_empty());
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! The ready-queue abstraction shared by the parallel executors.
+//!
+//! Once the dependency engine enables a task, *which runnable task a
+//! processor picks next* is pure scheduling policy — the serial
+//! semantics guarantees any order is correct. [`ReadyQueue`] is that
+//! policy boundary: the discrete-event simulator queues enabled tasks
+//! FIFO and scans them against machine eligibility
+//! ([`FifoReadyQueue`]), while the shared-memory backend distributes
+//! them over per-worker work-stealing deques (`jade-threads`). Both
+//! implement this one trait, so the dispatch abstraction — and the
+//! conformance argument that the dynamic task graph is independent of
+//! it — is shared.
+//!
+//! Methods take `&self`: implementations use interior mutability
+//! (a mutex for the FIFO policy, mostly-uncontended per-worker deques
+//! for work stealing) so the queue can be shared between workers
+//! without an enclosing lock.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use crate::ids::TaskId;
+
+/// A queue of enabled-but-not-yet-dispatched tasks.
+pub trait ReadyQueue: Send + Sync {
+    /// Make a task available for dispatch. `hint` optionally routes
+    /// the task toward a preferred worker/machine index (the paper's
+    /// placement-driven scheduling); policies may ignore it.
+    fn push(&self, task: TaskId, hint: Option<usize>);
+
+    /// Take the next task to run from the perspective of `worker`.
+    /// Returns `None` when no queued task is available to that worker.
+    fn pop(&self, worker: usize) -> Option<TaskId>;
+
+    /// Scan queued tasks in policy order, removing each task for which
+    /// `take` returns `true` and retaining the rest (in order). Used
+    /// by placement-constrained backends that can dispatch only a
+    /// subset of the queue at a time.
+    fn dispatch_where(&self, take: &mut dyn FnMut(TaskId) -> bool) {
+        // Generic fallback: drain and re-push the untaken tasks.
+        let mut keep = Vec::new();
+        while let Some(t) = self.pop(0) {
+            if !take(t) {
+                keep.push(t);
+            }
+        }
+        for t in keep {
+            self.push(t, None);
+        }
+    }
+
+    /// Number of queued tasks.
+    fn len(&self) -> usize;
+
+    /// Whether no task is queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Strict FIFO policy behind one mutex — the discrete-event
+/// simulator's ready pool. Dispatch order equals enable order, which
+/// keeps simulated executions deterministic.
+#[derive(Debug, Default)]
+pub struct FifoReadyQueue {
+    q: Mutex<VecDeque<TaskId>>,
+}
+
+impl FifoReadyQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReadyQueue for FifoReadyQueue {
+    fn push(&self, task: TaskId, _hint: Option<usize>) {
+        self.q.lock().push_back(task);
+    }
+
+    fn pop(&self, _worker: usize) -> Option<TaskId> {
+        self.q.lock().pop_front()
+    }
+
+    fn dispatch_where(&self, take: &mut dyn FnMut(TaskId) -> bool) {
+        let mut q = self.q.lock();
+        let mut i = 0;
+        while i < q.len() {
+            if take(q[i]) {
+                q.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.q.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_pops_in_push_order() {
+        let q = FifoReadyQueue::new();
+        q.push(TaskId(1), None);
+        q.push(TaskId(2), Some(3));
+        q.push(TaskId(3), None);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(0), Some(TaskId(1)));
+        assert_eq!(q.pop(7), Some(TaskId(2)), "hint and worker are policy-irrelevant here");
+        assert_eq!(q.pop(0), Some(TaskId(3)));
+        assert_eq!(q.pop(0), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn dispatch_where_removes_matches_in_order() {
+        let q = FifoReadyQueue::new();
+        for i in 1..=5 {
+            q.push(TaskId(i), None);
+        }
+        let mut taken = Vec::new();
+        q.dispatch_where(&mut |t| {
+            if t.0 % 2 == 1 {
+                taken.push(t);
+                true
+            } else {
+                false
+            }
+        });
+        assert_eq!(taken, vec![TaskId(1), TaskId(3), TaskId(5)]);
+        assert_eq!(q.pop(0), Some(TaskId(2)), "unmatched tasks keep their order");
+        assert_eq!(q.pop(0), Some(TaskId(4)));
+        assert!(q.is_empty());
+    }
+}

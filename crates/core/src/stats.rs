@@ -30,7 +30,9 @@ pub struct RuntimeStats {
     pub with_conts: u64,
     /// `with-cont`s that blocked on a deferred→immediate conversion.
     pub with_cont_blocks: u64,
-    /// Dependence conflicts discovered (edges in the dynamic graph).
+    /// Dependence edges in the dynamic task graph (Figure 4), from the
+    /// per-object access history: last conflicting writer plus, for a
+    /// writer, the readers since — the same edges a trace records.
     pub conflicts: u64,
     /// Peak number of simultaneously live (created, unfinished) tasks.
     pub peak_live_tasks: u64,
@@ -71,6 +73,72 @@ impl std::fmt::Display for RuntimeStats {
     }
 }
 
+/// Lock-free counterpart of [`RuntimeStats`] for concurrent executors:
+/// every field is a relaxed atomic, so workers account for their own
+/// work without rendezvousing on a stats lock. The accounting identity
+/// (`tasks_created == tasks_finished + tasks_inlined` at quiescence)
+/// holds because each transition bumps exactly one counter and the
+/// final [`snapshot`](AtomicStats::snapshot) happens after all workers
+/// join.
+#[derive(Debug, Default)]
+pub struct AtomicStats {
+    /// See [`RuntimeStats::tasks_created`].
+    pub tasks_created: AtomicU64,
+    /// See [`RuntimeStats::tasks_inlined`].
+    pub tasks_inlined: AtomicU64,
+    /// See [`RuntimeStats::tasks_finished`].
+    pub tasks_finished: AtomicU64,
+    /// See [`RuntimeStats::declarations`].
+    pub declarations: AtomicU64,
+    /// See [`RuntimeStats::access_checks`].
+    pub access_checks: AtomicU64,
+    /// See [`RuntimeStats::access_waits`].
+    pub access_waits: AtomicU64,
+    /// See [`RuntimeStats::with_conts`].
+    pub with_conts: AtomicU64,
+    /// See [`RuntimeStats::with_cont_blocks`].
+    pub with_cont_blocks: AtomicU64,
+    /// See [`RuntimeStats::conflicts`].
+    pub conflicts: AtomicU64,
+    /// See [`RuntimeStats::peak_live_tasks`] (maintained as a CAS max).
+    pub peak_live_tasks: AtomicU64,
+    /// See [`RuntimeStats::objects_created`].
+    pub objects_created: AtomicU64,
+}
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+impl AtomicStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a new live-task high-water mark candidate.
+    pub fn observe_live(&self, live: u64) {
+        self.peak_live_tasks.fetch_max(live, Relaxed);
+    }
+
+    /// Materialize a plain [`RuntimeStats`] copy. Call at quiescence
+    /// (after workers join) for exact totals; mid-run snapshots are
+    /// approximate, which is fine for monitoring.
+    pub fn snapshot(&self) -> RuntimeStats {
+        RuntimeStats {
+            tasks_created: self.tasks_created.load(Relaxed),
+            tasks_inlined: self.tasks_inlined.load(Relaxed),
+            tasks_finished: self.tasks_finished.load(Relaxed),
+            declarations: self.declarations.load(Relaxed),
+            access_checks: self.access_checks.load(Relaxed),
+            access_waits: self.access_waits.load(Relaxed),
+            with_conts: self.with_conts.load(Relaxed),
+            with_cont_blocks: self.with_cont_blocks.load(Relaxed),
+            conflicts: self.conflicts.load(Relaxed),
+            peak_live_tasks: self.peak_live_tasks.load(Relaxed),
+            objects_created: self.objects_created.load(Relaxed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,6 +150,20 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.tasks_created, 5);
         assert_eq!(a.peak_live_tasks, 5);
+    }
+
+    #[test]
+    fn atomic_snapshot_round_trips() {
+        let a = AtomicStats::new();
+        a.tasks_created.fetch_add(4, Relaxed);
+        a.tasks_finished.fetch_add(3, Relaxed);
+        a.tasks_inlined.fetch_add(1, Relaxed);
+        a.observe_live(7);
+        a.observe_live(5);
+        let s = a.snapshot();
+        assert_eq!(s.tasks_created, 4);
+        assert_eq!(s.tasks_finished + s.tasks_inlined, s.tasks_created);
+        assert_eq!(s.peak_live_tasks, 7, "max, not last");
     }
 
     #[test]

@@ -33,6 +33,7 @@ use jade_core::graph::{AccessStatus, DepGraph, Wake};
 use jade_core::handle::{Object, Shared};
 use jade_core::ids::{ObjectId, TaskId};
 use jade_core::observe::{Event as ObsEvent, EventKind as ObsKind, ObserverArtifacts, ObserverHub};
+use jade_core::readyq::{FifoReadyQueue, ReadyQueue};
 use jade_core::runtime::{Report, RunConfig, Runtime, Throttle};
 use jade_core::spec::{AccessKind, ContBuilder, ContOp, DeclState, SpecBuilder};
 use jade_core::store::{ObjectStore, Slot};
@@ -238,7 +239,7 @@ struct Loop {
     dir: ObjDirectory,
     procs: HashMap<TaskId, ProcHandle>,
     bodies: HashMap<TaskId, SimBody>,
-    ready_pool: VecDeque<TaskId>,
+    ready_pool: FifoReadyQueue,
     assigned: HashMap<TaskId, usize>,
     creator_machine: HashMap<TaskId, usize>,
     pending_fetches: HashMap<TaskId, usize>,
@@ -306,7 +307,7 @@ impl Loop {
             dir: ObjDirectory::new(cfg.granularity),
             procs: HashMap::new(),
             bodies: HashMap::new(),
-            ready_pool: VecDeque::new(),
+            ready_pool: FifoReadyQueue::new(),
             assigned: HashMap::new(),
             creator_machine: HashMap::new(),
             pending_fetches: HashMap::new(),
@@ -571,10 +572,10 @@ impl Loop {
                 });
                 match fallback {
                     Some(mi) => self.assign(t, mi),
-                    None => self.ready_pool.push_back(t),
+                    None => self.ready_pool.push(t, None),
                 }
             } else {
-                self.ready_pool.push_back(t);
+                self.ready_pool.push(t, None);
             }
         }
         self.schedule_assignments();
@@ -795,7 +796,7 @@ impl Loop {
                 Wake::Ready(t) => {
                     debug_assert!(self.bodies.contains_key(&t), "ready task without a body");
                     self.observe(t, ObsKind::TaskEnabled);
-                    self.ready_pool.push_back(t);
+                    self.ready_pool.push(t, None);
                 }
                 Wake::Unblocked(t) => self.on_unblocked(t),
             }
@@ -948,9 +949,20 @@ impl Loop {
     }
 
     fn schedule_assignments(&mut self) {
-        let mut i = 0;
-        while i < self.ready_pool.len() {
-            let t = self.ready_pool[i];
+        // Scan the ready pool in enable (FIFO) order through the
+        // ReadyQueue policy boundary. Decisions are computed against
+        // the live machine loads plus the loads this very scan has
+        // already committed (`picked_load`), then applied after the
+        // scan — `dispatch_where` holds the queue, so the closure must
+        // not mutate the simulation.
+        let mut picks: Vec<(TaskId, usize)> = Vec::new();
+        let mut picked_load = vec![0i64; self.cfg.platform.len()];
+        let mut poison: Option<Poison> = None;
+        let cap = 1 + self.cfg.lookahead as i64;
+        self.ready_pool.dispatch_where(&mut |t| {
+            if poison.is_some() {
+                return false;
+            }
             let placement = self.engine.placement(t);
             if !self
                 .cfg
@@ -960,7 +972,7 @@ impl Loop {
                 .enumerate()
                 .any(|(mi, spec)| eligible(spec, mi, placement))
             {
-                self.poison = Some(Poison {
+                poison = Some(Poison {
                     task: t,
                     message: format!(
                         "task {t} ('{}') requests placement {placement:?}, which no machine \
@@ -970,17 +982,14 @@ impl Loop {
                     ),
                     violation: None,
                 });
-                return;
+                return false;
             }
             let objs: Vec<ObjectId> =
                 self.engine.declarations_of(t).into_iter().map(|(o, _)| o).collect();
-            let cap = 1 + self.cfg.lookahead as i64;
             let mut cands: Vec<Candidate> = Vec::new();
             for (mi, spec) in self.cfg.platform.machines.iter().enumerate() {
-                if !eligible(spec, mi, placement)
-                    || self.mach[mi].load >= cap
-                    || self.is_down(mi)
-                {
+                let load = self.mach[mi].load + picked_load[mi];
+                if !eligible(spec, mi, placement) || load >= cap || self.is_down(mi) {
                     continue;
                 }
                 // Affinity in 4 KiB classes: small resident objects
@@ -992,18 +1001,25 @@ impl Loop {
                 };
                 cands.push(Candidate {
                     machine: mi,
-                    load: self.mach[mi].load.max(0) as usize,
+                    load: load.max(0) as usize,
                     speed: spec.speed,
                     affinity: aff,
                 });
             }
             match choose(&cands) {
                 Some(m) => {
-                    self.ready_pool.remove(i);
-                    self.assign(t, m);
+                    picked_load[m] += 1;
+                    picks.push((t, m));
+                    true
                 }
-                None => i += 1,
+                None => false,
             }
+        });
+        for (t, m) in picks {
+            self.assign(t, m);
+        }
+        if let Some(p) = poison {
+            self.poison = Some(p);
         }
     }
 

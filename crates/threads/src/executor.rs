@@ -1,42 +1,57 @@
-//! Worker-pool executor over the Jade dependency engine.
+//! Worker-pool executor over the sharded Jade dependency engine.
 //!
-//! The entry point is [`Runtime::execute`] with a
-//! [`RunConfig`]: one call that subsumes the deprecated
-//! `run`/`try_run`/`run_traced` trio and returns a typed
-//! [`Report`] bundling the result, statistics and any captured
-//! artifacts (task graph, per-worker timeline, contention profile).
+//! The entry point is [`Runtime::execute`] with a [`RunConfig`]: one
+//! call that returns a typed [`Report`] bundling the result,
+//! statistics and any captured artifacts (task graph, per-worker
+//! timeline, contention profile).
+//!
+//! Scheduling structure — no global lock sits on the task lifecycle:
+//!
+//! * Dependence decisions run in [`ShardedEngine`]: per-object queues
+//!   in sharded locks, per-task leaf state, atomic readiness counters.
+//!   Two tasks touching disjoint objects never contend.
+//! * Dispatch runs over [`StealQueue`]: one work-stealing deque per
+//!   pool worker plus a global injector. A worker that enables a task
+//!   keeps it local; placement hints route a task to the target
+//!   worker's deque; idle workers steal.
+//! * The pool condvar is used **only** to park and unpark threads
+//!   (idle workers, the root's final join, throttle suspension); it is
+//!   never held across engine or queue operations.
 //!
 //! Fault handling: a task body that panics (or violates its access
 //! specification) does not take the process down. The first fault is
-//! recorded as a typed [`JadeFault`], pending tasks are cancelled,
-//! blocked siblings and the root are woken and unwound with a private
-//! cancellation token, and every worker drains before `execute`
-//! returns the fault as a value.
+//! recorded as a typed [`JadeFault`], pending tasks are cancelled, the
+//! engine is poisoned so blocked siblings and the root unwind with a
+//! private cancellation token, and every worker drains before
+//! `execute` returns the fault as a value.
 //!
-//! Observability: when the [`RunConfig`] installs observers, the
-//! executor emits lifecycle [`Event`]s under its scheduler lock —
-//! created/enabled/dispatched/started/finished per task, access-wait
-//! and `with-cont` block intervals, and inline decisions. Worker lane
-//! 0 is the root task's thread; pool workers are 1..=N; compensation
-//! workers get fresh indices beyond N.
+//! Observability: when the [`RunConfig`] installs observers, lifecycle
+//! [`Event`]s are appended to per-worker buffers outside the engine's
+//! sharded locks, each stamped with a global sequence number; the
+//! buffers are merged into one causally ordered stream when the run
+//! finishes. With no observer installed the emission path is a single
+//! branch. Worker lane 0 is the root task's thread; pool workers are
+//! 1..=N; compensation workers get fresh lanes beyond N.
 
-use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use jade_core::ctx::{take_violation, violation, HoldSet, JadeCtx, ReadGuard, WriteGuard};
+use jade_core::engine::ShardedEngine;
 use jade_core::error::{JadeError, JadeFault};
-use jade_core::graph::{AccessStatus, DepGraph, TaskState, Wake};
+use jade_core::fasthash::FastMap;
+use jade_core::graph::{AccessStatus, Wake};
 use jade_core::handle::{Object, Shared};
-use jade_core::ids::TaskId;
-use jade_core::observe::{Event, EventKind, ObserverHub};
+use jade_core::ids::{Placement, TaskId};
+use jade_core::observe::{Event, EventKind};
+use jade_core::readyq::ReadyQueue;
 use jade_core::runtime::{Report, RunConfig, Runtime};
-use jade_core::spec::{AccessKind, ContBuilder, SpecBuilder};
-use jade_core::stats::RuntimeStats;
 use jade_core::store::{ObjectStore, Slot};
-use jade_core::trace::TaskGraphTrace;
-use parking_lot::{Condvar, Mutex, MutexGuard};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::steal::StealQueue;
 
 // The throttle policy moved to jade-core so `RunConfig` can carry it
 // uniformly across backends; re-exported here for compatibility.
@@ -49,29 +64,208 @@ struct CancelToken;
 
 type Body = Box<dyn FnOnce(&mut ThreadCtx) + Send + 'static>;
 
-struct State {
-    graph: DepGraph,
-    store: ObjectStore,
-    ready: VecDeque<TaskId>,
-    bodies: HashMap<TaskId, Body>,
-    unfinished: u64,
-    root_done: bool,
-    base_workers: usize,
+/// Thread-pool bookkeeping, touched only when a thread parks, blocks,
+/// or a compensation worker is spawned — never on the dispatch path.
+struct Pool {
     live_workers: usize,
     idle_workers: usize,
     blocked_tasks: usize,
-    fault: Option<JadeFault>,
-    hub: ObserverHub,
     /// Next lane index handed to a compensation worker.
-    next_worker: usize,
+    next_lane: usize,
 }
 
-impl State {
+/// Sequence-stamped per-lane event buffers. Emission appends to the
+/// emitting lane's buffer (its mutex is effectively uncontended);
+/// merging sorts by `(nanos, seq)`, which respects causal order —
+/// both timestamps and sequence numbers are monotone across
+/// happens-before edges — so every task's lifecycle events come out
+/// in lifecycle order.
+/// One lane's buffer of `(sequence, event)` records.
+type EventLane = Mutex<Vec<(u64, Event)>>;
+
+struct EventBuffers {
+    seq: AtomicU64,
+    lanes: Box<[EventLane]>,
+}
+
+impl EventBuffers {
+    fn new(lanes: usize) -> Self {
+        EventBuffers {
+            seq: AtomicU64::new(0),
+            lanes: (0..lanes).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    fn drain_sorted(&self) -> Vec<Event> {
+        let mut all: Vec<(u64, Event)> =
+            self.lanes.iter().flat_map(|l| std::mem::take(&mut *l.lock())).collect();
+        all.sort_by_key(|(seq, e)| (e.nanos, *seq));
+        all.into_iter().map(|(_, e)| e).collect()
+    }
+}
+
+/// Shard count for the task-body map; like the engine's lock table,
+/// sized so unrelated tasks rarely share a mutex.
+const BODY_SHARDS: usize = 64;
+
+struct Inner {
+    engine: ShardedEngine,
+    store: RwLock<ObjectStore>,
+    queue: StealQueue,
+    /// Bodies of created-but-not-yet-dispatched tasks, sharded by
+    /// `TaskId` so concurrent creators and dispatchers do not
+    /// serialize on one map. A body is stored *before* the task's
+    /// specification is attached to the engine, so a remote worker can
+    /// never pop a body-less task.
+    bodies: Box<[Mutex<FastMap<TaskId, Body>>]>,
+    /// Created-but-not-finished task bodies the root must outwait.
+    unfinished: AtomicI64,
+    root_done: AtomicBool,
+    faulted: AtomicBool,
+    fault: Mutex<Option<JadeFault>>,
+    pool: Mutex<Pool>,
+    /// Parks idle workers; notified when a task is queued (one wake
+    /// per task — no thundering herd) and on shutdown.
+    cv_work: Condvar,
+    /// Parks the root's final join and throttle-suspended creators;
+    /// notified when a task finishes and on shutdown. Separate from
+    /// `cv_work` so a queued task never wastes its (single) wake on
+    /// the root, and a completion never stampedes the workers.
+    cv_done: Condvar,
+    /// Workers currently parked (or about to park) on `cv_work`.
+    /// Producers skip the pool lock and the notify entirely while this
+    /// is zero — the common case when every worker is busy.
+    sleepers_work: AtomicUsize,
+    /// Ditto for `cv_done`.
+    sleepers_done: AtomicUsize,
+    /// Round-robin cursor distributing un-hinted pushes from threads
+    /// without a deque (the root) across the worker deques.
+    spread: AtomicUsize,
+    throttle: Throttle,
+    base_workers: usize,
+    /// Run epoch; event timestamps are nanoseconds since this instant.
+    start: Instant,
+    observing: bool,
+    events: EventBuffers,
+}
+
+impl Inner {
+    /// Append a lifecycle event to `lane`'s buffer. A no-op branch
+    /// when no observer is installed.
+    fn emit(&self, lane: usize, task: TaskId, kind: EventKind) {
+        if !self.observing {
+            return;
+        }
+        let nanos = self.start.elapsed().as_nanos() as u64;
+        let seq = self.events.seq.fetch_add(1, Ordering::SeqCst);
+        let n = self.events.lanes.len();
+        self.events.lanes[lane % n].lock().push((seq, Event { nanos, task, kind }));
+    }
+
+    fn body_shard(&self, t: TaskId) -> &Mutex<FastMap<TaskId, Body>> {
+        &self.bodies[t.0 as usize % BODY_SHARDS]
+    }
+
+    /// Tell parked workers that `pushed` tasks were queued (or, with
+    /// `pushed == usize::MAX`, that they must wake for shutdown).
+    /// Cheap when nobody sleeps: sleepers register *before* re-checking
+    /// their wait condition, so either this load observes the sleeper
+    /// (and notifies it) or the sleeper's re-check observes the
+    /// condition change (and never parks) — no lost wakeup either way,
+    /// and the busy-pool fast path is one atomic load.
+    fn notify_work(&self, pushed: usize) {
+        if self.sleepers_work.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let _guard = self.pool.lock();
+        if pushed == 1 {
+            self.cv_work.notify_one();
+        } else {
+            self.cv_work.notify_all();
+        }
+    }
+
+    /// Tell the root / throttled creators that a task finished (the
+    /// unfinished and live counts dropped) or that a fault arrived.
+    /// Same no-lost-wakeup protocol as [`Self::notify_work`].
+    fn notify_done(&self) {
+        if self.sleepers_done.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let _guard = self.pool.lock();
+        self.cv_done.notify_all();
+    }
+
+    /// Queue every newly enabled task. `lane` is the emitting thread's
+    /// lane; `home` its deque slot, used for un-hinted tasks so enabled
+    /// work stays local to the worker that enabled it.
+    fn handle_wakes(&self, wakes: Vec<Wake>, lane: usize, home: Option<usize>) {
+        let mut pushed = 0usize;
+        for w in wakes {
+            if let Wake::Ready(t) = w {
+                self.emit(lane, t, EventKind::TaskEnabled);
+                // Only queue tasks whose bodies the pool manages;
+                // inline-executed tasks are awaited by their creator
+                // through the engine instead.
+                if self.body_shard(t).lock().contains_key(&t) {
+                    let hint = match self.engine.placement(t) {
+                        Placement::Machine(m) => Some(m.0 as usize % self.base_workers),
+                        // Deque-less threads (the root) spread their
+                        // pushes round-robin over the worker deques
+                        // instead of serializing on the injector.
+                        _ => home.or_else(|| {
+                            Some(self.spread.fetch_add(1, Ordering::Relaxed) % self.base_workers)
+                        }),
+                    };
+                    self.queue.push(t, hint);
+                    pushed += 1;
+                }
+            }
+            // Wake::Unblocked threads are signalled by the engine's
+            // per-task condvars; nothing to do here.
+        }
+        if pushed > 0 {
+            self.notify_work(pushed);
+        }
+    }
+
+    /// [`Self::handle_wakes`] specialised for the creator path: when
+    /// the only wake is the just-created task itself — the dominant
+    /// case for independent fine-grained tasks — its body is known to
+    /// be stored and its placement is already in hand, so the body-map
+    /// probe and the engine placement lookup are skipped.
+    fn handle_wakes_created(
+        &self,
+        wakes: Vec<Wake>,
+        created: TaskId,
+        placement: Placement,
+        lane: usize,
+        home: Option<usize>,
+    ) {
+        if let [Wake::Ready(t)] = wakes[..] {
+            if t == created {
+                self.emit(lane, t, EventKind::TaskEnabled);
+                let hint = match placement {
+                    Placement::Machine(m) => Some(m.0 as usize % self.base_workers),
+                    _ => home.or_else(|| {
+                        Some(self.spread.fetch_add(1, Ordering::Relaxed) % self.base_workers)
+                    }),
+                };
+                self.queue.push(t, hint);
+                self.notify_work(1);
+                return;
+            }
+        }
+        self.handle_wakes(wakes, lane, home);
+    }
+
     /// Record a fault. The first fault wins; cancellation cascades
     /// triggered by it must not overwrite the root cause.
-    fn record_fault(&mut self, fault: JadeFault) {
-        if self.fault.is_none() {
-            self.fault = Some(fault);
+    fn record_fault(&self, fault: JadeFault) {
+        let mut f = self.fault.lock();
+        if f.is_none() {
+            *f = Some(fault);
+            self.faulted.store(true, Ordering::Release);
         }
     }
 
@@ -79,7 +273,7 @@ impl State {
     /// the resulting fault. A [`CancelToken`] records nothing (the
     /// causing fault is already present). Must run on the thread that
     /// panicked so the violation thread-local is visible.
-    fn record_panic(&mut self, task: TaskId, payload: &(dyn std::any::Any + Send)) {
+    fn record_panic(&self, task: TaskId, payload: &(dyn std::any::Any + Send)) {
         if payload.downcast_ref::<CancelToken>().is_some() {
             return;
         }
@@ -101,143 +295,192 @@ impl State {
         self.record_fault(fault);
     }
 
-    /// Drop every not-yet-started task: clear the ready queue and the
-    /// stored bodies, and release their `unfinished` counts so the
-    /// drain loop can converge.
-    fn cancel_pending(&mut self) {
-        self.ready.clear();
-        let cancelled = self.bodies.len() as u64;
-        self.bodies.clear();
-        self.unfinished -= cancelled;
-    }
-}
-
-struct Inner {
-    state: Mutex<State>,
-    cv: Condvar,
-    throttle: Throttle,
-    /// Run epoch; event timestamps are nanoseconds since this instant.
-    start: Instant,
-}
-
-impl Inner {
-    /// Emit a lifecycle event if any observer is installed. Must be
-    /// called with the state lock held, which serializes emission.
-    fn emit(&self, st: &mut State, task: TaskId, kind: EventKind) {
-        if st.hub.is_active() {
-            let nanos = self.start.elapsed().as_nanos() as u64;
-            st.hub.emit(Event { nanos, task, kind });
+    /// Cancel all not-yet-started tasks and release every waiter:
+    /// clear the ready queue and stored bodies, poison the engine so
+    /// blocked tasks unwind, and wake all parked threads. Idempotent.
+    fn fault_shutdown(&self) {
+        let mut cancelled = 0i64;
+        for shard in self.bodies.iter() {
+            let mut b = shard.lock();
+            cancelled += b.len() as i64;
+            b.clear();
         }
+        self.queue.clear();
+        self.unfinished.fetch_sub(cancelled, Ordering::AcqRel);
+        self.engine.poison();
+        self.notify_work(usize::MAX);
+        self.notify_done();
     }
 
-    fn apply_wakes(&self, st: &mut State, wakes: Vec<Wake>) {
-        for w in wakes {
-            if let Wake::Ready(t) = w {
-                self.emit(st, t, EventKind::TaskEnabled);
-                // Only queue tasks whose bodies the pool manages;
-                // inline-executed and root tasks are woken via the
-                // condvar broadcast instead.
-                if st.bodies.contains_key(&t) {
-                    st.ready.push_back(t);
-                }
-            }
-        }
+    fn finished(&self) -> bool {
+        self.root_done.load(Ordering::Acquire) && self.unfinished.load(Ordering::Acquire) <= 0
     }
 
     /// Ensure ready tasks cannot starve while the calling task blocks:
     /// if no worker is idle, spawn a compensation worker (the surplus
     /// exits once the pool is over-provisioned again).
-    fn compensate(self: &Arc<Self>, st: &mut State) {
-        if st.idle_workers == 0 && st.fault.is_none() && !(st.root_done && st.unfinished == 0) {
-            st.live_workers += 1;
-            let lane = st.next_worker;
-            st.next_worker += 1;
+    fn compensate(self: &Arc<Self>, p: &mut Pool) {
+        if p.idle_workers == 0 && !self.faulted.load(Ordering::Acquire) && !self.finished() {
+            p.live_workers += 1;
+            let lane = p.next_lane;
+            p.next_lane += 1;
             let inner = Arc::clone(self);
             std::thread::spawn(move || worker_loop(inner, lane));
         }
     }
 
-    /// Block the calling task-thread until `done` holds, keeping the
-    /// pool's effective width by compensating. If a fault is recorded
-    /// while waiting, the blocked task is unwound with a
-    /// [`CancelToken`] instead of waiting on work that will never
-    /// arrive — this is what guarantees shutdown wakes every sibling.
-    fn wait_until(
-        self: &Arc<Self>,
-        st: &mut MutexGuard<'_, State>,
-        mut done: impl FnMut(&State) -> bool,
-    ) {
-        if done(st) {
+    /// Mark the calling task-thread blocked (spawning a compensation
+    /// worker if needed), run `wait`, and unmark. If the engine was
+    /// poisoned while waiting, the task unwinds with a [`CancelToken`]
+    /// — this is what guarantees shutdown wakes every sibling.
+    fn blocking_wait(self: &Arc<Self>, wait: impl FnOnce() -> bool) {
+        {
+            let mut p = self.pool.lock();
+            p.blocked_tasks += 1;
+            self.compensate(&mut p);
+        }
+        let ok = wait();
+        self.pool.lock().blocked_tasks -= 1;
+        if !ok {
+            std::panic::panic_any(CancelToken);
+        }
+    }
+
+    /// Park on the pool condvar until `done()` holds; cancels with a
+    /// [`CancelToken`] if a fault arrives first. Used by the
+    /// suspend-creator throttle.
+    fn pool_wait(self: &Arc<Self>, mut done: impl FnMut() -> bool) {
+        if done() {
             return;
         }
-        st.blocked_tasks += 1;
-        self.compensate(st);
-        while !done(st) {
-            if st.fault.is_some() {
-                st.blocked_tasks -= 1;
+        let mut p = self.pool.lock();
+        p.blocked_tasks += 1;
+        self.compensate(&mut p);
+        // Register as a sleeper before each condition re-check (see
+        // `notify_work` for why this ordering prevents lost wakeups).
+        self.sleepers_done.fetch_add(1, Ordering::SeqCst);
+        loop {
+            if self.faulted.load(Ordering::Acquire) {
+                p.blocked_tasks -= 1;
+                self.sleepers_done.fetch_sub(1, Ordering::SeqCst);
+                drop(p);
                 std::panic::panic_any(CancelToken);
             }
-            self.cv.wait(st);
+            if done() {
+                break;
+            }
+            self.cv_done.wait(&mut p);
         }
-        st.blocked_tasks -= 1;
+        p.blocked_tasks -= 1;
+        self.sleepers_done.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Wait for every worker (pool and compensation) to exit, then
+    /// return the recorded fault.
+    fn drain(&self) -> JadeFault {
+        self.fault_shutdown();
+        let mut p = self.pool.lock();
+        while p.live_workers > 0 {
+            self.cv_done.wait(&mut p);
+        }
+        self.fault.lock().clone().expect("drain is only reached after a fault was recorded")
     }
 }
 
-fn worker_loop(inner: Arc<Inner>, worker: usize) {
-    let mut st = inner.state.lock();
+/// Failed pop attempts (with a `yield_now` each) before a worker
+/// parks on the condvar. Spinning keeps the task hand-off futex-free
+/// while a producer is actively enabling work — and the yield donates
+/// the time slice to that producer on oversubscribed hosts.
+const SPIN_YIELDS: u32 = 32;
+
+fn worker_loop(inner: Arc<Inner>, lane: usize) {
+    // Pool workers (lanes 1..=N) own deque slot `lane - 1`; the root
+    // thread and compensation workers have no local deque.
+    let home = lane.checked_sub(1).filter(|&slot| slot < inner.base_workers);
+    let slot = home.unwrap_or_else(|| inner.queue.remote_slot());
+    let mut spins = 0u32;
     loop {
-        if st.fault.is_some() {
+        if inner.faulted.load(Ordering::Acquire) {
             break;
         }
-        if let Some(tid) = st.ready.pop_front() {
-            let body = st.bodies.remove(&tid).expect("queued task has a body");
-            inner.emit(&mut st, tid, EventKind::TaskDispatched { worker });
-            st.graph.start_task(tid);
-            inner.emit(&mut st, tid, EventKind::TaskStarted { worker });
-            drop(st);
-            execute_task(&inner, tid, body, worker);
-            st = inner.state.lock();
+        if let Some(tid) = inner.queue.pop(slot) {
+            spins = 0;
+            // A fault between pop and this lookup may have cancelled
+            // the body; skip and fall out on the next fault check.
+            let Some(body) = inner.body_shard(tid).lock().remove(&tid) else { continue };
+            inner.emit(lane, tid, EventKind::TaskDispatched { worker: lane });
+            inner.engine.start_task(tid);
+            inner.emit(lane, tid, EventKind::TaskStarted { worker: lane });
+            execute_task(&inner, tid, body, lane, home);
             continue;
         }
-        if st.root_done && st.unfinished == 0 {
+        if inner.finished() {
             break;
         }
-        if st.live_workers > st.base_workers + st.blocked_tasks {
+        if spins < SPIN_YIELDS {
+            spins += 1;
+            std::thread::yield_now();
+            continue;
+        }
+        spins = 0;
+        let mut p = inner.pool.lock();
+        // Register as a sleeper, *then* re-check every wake condition:
+        // a producer either sees the registration (and notifies) or
+        // this re-check sees its change — no lost wakeup (the pool
+        // lock alone is not enough, because producers publish changes
+        // without taking it).
+        inner.sleepers_work.fetch_add(1, Ordering::SeqCst);
+        if inner.faulted.load(Ordering::Acquire)
+            || inner.finished()
+            || !inner.queue.is_empty()
+        {
+            inner.sleepers_work.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        if p.live_workers > inner.base_workers + p.blocked_tasks {
+            inner.sleepers_work.fetch_sub(1, Ordering::SeqCst);
             break; // surplus compensation worker retires
         }
-        st.idle_workers += 1;
-        inner.cv.wait(&mut st);
-        st.idle_workers -= 1;
+        p.idle_workers += 1;
+        inner.cv_work.wait(&mut p);
+        p.idle_workers -= 1;
+        inner.sleepers_work.fetch_sub(1, Ordering::SeqCst);
     }
-    st.live_workers -= 1;
-    inner.cv.notify_all();
+    let mut p = inner.pool.lock();
+    p.live_workers -= 1;
+    inner.cv_done.notify_all();
 }
 
-fn execute_task(inner: &Arc<Inner>, tid: TaskId, body: Body, worker: usize) {
-    let mut ctx =
-        ThreadCtx { inner: Arc::clone(inner), task: tid, holds: HoldSet::new(), worker };
+fn execute_task(inner: &Arc<Inner>, tid: TaskId, body: Body, lane: usize, home: Option<usize>) {
+    let mut ctx = ThreadCtx {
+        inner: Arc::clone(inner),
+        task: tid,
+        holds: HoldSet::new(),
+        worker: lane,
+        home,
+    };
     let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
     let leaked = ctx.holds.any_held();
-    let mut st = inner.state.lock();
-    st.unfinished -= 1;
     match outcome {
         Ok(()) if !leaked => {
-            let wakes = st.graph.finish_task(tid);
-            inner.emit(&mut st, tid, EventKind::TaskFinished { worker });
-            inner.apply_wakes(&mut st, wakes);
+            let wakes = inner.engine.finish_task(tid);
+            inner.emit(lane, tid, EventKind::TaskFinished { worker: lane });
+            inner.handle_wakes(wakes, lane, home);
         }
         Ok(()) => {
-            st.record_fault(JadeFault::SpecViolation {
+            inner.record_fault(JadeFault::SpecViolation {
                 task: tid,
                 error: JadeError::GuardLeaked { task: tid },
             });
+            inner.fault_shutdown();
         }
-        Err(payload) => st.record_panic(tid, payload.as_ref()),
+        Err(payload) => {
+            inner.record_panic(tid, payload.as_ref());
+            inner.fault_shutdown();
+        }
     }
-    if st.fault.is_some() {
-        st.cancel_pending();
-    }
-    inner.cv.notify_all();
+    inner.unfinished.fetch_sub(1, Ordering::AcqRel);
+    inner.notify_done();
 }
 
 /// Configuration and entry point for shared-memory execution.
@@ -263,85 +506,6 @@ impl ThreadedExecutor {
     pub fn workers(&self) -> usize {
         self.workers
     }
-
-    /// Execute a Jade program; returns its result and runtime stats.
-    /// All tasks are guaranteed finished on return.
-    ///
-    /// # Panics
-    /// Re-raises the root body's own panic; any other fault (a task
-    /// panic, a spec violation, cancellation) panics with the fault's
-    /// [`Display`](std::fmt::Display) rendering.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Runtime::execute(RunConfig::new(), program)` and inspect the `Report`"
-    )]
-    pub fn run<R>(
-        &self,
-        program: impl FnOnce(&mut ThreadCtx) -> R + Send + 'static,
-    ) -> (R, RuntimeStats)
-    where
-        R: Send + 'static,
-    {
-        match self.execute(RunConfig::new(), program) {
-            Ok(rep) => rep.into_parts(),
-            Err(fault) => panic!("{fault}"),
-        }
-    }
-
-    /// Execute a Jade program, returning any fault as a value instead
-    /// of panicking. On `Err`, every worker has drained and all pending
-    /// tasks were cancelled — the pool is immediately reusable (each
-    /// run spawns a fresh pool) and no stray task threads survive.
-    ///
-    /// The root body's own panic is still re-raised (it is the caller's
-    /// panic, not a child fault).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Runtime::execute(RunConfig::new(), program)`; it already returns \
-                `Result<Report, JadeFault>`"
-    )]
-    pub fn try_run<R>(
-        &self,
-        program: impl FnOnce(&mut ThreadCtx) -> R + Send + 'static,
-    ) -> Result<(R, RuntimeStats), JadeFault>
-    where
-        R: Send + 'static,
-    {
-        self.execute(RunConfig::new(), program).map(Report::into_parts)
-    }
-
-    /// Execute with dynamic task-graph capture.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Runtime::execute(RunConfig::new().with_trace(), program)` and read \
-                `Report::trace`"
-    )]
-    pub fn run_traced<R>(
-        &self,
-        program: impl FnOnce(&mut ThreadCtx) -> R + Send + 'static,
-    ) -> (R, RuntimeStats, TaskGraphTrace)
-    where
-        R: Send + 'static,
-    {
-        match self.execute(RunConfig::new().with_trace(), program) {
-            Ok(rep) => {
-                let trace = rep.trace.expect("trace enabled");
-                (rep.result, rep.stats, trace)
-            }
-            Err(fault) => panic!("{fault}"),
-        }
-    }
-
-    /// Cancel all pending work and wait for every worker to exit.
-    /// Returns the recorded fault (there must be one).
-    fn drain(inner: &Arc<Inner>, st: &mut MutexGuard<'_, State>) -> JadeFault {
-        st.cancel_pending();
-        inner.cv.notify_all();
-        while st.live_workers > 0 {
-            inner.cv.wait(st);
-        }
-        st.fault.clone().expect("drain is only reached after a fault was recorded")
-    }
 }
 
 impl Runtime for ThreadedExecutor {
@@ -360,30 +524,39 @@ impl Runtime for ThreadedExecutor {
         let workers = cfg.workers.unwrap_or(self.workers).max(1);
         let throttle =
             if cfg.throttle == Throttle::None { self.throttle } else { cfg.throttle };
-        let hub = cfg.take_hub();
-        let mut graph = DepGraph::new();
+        let mut hub = cfg.take_hub();
+        let observing = hub.is_active();
+        let engine = ShardedEngine::new();
         if cfg.trace {
-            graph.enable_trace();
+            engine.enable_trace();
         }
         let inner = Arc::new(Inner {
-            state: Mutex::new(State {
-                graph,
-                store: ObjectStore::new(),
-                ready: VecDeque::new(),
-                bodies: HashMap::new(),
-                unfinished: 0,
-                root_done: false,
-                base_workers: workers,
+            engine,
+            store: RwLock::new(ObjectStore::new()),
+            queue: StealQueue::new(workers),
+            bodies: (0..BODY_SHARDS).map(|_| Mutex::new(FastMap::default())).collect(),
+            unfinished: AtomicI64::new(0),
+            root_done: AtomicBool::new(false),
+            faulted: AtomicBool::new(false),
+            fault: Mutex::new(None),
+            pool: Mutex::new(Pool {
                 live_workers: workers,
                 idle_workers: 0,
                 blocked_tasks: 0,
-                fault: None,
-                hub,
-                next_worker: workers + 1,
+                next_lane: workers + 1,
             }),
-            cv: Condvar::new(),
+            cv_work: Condvar::new(),
+            cv_done: Condvar::new(),
+            sleepers_work: AtomicUsize::new(0),
+            sleepers_done: AtomicUsize::new(0),
+            spread: AtomicUsize::new(0),
             throttle,
+            base_workers: workers,
             start: Instant::now(),
+            observing,
+            // One buffer per pool lane plus the root; compensation
+            // lanes fold onto these modulo the buffer count.
+            events: EventBuffers::new(workers + 1),
         });
         for lane in 1..=workers {
             let i = Arc::clone(&inner);
@@ -395,44 +568,55 @@ impl Runtime for ThreadedExecutor {
             task: TaskId::ROOT,
             holds: HoldSet::new(),
             worker: 0,
+            home: None,
         };
         let outcome = catch_unwind(AssertUnwindSafe(|| program(&mut ctx)));
 
-        let mut st = inner.state.lock();
-        st.root_done = true;
-        inner.cv.notify_all();
+        inner.root_done.store(true, Ordering::Release);
+        inner.notify_work(usize::MAX);
         match outcome {
             Ok(result) => {
-                while st.unfinished > 0 && st.fault.is_none() {
-                    inner.cv.wait(&mut st);
+                {
+                    let mut p = inner.pool.lock();
+                    inner.sleepers_done.fetch_add(1, Ordering::SeqCst);
+                    while inner.unfinished.load(Ordering::Acquire) > 0
+                        && !inner.faulted.load(Ordering::Acquire)
+                    {
+                        inner.cv_done.wait(&mut p);
+                    }
+                    inner.sleepers_done.fetch_sub(1, Ordering::SeqCst);
                 }
-                if st.fault.is_some() {
-                    let fault = Self::drain(&inner, &mut st);
-                    return Err(fault);
+                if inner.faulted.load(Ordering::Acquire) {
+                    return Err(inner.drain());
                 }
-                let stats = st.graph.stats;
-                let tr = st.graph.take_trace();
-                let hub = std::mem::replace(&mut st.hub, ObserverHub::inactive());
-                drop(st);
+                // Wake any parked workers so they observe the finished
+                // state and exit.
+                inner.notify_work(usize::MAX);
+                let stats = inner.engine.stats.snapshot();
+                let tr = inner.engine.take_trace();
                 let elapsed = inner.start.elapsed().as_nanos() as u64;
-                let arts = hub.finish(elapsed.max(1));
                 let mut rep = Report::new(result, stats, elapsed, workers);
                 rep.trace = tr;
-                rep.timeline = arts.timeline;
-                rep.contention = arts.contention;
+                if observing {
+                    for ev in inner.events.drain_sorted() {
+                        hub.emit(ev);
+                    }
+                    let arts = hub.finish(elapsed.max(1));
+                    rep.timeline = arts.timeline;
+                    rep.contention = arts.contention;
+                }
                 Ok(rep)
             }
             Err(payload) => {
                 // The root unwound: either its own panic, or a
                 // CancelToken raised because a child faulted while the
                 // root was blocked.
-                st.record_panic(TaskId::ROOT, payload.as_ref());
-                let fault = Self::drain(&inner, &mut st);
+                inner.record_panic(TaskId::ROOT, payload.as_ref());
+                let fault = inner.drain();
                 if let JadeFault::TaskPanicked { task: TaskId::ROOT, .. } = &fault {
                     // The root's own panic is the caller's panic, not a
                     // child fault: re-raise the original payload so
                     // `catch_unwind` callers see it unchanged.
-                    drop(st);
                     resume_unwind(payload);
                 }
                 Err(fault)
@@ -448,13 +632,14 @@ pub struct ThreadCtx {
     holds: HoldSet,
     /// The lane this task is executing on (0 = root's thread).
     worker: usize,
+    /// The lane's deque slot, if it owns one.
+    home: Option<usize>,
 }
 
 impl JadeCtx for ThreadCtx {
     fn create_named<T: Object>(&mut self, name: &str, value: T) -> Shared<T> {
-        let mut st = self.inner.state.lock();
-        let oid = st.graph.create_object(self.task);
-        st.store.insert(oid, Slot::new(name, value));
+        let oid = self.inner.engine.create_object(self.task);
+        self.inner.store.write().insert(oid, Slot::new(name, value));
         Shared::from_raw(oid)
     }
 
@@ -474,12 +659,9 @@ impl JadeCtx for ThreadCtx {
                 });
             }
         }
-
-        let mut st = self.inner.state.lock();
-        if st.fault.is_some() {
+        if self.inner.faulted.load(Ordering::Acquire) {
             // A sibling already faulted; unwind this creator as part of
             // the structured shutdown rather than adding new work.
-            drop(st);
             std::panic::panic_any(CancelToken);
         }
 
@@ -487,92 +669,95 @@ impl JadeCtx for ThreadCtx {
         match self.inner.throttle {
             Throttle::None => {}
             Throttle::SuspendCreator { hi, lo } => {
-                if st.graph.live_tasks() >= hi {
+                if self.inner.engine.live_tasks() >= hi {
                     let inner = Arc::clone(&self.inner);
-                    inner.wait_until(&mut st, |s| s.graph.live_tasks() < lo);
+                    inner.pool_wait(|| inner.engine.live_tasks() < lo);
                 }
             }
             Throttle::Inline { hi } => {
-                if st.graph.live_tasks() >= hi {
+                if self.inner.engine.live_tasks() >= hi {
                     inline = true;
                 }
             }
         }
 
-        let (tid, wakes) = st
-            .graph
-            .create_task(self.task, label, decls, placement)
-            .unwrap_or_else(|e| violation(e));
-        st.unfinished += 1;
-        if st.hub.is_active() {
-            let parent = self.task;
-            self.inner.emit(
-                &mut st,
-                tid,
-                EventKind::TaskCreated { parent, label: label.to_string() },
-            );
+        let tid = self.inner.engine.alloc_task(self.task, label, placement);
+        self.inner.unfinished.fetch_add(1, Ordering::AcqRel);
+        self.inner.emit(
+            self.worker,
+            tid,
+            EventKind::TaskCreated { parent: self.task, label: label.to_string() },
+        );
+        if !inline {
+            // The body must be in place before the spec attaches: the
+            // moment the engine enables the task, any worker may claim
+            // it.
+            self.inner.body_shard(tid).lock().insert(tid, Box::new(body));
+            let wakes = self
+                .inner
+                .engine
+                .attach_task(tid, decls)
+                .unwrap_or_else(|e| violation(e));
+            self.inner.handle_wakes_created(wakes, tid, placement, self.worker, self.home);
+            return;
         }
 
-        if inline {
-            self.inner.apply_wakes(&mut st, wakes); // tid has no stored body; skipped
+        // Inline execution: no body is stored, so no worker can claim
+        // the task; the creator waits for its serial position to be
+        // enabled and runs it in place.
+        let wakes = self
+            .inner
+            .engine
+            .attach_task(tid, decls)
+            .unwrap_or_else(|e| violation(e));
+        self.inner.handle_wakes(wakes, self.worker, self.home);
+        {
             let inner = Arc::clone(&self.inner);
-            inner.wait_until(&mut st, |s| s.graph.state(tid) == TaskState::Ready);
-            self.inner.emit(&mut st, tid, EventKind::TaskInlined);
-            self.inner.emit(&mut st, tid, EventKind::TaskDispatched { worker: self.worker });
-            st.graph.start_task(tid);
-            self.inner.emit(&mut st, tid, EventKind::TaskStarted { worker: self.worker });
-            st.graph.stats.tasks_inlined += 1;
-            drop(st);
-            let mut cctx = ThreadCtx {
-                inner: Arc::clone(&self.inner),
-                task: tid,
-                holds: HoldSet::new(),
-                worker: self.worker,
-            };
-            let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut cctx)));
-            let leaked = cctx.holds.any_held();
-            let mut st = self.inner.state.lock();
-            st.unfinished -= 1;
-            match outcome {
-                Ok(()) if !leaked => {
-                    let wakes = st.graph.finish_task(tid);
-                    // The engine counts every completion; an inlined
-                    // task is accounted in `tasks_inlined` instead, so
-                    // `created == finished + inlined` stays balanced.
-                    st.graph.stats.tasks_finished -= 1;
-                    self.inner.emit(
-                        &mut st,
-                        tid,
-                        EventKind::TaskFinished { worker: self.worker },
-                    );
-                    self.inner.apply_wakes(&mut st, wakes);
-                    self.inner.cv.notify_all();
-                }
-                Ok(()) => {
-                    st.record_fault(JadeFault::SpecViolation {
-                        task: tid,
-                        error: JadeError::GuardLeaked { task: tid },
-                    });
-                    st.cancel_pending();
-                    self.inner.cv.notify_all();
-                    drop(st);
-                    std::panic::panic_any(CancelToken);
-                }
-                Err(payload) => {
-                    st.record_panic(tid, payload.as_ref());
-                    st.cancel_pending();
-                    self.inner.cv.notify_all();
-                    drop(st);
-                    // Re-raise so the creating task unwinds too; the
-                    // fault is already recorded, so the creator's catch
-                    // site treats this like a cancellation.
-                    resume_unwind(payload);
-                }
+            let engine = &inner.engine;
+            inner.blocking_wait(|| engine.wait_until_ready(tid));
+        }
+        self.inner.emit(self.worker, tid, EventKind::TaskInlined);
+        self.inner.emit(self.worker, tid, EventKind::TaskDispatched { worker: self.worker });
+        self.inner.engine.start_task(tid);
+        self.inner.emit(self.worker, tid, EventKind::TaskStarted { worker: self.worker });
+        self.inner.engine.stats.tasks_inlined.fetch_add(1, Ordering::Relaxed);
+        let mut cctx = ThreadCtx {
+            inner: Arc::clone(&self.inner),
+            task: tid,
+            holds: HoldSet::new(),
+            worker: self.worker,
+            home: self.home,
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut cctx)));
+        let leaked = cctx.holds.any_held();
+        self.inner.unfinished.fetch_sub(1, Ordering::AcqRel);
+        match outcome {
+            Ok(()) if !leaked => {
+                let wakes = self.inner.engine.finish_task(tid);
+                // The engine counts every completion; an inlined task
+                // is accounted in `tasks_inlined` instead, so
+                // `created == finished + inlined` stays balanced.
+                self.inner.engine.stats.tasks_finished.fetch_sub(1, Ordering::Relaxed);
+                self.inner.emit(self.worker, tid, EventKind::TaskFinished { worker: self.worker });
+                self.inner.handle_wakes(wakes, self.worker, self.home);
+                self.inner.notify_done();
             }
-        } else {
-            st.bodies.insert(tid, Box::new(body));
-            self.inner.apply_wakes(&mut st, wakes);
-            self.inner.cv.notify_all();
+            Ok(()) => {
+                self.inner.record_fault(JadeFault::SpecViolation {
+                    task: tid,
+                    error: JadeError::GuardLeaked { task: tid },
+                });
+                self.inner.fault_shutdown();
+                std::panic::panic_any(CancelToken);
+            }
+            Err(payload) => {
+                self.inner.record_panic(tid, payload.as_ref());
+                self.inner.fault_shutdown();
+                // Re-raise so the creating task unwinds too; the fault
+                // is already recorded, so the creator's catch site
+                // treats this like a cancellation.
+                resume_unwind(payload);
+            }
         }
     }
 
@@ -582,19 +767,19 @@ impl JadeCtx for ThreadCtx {
     {
         let mut builder = ContBuilder::new();
         changes(&mut builder);
-        let mut st = self.inner.state.lock();
-        let (must_block, wakes) = st
-            .graph
+        let (must_block, wakes) = self
+            .inner
+            .engine
             .with_cont(self.task, builder.build())
             .unwrap_or_else(|e| violation(e));
-        self.inner.apply_wakes(&mut st, wakes);
-        self.inner.cv.notify_all();
+        self.inner.handle_wakes(wakes, self.worker, self.home);
         if must_block {
             let task = self.task;
-            self.inner.emit(&mut st, task, EventKind::ContBlock);
+            self.inner.emit(self.worker, task, EventKind::ContBlock);
             let inner = Arc::clone(&self.inner);
-            inner.wait_until(&mut st, |s| s.graph.state(task) == TaskState::Running);
-            self.inner.emit(&mut st, task, EventKind::ContUnblock);
+            let engine = &inner.engine;
+            inner.blocking_wait(|| engine.wait_until_runnable(task));
+            self.inner.emit(self.worker, task, EventKind::ContUnblock);
         }
     }
 
@@ -618,7 +803,7 @@ impl JadeCtx for ThreadCtx {
     }
 
     fn machines(&self) -> usize {
-        self.inner.state.lock().base_workers
+        self.inner.base_workers
     }
 
     fn task(&self) -> TaskId {
@@ -632,24 +817,24 @@ impl ThreadCtx {
         h: &Shared<T>,
         kind: AccessKind,
     ) -> Arc<parking_lot::RwLock<T>> {
-        let mut st = self.inner.state.lock();
         // Loop: one grant wave can wake several waiters (commuting
         // updates serialize at access time); re-check until this task
         // actually holds the access.
         loop {
-            match st.graph.check_access(self.task, h.id(), kind) {
+            match self.inner.engine.check_access(self.task, h.id(), kind) {
                 Ok(AccessStatus::Granted) => break,
                 Ok(AccessStatus::MustWait) => {
                     let task = self.task;
                     self.inner.emit(
-                        &mut st,
+                        self.worker,
                         task,
                         EventKind::AccessWaitBegin { object: h.id(), kind },
                     );
                     let inner = Arc::clone(&self.inner);
-                    inner.wait_until(&mut st, |s| s.graph.state(task) == TaskState::Running);
+                    let engine = &inner.engine;
+                    inner.blocking_wait(|| engine.wait_until_runnable(task));
                     self.inner.emit(
-                        &mut st,
+                        self.worker,
                         task,
                         EventKind::AccessWaitEnd { object: h.id(), kind },
                     );
@@ -657,13 +842,18 @@ impl ThreadCtx {
                 Err(e) => violation(e),
             }
         }
-        st.store.typed(h).unwrap_or_else(|e| violation(e))
+        self.inner.store.read().typed(h).unwrap_or_else(|e| violation(e))
     }
 }
+
+// Spec builders are re-exported through the crate root; local aliases
+// keep the trait impl readable.
+use jade_core::spec::{AccessKind, ContBuilder, SpecBuilder};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use jade_core::stats::RuntimeStats;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     /// `execute` with default options, unwrapped like the old `run`.
@@ -876,6 +1066,33 @@ mod tests {
             let (par, _) = run(&exec, program);
             assert_eq!(par, serial, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn placement_hints_are_scheduling_neutral() {
+        // Machine placements route tasks to specific worker deques;
+        // results must be identical to unplaced execution.
+        let exec = ThreadedExecutor::new(4);
+        let (v, stats) = run(&exec, |ctx| {
+            let xs: Vec<Shared<f64>> = (0..32).map(|i| ctx.create(i as f64)).collect();
+            for (i, &x) in xs.iter().enumerate() {
+                ctx.withonly(
+                    "placed",
+                    |s| {
+                        s.rd_wr(x);
+                        s.place(jade_core::ids::Placement::Machine(
+                            jade_core::ids::MachineId((i % 7) as u32),
+                        ));
+                    },
+                    move |c| {
+                        *c.wr(&x) += 1.0;
+                    },
+                );
+            }
+            xs.iter().map(|x| *ctx.rd(x)).sum::<f64>()
+        });
+        assert_eq!(v, (0..32).map(|i| i as f64 + 1.0).sum::<f64>());
+        assert_eq!(stats.tasks_created, 32);
     }
 
     #[test]

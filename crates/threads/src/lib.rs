@@ -5,13 +5,18 @@
 //! 4D/240S and the Stanford DASH (§7). The hardware (here: the Rust
 //! memory model plus one `RwLock` per object) provides the shared
 //! address space, so this executor "only needs to synchronize the
-//! computation" (§1): it drives the [`jade_core::graph::DepGraph`]
-//! dependency engine and schedules ready tasks onto workers.
+//! computation" (§1): it drives the sharded
+//! [`jade_core::engine::ShardedEngine`] dependency engine and
+//! schedules ready tasks onto workers through per-worker
+//! work-stealing deques ([`StealQueue`]).
 //!
 //! Implemented runtime policies from §5:
 //!
-//! * **Dynamic load balancing** — a central ready queue; any idle
-//!   worker picks up any ready task.
+//! * **Dynamic load balancing** — per-worker work-stealing deques plus
+//!   a global injector; a worker that enables a task keeps it local,
+//!   placement hints route tasks to a specific worker's deque, and any
+//!   idle worker steals from its peers, so every ready task gets
+//!   picked up.
 //! * **Matching exploited with available concurrency** — optional task
 //!   creation throttling ([`Throttle`]): suspend the creating task, or
 //!   execute the new task inline in its creator. Both are deadlock-free
@@ -60,8 +65,10 @@
 #![cfg_attr(test, deny(deprecated))]
 
 mod executor;
+mod steal;
 
 pub use executor::{ThreadCtx, ThreadedExecutor, Throttle};
+pub use steal::StealQueue;
 
 // The spec-builder surface, identical in jade-threads and jade-sim.
 pub use jade_core::runtime::{Report, RunConfig, Runtime};

@@ -1,0 +1,156 @@
+//! Work-stealing ready-queue policy for the thread pool.
+//!
+//! One deque per pool worker plus a global injector implements the
+//! [`ReadyQueue`] policy boundary: a worker that enables a task keeps
+//! it on its own deque (LIFO — the freshest task's working set is the
+//! hottest), placement-hinted tasks are pushed directly onto the
+//! target worker's deque (the paper's placement-driven scheduling),
+//! and threads without a deque of their own — the root task's thread,
+//! compensation workers — go through the FIFO injector. An idle worker
+//! drains its own deque, then the injector, then steals from its
+//! peers, so no enabled task can be stranded.
+//!
+//! Which runnable task runs first is pure policy: Jade's serial
+//! semantics makes every dispatch order produce the same results and
+//! the same dynamic task graph (see `tests/conformance.rs`), which is
+//! what licenses swapping the old single shared FIFO for this
+//! structure without touching the dependency engine.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use jade_core::ids::TaskId;
+use jade_core::readyq::ReadyQueue;
+
+/// Per-worker deques + global injector behind the [`ReadyQueue`] trait.
+///
+/// Queue slots `0..workers` address the pool workers' deques; any
+/// larger slot index means "no local deque" (root thread, compensation
+/// workers) and operates on the injector and the stealers only.
+pub struct StealQueue {
+    injector: Injector<TaskId>,
+    locals: Vec<Worker<TaskId>>,
+    stealers: Vec<Stealer<TaskId>>,
+}
+
+impl StealQueue {
+    /// A queue serving `workers` pool workers.
+    pub fn new(workers: usize) -> Self {
+        let locals: Vec<Worker<TaskId>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+        let stealers = locals.iter().map(Worker::stealer).collect();
+        StealQueue { injector: Injector::new(), locals, stealers }
+    }
+
+    /// The slot index meaning "no local deque".
+    pub fn remote_slot(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Drop every queued task (fault shutdown).
+    pub fn clear(&self) {
+        while let Steal::Success(_) = self.injector.steal() {}
+        for l in &self.locals {
+            while l.pop().is_some() {}
+        }
+    }
+}
+
+impl ReadyQueue for StealQueue {
+    fn push(&self, task: TaskId, hint: Option<usize>) {
+        match hint {
+            Some(w) if w < self.locals.len() => self.locals[w].push(task),
+            _ => self.injector.push(task),
+        }
+    }
+
+    fn pop(&self, worker: usize) -> Option<TaskId> {
+        if let Some(local) = self.locals.get(worker) {
+            if let Some(t) = local.pop() {
+                return Some(t);
+            }
+        }
+        loop {
+            match self.injector.steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+        let n = self.stealers.len();
+        for i in 0..n {
+            let victim = (worker + 1 + i) % n.max(1);
+            if victim == worker {
+                continue;
+            }
+            loop {
+                match self.stealers[victim].steal() {
+                    Steal::Success(t) => return Some(t),
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.injector.len() + self.locals.iter().map(Worker::len).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hinted_pushes_land_on_the_target_deque() {
+        let q = StealQueue::new(2);
+        q.push(TaskId(1), Some(0));
+        q.push(TaskId(2), Some(1));
+        q.push(TaskId(3), None); // injector
+        assert_eq!(q.len(), 3);
+        // Each worker prefers its own deque over the injector.
+        assert_eq!(q.pop(0), Some(TaskId(1)));
+        assert_eq!(q.pop(1), Some(TaskId(2)));
+        assert_eq!(q.pop(0), Some(TaskId(3)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn idle_worker_steals_from_a_loaded_peer() {
+        let q = StealQueue::new(4);
+        q.push(TaskId(7), Some(2));
+        // Worker 0's deque and the injector are empty: it must steal.
+        assert_eq!(q.pop(0), Some(TaskId(7)));
+        assert_eq!(q.pop(2), None);
+    }
+
+    #[test]
+    fn remote_slot_reaches_all_work() {
+        let q = StealQueue::new(2);
+        q.push(TaskId(1), Some(0));
+        q.push(TaskId(2), None);
+        let remote = q.remote_slot();
+        // A thread without a deque drains the injector first, then
+        // steals from the workers.
+        assert_eq!(q.pop(remote), Some(TaskId(2)));
+        assert_eq!(q.pop(remote), Some(TaskId(1)));
+        assert_eq!(q.pop(remote), None);
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let q = StealQueue::new(2);
+        for i in 0..10 {
+            q.push(TaskId(i), Some((i % 3) as usize));
+        }
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(0), None);
+    }
+
+    #[test]
+    fn out_of_range_hint_falls_back_to_injector() {
+        let q = StealQueue::new(1);
+        q.push(TaskId(5), Some(42));
+        assert_eq!(q.pop(0), Some(TaskId(5)));
+    }
+}

@@ -1,0 +1,202 @@
+//! Scheduler stress conformance: the sharded work-stealing executor
+//! must be *observationally serial*. Random fine-grained programs —
+//! many tasks with random rights over a handful of objects, run at
+//! worker counts well past the host's parallelism — must produce
+//! bit-identical results and the same dynamic task graph as the
+//! serial reference runtime.
+//!
+//! A second, targeted test drives the cross-shard commit path: tasks
+//! declaring *multiple* objects in adversarial orders. Because every
+//! multi-object commit locks its shards in ascending order (see
+//! `jade_core::engine`), no lock-order cycle can form and the run
+//! must always terminate.
+
+use jade_core::prelude::*;
+use jade_core::serial::SerialRuntime;
+use jade_core::trace::TaskGraphTrace;
+use jade_threads::{ThreadedExecutor, Throttle};
+use proptest::prelude::*;
+
+/// Rights a generated task may declare on one object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum R {
+    Rd,
+    Wr,
+    RdWr,
+    Cm,
+}
+
+/// One generated program: `tasks[i]` declares `(object index, rights)`
+/// pairs (unique objects per task, ascending by construction).
+#[derive(Debug, Clone)]
+struct Program {
+    n_objects: usize,
+    tasks: Vec<Vec<(usize, R)>>,
+}
+
+const N_OBJECTS: usize = 4;
+
+fn program_strategy(max_tasks: usize) -> impl Strategy<Value = Program> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            (0..N_OBJECTS, prop_oneof![Just(R::Rd), Just(R::Wr), Just(R::RdWr), Just(R::Cm)]),
+            1..4,
+        )
+        .prop_map(|mut decls| {
+            decls.sort_by_key(|&(o, _)| o);
+            decls.dedup_by_key(|&mut (o, _)| o);
+            decls
+        }),
+        1..max_tasks + 1,
+    )
+    .prop_map(|tasks| Program { n_objects: N_OBJECTS, tasks })
+}
+
+/// Run `prog` on `rt` and return (per-object final values, trace).
+///
+/// Bodies are schedule-sensitive on purpose: writers apply a
+/// *non-commutative* update (multiply-add keyed by task index), so any
+/// serial-order violation changes the result; commuters apply a
+/// commutative add, so any legal interleaving of them agrees.
+fn run_on<Rt: Runtime>(rt: &Rt, prog: &Program) -> (Vec<u64>, TaskGraphTrace) {
+    let prog = prog.clone();
+    let rep = rt
+        .execute(RunConfig::new().with_trace(), move |ctx| {
+            let xs: Vec<Shared<u64>> = (0..prog.n_objects).map(|_| ctx.create(1u64)).collect();
+            for (i, decls) in prog.tasks.iter().enumerate() {
+                let decls = decls.clone();
+                let body_xs = xs.clone();
+                let label = format!("t{i}");
+                ctx.withonly(
+                    &label,
+                    |s| {
+                        for &(o, r) in &decls {
+                            match r {
+                                R::Rd => s.rd(xs[o]),
+                                R::Wr => s.wr(xs[o]),
+                                R::RdWr => s.rd_wr(xs[o]),
+                                R::Cm => s.cm(xs[o]),
+                            };
+                        }
+                    },
+                    {
+                        let decls = decls.clone();
+                        move |c: &mut _| {
+                            let k = i as u64 + 1;
+                            for &(o, r) in &decls {
+                                match r {
+                                    R::Rd => {
+                                        let v = *c.rd(&body_xs[o]);
+                                        std::hint::black_box(v);
+                                    }
+                                    R::Wr | R::RdWr => {
+                                        let g = &mut *c.wr(&body_xs[o]);
+                                        *g = g.wrapping_mul(31).wrapping_add(k);
+                                    }
+                                    R::Cm => {
+                                        let g = &mut *c.cm(&body_xs[o]);
+                                        *g = g.wrapping_add(k);
+                                    }
+                                }
+                            }
+                        }
+                    },
+                );
+            }
+            xs.iter().map(|x| *ctx.rd(x)).collect::<Vec<u64>>()
+        })
+        .expect("stress program must run clean");
+    let trace = rep.trace.clone().expect("trace was requested");
+    (rep.result, trace)
+}
+
+/// Canonical view of a trace: label-keyed edges, sorted. Labels — not
+/// task ids — are compared so the check does not depend on internal id
+/// assignment.
+fn edge_set(tr: &TaskGraphTrace) -> Vec<(String, String, u8)> {
+    let mut es: Vec<_> = tr
+        .edges()
+        .iter()
+        .map(|e| (tr.label(e.from).to_string(), tr.label(e.to).to_string(), e.kind as u8))
+        .collect();
+    es.sort();
+    es
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random programs, many workers: results and task graphs must
+    /// match the serial reference exactly.
+    #[test]
+    fn threaded_matches_serial_under_stress(prog in program_strategy(40)) {
+        let (serial_vals, serial_tr) = run_on(&SerialRuntime, &prog);
+        let (par_vals, par_tr) = run_on(&ThreadedExecutor::new(8), &prog);
+        prop_assert_eq!(&par_vals, &serial_vals, "final object values diverged");
+        prop_assert_eq!(edge_set(&par_tr), edge_set(&serial_tr), "task graphs diverged");
+        prop_assert_eq!(par_tr.tasks().len(), serial_tr.tasks().len());
+    }
+}
+
+/// Cross-shard commit ordering: tasks declaring several objects in
+/// *descending* program order still commit with shard locks taken in
+/// ascending order, so two opposite-order multi-object tasks can never
+/// deadlock. A bounded watchdog turns a deadlock into a test failure
+/// instead of a hang.
+#[test]
+fn opposite_order_multi_object_specs_cannot_deadlock() {
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        for round in 0..50 {
+            let rep = ThreadedExecutor::new(4)
+                .execute(RunConfig::new(), move |ctx| {
+                    let xs: Vec<Shared<u64>> = (0..6).map(|_| ctx.create(0u64)).collect();
+                    for i in 0..40u64 {
+                        // Alternate between ascending and descending
+                        // declaration order over an overlapping window,
+                        // the classic AB/BA deadlock shape.
+                        let a = xs[(i as usize + round) % 6];
+                        let b = xs[(i as usize + round + 3) % 6];
+                        let (first, second) =
+                            if i % 2 == 0 { (a, b) } else { (b, a) };
+                        ctx.withonly(
+                            "ab",
+                            |s| {
+                                s.rd_wr(first);
+                                s.rd_wr(second);
+                            },
+                            move |c| {
+                                *c.wr(&first) += 1;
+                                *c.wr(&second) += 1;
+                            },
+                        );
+                    }
+                    xs.iter().map(|x| *ctx.rd(x)).sum::<u64>()
+                })
+                .expect("clean run");
+            assert_eq!(rep.result, 80, "each task increments two objects");
+        }
+        done_tx.send(()).ok();
+    });
+    done_rx
+        .recv_timeout(std::time::Duration::from_secs(120))
+        .expect("multi-object commits deadlocked (lock ordering violated)");
+}
+
+/// The throttled (inline) configuration must preserve serial semantics
+/// too — inlined tasks skip the dispatch queue entirely, which is only
+/// legal because a creator can never depend on a later task.
+#[test]
+fn inline_throttle_matches_serial() {
+    let prog = Program {
+        n_objects: 3,
+        tasks: (0..60)
+            .map(|i| vec![(i % 3, if i % 4 == 0 { R::Rd } else { R::RdWr })])
+            .collect(),
+    };
+    let (serial_vals, serial_tr) = run_on(&SerialRuntime, &prog);
+    let rt = ThreadedExecutor::new(4).with_throttle(Throttle::Inline { hi: 8 });
+    let (par_vals, par_tr) = run_on(&rt, &prog);
+    assert_eq!(par_vals, serial_vals);
+    assert_eq!(edge_set(&par_tr), edge_set(&serial_tr));
+}

@@ -1,9 +1,19 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! The simulator only uses bounded MPSC channels (capacity 0 or 1) for
-//! its strict-alternation rendezvous between the event loop and task
-//! processes; `std::sync::mpsc::sync_channel` has exactly those
-//! semantics, so this shim is a thin rename layer over it.
+//! Two subsets are provided, matching what this workspace uses:
+//!
+//! * [`channel`] — bounded MPSC channels (capacity 0 or 1) for the
+//!   simulator's strict-alternation rendezvous; a thin rename layer
+//!   over `std::sync::mpsc::sync_channel`.
+//! * [`deque`] — the `crossbeam-deque` work-stealing API
+//!   (`Worker`/`Stealer`/`Injector`/`Steal`) used by the
+//!   `jade-threads` scheduler. The implementation is a per-deque
+//!   mutex around a `VecDeque` rather than the lock-free Chase-Lev
+//!   deque: the *sharing structure* (owner pops LIFO from one end,
+//!   thieves steal FIFO from the other, one deque per worker) is what
+//!   removes scheduler contention, and each deque's mutex is
+//!   uncontended in the common case because only its owner touches
+//!   it. Swapping in the real crate later changes no call sites.
 
 /// Multi-producer multi-consumer channels (subset: bounded MPSC).
 pub mod channel {
@@ -84,6 +94,198 @@ pub mod channel {
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
         (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+/// Work-stealing deques (the `crossbeam-deque` API surface).
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One item was stolen.
+        Success(T),
+        /// The attempt lost a race; try again.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen item, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// The owner side of a work-stealing deque. The owner pushes and
+    /// pops at the back (LIFO — freshly spawned work stays hot);
+    /// thieves steal from the front (FIFO — the oldest, likely
+    /// largest-grained work migrates).
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Create a new LIFO worker deque.
+        pub fn new_lifo() -> Self {
+            Worker { inner: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// Create a stealer handle for other threads.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { inner: self.inner.clone() }
+        }
+
+        /// Push an item onto the owner end.
+        pub fn push(&self, item: T) {
+            self.inner.lock().expect("deque poisoned").push_back(item);
+        }
+
+        /// Pop from the owner end (most recently pushed first).
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("deque poisoned").pop_back()
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("deque poisoned").is_empty()
+        }
+
+        /// Number of queued items.
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("deque poisoned").len()
+        }
+    }
+
+    /// A thief's handle onto some worker's deque.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one item from the victim's cold end.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().expect("deque poisoned").pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the victim's deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("deque poisoned").is_empty()
+        }
+
+        /// Number of queued items.
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("deque poisoned").len()
+        }
+    }
+
+    /// A global FIFO injector queue: any thread may push (e.g. tasks
+    /// enabled by a completion on another worker), any worker may
+    /// steal.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Create an empty injector.
+        pub fn new() -> Self {
+            Injector { inner: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Push an item (FIFO order preserved).
+        pub fn push(&self, item: T) {
+            self.inner.lock().expect("injector poisoned").push_back(item);
+        }
+
+        /// Steal the oldest item.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().expect("injector poisoned").pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the injector is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("injector poisoned").is_empty()
+        }
+
+        /// Number of queued items.
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("injector poisoned").len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod deque_tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3), "owner pops newest");
+        assert_eq!(s.steal(), Steal::Success(1), "thief steals oldest");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_is_fifo_across_threads() {
+        let inj = std::sync::Arc::new(Injector::new());
+        for i in 0..100 {
+            inj.push(i);
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let inj = inj.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Steal::Success(v) = inj.steal() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<i32> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>(), "every item stolen exactly once");
+    }
+
+    #[test]
+    fn steal_success_accessor() {
+        assert_eq!(Steal::Success(7).success(), Some(7));
+        assert_eq!(Steal::<i32>::Empty.success(), None);
+        assert_eq!(Steal::<i32>::Retry.success(), None);
     }
 }
 
