@@ -128,6 +128,57 @@ fn sharded_engine_lifecycle(c: &mut Criterion) {
     g.finish();
 }
 
+/// Create/finish churn at a fixed live-set size: the steady-state
+/// regime the generational slot slab is built for. Every iteration
+/// retires the oldest live task and creates a replacement through the
+/// caller-owned scratch buffers, so after warm-up the engine performs
+/// zero slab growth and zero transient allocation — the measured cost
+/// is pure slot-recycling plus queue maintenance.
+fn slot_recycle_churn(c: &mut Criterion) {
+    use jade_core::engine::{EngineScratch, ShardedEngine};
+    use std::collections::VecDeque;
+    let mut g = c.benchmark_group("slot-recycle");
+    g.throughput(Throughput::Elements(1));
+    for live in [1usize, 8, 64] {
+        g.bench_function(format!("create/finish churn, live-set {live}"), |b| {
+            let eng = ShardedEngine::new();
+            let objs: Vec<_> = (0..live).map(|_| eng.create_object(TaskId::ROOT)).collect();
+            let mut scratch = EngineScratch::default();
+            let mut window: VecDeque<(jade_core::ids::TaskId, usize)> = VecDeque::new();
+            for (i, &o) in objs.iter().enumerate() {
+                let mut sb = SpecBuilder::new();
+                sb.rd_wr(o);
+                let tid = eng.alloc_task(TaskId::ROOT, "t", Placement::Any);
+                eng.attach_task_with(tid, &sb.build().0, &mut scratch).unwrap();
+                eng.start_task(tid);
+                window.push_back((tid, i));
+            }
+            b.iter(|| {
+                let (tid, slot) = window.pop_front().expect("window is non-empty");
+                eng.finish_task_with(tid, &mut scratch);
+                let mut sb = SpecBuilder::new();
+                sb.rd_wr(objs[slot]);
+                let t2 = eng.alloc_task(TaskId::ROOT, "t", Placement::Any);
+                eng.attach_task_with(t2, &sb.build().0, &mut scratch).unwrap();
+                eng.start_task(t2);
+                window.push_back((t2, slot));
+            });
+            while let Some((tid, _)) = window.pop_front() {
+                eng.finish_task_with(tid, &mut scratch);
+            }
+            // The whole point: the slab never outgrows the live-set
+            // (modulo per-shard slack), however long the bench ran.
+            let peak = eng.stats.snapshot().peak_task_slots;
+            assert!(
+                peak <= (live as u64) + 17,
+                "slab leaked: peak {peak} slots for live-set {live}"
+            );
+            black_box(peak);
+        });
+    }
+    g.finish();
+}
+
 /// Spawn/dispatch throughput of the work-stealing scheduler on the
 /// E-SCHED fine-grained independent workload (trivial bodies, one
 /// object per in-flight task slot), swept across worker counts. The
@@ -220,6 +271,7 @@ criterion_group!(
     benches,
     engine_task_lifecycle,
     sharded_engine_lifecycle,
+    slot_recycle_churn,
     dispatch_throughput,
     threaded_task_throughput,
     transport_conversion,

@@ -17,7 +17,7 @@
 
 use jade_bench::row;
 use jade_core::prelude::*;
-use jade_threads::{RunConfig, Runtime, ThreadedExecutor};
+use jade_threads::{RunConfig, Runtime, ThreadedExecutor, Throttle};
 use std::time::Instant;
 
 const WORKERS: &[usize] = &[1, 2, 4, 8, 16];
@@ -64,6 +64,33 @@ fn shared_rate(workers: usize, tasks: u64, objects: usize) -> f64 {
     tasks as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Steady-state churn: the creator is throttled so the live-set stays
+/// small while many times that number of tasks stream through.
+/// Returns (tasks/second, peak task slots, tasks created) — the slot
+/// high-water mark is the direct probe of slab recycling: without it
+/// the table grows one slot per task; with it the peak tracks the
+/// throttle's live-set bound.
+fn churn_stats(workers: usize, tasks: u64) -> (f64, u64, u64) {
+    let exec = ThreadedExecutor::new(workers)
+        .with_throttle(Throttle::SuspendCreator { hi: 32, lo: 16 });
+    let start = Instant::now();
+    let rep = exec
+        .execute(RunConfig::new(), move |ctx| {
+            let xs: Vec<Shared<u64>> = (0..64).map(|_| ctx.create(0u64)).collect();
+            for i in 0..tasks {
+                let x = xs[(i as usize) % 64];
+                ctx.withonly("t", |s| { s.rd_wr(x); }, move |c| {
+                    *c.wr(&x) += 1;
+                });
+            }
+            xs.iter().map(|x| *ctx.rd(x)).sum::<u64>()
+        })
+        .expect("clean run");
+    assert_eq!(rep.result, tasks);
+    let rate = tasks as f64 / start.elapsed().as_secs_f64();
+    (rate, rep.stats.peak_task_slots, rep.stats.tasks_created)
+}
+
 fn sweep(name: &str, tasks: u64, f: impl Fn(usize, u64) -> f64) -> Vec<f64> {
     println!("\n{name} ({tasks} tasks; ktasks/s by worker count)");
     let header: Vec<String> =
@@ -104,6 +131,27 @@ fn main() {
 
     // All traffic through 4 shared counters: queue-pressure regime.
     sweep("shared x4", tasks / 4, |w, n| shared_rate(w, n, 4));
+
+    // Throttled churn: live-set pinned at ≤32 while `tasks` stream
+    // through — the slab-recycling regime. Peak slot count must track
+    // the live-set, not the task count.
+    println!("\nchurn (SuspendCreator hi=32/lo=16; slot slab recycling)");
+    println!("{}", row(&["workers".into(), "ktask/s".into(), "peak slots".into(), "tasks".into()], 11));
+    for &w in WORKERS {
+        churn_stats(w, tasks / 4); // warm-up
+        let (rate, peak, created) = churn_stats(w, tasks);
+        println!(
+            "{}",
+            row(
+                &[w.to_string(), format!("{:.1}", rate / 1e3), peak.to_string(), created.to_string()],
+                11
+            )
+        );
+        assert!(
+            peak <= 96,
+            "slab grew with task count ({peak} slots for {created} tasks): recycling broken"
+        );
+    }
 
     // The scheduler must not collapse as workers are added: the rate at
     // the largest worker count must hold a reasonable fraction of the

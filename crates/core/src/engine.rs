@@ -22,6 +22,21 @@
 //!   waits, child counters) sits in per-task *leaf* mutexes: they may
 //!   be taken under shard locks, but nothing is ever acquired while
 //!   one is held, so they cannot participate in a cycle.
+//! * **Generational slot slab.** Task slots live in `TASK_SHARDS`
+//!   slab shards (slot index modulo the shard count) and are
+//!   *recycled* through per-shard free-lists: a slot returns to its
+//!   free-list once its task has finished **and** every child's slot
+//!   has been recycled (a `pins` refcount — one self-pin released at
+//!   finish plus one per live child — enforces this, which also keeps
+//!   every ancestor of a live task lookupable for coverage walks and
+//!   anchor materialization). Recycling bumps the slot's generation,
+//!   and [`TaskId`] carries `(index, generation)`, so a stale id held
+//!   across a reuse fails validation instead of aliasing the new
+//!   occupant (ABA-safe). Slot interiors (`waiting`, `decls`, label,
+//!   path) are reset in place, so the steady-state task lifecycle
+//!   performs no allocation and the slab's high-water mark
+//!   (`peak_task_slots`) is bounded by the live-set, not the task
+//!   count.
 //! * **Readiness counting.** Instead of re-scanning a task's
 //!   declarations on every queue change (which would need all its
 //!   shards at once), each task carries an atomic `missing` counter of
@@ -42,11 +57,13 @@
 //! only on "was fully enabled once and will be again".
 //!
 //! Statistics are [`AtomicStats`]; the dynamic task-graph trace is
-//! captured per-shard and stitched into one [`TaskGraphTrace`] (in
-//! task-id order, which is creation order) when taken.
+//! captured per-shard (edges) plus an engine-level creation log
+//! (tasks — the slab reuses ids, so creation order must be recorded
+//! at allocation time) and stitched into one [`TaskGraphTrace`] when
+//! taken.
 
 use crate::fasthash::FastMap;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
@@ -68,6 +85,12 @@ fn shard_of(oid: ObjectId) -> usize {
     (oid.0 as usize) % SHARD_COUNT
 }
 
+/// Number of task-slab shards. Slot index `i` lives in shard
+/// `i % TASK_SHARDS` at position `i / TASK_SHARDS`; allocation
+/// round-robins across shards so free-lists stay balanced and
+/// concurrent creators rarely contend on one slab lock.
+pub const TASK_SHARDS: usize = 16;
+
 /// One shard: the declaration queues of every object mapped here,
 /// plus (when tracing) the per-object logical access history and the
 /// dependence edges discovered on these objects.
@@ -79,6 +102,10 @@ struct Shard {
     /// `conflicts` counter always and the trace when one is attached.
     hist: FastMap<ObjectId, (Option<TaskId>, Vec<TaskId>)>,
     edges: Vec<TraceEdge>,
+    /// Reusable transition scratch for the recompute→apply step of
+    /// every operation that mutates this shard's queues; only touched
+    /// with the shard lock held.
+    trs: Vec<Transition>,
 }
 
 /// Per-task mutable state, protected by the slot's leaf mutex.
@@ -90,15 +117,37 @@ struct TaskSync {
     next_child_idx: u32,
 }
 
-/// One task's record. Immutable fields are plain; mutable state is
-/// split between the `sync` leaf mutex, the `decls` leaf mutex, and
-/// the `missing` atomic so different paths never contend.
-#[derive(Debug)]
-struct TaskSlot {
+/// A task's identity: written only while the slot is being
+/// (re)initialized — when no valid id for it is in circulation — and
+/// read-shared for the rest of its occupancy. The `RwLock` makes slot
+/// reuse race-free for readers that lost a lookup race with a recycle.
+#[derive(Debug, Default)]
+struct TaskIdent {
     label: String,
     parent: Option<TaskId>,
     path: Vec<u32>,
     placement: Placement,
+}
+
+/// One slot of the generational task slab. The slot itself is
+/// allocated once (`Arc`, kept alive by its slab shard) and then
+/// recycled: identity and interior state are reset in place for each
+/// new occupant, and `gen` is bumped on every recycle so stale
+/// [`TaskId`]s fail validation.
+#[derive(Debug)]
+struct TaskSlot {
+    /// This slot's fixed slab index (never changes across occupants).
+    index: u32,
+    /// Generation of the current occupant; bumped at recycle time.
+    gen: AtomicU32,
+    /// Recycle refcount: one self-pin (released when the task
+    /// finishes) plus one per child whose slot is still occupied.
+    /// Reaching zero recycles the slot and unpins the parent. The
+    /// transitive effect: every ancestor of a live task stays
+    /// lookupable (coverage walks, anchor materialization), and the
+    /// root — whose self-pin is never released — is never recycled.
+    pins: AtomicU32,
+    ident: RwLock<TaskIdent>,
     /// Immediate-mode rights not yet enabled, plus the creation guard.
     /// Signed: transient drift below the true count is possible for
     /// *running* tasks (whose readiness no longer matters) — see
@@ -112,13 +161,14 @@ struct TaskSlot {
 }
 
 impl TaskSlot {
-    fn new(label: &str, parent: Option<TaskId>, path: Vec<u32>, placement: Placement) -> Self {
+    /// A blank slot at `index`, generation 0; the caller initializes
+    /// identity and state before publishing an id for it.
+    fn blank(index: u32) -> Self {
         TaskSlot {
-            label: label.to_string(),
-            parent,
-            path,
-            placement,
-            // The creation guard: held until the spec is attached.
+            index,
+            gen: AtomicU32::new(0),
+            pins: AtomicU32::new(0),
+            ident: RwLock::new(TaskIdent::default()),
             missing: AtomicI64::new(1),
             sync: Mutex::new(TaskSync {
                 state: TaskState::Pending,
@@ -133,6 +183,14 @@ impl TaskSlot {
     fn decl(&self, oid: ObjectId) -> Option<NodeRef> {
         self.decls.lock().iter().find(|(o, _)| *o == oid).map(|(_, n)| *n)
     }
+}
+
+/// One shard of the task slab: the slots whose index maps here and
+/// the free-list of recycled indices awaiting reuse.
+#[derive(Debug, Default)]
+struct TaskShard {
+    slots: RwLock<Vec<Arc<TaskSlot>>>,
+    free: Mutex<Vec<u32>>,
 }
 
 /// A set of jointly held shard guards, acquired in ascending shard
@@ -163,12 +221,47 @@ impl<'a> ShardSet<'a> {
     }
 }
 
+/// Caller-owned reusable buffers for the engine's hot-path
+/// operations ([`attach_task_with`](ShardedEngine::attach_task_with),
+/// [`finish_task_with`](ShardedEngine::finish_task_with),
+/// [`with_cont_with`](ShardedEngine::with_cont_with)). Executors keep
+/// one per worker; after warm-up the steady-state task lifecycle then
+/// allocates nothing. The `Vec`-returning engine methods are thin
+/// wrappers that use a throwaway scratch.
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    /// Wakes produced by the last operation; the caller drains them.
+    pub wakes: Vec<Wake>,
+    /// Staging buffer executors use to batch ready-task dispatch
+    /// pushes derived from `wakes`.
+    pub ready: Vec<TaskId>,
+    fresh: Vec<(ObjectId, NodeRef)>,
+    pnodes: Vec<Option<NodeRef>>,
+    objects: Vec<ObjectId>,
+    freshrefs: Vec<NodeRef>,
+    decls: Vec<(ObjectId, NodeRef)>,
+    converted: Vec<(ObjectId, AccessKind)>,
+    touched: Vec<ObjectId>,
+    waits: Vec<(ObjectId, AccessKind)>,
+}
+
 /// The sharded dependency engine. All methods take `&self`: the
 /// engine is shared between worker threads without an enclosing lock.
 #[derive(Debug)]
 pub struct ShardedEngine {
     shards: Box<[Mutex<Shard>]>,
-    tasks: RwLock<Vec<Arc<TaskSlot>>>,
+    /// The generational task slab (see module docs).
+    task_shards: Box<[TaskShard]>,
+    /// Hands each allocating thread its home slab shard (first
+    /// allocation per thread claims the next value).
+    alloc_cursor: AtomicU64,
+    /// Total slots ever materialized (the slab never shrinks, so this
+    /// is also the current size); mirrored into `peak_task_slots`.
+    slots_total: AtomicU64,
+    /// Creation-ordered (id, label) log backing the trace: with slot
+    /// recycling the slab cannot be iterated to recover creation
+    /// order or finished tasks' labels. Only written when tracing.
+    trace_log: Mutex<Vec<(TaskId, String)>>,
     next_object: AtomicU64,
     live: AtomicU64,
     /// Counters describing the work the engine performed.
@@ -186,22 +279,38 @@ impl Default for ShardedEngine {
 impl ShardedEngine {
     /// Create an engine with a running root task (the main program).
     pub fn new() -> Self {
-        let root = Arc::new(TaskSlot::new("root", None, Vec::new(), Placement::Any));
+        let root = Arc::new(TaskSlot::blank(0));
         root.sync.lock().state = TaskState::Running;
         root.missing.store(0, Ordering::Relaxed);
-        ShardedEngine {
+        // The root's self-pin is never released, so slot 0 is never
+        // recycled and `TaskId::ROOT` stays valid for the whole run.
+        root.pins.store(1, Ordering::Relaxed);
+        root.ident.write().label.push_str("root");
+        let task_shards: Box<[TaskShard]> =
+            (0..TASK_SHARDS).map(|_| TaskShard::default()).collect();
+        task_shards[0].slots.write().push(root);
+        let eng = ShardedEngine {
             shards: (0..SHARD_COUNT).map(|_| Mutex::new(Shard::default())).collect(),
-            tasks: RwLock::new(vec![root]),
+            task_shards,
+            alloc_cursor: AtomicU64::new(1),
+            slots_total: AtomicU64::new(1),
+            trace_log: Mutex::new(Vec::new()),
             next_object: AtomicU64::new(0),
             live: AtomicU64::new(0),
             stats: AtomicStats::new(),
             tracing: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
-        }
+        };
+        eng.stats.observe_slots(1);
+        eng
     }
 
     /// Enable dynamic task-graph capture (Figure 4 reproduction).
     pub fn enable_trace(&self) {
+        let mut log = self.trace_log.lock();
+        if log.is_empty() {
+            log.push((TaskId::ROOT, "root".to_string()));
+        }
         self.tracing.store(true, Ordering::Release);
     }
 
@@ -210,17 +319,17 @@ impl ShardedEngine {
         self.tracing.load(Ordering::Acquire)
     }
 
-    /// Stitch the per-shard trace fragments into one trace: tasks in
-    /// id order (== creation order, ids are allocated monotonically)
-    /// and edges deduplicated per from/to pair, exactly as `DepGraph`
-    /// records them.
+    /// Stitch the creation log and per-shard edge fragments into one
+    /// trace: tasks in creation order (the slab recycles slots, so
+    /// order comes from the log, not the table) and edges deduplicated
+    /// per from/to pair, exactly as `DepGraph` records them.
     pub fn take_trace(&self) -> Option<TaskGraphTrace> {
         if !self.tracing() {
             return None;
         }
         let mut tr = TaskGraphTrace::new();
-        for (i, slot) in self.tasks.read().iter().enumerate() {
-            tr.task(TaskId(i as u32), &slot.label);
+        for (tid, label) in self.trace_log.lock().iter() {
+            tr.task(*tid, label);
         }
         let mut edges = Vec::new();
         for sh in self.shards.iter() {
@@ -235,8 +344,22 @@ impl ShardedEngine {
         Some(tr)
     }
 
+    /// Look up a task slot, validating the id's generation against the
+    /// slot's current occupant. `None` means the id is stale (its task
+    /// finished and the slot was recycled) or was never allocated.
+    fn try_slot(&self, t: TaskId) -> Option<Arc<TaskSlot>> {
+        let idx = t.index();
+        let slot = self.task_shards[idx % TASK_SHARDS].slots.read().get(idx / TASK_SHARDS)?.clone();
+        if slot.gen.load(Ordering::Acquire) == t.generation() {
+            Some(slot)
+        } else {
+            None
+        }
+    }
+
     fn slot(&self, t: TaskId) -> Arc<TaskSlot> {
-        self.tasks.read()[t.0 as usize].clone()
+        self.try_slot(t)
+            .unwrap_or_else(|| panic!("stale or unknown task id {t} (slot recycled?)"))
     }
 
     /// Current lifecycle state of a task.
@@ -246,17 +369,23 @@ impl ShardedEngine {
 
     /// Label given at creation.
     pub fn label(&self, t: TaskId) -> String {
-        self.slot(t).label.clone()
+        self.slot(t).ident.read().label.clone()
     }
 
     /// Parent task (`None` for the root).
     pub fn parent(&self, t: TaskId) -> Option<TaskId> {
-        self.slot(t).parent
+        self.slot(t).ident.read().parent
     }
 
     /// Placement requested for the task.
     pub fn placement(&self, t: TaskId) -> Placement {
-        self.slot(t).placement
+        self.slot(t).ident.read().placement
+    }
+
+    /// Whether `t` currently names a live slot occupant (its slot has
+    /// not been recycled to a new generation).
+    pub fn is_current(&self, t: TaskId) -> bool {
+        self.try_slot(t).is_some()
     }
 
     /// Number of created-but-unfinished tasks (root excluded); the
@@ -265,9 +394,18 @@ impl ShardedEngine {
         self.live.load(Ordering::Relaxed)
     }
 
-    /// Number of tasks ever created, including the root.
+    /// Number of tasks ever created, including the root. (With slot
+    /// recycling this is a counter, not the slab size; see
+    /// [`task_slots`](Self::task_slots) for the latter.)
     pub fn total_tasks(&self) -> usize {
-        self.tasks.read().len()
+        self.stats.tasks_created.load(Ordering::Relaxed) as usize + 1
+    }
+
+    /// Number of task slots the slab has materialized — the memory
+    /// high-water mark. Bounded by the peak live-set (plus per-shard
+    /// slack), not by `total_tasks`.
+    pub fn task_slots(&self) -> u64 {
+        self.slots_total.load(Ordering::Relaxed)
     }
 
     // ------------------------------------------------------------------
@@ -407,7 +545,8 @@ impl ShardedEngine {
             }
             return nr;
         }
-        let nr = match slot.parent {
+        let ident = slot.ident.read();
+        let nr = match ident.parent {
             None => {
                 // Root without a node: append at tail (root sorts last).
                 sh.arena.push_tail(oid, task, rights)
@@ -417,25 +556,21 @@ impl ShardedEngine {
                 // A *newly created* task may always insert directly
                 // before its parent (it is the parent's newest child);
                 // an older task must find its position by order walk.
-                if self.is_newest_child_position(&slot) {
+                if self.is_newest_child_position(parent, &ident.path) {
                     sh.arena.insert_before(pnode, task, rights)
                 } else {
-                    self.insert_by_order(sh, task, &slot.path, oid, rights)
+                    self.insert_by_order(sh, task, &ident.path, oid, rights)
                 }
             }
         };
+        drop(ident);
         slot.decls.lock().push((oid, nr));
         nr
     }
 
-    fn is_newest_child_position(&self, slot: &TaskSlot) -> bool {
-        match slot.parent {
-            None => true,
-            Some(p) => {
-                let idx = *slot.path.last().expect("non-root task has a path");
-                self.slot(p).sync.lock().next_child_idx == idx + 1
-            }
-        }
+    fn is_newest_child_position(&self, parent: TaskId, path: &[u32]) -> bool {
+        let idx = *path.last().expect("non-root task has a path");
+        self.slot(parent).sync.lock().next_child_idx == idx + 1
     }
 
     fn insert_by_order(
@@ -447,15 +582,17 @@ impl ShardedEngine {
         rights: DeclRights,
     ) -> NodeRef {
         let mut before: Option<NodeRef> = None;
-        let table = self.tasks.read();
         for (nr, node) in sh.arena.iter(oid) {
-            let other_path = &table[node.task.0 as usize].path;
-            if path_precedes(my_path, other_path) {
+            // A node whose task id no longer validates is an inert
+            // anchor of a fully finished-and-recycled subtree (live
+            // tasks and ancestors of live tasks are pinned): order
+            // relative to it is semantically irrelevant, so skip it.
+            let Some(other) = self.try_slot(node.task) else { continue };
+            if path_precedes(my_path, &other.ident.read().path) {
                 before = Some(nr);
                 break;
             }
         }
-        drop(table);
         match before {
             Some(b) => sh.arena.insert_before(b, task, rights),
             None => sh.arena.push_tail(oid, task, rights),
@@ -484,19 +621,105 @@ impl ShardedEngine {
             s.next_child_idx += 1;
             i
         };
-        let mut path = pslot.path.clone();
-        path.push(child_idx);
-        let slot = Arc::new(TaskSlot::new(label, Some(parent), path, placement));
-        let tid = {
-            let mut table = self.tasks.write();
-            let tid = TaskId(table.len() as u32);
-            table.push(slot);
-            tid
-        };
+        // Pin the parent: its slot (and transitively every ancestor's)
+        // must stay valid while this child can still reference it.
+        pslot.pins.fetch_add(1, Ordering::AcqRel);
+        let (tid, slot) = self.acquire_slot();
+        // Reset the slot in place for its new occupant. Writing under
+        // the ident write lock is race-free: the only readers that can
+        // reach a just-acquired slot are stale-id holders, and they
+        // synchronize on the same lock.
+        {
+            let pident = pslot.ident.read();
+            let mut id = slot.ident.write();
+            id.label.clear();
+            id.label.push_str(label);
+            id.parent = Some(parent);
+            id.path.clear();
+            id.path.extend_from_slice(&pident.path);
+            id.path.push(child_idx);
+            id.placement = placement;
+        }
+        slot.pins.store(1, Ordering::Release);
+        // The creation guard: held until the spec is attached.
+        slot.missing.store(1, Ordering::Release);
+        {
+            let mut s = slot.sync.lock();
+            s.state = TaskState::Pending;
+            s.waiting.clear();
+            s.next_child_idx = 0;
+        }
+        slot.decls.lock().clear();
+        if self.tracing() {
+            self.trace_log.lock().push((tid, label.to_string()));
+        }
         let live = self.live.fetch_add(1, Ordering::Relaxed) + 1;
         self.stats.tasks_created.fetch_add(1, Ordering::Relaxed);
         self.stats.observe_live(live);
         tid
+    }
+
+    /// Pop a recycled slot from the free-list of this thread's home
+    /// slab shard, or grow that shard by one slot. Shard choice is
+    /// thread-affine rather than round-robin per call: a worker that
+    /// keeps allocating from (and releasing back to) one shard keeps
+    /// that shard's free-list and most-recently-retired slots hot in
+    /// its cache, while different workers still land on different
+    /// shards, so allocation contention stays spread.
+    fn acquire_slot(&self) -> (TaskId, Arc<TaskSlot>) {
+        thread_local! {
+            static HOME_SHARD: std::cell::Cell<usize> =
+                const { std::cell::Cell::new(usize::MAX) };
+        }
+        let shard_idx = HOME_SHARD.with(|s| {
+            let mut v = s.get();
+            if v == usize::MAX {
+                v = self.alloc_cursor.fetch_add(1, Ordering::Relaxed) as usize % TASK_SHARDS;
+                s.set(v);
+            }
+            v
+        });
+        let tsh = &self.task_shards[shard_idx];
+        let reused = tsh.free.lock().pop();
+        if let Some(idx) = reused {
+            let slot = tsh.slots.read()[idx as usize / TASK_SHARDS].clone();
+            let gen = slot.gen.load(Ordering::Acquire);
+            return (TaskId::new(idx, gen), slot);
+        }
+        let mut slots = tsh.slots.write();
+        let idx = (slots.len() * TASK_SHARDS + shard_idx) as u32;
+        let slot = Arc::new(TaskSlot::blank(idx));
+        slots.push(slot.clone());
+        drop(slots);
+        let total = self.slots_total.fetch_add(1, Ordering::Relaxed) + 1;
+        self.stats.observe_slots(total);
+        (TaskId::new(idx, 0), slot)
+    }
+
+    /// Drop one pin from `slot`; at zero, recycle the slot (bump its
+    /// generation, return its index to the free-list) and cascade the
+    /// release to the parent, whose pin this occupant held. Zero pins
+    /// implies the task finished (self-pin released) and every child's
+    /// slot was already recycled.
+    fn release_pin(&self, slot: Arc<TaskSlot>) {
+        let mut cur = slot;
+        loop {
+            if cur.pins.fetch_sub(1, Ordering::AcqRel) != 1 {
+                return;
+            }
+            // Read the parent before publishing the slot for reuse:
+            // after the free-list push another thread may reinitialize
+            // the slot at any moment.
+            let parent = cur.ident.read().parent;
+            debug_assert!(parent.is_some(), "the root's self-pin is never released");
+            let idx = cur.index;
+            cur.gen.fetch_add(1, Ordering::Release);
+            self.task_shards[idx as usize % TASK_SHARDS].free.lock().push(idx);
+            match parent {
+                Some(p) => cur = self.slot(p),
+                None => return,
+            }
+        }
     }
 
     /// Phase 2 of `withonly`: validate coverage and insert the task's
@@ -505,41 +728,55 @@ impl ShardedEngine {
     /// shard order; on return the creation guard is released, and the
     /// returned wakes include `Ready(tid)` if the task may start.
     pub fn attach_task(&self, tid: TaskId, decls: Vec<Declaration>) -> Result<Vec<Wake>> {
-        let slot = self.slot(tid);
-        let parent = slot.parent.expect("attach_task is never called for the root");
+        let mut scratch = EngineScratch::default();
+        self.attach_task_with(tid, &decls, &mut scratch)?;
+        Ok(std::mem::take(&mut scratch.wakes))
+    }
+
+    /// [`attach_task`](Self::attach_task) with caller-owned scratch:
+    /// the produced wakes land in `scratch.wakes` (cleared on entry)
+    /// and no transient buffers are allocated after warm-up.
+    pub fn attach_task_with(
+        &self,
+        tid: TaskId,
+        decls: &[Declaration],
+        scratch: &mut EngineScratch,
+    ) -> Result<()> {
+        let slot = self.try_slot(tid).ok_or(JadeError::StaleTask { task: tid })?;
+        let ident = slot.ident.read();
+        let parent = ident.parent.expect("attach_task is never called for the root");
         let pslot = self.slot(parent);
         self.stats.declarations.fetch_add(decls.len() as u64, Ordering::Relaxed);
+
+        let EngineScratch { wakes, fresh, pnodes, objects, freshrefs, .. } = scratch;
+        wakes.clear();
+        fresh.clear();
+        pnodes.clear();
 
         // Single-declaration specs — the common shape — lock their one
         // shard straight away; only multi-object commits build the
         // sorted object list.
-        let objects: Vec<ObjectId>;
-        let mut set = match &decls[..] {
+        let mut set = match decls {
             [d] => self.lock_shards(std::slice::from_ref(&d.object)),
             _ => {
-                objects = {
-                    let mut os: Vec<ObjectId> = decls.iter().map(|d| d.object).collect();
-                    os.sort_unstable();
-                    os.dedup();
-                    os
-                };
-                self.lock_shards(&objects)
+                objects.clear();
+                objects.extend(decls.iter().map(|d| d.object));
+                objects.sort_unstable();
+                objects.dedup();
+                self.lock_shards(objects)
             }
         };
         // Validate before mutating any queue, remembering the parent's
         // queue position on each object when it already has one.
-        let mut pnodes: Vec<Option<NodeRef>> = Vec::with_capacity(decls.len());
-        for d in &decls {
+        for d in decls {
             if !set.get(d.object).arena.has_object(d.object) {
                 return Err(JadeError::UnknownObject(d.object));
             }
-            pnodes.push(self.check_coverage(&mut set, parent, &pslot, &slot.label, d)?);
+            pnodes.push(self.check_coverage(&mut set, parent, &pslot, &ident.label, d)?);
         }
 
         let tracing = self.tracing();
-        let mut wakes = Vec::new();
-        let mut fresh: Vec<(ObjectId, NodeRef)> = Vec::with_capacity(decls.len());
-        for (d, cached) in decls.iter().zip(pnodes) {
+        for (d, &cached) in decls.iter().zip(pnodes.iter()) {
             let sh = set.get(d.object);
             let pnode = match cached {
                 Some(nr) => nr,
@@ -599,20 +836,26 @@ impl ShardedEngine {
         }
         // Recompute once per distinct object, driven by `fresh` (which
         // lists the inserted nodes in declaration order) so the
-        // single-declaration path needs no sorted object list at all.
+        // single-declaration path needs no sorted object list at all;
+        // transitions accumulate in the shard's reusable scratch.
         for k in 0..fresh.len() {
             let oid = fresh[k].0;
             if fresh[..k].iter().any(|&(o, _)| o == oid) {
                 continue;
             }
-            let trs = if fresh.len() == 1 {
-                set.get(oid).arena.recompute_diff_incremental(oid, &[fresh[k].1])
+            let sh = set.get(oid);
+            sh.trs.clear();
+            if fresh.len() == 1 {
+                let single = [fresh[k].1];
+                let Shard { arena, trs, .. } = sh;
+                arena.recompute_diff_incremental_into(oid, &single, trs);
             } else {
-                let f: Vec<NodeRef> =
-                    fresh.iter().filter(|&&(o, _)| o == oid).map(|&(_, n)| n).collect();
-                set.get(oid).arena.recompute_diff_incremental(oid, &f)
-            };
-            self.apply_transitions(&trs, &mut wakes);
+                freshrefs.clear();
+                freshrefs.extend(fresh.iter().filter(|&&(o, _)| o == oid).map(|&(_, n)| n));
+                let Shard { arena, trs, .. } = sh;
+                arena.recompute_diff_incremental_into(oid, freshrefs, trs);
+            }
+            self.apply_transitions(&set.get(oid).trs, wakes);
         }
         drop(set);
 
@@ -625,7 +868,7 @@ impl ShardedEngine {
                 slot.cv.notify_all();
             }
         }
-        Ok(wakes)
+        Ok(())
     }
 
     /// Enforce §4.4 coverage against the nearest rights-holding
@@ -651,10 +894,10 @@ impl ShardedEngine {
             }
             // Anchor node: the covering rights (if any) live further
             // up, but the parent's queue position is this node.
-            self.check_coverage_walk(set, pslot.parent, child_label, d)?;
+            self.check_coverage_walk(set, pslot.ident.read().parent, child_label, d)?;
             return Ok(Some(nr));
         }
-        self.check_coverage_walk(set, pslot.parent, child_label, d)?;
+        self.check_coverage_walk(set, pslot.ident.read().parent, child_label, d)?;
         Ok(None)
     }
 
@@ -674,7 +917,7 @@ impl ShardedEngine {
                     return Self::coverage_verdict(t, rights, child_label, d);
                 }
             }
-            cur = slot.parent;
+            cur = slot.ident.read().parent;
         }
         Ok(())
     }
@@ -716,6 +959,16 @@ impl ShardedEngine {
     /// Task-body completion: release all queue positions (one
     /// cross-object commit) and wake whoever becomes enabled.
     pub fn finish_task(&self, tid: TaskId) -> Vec<Wake> {
+        let mut scratch = EngineScratch::default();
+        self.finish_task_with(tid, &mut scratch);
+        std::mem::take(&mut scratch.wakes)
+    }
+
+    /// [`finish_task`](Self::finish_task) with caller-owned scratch:
+    /// wakes land in `scratch.wakes` (cleared on entry). After the
+    /// queues are released the task's self-pin is dropped, recycling
+    /// its slab slot once all children's slots are recycled too.
+    pub fn finish_task_with(&self, tid: TaskId, scratch: &mut EngineScratch) {
         let slot = self.slot(tid);
         {
             let mut s = slot.sync.lock();
@@ -725,25 +978,30 @@ impl ShardedEngine {
             );
             s.state = TaskState::Finished;
         }
-        let decls = std::mem::take(&mut *slot.decls.lock());
+        let EngineScratch { wakes, decls, objects, .. } = scratch;
+        wakes.clear();
+        decls.clear();
+        {
+            // Copy the declarations out and clear in place, keeping
+            // the slot's capacity for its next occupant.
+            let mut d = slot.decls.lock();
+            decls.extend_from_slice(&d);
+            d.clear();
+        }
 
-        let mut wakes = Vec::new();
         // Single-declaration tasks — the common shape — skip the
         // sorted object list and lock their one shard directly.
-        let objects: Vec<ObjectId>;
         let mut set = match &decls[..] {
             [(oid, _)] => self.lock_shards(std::slice::from_ref(oid)),
             _ => {
-                objects = {
-                    let mut os: Vec<ObjectId> = decls.iter().map(|&(o, _)| o).collect();
-                    os.sort_unstable();
-                    os.dedup();
-                    os
-                };
-                self.lock_shards(&objects)
+                objects.clear();
+                objects.extend(decls.iter().map(|&(o, _)| o));
+                objects.sort_unstable();
+                objects.dedup();
+                self.lock_shards(objects)
             }
         };
-        for &(oid, nr) in &decls {
+        for &(oid, nr) in decls.iter() {
             set.get(oid).arena.remove(nr);
         }
         for k in 0..decls.len() {
@@ -751,16 +1009,19 @@ impl ShardedEngine {
             if decls[..k].iter().any(|&(o, _)| o == oid) {
                 continue;
             }
-            let trs = set.get(oid).arena.recompute_diff_incremental(oid, &[]);
-            self.apply_transitions(&trs, &mut wakes);
+            let sh = set.get(oid);
+            sh.trs.clear();
+            let Shard { arena, trs, .. } = sh;
+            arena.recompute_diff_incremental_into(oid, &[], trs);
+            self.apply_transitions(trs, wakes);
         }
         drop(set);
 
         if !tid.is_root() {
             self.live.fetch_sub(1, Ordering::Relaxed);
             self.stats.tasks_finished.fetch_add(1, Ordering::Relaxed);
+            self.release_pin(slot);
         }
-        wakes
     }
 
     // ------------------------------------------------------------------
@@ -775,18 +1036,33 @@ impl ShardedEngine {
         tid: TaskId,
         ops: Vec<(ObjectId, ContOp)>,
     ) -> Result<(bool, Vec<Wake>)> {
+        let mut scratch = EngineScratch::default();
+        let must_block = self.with_cont_with(tid, &ops, &mut scratch)?;
+        Ok((must_block, std::mem::take(&mut scratch.wakes)))
+    }
+
+    /// [`with_cont`](Self::with_cont) with caller-owned scratch: wakes
+    /// land in `scratch.wakes` (cleared on entry); returns whether the
+    /// task must block for a conversion.
+    pub fn with_cont_with(
+        &self,
+        tid: TaskId,
+        ops: &[(ObjectId, ContOp)],
+        scratch: &mut EngineScratch,
+    ) -> Result<bool> {
         self.stats.with_conts.fetch_add(1, Ordering::Relaxed);
-        let slot = self.slot(tid);
-        let objects: Vec<ObjectId> = {
-            let mut os: Vec<ObjectId> = ops.iter().map(|&(o, _)| o).collect();
-            os.sort_unstable();
-            os.dedup();
-            os
-        };
-        let mut set = self.lock_shards(&objects);
-        let mut converted: Vec<(ObjectId, AccessKind)> = Vec::new();
-        let mut touched: Vec<ObjectId> = Vec::new();
-        for (oid, op) in ops {
+        let slot = self.try_slot(tid).ok_or(JadeError::StaleTask { task: tid })?;
+        let EngineScratch { wakes, objects, converted, touched, waits, .. } = scratch;
+        wakes.clear();
+        converted.clear();
+        touched.clear();
+        waits.clear();
+        objects.clear();
+        objects.extend(ops.iter().map(|&(o, _)| o));
+        objects.sort_unstable();
+        objects.dedup();
+        let mut set = self.lock_shards(objects);
+        for &(oid, op) in ops {
             let nr = slot
                 .decl(oid)
                 .ok_or(JadeError::UnknownDeclaration { task: tid, object: oid })?;
@@ -850,19 +1126,20 @@ impl ShardedEngine {
                 }
             }
         }
-        let mut wakes = Vec::new();
         touched.sort_unstable();
         touched.dedup();
-        for oid in touched {
-            let trs = set.get(oid).arena.recompute_diff_incremental(oid, &[]);
-            self.apply_transitions(&trs, &mut wakes);
+        for &oid in touched.iter() {
+            let sh = set.get(oid);
+            sh.trs.clear();
+            let Shard { arena, trs, .. } = sh;
+            arena.recompute_diff_incremental_into(oid, &[], trs);
+            self.apply_transitions(trs, wakes);
         }
         // Compute waits from the (stable, still locked) flags and
         // register the block *before* releasing the shards — a grant
         // can then only arrive after the waits are visible, so no
         // wakeup is lost.
-        let mut waits: Vec<(ObjectId, AccessKind)> = Vec::new();
-        for (oid, kind) in converted {
+        for &(oid, kind) in converted.iter() {
             let nr = slot.decl(oid).expect("converted node exists");
             if !set.get(oid).arena.node(nr).granted(kind) && !waits.contains(&(oid, kind)) {
                 waits.push((oid, kind));
@@ -872,11 +1149,12 @@ impl ShardedEngine {
         if must_block {
             self.stats.with_cont_blocks.fetch_add(1, Ordering::Relaxed);
             let mut s = slot.sync.lock();
-            s.waiting = waits;
+            s.waiting.clear();
+            s.waiting.extend_from_slice(waits);
             s.state = TaskState::Blocked;
         }
         drop(set);
-        Ok((must_block, wakes))
+        Ok(must_block)
     }
 
     /// Dynamic access check (the guard layer's slow path). Single
@@ -889,7 +1167,7 @@ impl ShardedEngine {
         kind: AccessKind,
     ) -> Result<AccessStatus> {
         self.stats.access_checks.fetch_add(1, Ordering::Relaxed);
-        let slot = self.slot(tid);
+        let slot = self.try_slot(tid).ok_or(JadeError::StaleTask { task: tid })?;
         let nr = slot
             .decl(oid)
             .ok_or(JadeError::UndeclaredAccess { task: tid, object: oid, kind })?;
@@ -936,17 +1214,20 @@ impl ShardedEngine {
                 // commuting tasks now wait until this one finishes or
                 // issues no_cm (§4.3 — serialized but unordered).
                 sh.arena.set_commute_holding(nr, true);
-                let trs = sh.arena.recompute_diff_incremental(oid, &[]);
+                sh.trs.clear();
+                let Shard { arena, trs, .. } = &mut *sh;
+                arena.recompute_diff_incremental_into(oid, &[], trs);
                 // Only revocations of peer commuters can result.
                 let mut wakes = Vec::new();
-                self.apply_transitions(&trs, &mut wakes);
+                self.apply_transitions(trs, &mut wakes);
                 debug_assert!(wakes.is_empty(), "acquiring exclusivity cannot wake anyone");
             }
             Ok(AccessStatus::Granted)
         } else {
             self.stats.access_waits.fetch_add(1, Ordering::Relaxed);
             let mut s = slot.sync.lock();
-            s.waiting = vec![(oid, kind)];
+            s.waiting.clear();
+            s.waiting.push((oid, kind));
             s.state = TaskState::Blocked;
             Ok(AccessStatus::MustWait)
         }
@@ -1011,9 +1292,11 @@ impl ShardedEngine {
     /// fault path to cancel blocked tasks.
     pub fn poison(&self) {
         self.poisoned.store(true, Ordering::Release);
-        for slot in self.tasks.read().iter() {
-            let _guard = slot.sync.lock();
-            slot.cv.notify_all();
+        for shard in self.task_shards.iter() {
+            for slot in shard.slots.read().iter() {
+                let _guard = slot.sync.lock();
+                slot.cv.notify_all();
+            }
         }
     }
 
@@ -1334,5 +1617,68 @@ mod tests {
         };
         e.poison();
         assert!(!waiter.join().unwrap(), "poison aborts the wait");
+    }
+
+    #[test]
+    fn stale_task_id_is_rejected_not_aliased() {
+        let e = ShardedEngine::new();
+        let a = e.create_object(TaskId::ROOT);
+        // Sequentially create and finish enough tasks that slot indices
+        // are reused (the slab round-robins over TASK_SHARDS shards, so
+        // 4 * TASK_SHARDS churn guarantees every shard recycles).
+        let mut by_index: std::collections::HashMap<usize, TaskId> =
+            std::collections::HashMap::new();
+        let mut reused = None;
+        for i in 0..(4 * TASK_SHARDS) {
+            let (t, _) = create(&e, TaskId::ROOT, &format!("churn{i}"), |s| {
+                s.rd(a);
+            });
+            if let Some(&old) = by_index.get(&t.index()) {
+                assert_ne!(
+                    old.generation(),
+                    t.generation(),
+                    "recycled slot must advance its generation"
+                );
+                reused.get_or_insert((old, t));
+            }
+            by_index.insert(t.index(), t);
+            e.start_task(t);
+            for w in e.finish_task(t) {
+                assert!(matches!(w, Wake::Ready(_) | Wake::Unblocked(_)));
+            }
+        }
+        let (old, new) = reused.expect("slot indices are reused under churn");
+        assert_eq!(old.index(), new.index());
+        // The stale id fails fast instead of aliasing the new occupant.
+        assert_eq!(
+            e.check_access(old, a, AccessKind::Read),
+            Err(JadeError::StaleTask { task: old }),
+        );
+        assert!(!e.is_current(old));
+        assert!(e.try_slot(old).is_none());
+    }
+
+    #[test]
+    fn slab_high_water_is_bounded_by_live_set_under_churn() {
+        let e = ShardedEngine::new();
+        let a = e.create_object(TaskId::ROOT);
+        // Warm up: create/finish one task to materialize a slot.
+        for i in 0..256 {
+            let (t, _) = create(&e, TaskId::ROOT, &format!("c{i}"), |s| {
+                s.rd(a);
+            });
+            e.start_task(t);
+            e.finish_task(t);
+        }
+        let peak = e.stats.snapshot().peak_task_slots;
+        // Live set is 1 (plus root); with recycling the slab must not
+        // grow per task. Allow per-shard slack from round-robin: the
+        // cursor can land on a shard whose free slot is still being
+        // returned, but never more than one slot per shard plus root.
+        assert!(
+            peak <= 1 + TASK_SHARDS as u64,
+            "peak {peak} slots for a live-set of 1 — slab is leaking"
+        );
+        assert_eq!(e.stats.snapshot().tasks_created, 256, "work actually happened");
     }
 }

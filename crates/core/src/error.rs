@@ -72,6 +72,14 @@ pub enum JadeError {
     /// An operation referenced an object id that was never created
     /// (or whose storage is gone).
     UnknownObject(ObjectId),
+    /// An operation referenced a task id whose slab slot has been
+    /// recycled (the slot's generation no longer matches) or that was
+    /// never allocated. Stale ids are rejected rather than aliased to
+    /// the slot's new occupant.
+    StaleTask {
+        /// The stale or unknown id.
+        task: TaskId,
+    },
     /// A task created a child whose declaration conflicts with a guard
     /// the task itself still holds. Guards must be dropped before
     /// spawning a conflicting child so the child's serial position is
@@ -104,7 +112,8 @@ impl JadeError {
             | JadeError::DeferredAccess { task, .. }
             | JadeError::RetiredAccess { task, .. }
             | JadeError::UnknownDeclaration { task, .. }
-            | JadeError::GuardLeaked { task } => Some(*task),
+            | JadeError::GuardLeaked { task }
+            | JadeError::StaleTask { task } => Some(*task),
             JadeError::NotCovered { parent, .. }
             | JadeError::ChildConflictsWithHeldGuard { parent, .. } => Some(*parent),
             JadeError::UnknownObject(_) | JadeError::Internal(_) => None,
@@ -140,6 +149,11 @@ impl fmt::Display for JadeError {
                  prior declaration for it"
             ),
             JadeError::UnknownObject(oid) => write!(f, "unknown shared object {oid}"),
+            JadeError::StaleTask { task } => write!(
+                f,
+                "stale task id {task}: its slot was recycled after the task finished \
+                 (or the id was never allocated)"
+            ),
             JadeError::ChildConflictsWithHeldGuard { parent, object } => write!(
                 f,
                 "{parent} created a child declaring {object} while still holding a \

@@ -171,11 +171,11 @@ impl DepGraph {
     }
 
     fn rec(&self, t: TaskId) -> &TaskRec {
-        &self.tasks[t.0 as usize]
+        &self.tasks[t.index()]
     }
 
     fn rec_mut(&mut self, t: TaskId) -> &mut TaskRec {
-        &mut self.tasks[t.0 as usize]
+        &mut self.tasks[t.index()]
     }
 
     /// Current lifecycle state of a task.
@@ -355,7 +355,7 @@ impl DepGraph {
             self.check_coverage(parent, label, d)?;
         }
 
-        let tid = TaskId(self.tasks.len() as u32);
+        let tid = TaskId(self.tasks.len() as u64);
         let child_idx = {
             let p = self.rec_mut(parent);
             let i = p.next_child_idx;

@@ -33,13 +33,38 @@ impl Portable for ObjectId {
 
 /// Identifier for a task (a `withonly-do` instance). Task 0 is always
 /// the root task — the main program itself.
+///
+/// A `TaskId` packs a slab *slot index* (low 32 bits) and that slot's
+/// *generation* (high 32 bits). Task slots are recycled through a
+/// free-list once a task finishes, so the bare index is ambiguous over
+/// a run's lifetime; the generation is bumped at every recycle so a
+/// stale id held across a reuse fails validation instead of silently
+/// aliasing the slot's new occupant (the classic ABA hazard).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct TaskId(pub u32);
+pub struct TaskId(pub u64);
 
 impl TaskId {
     /// The root task: the serial main program that creates all
     /// top-level tasks.
     pub const ROOT: TaskId = TaskId(0);
+
+    /// Pack a slab slot index and its generation into one id.
+    #[inline]
+    pub fn new(index: u32, generation: u32) -> TaskId {
+        TaskId(((generation as u64) << 32) | index as u64)
+    }
+
+    /// The slab slot index this id refers to.
+    #[inline]
+    pub fn index(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    /// The slot generation this id was minted under.
+    #[inline]
+    pub fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
 
     /// Whether this is the root task.
     #[inline]
@@ -52,8 +77,10 @@ impl fmt::Display for TaskId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_root() {
             write!(f, "task#root")
+        } else if self.generation() == 0 {
+            write!(f, "task#{}", self.index())
         } else {
-            write!(f, "task#{}", self.0)
+            write!(f, "task#{}g{}", self.index(), self.generation())
         }
     }
 }
@@ -117,6 +144,16 @@ mod tests {
         assert!(!TaskId(3).is_root());
         assert_eq!(format!("{}", TaskId::ROOT), "task#root");
         assert_eq!(format!("{}", TaskId(5)), "task#5");
+    }
+
+    #[test]
+    fn task_id_packs_index_and_generation() {
+        let t = TaskId::new(7, 3);
+        assert_eq!(t.index(), 7);
+        assert_eq!(t.generation(), 3);
+        assert_ne!(t, TaskId::new(7, 4), "recycled slot mints a distinct id");
+        assert!(!TaskId::new(0, 1).is_root(), "a recycled slot 0 is not the root");
+        assert_eq!(format!("{}", TaskId::new(7, 3)), "task#7g3");
     }
 
     #[test]

@@ -586,7 +586,7 @@ impl RuntimeObserver for CollectorSink {
 mod tests {
     use super::*;
 
-    fn ev(nanos: u64, task: u32, kind: EventKind) -> Event {
+    fn ev(nanos: u64, task: u64, kind: EventKind) -> Event {
         Event { nanos, task: TaskId(task), kind }
     }
 

@@ -401,14 +401,29 @@ impl QueueArena {
         object: ObjectId,
         fresh: &[NodeRef],
     ) -> Vec<Transition> {
-        let Some(ends) = self.ends.get(&object).copied() else { return Vec::new() };
+        let mut out = Vec::new();
+        self.recompute_diff_incremental_into(object, fresh, &mut out);
+        out
+    }
+
+    /// Allocation-free form of
+    /// [`recompute_diff_incremental`](Self::recompute_diff_incremental):
+    /// transitions are *appended* to `out` (a caller-owned scratch
+    /// buffer, typically per engine shard) instead of being returned in
+    /// a fresh `Vec`. The caller clears `out` between operations.
+    pub fn recompute_diff_incremental_into(
+        &mut self,
+        object: ObjectId,
+        fresh: &[NodeRef],
+        out: &mut Vec<Transition>,
+    ) {
+        let Some(ends) = self.ends.get(&object).copied() else { return };
         // O(1) holder resolution from the cache (validated: the flag
         // or the right may have been retired since it was set).
         let holder = ends.holder.filter(|&h| {
             let n = &self.nodes[h.idx()];
             n.live && n.commute_holding && n.rights.commute.is_active()
         });
-        let mut out = Vec::new();
         let mut read_seen = false;
         let mut write_seen = false;
         let mut commute_seen = false;
@@ -468,7 +483,6 @@ impl QueueArena {
             }
             cur = node.next;
         }
-        out
     }
 
     /// [`recompute`](Self::recompute) over the changed prefix only —

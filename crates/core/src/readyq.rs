@@ -29,6 +29,16 @@ pub trait ReadyQueue: Send + Sync {
     /// placement-driven scheduling); policies may ignore it.
     fn push(&self, task: TaskId, hint: Option<usize>);
 
+    /// Make a batch of tasks available for dispatch in one operation.
+    /// All tasks share one placement `hint`. Implementations override
+    /// this to amortize synchronization (one lock/one deque touch per
+    /// batch instead of per task); the default just loops.
+    fn push_batch(&self, tasks: &[TaskId], hint: Option<usize>) {
+        for &t in tasks {
+            self.push(t, hint);
+        }
+    }
+
     /// Take the next task to run from the perspective of `worker`.
     /// Returns `None` when no queued task is available to that worker.
     fn pop(&self, worker: usize) -> Option<TaskId>;
@@ -77,6 +87,10 @@ impl FifoReadyQueue {
 impl ReadyQueue for FifoReadyQueue {
     fn push(&self, task: TaskId, _hint: Option<usize>) {
         self.q.lock().push_back(task);
+    }
+
+    fn push_batch(&self, tasks: &[TaskId], _hint: Option<usize>) {
+        self.q.lock().extend(tasks.iter().copied());
     }
 
     fn pop(&self, _worker: usize) -> Option<TaskId> {
@@ -137,5 +151,16 @@ mod tests {
         assert_eq!(q.pop(0), Some(TaskId(2)), "unmatched tasks keep their order");
         assert_eq!(q.pop(0), Some(TaskId(4)));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_batch_preserves_fifo_order() {
+        let q = FifoReadyQueue::new();
+        q.push(TaskId(1), None);
+        q.push_batch(&[TaskId(2), TaskId(3), TaskId(4)], Some(1));
+        assert_eq!(q.len(), 4);
+        for i in 1..=4 {
+            assert_eq!(q.pop(0), Some(TaskId(i)));
+        }
     }
 }

@@ -36,6 +36,12 @@ pub struct RuntimeStats {
     pub conflicts: u64,
     /// Peak number of simultaneously live (created, unfinished) tasks.
     pub peak_live_tasks: u64,
+    /// High-water mark of task slots materialized in the engine's
+    /// generational slab. With slot recycling this is bounded by the
+    /// live-set (plus per-shard slack), not by `tasks_created`: zero
+    /// steady-state slab growth shows up as `peak_task_slots` staying
+    /// flat while `tasks_created` keeps climbing.
+    pub peak_task_slots: u64,
     /// Objects registered.
     pub objects_created: u64,
 }
@@ -53,6 +59,7 @@ impl RuntimeStats {
         self.with_cont_blocks += other.with_cont_blocks;
         self.conflicts += other.conflicts;
         self.peak_live_tasks = self.peak_live_tasks.max(other.peak_live_tasks);
+        self.peak_task_slots = self.peak_task_slots.max(other.peak_task_slots);
         self.objects_created += other.objects_created;
     }
 }
@@ -69,6 +76,7 @@ impl std::fmt::Display for RuntimeStats {
         writeln!(f, "with-cont blocks:  {}", self.with_cont_blocks)?;
         writeln!(f, "conflicts (edges): {}", self.conflicts)?;
         writeln!(f, "peak live tasks:   {}", self.peak_live_tasks)?;
+        writeln!(f, "peak task slots:   {}", self.peak_task_slots)?;
         write!(f, "objects created:   {}", self.objects_created)
     }
 }
@@ -102,6 +110,8 @@ pub struct AtomicStats {
     pub conflicts: AtomicU64,
     /// See [`RuntimeStats::peak_live_tasks`] (maintained as a CAS max).
     pub peak_live_tasks: AtomicU64,
+    /// See [`RuntimeStats::peak_task_slots`] (maintained as a CAS max).
+    pub peak_task_slots: AtomicU64,
     /// See [`RuntimeStats::objects_created`].
     pub objects_created: AtomicU64,
 }
@@ -119,6 +129,11 @@ impl AtomicStats {
         self.peak_live_tasks.fetch_max(live, Relaxed);
     }
 
+    /// Record a new slab-size high-water mark candidate.
+    pub fn observe_slots(&self, slots: u64) {
+        self.peak_task_slots.fetch_max(slots, Relaxed);
+    }
+
     /// Materialize a plain [`RuntimeStats`] copy. Call at quiescence
     /// (after workers join) for exact totals; mid-run snapshots are
     /// approximate, which is fine for monitoring.
@@ -134,6 +149,7 @@ impl AtomicStats {
             with_cont_blocks: self.with_cont_blocks.load(Relaxed),
             conflicts: self.conflicts.load(Relaxed),
             peak_live_tasks: self.peak_live_tasks.load(Relaxed),
+            peak_task_slots: self.peak_task_slots.load(Relaxed),
             objects_created: self.objects_created.load(Relaxed),
         }
     }

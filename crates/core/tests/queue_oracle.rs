@@ -76,7 +76,7 @@ proptest! {
         let mut arena = QueueArena::new();
         arena.register_object(O);
         let mut live: Vec<jade_core::queue::NodeRef> = Vec::new();
-        let mut next_task = 1u32;
+        let mut next_task = 1u64;
 
         for op in ops {
             match op {

@@ -245,6 +245,11 @@ struct Loop {
     pending_fetches: HashMap<TaskId, usize>,
     blocked: HashMap<TaskId, BlockedOp>,
     throttle_waiters: VecDeque<TaskId>,
+    /// Set when wake application queued ready tasks; the event loop
+    /// flushes it with one `schedule_assignments` pass per iteration,
+    /// so a burst of same-tick wakes is coalesced into one placement
+    /// scan instead of one per wake wave.
+    dispatch_pending: bool,
     unfinished: u64,
     root_done: bool,
     traffic: ObjTraffic,
@@ -313,6 +318,7 @@ impl Loop {
             pending_fetches: HashMap::new(),
             blocked: HashMap::new(),
             throttle_waiters: VecDeque::new(),
+            dispatch_pending: false,
             unfinished: 0,
             root_done: false,
             traffic: ObjTraffic::default(),
@@ -342,6 +348,7 @@ impl Loop {
         self.procs
             .insert(TaskId::ROOT, spawn_proc(TaskId::ROOT, self.cfg.platform.len(), root_body));
         self.drive(TaskId::ROOT, ProcResp::Proceed);
+        self.flush_dispatch();
 
         while !(self.root_done && self.unfinished == 0) {
             if self.poison.is_some() {
@@ -395,6 +402,9 @@ impl Loop {
                     self.events.push(self.now, EventKind::TryStart(m));
                 }
             }
+            // One placement scan per event, however many wake waves
+            // the event produced.
+            self.flush_dispatch();
         }
 
         if self.poison.is_some() {
@@ -801,7 +811,19 @@ impl Loop {
                 Wake::Unblocked(t) => self.on_unblocked(t),
             }
         }
-        self.schedule_assignments();
+        // Ready pushes are dispatched lazily: tasks only ever *start*
+        // via a later TryStart event, so deferring the placement scan
+        // to the end of the current event-loop iteration is
+        // unobservable except in the number of scans performed.
+        self.dispatch_pending = true;
+    }
+
+    /// Run the deferred placement scan if any wake wave queued one.
+    fn flush_dispatch(&mut self) {
+        if self.dispatch_pending {
+            self.dispatch_pending = false;
+            self.schedule_assignments();
+        }
     }
 
     fn on_unblocked(&mut self, t: TaskId) {

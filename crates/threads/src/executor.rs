@@ -39,7 +39,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use jade_core::ctx::{take_violation, violation, HoldSet, JadeCtx, ReadGuard, WriteGuard};
-use jade_core::engine::ShardedEngine;
+use jade_core::engine::{EngineScratch, ShardedEngine};
 use jade_core::error::{JadeError, JadeFault};
 use jade_core::fasthash::FastMap;
 use jade_core::graph::{AccessStatus, Wake};
@@ -163,7 +163,10 @@ impl Inner {
     }
 
     fn body_shard(&self, t: TaskId) -> &Mutex<FastMap<TaskId, Body>> {
-        &self.bodies[t.0 as usize % BODY_SHARDS]
+        // Key by slot index: generations recycle indices, and the map
+        // entry is removed before the slot can be reused, so sharding
+        // by index keeps the distribution uniform.
+        &self.bodies[t.index() % BODY_SHARDS]
     }
 
     /// Tell parked workers that `pushed` tasks were queued (or, with
@@ -196,36 +199,48 @@ impl Inner {
         self.cv_done.notify_all();
     }
 
-    /// Queue every newly enabled task. `lane` is the emitting thread's
-    /// lane; `home` its deque slot, used for un-hinted tasks so enabled
-    /// work stays local to the worker that enabled it.
-    fn handle_wakes(&self, wakes: Vec<Wake>, lane: usize, home: Option<usize>) {
-        let mut pushed = 0usize;
-        for w in wakes {
+    /// Queue every newly enabled task from `scratch.wakes` (drained).
+    /// `lane` is the emitting thread's lane; `home` its deque slot,
+    /// used for un-hinted tasks so enabled work stays local to the
+    /// worker that enabled it. Un-hinted ready tasks are staged in
+    /// `scratch.ready` and dispatched as one batch — one deque touch
+    /// and one worker wake per wave instead of per task.
+    fn handle_wakes(&self, scratch: &mut EngineScratch, lane: usize, home: Option<usize>) {
+        let EngineScratch { wakes, ready, .. } = scratch;
+        ready.clear();
+        let mut hinted = 0usize;
+        for w in wakes.drain(..) {
             if let Wake::Ready(t) = w {
                 self.emit(lane, t, EventKind::TaskEnabled);
                 // Only queue tasks whose bodies the pool manages;
                 // inline-executed tasks are awaited by their creator
                 // through the engine instead.
                 if self.body_shard(t).lock().contains_key(&t) {
-                    let hint = match self.engine.placement(t) {
-                        Placement::Machine(m) => Some(m.0 as usize % self.base_workers),
-                        // Deque-less threads (the root) spread their
-                        // pushes round-robin over the worker deques
-                        // instead of serializing on the injector.
-                        _ => home.or_else(|| {
-                            Some(self.spread.fetch_add(1, Ordering::Relaxed) % self.base_workers)
-                        }),
-                    };
-                    self.queue.push(t, hint);
-                    pushed += 1;
+                    match self.engine.placement(t) {
+                        Placement::Machine(m) => {
+                            self.queue.push(t, Some(m.0 as usize % self.base_workers));
+                            hinted += 1;
+                        }
+                        _ => ready.push(t),
+                    }
                 }
             }
             // Wake::Unblocked threads are signalled by the engine's
             // per-task condvars; nothing to do here.
         }
-        if pushed > 0 {
-            self.notify_work(pushed);
+        let batched = ready.len();
+        if batched > 0 {
+            // Deque-less threads (the root) spread their batches
+            // round-robin over the worker deques instead of
+            // serializing on the injector.
+            let hint = home.or_else(|| {
+                Some(self.spread.fetch_add(1, Ordering::Relaxed) % self.base_workers)
+            });
+            self.queue.push_batch(ready, hint);
+            ready.clear();
+        }
+        if batched + hinted > 0 {
+            self.notify_work(batched + hinted);
         }
     }
 
@@ -236,14 +251,15 @@ impl Inner {
     /// probe and the engine placement lookup are skipped.
     fn handle_wakes_created(
         &self,
-        wakes: Vec<Wake>,
+        scratch: &mut EngineScratch,
         created: TaskId,
         placement: Placement,
         lane: usize,
         home: Option<usize>,
     ) {
-        if let [Wake::Ready(t)] = wakes[..] {
+        if let [Wake::Ready(t)] = scratch.wakes[..] {
             if t == created {
+                scratch.wakes.clear();
                 self.emit(lane, t, EventKind::TaskEnabled);
                 let hint = match placement {
                     Placement::Machine(m) => Some(m.0 as usize % self.base_workers),
@@ -256,7 +272,7 @@ impl Inner {
                 return;
             }
         }
-        self.handle_wakes(wakes, lane, home);
+        self.handle_wakes(scratch, lane, home);
     }
 
     /// Record a fault. The first fault wins; cancellation cascades
@@ -398,6 +414,10 @@ fn worker_loop(inner: Arc<Inner>, lane: usize) {
     // thread and compensation workers have no local deque.
     let home = lane.checked_sub(1).filter(|&slot| slot < inner.base_workers);
     let slot = home.unwrap_or_else(|| inner.queue.remote_slot());
+    // Reused across every task this worker runs: wake/dispatch staging
+    // plus the engine's internal buffers, so the steady-state task
+    // lifecycle allocates nothing.
+    let mut scratch = EngineScratch::default();
     let mut spins = 0u32;
     loop {
         if inner.faulted.load(Ordering::Acquire) {
@@ -411,7 +431,7 @@ fn worker_loop(inner: Arc<Inner>, lane: usize) {
             inner.emit(lane, tid, EventKind::TaskDispatched { worker: lane });
             inner.engine.start_task(tid);
             inner.emit(lane, tid, EventKind::TaskStarted { worker: lane });
-            execute_task(&inner, tid, body, lane, home);
+            execute_task(&inner, tid, body, lane, home, &mut scratch);
             continue;
         }
         if inner.finished() {
@@ -451,21 +471,32 @@ fn worker_loop(inner: Arc<Inner>, lane: usize) {
     inner.cv_done.notify_all();
 }
 
-fn execute_task(inner: &Arc<Inner>, tid: TaskId, body: Body, lane: usize, home: Option<usize>) {
+fn execute_task(
+    inner: &Arc<Inner>,
+    tid: TaskId,
+    body: Body,
+    lane: usize,
+    home: Option<usize>,
+    scratch: &mut EngineScratch,
+) {
     let mut ctx = ThreadCtx {
         inner: Arc::clone(inner),
         task: tid,
         holds: HoldSet::new(),
         worker: lane,
         home,
+        scratch: std::mem::take(scratch),
     };
     let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
     let leaked = ctx.holds.any_held();
+    // Recover the buffers even when the body unwound, so a panicky
+    // workload does not shed its warmed-up capacity.
+    *scratch = std::mem::take(&mut ctx.scratch);
     match outcome {
         Ok(()) if !leaked => {
-            let wakes = inner.engine.finish_task(tid);
+            inner.engine.finish_task_with(tid, scratch);
             inner.emit(lane, tid, EventKind::TaskFinished { worker: lane });
-            inner.handle_wakes(wakes, lane, home);
+            inner.handle_wakes(scratch, lane, home);
         }
         Ok(()) => {
             inner.record_fault(JadeFault::SpecViolation {
@@ -569,6 +600,7 @@ impl Runtime for ThreadedExecutor {
             holds: HoldSet::new(),
             worker: 0,
             home: None,
+            scratch: EngineScratch::default(),
         };
         let outcome = catch_unwind(AssertUnwindSafe(|| program(&mut ctx)));
 
@@ -634,6 +666,10 @@ pub struct ThreadCtx {
     worker: usize,
     /// The lane's deque slot, if it owns one.
     home: Option<usize>,
+    /// Per-thread reusable engine buffers (wake lists, declaration and
+    /// transition staging); travels with the context so task creation
+    /// and continuation changes allocate nothing in steady state.
+    scratch: EngineScratch,
 }
 
 impl JadeCtx for ThreadCtx {
@@ -693,24 +729,28 @@ impl JadeCtx for ThreadCtx {
             // moment the engine enables the task, any worker may claim
             // it.
             self.inner.body_shard(tid).lock().insert(tid, Box::new(body));
-            let wakes = self
-                .inner
+            self.inner
                 .engine
-                .attach_task(tid, decls)
+                .attach_task_with(tid, &decls, &mut self.scratch)
                 .unwrap_or_else(|e| violation(e));
-            self.inner.handle_wakes_created(wakes, tid, placement, self.worker, self.home);
+            self.inner.handle_wakes_created(
+                &mut self.scratch,
+                tid,
+                placement,
+                self.worker,
+                self.home,
+            );
             return;
         }
 
         // Inline execution: no body is stored, so no worker can claim
         // the task; the creator waits for its serial position to be
         // enabled and runs it in place.
-        let wakes = self
-            .inner
+        self.inner
             .engine
-            .attach_task(tid, decls)
+            .attach_task_with(tid, &decls, &mut self.scratch)
             .unwrap_or_else(|e| violation(e));
-        self.inner.handle_wakes(wakes, self.worker, self.home);
+        self.inner.handle_wakes(&mut self.scratch, self.worker, self.home);
         {
             let inner = Arc::clone(&self.inner);
             let engine = &inner.engine;
@@ -727,19 +767,21 @@ impl JadeCtx for ThreadCtx {
             holds: HoldSet::new(),
             worker: self.worker,
             home: self.home,
+            scratch: std::mem::take(&mut self.scratch),
         };
         let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut cctx)));
         let leaked = cctx.holds.any_held();
+        self.scratch = std::mem::take(&mut cctx.scratch);
         self.inner.unfinished.fetch_sub(1, Ordering::AcqRel);
         match outcome {
             Ok(()) if !leaked => {
-                let wakes = self.inner.engine.finish_task(tid);
+                self.inner.engine.finish_task_with(tid, &mut self.scratch);
                 // The engine counts every completion; an inlined task
                 // is accounted in `tasks_inlined` instead, so
                 // `created == finished + inlined` stays balanced.
                 self.inner.engine.stats.tasks_finished.fetch_sub(1, Ordering::Relaxed);
                 self.inner.emit(self.worker, tid, EventKind::TaskFinished { worker: self.worker });
-                self.inner.handle_wakes(wakes, self.worker, self.home);
+                self.inner.handle_wakes(&mut self.scratch, self.worker, self.home);
                 self.inner.notify_done();
             }
             Ok(()) => {
@@ -767,12 +809,13 @@ impl JadeCtx for ThreadCtx {
     {
         let mut builder = ContBuilder::new();
         changes(&mut builder);
-        let (must_block, wakes) = self
+        let ops = builder.build();
+        let must_block = self
             .inner
             .engine
-            .with_cont(self.task, builder.build())
+            .with_cont_with(self.task, &ops, &mut self.scratch)
             .unwrap_or_else(|e| violation(e));
-        self.inner.handle_wakes(wakes, self.worker, self.home);
+        self.inner.handle_wakes(&mut self.scratch, self.worker, self.home);
         if must_block {
             let task = self.task;
             self.inner.emit(self.worker, task, EventKind::ContBlock);

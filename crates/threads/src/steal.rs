@@ -10,11 +10,31 @@
 //! drains its own deque, then the injector, then steals from its
 //! peers, so no enabled task can be stranded.
 //!
+//! Stealing is *batched* and *locality-aware*:
+//!
+//! * A successful steal moves roughly half the victim's deque (bounded)
+//!   into the thief's own deque, so a thief that found work does not
+//!   immediately go hunting again — and the surplus it took stays
+//!   visible to other thieves, which keeps the compensation-worker
+//!   protocol deadlock-free (batches land in deques, never in private
+//!   buffers).
+//! * Workers are partitioned into contiguous *locality groups*
+//!   (`JADE_LOCALITY_GROUPS` processes-wide, default 1 = flat). A thief
+//!   scans same-group victims first and crosses group boundaries only
+//!   when its whole group is dry, mirroring how placement hints route
+//!   related tasks to neighbouring workers.
+//! * The scan *starting victim* is randomized per steal attempt, so
+//!   concurrent thieves fan out over different victims instead of all
+//!   converging on the same deque (the old policy always started at
+//!   index 0, serializing thieves behind one victim's lock).
+//!
 //! Which runnable task runs first is pure policy: Jade's serial
 //! semantics makes every dispatch order produce the same results and
 //! the same dynamic task graph (see `tests/conformance.rs`), which is
 //! what licenses swapping the old single shared FIFO for this
 //! structure without touching the dependency engine.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use jade_core::ids::TaskId;
@@ -29,14 +49,34 @@ pub struct StealQueue {
     injector: Injector<TaskId>,
     locals: Vec<Worker<TaskId>>,
     stealers: Vec<Stealer<TaskId>>,
+    /// `groups[w]` is worker `w`'s locality group (contiguous blocks).
+    groups: Vec<usize>,
+    /// Scrambled per-attempt to pick the scan's starting victim.
+    seed: AtomicUsize,
 }
 
 impl StealQueue {
-    /// A queue serving `workers` pool workers.
+    /// A queue serving `workers` pool workers. The number of locality
+    /// groups comes from `JADE_LOCALITY_GROUPS` (default 1: one flat
+    /// group, every victim equally near).
     pub fn new(workers: usize) -> Self {
+        let ngroups = std::env::var("JADE_LOCALITY_GROUPS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&g| g >= 1)
+            .unwrap_or(1);
+        Self::with_groups(workers, ngroups)
+    }
+
+    /// A queue with an explicit locality-group count (tests; the env
+    /// var is process-global and racy to set from parallel tests).
+    /// Workers are split into `ngroups` contiguous blocks.
+    pub fn with_groups(workers: usize, ngroups: usize) -> Self {
+        let ngroups = ngroups.clamp(1, workers.max(1));
+        let groups = (0..workers).map(|w| w * ngroups / workers.max(1)).collect();
         let locals: Vec<Worker<TaskId>> = (0..workers).map(|_| Worker::new_lifo()).collect();
         let stealers = locals.iter().map(Worker::stealer).collect();
-        StealQueue { injector: Injector::new(), locals, stealers }
+        StealQueue { injector: Injector::new(), locals, stealers, groups, seed: AtomicUsize::new(0) }
     }
 
     /// The slot index meaning "no local deque".
@@ -51,6 +91,47 @@ impl StealQueue {
             while l.pop().is_some() {}
         }
     }
+
+    /// Pick a starting victim for a steal scan. A Weyl-sequence step
+    /// through a SplitMix scramble: deterministic, lock-free, and
+    /// successive calls spread over all of `0..n` — no global RNG.
+    fn next_start(&self, n: usize) -> usize {
+        let s = self.seed.fetch_add(0x9E37_79B9, Ordering::Relaxed);
+        let mut z = s as u64;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as usize % n
+    }
+
+    /// Steal into `worker`'s own deque: same-group victims first, then
+    /// the rest, starting each pass at a randomized victim. On success
+    /// the surplus of the batch is already in the local deque (still
+    /// stealable by others) and one task is returned to run now.
+    fn steal_into(&self, worker: usize) -> Option<TaskId> {
+        let local = &self.locals[worker];
+        let n = self.stealers.len();
+        if n <= 1 {
+            return None;
+        }
+        let start = self.next_start(n);
+        let my_group = self.groups[worker];
+        for same_group_pass in [true, false] {
+            for i in 0..n {
+                let victim = (start + i) % n;
+                if victim == worker || (self.groups[victim] == my_group) != same_group_pass {
+                    continue;
+                }
+                loop {
+                    match self.stealers[victim].steal_batch_and_pop(local) {
+                        Steal::Success(t) => return Some(t),
+                        Steal::Retry => continue,
+                        Steal::Empty => break,
+                    }
+                }
+            }
+        }
+        None
+    }
 }
 
 impl ReadyQueue for StealQueue {
@@ -61,12 +142,32 @@ impl ReadyQueue for StealQueue {
         }
     }
 
+    fn push_batch(&self, tasks: &[TaskId], hint: Option<usize>) {
+        match hint {
+            Some(w) if w < self.locals.len() => self.locals[w].push_batch(tasks.iter().copied()),
+            _ => self.injector.push_batch(tasks.iter().copied()),
+        }
+    }
+
     fn pop(&self, worker: usize) -> Option<TaskId> {
         if let Some(local) = self.locals.get(worker) {
             if let Some(t) = local.pop() {
                 return Some(t);
             }
+            // Drain the injector in batches too: one task to run, the
+            // rest parked on the local deque where peers can steal it.
+            loop {
+                match self.injector.steal_batch_and_pop(local) {
+                    Steal::Success(t) => return Some(t),
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+            }
+            return self.steal_into(worker);
         }
+        // No local deque (root thread, compensation workers): take
+        // single tasks — there is no deque to park a batch on, and
+        // hoarding tasks in a private buffer could strand them.
         loop {
             match self.injector.steal() {
                 Steal::Success(t) => return Some(t),
@@ -75,11 +176,12 @@ impl ReadyQueue for StealQueue {
             }
         }
         let n = self.stealers.len();
+        if n == 0 {
+            return None;
+        }
+        let start = self.next_start(n);
         for i in 0..n {
-            let victim = (worker + 1 + i) % n.max(1);
-            if victim == worker {
-                continue;
-            }
+            let victim = (start + i) % n;
             loop {
                 match self.stealers[victim].steal() {
                     Steal::Success(t) => return Some(t),
@@ -98,6 +200,8 @@ impl ReadyQueue for StealQueue {
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashSet;
+
     use super::*;
 
     #[test]
@@ -152,5 +256,97 @@ mod tests {
         let q = StealQueue::new(1);
         q.push(TaskId(5), Some(42));
         assert_eq!(q.pop(0), Some(TaskId(5)));
+    }
+
+    #[test]
+    fn push_batch_targets_one_deque_and_stays_poppable() {
+        let q = StealQueue::new(2);
+        q.push_batch(&[TaskId(1), TaskId(2), TaskId(3)], Some(1));
+        q.push_batch(&[TaskId(4), TaskId(5)], None); // injector
+        assert_eq!(q.len(), 5);
+        let mut got = HashSet::new();
+        while let Some(t) = q.pop(1) {
+            got.insert(t.0);
+        }
+        assert_eq!(got, HashSet::from([1, 2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn batch_steal_moves_surplus_into_the_thief_deque() {
+        let q = StealQueue::with_groups(2, 1);
+        q.push_batch(&[TaskId(1), TaskId(2), TaskId(3), TaskId(4)], Some(1));
+        // Worker 0 steals: gets one task now, and about half the
+        // victim's deque parks on its own deque.
+        let first = q.pop(0).expect("steal succeeds");
+        assert_eq!(q.locals[0].len(), 1, "surplus of the stolen batch stays stealable");
+        assert_eq!(q.locals[1].len(), 2, "victim keeps the other half");
+        let mut got = HashSet::from([first.0]);
+        while let Some(t) = q.pop(0) {
+            got.insert(t.0);
+        }
+        assert_eq!(got, HashSet::from([1, 2, 3, 4]), "no task is lost or duplicated");
+    }
+
+    #[test]
+    fn steal_scan_start_is_randomized_not_pinned_to_zero() {
+        let q = StealQueue::with_groups(8, 1);
+        let mut starts = HashSet::new();
+        for _ in 0..256 {
+            starts.insert(q.next_start(8));
+        }
+        assert_eq!(starts.len(), 8, "every victim index must be a possible scan start");
+    }
+
+    #[test]
+    fn repeated_steals_spread_over_victims() {
+        // The old policy always began scanning at victim 0, so a thief
+        // hammered the same peer. With randomized starts, the first
+        // victim actually robbed must vary across attempts.
+        let q = StealQueue::with_groups(4, 1);
+        let mut first_victims = HashSet::new();
+        for _ in 0..64 {
+            q.push(TaskId(1), Some(1));
+            q.push(TaskId(2), Some(2));
+            q.push(TaskId(3), Some(3));
+            let got = q.pop(0).expect("peers have work");
+            first_victims.insert(got.0); // task id == victim it sat on
+            q.clear();
+        }
+        assert_eq!(
+            first_victims,
+            HashSet::from([1, 2, 3]),
+            "steals must reach every victim as the *first* choice, not only victim 1"
+        );
+    }
+
+    #[test]
+    fn same_group_victims_are_robbed_first() {
+        // Groups of two: {0,1} and {2,3}. Worker 1's group-mate and a
+        // remote worker both have work; the group-mate must always win
+        // the first steal regardless of the randomized start.
+        let q = StealQueue::with_groups(4, 2);
+        assert_eq!(q.groups, vec![0, 0, 1, 1]);
+        for _ in 0..32 {
+            q.push(TaskId(10), Some(0));
+            q.push(TaskId(20), Some(2));
+            assert_eq!(q.pop(1), Some(TaskId(10)), "locality group preferred");
+            q.clear();
+        }
+        // …but a dry group does fall through to remote victims.
+        q.push(TaskId(30), Some(2));
+        assert_eq!(q.pop(1), Some(TaskId(30)));
+    }
+
+    #[test]
+    fn group_blocks_are_contiguous() {
+        let q = StealQueue::with_groups(8, 2);
+        assert_eq!(q.groups, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        let q = StealQueue::with_groups(6, 4);
+        assert_eq!(q.groups, vec![0, 0, 1, 2, 2, 3]);
+        // Degenerate group counts clamp instead of panicking.
+        let q = StealQueue::with_groups(2, 99);
+        assert_eq!(q.groups, vec![0, 1]);
+        let q = StealQueue::with_groups(2, 0);
+        assert_eq!(q.groups, vec![0, 0]);
     }
 }

@@ -52,13 +52,17 @@ fn program_strategy(max_tasks: usize) -> impl Strategy<Value = Program> {
     .prop_map(|tasks| Program { n_objects: N_OBJECTS, tasks })
 }
 
-/// Run `prog` on `rt` and return (per-object final values, trace).
+/// Run `prog` on `rt` and return (per-object final values, trace,
+/// runtime stats).
 ///
 /// Bodies are schedule-sensitive on purpose: writers apply a
 /// *non-commutative* update (multiply-add keyed by task index), so any
 /// serial-order violation changes the result; commuters apply a
 /// commutative add, so any legal interleaving of them agrees.
-fn run_on<Rt: Runtime>(rt: &Rt, prog: &Program) -> (Vec<u64>, TaskGraphTrace) {
+fn run_on<Rt: Runtime>(
+    rt: &Rt,
+    prog: &Program,
+) -> (Vec<u64>, TaskGraphTrace, jade_core::stats::RuntimeStats) {
     let prog = prog.clone();
     let rep = rt
         .execute(RunConfig::new().with_trace(), move |ctx| {
@@ -107,7 +111,7 @@ fn run_on<Rt: Runtime>(rt: &Rt, prog: &Program) -> (Vec<u64>, TaskGraphTrace) {
         })
         .expect("stress program must run clean");
     let trace = rep.trace.clone().expect("trace was requested");
-    (rep.result, trace)
+    (rep.result, trace, rep.stats)
 }
 
 /// Canonical view of a trace: label-keyed edges, sorted. Labels — not
@@ -130,11 +134,38 @@ proptest! {
     /// match the serial reference exactly.
     #[test]
     fn threaded_matches_serial_under_stress(prog in program_strategy(40)) {
-        let (serial_vals, serial_tr) = run_on(&SerialRuntime, &prog);
-        let (par_vals, par_tr) = run_on(&ThreadedExecutor::new(8), &prog);
+        let (serial_vals, serial_tr, _) = run_on(&SerialRuntime, &prog);
+        let (par_vals, par_tr, _) = run_on(&ThreadedExecutor::new(8), &prog);
         prop_assert_eq!(&par_vals, &serial_vals, "final object values diverged");
         prop_assert_eq!(edge_set(&par_tr), edge_set(&serial_tr), "task graphs diverged");
         prop_assert_eq!(par_tr.tasks().len(), serial_tr.tasks().len());
+    }
+
+    /// Slot recycling under churn: with the creator throttled to a
+    /// small live-set, long random programs at 8 workers must (a) stay
+    /// observationally serial — create/finish/steal interleavings with
+    /// recycled `TaskId`s in flight change nothing — and (b) run inside
+    /// a bounded slab: the slot high-water mark tracks the live-set,
+    /// not the task count.
+    #[test]
+    fn recycling_churn_matches_serial_with_bounded_slab(prog in program_strategy(120)) {
+        let (serial_vals, serial_tr, _) = run_on(&SerialRuntime, &prog);
+        let rt = ThreadedExecutor::new(8)
+            .with_throttle(Throttle::SuspendCreator { hi: 8, lo: 4 });
+        let (par_vals, par_tr, stats) = run_on(&rt, &prog);
+        prop_assert_eq!(&par_vals, &serial_vals, "final object values diverged");
+        prop_assert_eq!(edge_set(&par_tr), edge_set(&serial_tr), "task graphs diverged");
+        if prog.tasks.len() >= 40 {
+            // Live-set ≤ throttle hi (8) + root; the slab adds at most
+            // per-shard round-robin slack plus finished-but-unreleased
+            // in-flight slots. 40 is a generous ceiling that a
+            // one-slot-per-task (non-recycling) table blows through.
+            prop_assert!(
+                stats.peak_task_slots <= 40,
+                "peak_task_slots {} for {} tasks — slots are not being recycled",
+                stats.peak_task_slots, prog.tasks.len()
+            );
+        }
     }
 }
 
@@ -194,9 +225,9 @@ fn inline_throttle_matches_serial() {
             .map(|i| vec![(i % 3, if i % 4 == 0 { R::Rd } else { R::RdWr })])
             .collect(),
     };
-    let (serial_vals, serial_tr) = run_on(&SerialRuntime, &prog);
+    let (serial_vals, serial_tr, _) = run_on(&SerialRuntime, &prog);
     let rt = ThreadedExecutor::new(4).with_throttle(Throttle::Inline { hi: 8 });
-    let (par_vals, par_tr) = run_on(&rt, &prog);
+    let (par_vals, par_tr, _) = run_on(&rt, &prog);
     assert_eq!(par_vals, serial_vals);
     assert_eq!(edge_set(&par_tr), edge_set(&serial_tr));
 }

@@ -153,6 +153,12 @@ pub mod deque {
             self.inner.lock().expect("deque poisoned").push_back(item);
         }
 
+        /// Push a batch of items onto the owner end under one lock
+        /// acquisition; they pop back out in reverse (LIFO) order.
+        pub fn push_batch<I: IntoIterator<Item = T>>(&self, items: I) {
+            self.inner.lock().expect("deque poisoned").extend(items);
+        }
+
         /// Pop from the owner end (most recently pushed first).
         pub fn pop(&self) -> Option<T> {
             self.inner.lock().expect("deque poisoned").pop_back()
@@ -190,6 +196,36 @@ pub mod deque {
             }
         }
 
+        /// Steal a *batch* from the victim's cold end: up to half the
+        /// victim's deque (bounded by `limit`). One item is returned
+        /// directly; the rest are appended to `dest`'s owner end in the
+        /// victim's FIFO order, where they remain visible to further
+        /// thieves. The victim's lock is released before `dest`'s is
+        /// taken, so two thieves stealing from each other's deques
+        /// cannot deadlock.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            self.steal_batch_and_pop_with_limit(dest, 32)
+        }
+
+        /// [`steal_batch_and_pop`](Self::steal_batch_and_pop) with an
+        /// explicit batch bound (`limit >= 1`; a limit of 1 degenerates
+        /// to a plain single steal).
+        pub fn steal_batch_and_pop_with_limit(&self, dest: &Worker<T>, limit: usize) -> Steal<T> {
+            let mut batch = {
+                let mut q = self.inner.lock().expect("deque poisoned");
+                if q.is_empty() {
+                    return Steal::Empty;
+                }
+                let take = q.len().div_ceil(2).clamp(1, limit.max(1));
+                q.drain(..take).collect::<Vec<T>>()
+            };
+            let first = batch.remove(0);
+            if !batch.is_empty() {
+                dest.push_batch(batch);
+            }
+            Steal::Success(first)
+        }
+
         /// Whether the victim's deque is currently empty.
         pub fn is_empty(&self) -> bool {
             self.inner.lock().expect("deque poisoned").is_empty()
@@ -220,12 +256,38 @@ pub mod deque {
             self.inner.lock().expect("injector poisoned").push_back(item);
         }
 
+        /// Push a batch of items (FIFO order preserved) under one lock
+        /// acquisition.
+        pub fn push_batch<I: IntoIterator<Item = T>>(&self, items: I) {
+            self.inner.lock().expect("injector poisoned").extend(items);
+        }
+
         /// Steal the oldest item.
         pub fn steal(&self) -> Steal<T> {
             match self.inner.lock().expect("injector poisoned").pop_front() {
                 Some(v) => Steal::Success(v),
                 None => Steal::Empty,
             }
+        }
+
+        /// Steal a batch of the oldest items — up to half the injector,
+        /// bounded — returning one directly and moving the rest onto
+        /// `dest`'s owner end (where they stay stealable). Lock
+        /// discipline matches [`Stealer::steal_batch_and_pop`].
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut batch = {
+                let mut q = self.inner.lock().expect("injector poisoned");
+                if q.is_empty() {
+                    return Steal::Empty;
+                }
+                let take = q.len().div_ceil(2).clamp(1, 32);
+                q.drain(..take).collect::<Vec<T>>()
+            };
+            let first = batch.remove(0);
+            if !batch.is_empty() {
+                dest.push_batch(batch);
+            }
+            Steal::Success(first)
         }
 
         /// Whether the injector is currently empty.
@@ -286,6 +348,43 @@ mod deque_tests {
         assert_eq!(Steal::Success(7).success(), Some(7));
         assert_eq!(Steal::<i32>::Empty.success(), None);
         assert_eq!(Steal::<i32>::Retry.success(), None);
+    }
+
+    #[test]
+    fn batch_steal_moves_half_bounded() {
+        let victim = Worker::new_lifo();
+        let thief = Worker::new_lifo();
+        for i in 0..10 {
+            victim.push(i);
+        }
+        // Steals ceil(10/2) = 5: returns the oldest, lands 4 in `thief`.
+        assert_eq!(victim.stealer().steal_batch_and_pop(&thief), Steal::Success(0));
+        assert_eq!(victim.len(), 5);
+        assert_eq!(thief.len(), 4);
+        // The moved items stay visible to further thieves, oldest first.
+        assert_eq!(thief.stealer().steal(), Steal::Success(1));
+
+        // An explicit limit bounds the batch.
+        let thief2 = Worker::new_lifo();
+        assert_eq!(victim.stealer().steal_batch_and_pop_with_limit(&thief2, 2), Steal::Success(5));
+        assert_eq!(thief2.len(), 1);
+
+        // Empty victim reports Empty without touching `dest`.
+        let empty = Worker::<i32>::new_lifo();
+        assert!(empty.stealer().steal_batch_and_pop(&thief2).is_empty());
+        assert_eq!(thief2.len(), 1);
+    }
+
+    #[test]
+    fn injector_batch_ops() {
+        let inj = Injector::new();
+        inj.push_batch(0..10);
+        let dest = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&dest), Steal::Success(0));
+        assert_eq!(inj.len(), 5);
+        assert_eq!(dest.len(), 4);
+        let total = inj.len() + dest.len() + 1;
+        assert_eq!(total, 10, "no items lost or duplicated");
     }
 }
 

@@ -64,35 +64,56 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 }
 
 /// Condition variable paired with [`Mutex`].
+///
+/// Wakes are gated on a waiter count so that notifying an idle condvar
+/// — by far the common case on the runtime's hot paths, where every
+/// task-state transition notifies — stays in user space instead of
+/// making an unconditional `futex` syscall like `std`'s condvar does.
+/// The count is only changed while the paired mutex is held, so the
+/// gate is race-free for the usual discipline of notifying with the
+/// mutex held (which all in-tree callers follow).
 #[derive(Debug, Default)]
 pub struct Condvar {
     inner: std::sync::Condvar,
+    waiters: std::sync::atomic::AtomicUsize,
 }
 
 impl Condvar {
     /// Create a condition variable.
     pub const fn new() -> Self {
-        Condvar { inner: std::sync::Condvar::new() }
+        Condvar {
+            inner: std::sync::Condvar::new(),
+            waiters: std::sync::atomic::AtomicUsize::new(0),
+        }
     }
 
     /// Block until notified, releasing the guard's lock while waiting.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        use std::sync::atomic::Ordering;
+        // Incremented while the guard's mutex is still held: a
+        // notifier holding the same mutex cannot miss this waiter.
+        self.waiters.fetch_add(1, Ordering::SeqCst);
         let g = guard.inner.take().expect("guard already taken");
         let g = match self.inner.wait(g) {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         };
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
         guard.inner = Some(g);
     }
 
     /// Wake one waiter.
     pub fn notify_one(&self) {
-        self.inner.notify_one();
+        if self.waiters.load(std::sync::atomic::Ordering::SeqCst) > 0 {
+            self.inner.notify_one();
+        }
     }
 
     /// Wake all waiters.
     pub fn notify_all(&self) {
-        self.inner.notify_all();
+        if self.waiters.load(std::sync::atomic::Ordering::SeqCst) > 0 {
+            self.inner.notify_all();
+        }
     }
 }
 
@@ -105,6 +126,10 @@ pub enum RawRwLock {}
 struct RwState {
     readers: usize,
     writer: bool,
+    /// Threads parked on `cond` waiting for the lock to free up. Kept
+    /// so uncontended unlocks skip the condvar notification entirely —
+    /// the unlock path must not pay a futex syscall when nobody waits.
+    waiting: usize,
 }
 
 /// A readers-writer lock supporting owned (`Arc`-based) guards.
@@ -129,7 +154,7 @@ impl<T> RwLock<T> {
     /// Create an unlocked lock.
     pub const fn new(value: T) -> Self {
         RwLock {
-            state: std::sync::Mutex::new(RwState { readers: 0, writer: false }),
+            state: std::sync::Mutex::new(RwState { readers: 0, writer: false, waiting: 0 }),
             cond: std::sync::Condvar::new(),
             data: UnsafeCell::new(value),
         }
@@ -145,7 +170,9 @@ impl<T: ?Sized> RwLock<T> {
     fn lock_shared(&self) {
         let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
         while st.writer {
+            st.waiting += 1;
             st = self.cond.wait(st).unwrap_or_else(|p| p.into_inner());
+            st.waiting -= 1;
         }
         st.readers += 1;
     }
@@ -153,7 +180,9 @@ impl<T: ?Sized> RwLock<T> {
     fn lock_exclusive(&self) {
         let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
         while st.writer || st.readers > 0 {
+            st.waiting += 1;
             st = self.cond.wait(st).unwrap_or_else(|p| p.into_inner());
+            st.waiting -= 1;
         }
         st.writer = true;
     }
@@ -161,7 +190,7 @@ impl<T: ?Sized> RwLock<T> {
     fn unlock_shared(&self) {
         let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
         st.readers -= 1;
-        if st.readers == 0 {
+        if st.readers == 0 && st.waiting > 0 {
             self.cond.notify_all();
         }
     }
@@ -169,7 +198,9 @@ impl<T: ?Sized> RwLock<T> {
     fn unlock_exclusive(&self) {
         let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
         st.writer = false;
-        self.cond.notify_all();
+        if st.waiting > 0 {
+            self.cond.notify_all();
+        }
     }
 
     /// Acquire shared access.
