@@ -1,0 +1,115 @@
+//! Distributed-backend sweep: worker count × injected loss × worker
+//! kills, over real sockets.
+//!
+//! The same sparse-Cholesky workload runs under the `jade-net`
+//! multi-process backend (thread-mode workers over Unix-domain
+//! sockets, so the sweep is self-contained in one process; the wire
+//! protocol, reliability layer, heartbeats and recovery paths are
+//! identical to process mode). The table reports wall-clock time and
+//! the run's `NetStats`/`FaultStats`. Invariants checked on every
+//! point:
+//!
+//! * the factor is **bit-identical to `SerialRuntime`** — serial
+//!   semantics hold through loss, retransmission and worker death;
+//! * injected loss shows up as retransmissions, never as an error;
+//! * every armed kill is detected (`crashes` matches) and recovered
+//!   (`recoveries + degraded > 0` when any lease was in flight).
+//!
+//! Run: `cargo run --release -p jade-bench --bin exp_dist`
+
+use std::time::{Duration, Instant};
+
+use jade_apps::cholesky::{self, SparseSym};
+use jade_bench::row;
+use jade_core::runtime::{RunConfig, Runtime};
+use jade_core::serial::SerialRuntime;
+use jade_net::{ChaosSpec, NetConfig, NetExecutor};
+
+const N: usize = 48;
+const BAND: usize = 5;
+const SEED: u64 = 17;
+
+fn main() {
+    let a = SparseSym::random_spd(N, BAND, SEED);
+    let want = {
+        let a = a.clone();
+        SerialRuntime
+            .execute(RunConfig::new(), move |ctx| cholesky::factor_program(ctx, &a))
+            .expect("serial oracle")
+            .result
+            .cols
+    };
+
+    println!("distributed-backend sweep: sparse Cholesky, n={N} band={BAND}, Unix sockets");
+    println!("(thread-mode workers: same wire protocol as process mode, one-process sweep)\n");
+    let w = 12;
+    println!(
+        "{}",
+        row(
+            &[
+                "workers".into(),
+                "loss".into(),
+                "kills".into(),
+                "time".into(),
+                "messages".into(),
+                "retransmits".into(),
+                "dropped".into(),
+                "crashes".into(),
+                "recov+degr".into(),
+            ],
+            w
+        )
+    );
+
+    for &workers in &[2usize, 4] {
+        for &(loss, kills) in &[(0.0, 0u32), (0.05, 0), (0.15, 0), (0.0, 1), (0.05, 1)] {
+            let chaos: Vec<ChaosSpec> = (0..kills)
+                .map(|k| ChaosSpec {
+                    worker: k % workers as u32,
+                    kill_after_grants: Some(2 + 3 * k),
+                    hang_after_grants: None,
+                    kill_after_kernels: None,
+                })
+                .collect();
+            let cfg = NetConfig {
+                loss: (loss > 0.0).then_some((0xD157 + kills as u64, loss)),
+                retransmit_timeout: Duration::from_millis(5),
+                chaos,
+                ..NetConfig::threads(workers)
+            };
+            let t0 = Instant::now();
+            let rep = {
+                let a = a.clone();
+                NetExecutor::new(cfg)
+                    .execute(RunConfig::new(), move |ctx| cholesky::factor_program(ctx, &a))
+                    .expect("every sweep point must complete")
+            };
+            let elapsed = t0.elapsed();
+            assert_eq!(rep.result.cols, want, "result must match the serial oracle");
+            let net = rep.net.expect("net backend reports NetStats");
+            let faults = rep.faults.expect("net backend reports FaultStats");
+            assert_eq!(faults.crashes as u32, kills, "every armed kill must be detected");
+            if loss > 0.0 {
+                assert!(net.dropped > 0, "injected loss must be observable");
+            }
+            println!(
+                "{}",
+                row(
+                    &[
+                        format!("{workers}"),
+                        format!("{:.0}%", loss * 100.0),
+                        format!("{kills}"),
+                        format!("{:.3}s", elapsed.as_secs_f64()),
+                        format!("{}", net.messages),
+                        format!("{}", net.retransmits),
+                        format!("{}", net.dropped),
+                        format!("{}", faults.crashes),
+                        format!("{}", faults.recoveries + faults.degraded),
+                    ],
+                    w
+                )
+            );
+        }
+    }
+    println!("\nall points matched the serial oracle bit-for-bit");
+}

@@ -86,5 +86,5 @@ pub mod prelude {
     pub use crate::parts::PartedVec;
     pub use crate::runtime::{Report, RunConfig, Runtime, Throttle};
     pub use crate::spec::{AccessKind, ContBuilder, SpecBuilder};
-    pub use crate::stats::RuntimeStats;
+    pub use crate::stats::{FaultStats, NetStats, RuntimeStats};
 }

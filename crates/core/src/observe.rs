@@ -93,6 +93,37 @@ pub enum EventKind {
         /// Payload size on the wire.
         bytes: u64,
     },
+    /// A worker process connected (or reconnected) to the coordinator
+    /// and completed its handshake.
+    WorkerJoined {
+        /// The worker's lane index.
+        worker: usize,
+    },
+    /// A heartbeat deadline passed without a pong from the worker.
+    /// Emitted once per missed beat; `missed` counts consecutive
+    /// misses so far (the liveness budget drains at `miss_budget`).
+    HeartbeatMiss {
+        /// The silent worker's lane index.
+        worker: usize,
+        /// Consecutive misses including this one.
+        missed: u32,
+    },
+    /// The coordinator declared a worker dead — heartbeat budget
+    /// exhausted or its socket hit EOF — and began recovery.
+    WorkerLost {
+        /// The dead worker's lane index.
+        worker: usize,
+        /// Tasks that were in flight on it and need reassignment.
+        in_flight: u64,
+    },
+    /// A task stranded on a dead worker was reassigned for
+    /// re-execution.
+    TaskReassigned {
+        /// The lane the task was lost on.
+        from: usize,
+        /// The surviving lane that took it over.
+        to: usize,
+    },
 }
 
 /// One observed event: a timestamp (wall-clock nanoseconds since the
@@ -244,6 +275,20 @@ pub struct WaitSlice {
     pub end_nanos: u64,
 }
 
+/// An instantaneous annotation on a worker's timeline — a network
+/// stall, a heartbeat miss, a worker death, a reassignment. Rendered
+/// as a Chrome-trace instant event so distributed-runtime hiccups are
+/// visible against the task slices they delayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Marker {
+    /// When it happened, nanoseconds since run start.
+    pub nanos: u64,
+    /// The lane it concerns.
+    pub worker: usize,
+    /// Short human-readable description (becomes the event name).
+    pub label: String,
+}
+
 /// Per-worker timeline of an execution: where every task body ran and
 /// where every engine wait occurred. Exports to the Chrome
 /// `chrome://tracing` / Perfetto JSON format.
@@ -251,6 +296,7 @@ pub struct WaitSlice {
 pub struct Timeline {
     slices: Vec<TaskSlice>,
     waits: Vec<WaitSlice>,
+    markers: Vec<Marker>,
     span_nanos: u64,
 }
 
@@ -263,6 +309,20 @@ impl Timeline {
     /// Recorded wait intervals, in completion order.
     pub fn waits(&self) -> &[WaitSlice] {
         &self.waits
+    }
+
+    /// Instant markers (network stalls, worker deaths), in emission
+    /// order.
+    pub fn markers(&self) -> &[Marker] {
+        &self.markers
+    }
+
+    /// Append an instant marker. Backends whose network machinery runs
+    /// outside the observer hub (the real socket backend's heartbeat
+    /// and reader threads) use this to stamp their events onto the
+    /// captured timeline after the run.
+    pub fn push_marker(&mut self, nanos: u64, worker: usize, label: impl Into<String>) {
+        self.markers.push(Marker { nanos, worker, label: label.into() });
     }
 
     /// Total elapsed time of the run.
@@ -370,6 +430,20 @@ impl Timeline {
                 w.task,
             );
         }
+        for m in &self.markers {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"cat\":\"net\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+                 \"pid\":0,\"tid\":{}}}",
+                esc(&m.label),
+                us(m.nanos),
+                m.worker,
+            );
+        }
         s.push_str("\n]}\n");
         s
     }
@@ -446,6 +520,34 @@ impl RuntimeObserver for TimelineObserver {
             }
             EventKind::AccessWaitEnd { .. } | EventKind::ContUnblock => {
                 self.close_wait(ev.task, ev.nanos);
+            }
+            EventKind::WorkerJoined { worker } => {
+                self.out.markers.push(Marker {
+                    nanos: ev.nanos,
+                    worker: *worker,
+                    label: format!("worker {worker} joined"),
+                });
+            }
+            EventKind::HeartbeatMiss { worker, missed } => {
+                self.out.markers.push(Marker {
+                    nanos: ev.nanos,
+                    worker: *worker,
+                    label: format!("heartbeat miss #{missed} (worker {worker})"),
+                });
+            }
+            EventKind::WorkerLost { worker, in_flight } => {
+                self.out.markers.push(Marker {
+                    nanos: ev.nanos,
+                    worker: *worker,
+                    label: format!("worker {worker} lost ({in_flight} in flight)"),
+                });
+            }
+            EventKind::TaskReassigned { from, to } => {
+                self.out.markers.push(Marker {
+                    nanos: ev.nanos,
+                    worker: *to,
+                    label: format!("task reassigned {from}→{to}"),
+                });
             }
             _ => {}
         }

@@ -25,7 +25,7 @@ use crate::ctx::JadeCtx;
 use crate::error::JadeFault;
 use crate::ids::TaskId;
 use crate::observe::{ContentionProfile, ObserverHub, RuntimeObserver, Timeline};
-use crate::stats::RuntimeStats;
+use crate::stats::{FaultStats, NetStats, RuntimeStats};
 use crate::trace::TaskGraphTrace;
 
 /// Task-creation throttling policy (§3.3 of the paper discusses the
@@ -172,6 +172,15 @@ pub struct Report<R> {
     pub timeline: Option<Timeline>,
     /// Contention profile, if `RunConfig::with_contention` was set.
     pub contention: Option<ContentionProfile>,
+    /// Message-layer statistics, for backends that move data over a
+    /// network (simulated or real sockets). `None` for shared-memory
+    /// backends.
+    pub net: Option<NetStats>,
+    /// Fault-handling statistics: populated by fault-tolerant backends
+    /// so a run that *recovered* from worker deaths reports what
+    /// happened instead of erroring. `None` when the backend has no
+    /// fault machinery.
+    pub faults: Option<FaultStats>,
     /// Backend-specific extras (e.g. jade-sim's `SimReport` with
     /// network and fault statistics); access via [`Report::extra`].
     pub extras: Option<Box<dyn Any + Send>>,
@@ -200,6 +209,8 @@ impl<R> Report<R> {
             trace: None,
             timeline: None,
             contention: None,
+            net: None,
+            faults: None,
             extras: None,
         }
     }

@@ -81,6 +81,91 @@ impl std::fmt::Display for RuntimeStats {
     }
 }
 
+/// Message-layer statistics for backends that move data over a
+/// network, real or simulated.
+///
+/// The simulator has always kept these internally (its `SimReport`);
+/// the real multi-process backend produces the same counters from
+/// actual socket traffic. Surfacing them uniformly through
+/// [`crate::runtime::Report::net`] lets the same analysis read either
+/// backend — the sim acting as the oracle for the wire.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages delivered (payload frames, after deduplication).
+    pub messages: u64,
+    /// Payload + header bytes delivered.
+    pub bytes: u64,
+    /// Frames sent again after an ack timeout.
+    pub retransmits: u64,
+    /// Ack timeouts that fired (each triggers one retransmit).
+    pub timeouts: u64,
+    /// Frames lost in transit (injected loss or a dead peer).
+    pub dropped: u64,
+}
+
+impl NetStats {
+    /// Merge counters from another link or run.
+    pub fn merge(&mut self, other: &NetStats) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.retransmits += other.retransmits;
+        self.timeouts += other.timeouts;
+        self.dropped += other.dropped;
+    }
+}
+
+impl std::fmt::Display for NetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "messages {} ({} bytes), retransmits {}, timeouts {}, dropped {}",
+            self.messages, self.bytes, self.retransmits, self.timeouts, self.dropped
+        )
+    }
+}
+
+/// Fault-handling statistics: what the runtime survived.
+///
+/// A run that recovered from failures still *completes* — the paper's
+/// position is that the runtime, not the program, owns distribution
+/// and its hazards. These counters are how a recovered run reports
+/// that something happened, instead of returning an error.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Worker (machine) deaths detected — heartbeat loss, socket EOF,
+    /// or a simulated crash.
+    pub crashes: u64,
+    /// Tasks re-executed to completion after their worker died.
+    pub recoveries: u64,
+    /// Runs (or phases) that degraded to coordinator-local serial
+    /// execution because too few workers survived.
+    pub degraded: u64,
+}
+
+impl FaultStats {
+    /// True when no fault machinery fired at all.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultStats::default()
+    }
+
+    /// Merge counters from another run or worker pool.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.crashes += other.crashes;
+        self.recoveries += other.recoveries;
+        self.degraded += other.degraded;
+    }
+}
+
+impl std::fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "crashes {}, recoveries {}, degraded {}",
+            self.crashes, self.recoveries, self.degraded
+        )
+    }
+}
+
 /// Lock-free counterpart of [`RuntimeStats`] for concurrent executors:
 /// every field is a relaxed atomic, so workers account for their own
 /// work without rendezvousing on a stats lock. The accounting identity

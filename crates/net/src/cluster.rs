@@ -1,0 +1,984 @@
+//! The coordinator side: worker lifecycle, heartbeat liveness, and
+//! in-flight work recovery.
+//!
+//! [`Cluster::start`] brings up N workers — OS processes running the
+//! `jade-net-worker` binary, or threads running the same protocol loop
+//! in-process — each on its own Unix-domain or TCP socket, and
+//! maintains per-link state: a [`Reliable`] sender, a reader thread
+//! draining frames, and heartbeat bookkeeping.
+//!
+//! A worker is declared dead when *any* of three detectors fires:
+//!
+//! 1. **Socket EOF / read error** — the reader thread sees the stream
+//!    close (the `kill -9` case: the kernel closes the socket when the
+//!    process dies).
+//! 2. **Heartbeat loss** — the worker stops answering pings for more
+//!    than `miss_budget` rounds (the hang case: the process lives but
+//!    the protocol loop is stuck).
+//! 3. **Retransmission exhaustion** — a reliable frame was transmitted
+//!    `max_msg_attempts` times without an ack (the partition case).
+//!
+//! [`Shared::declare_dead`] then marks every lease and kernel call
+//! assigned to that worker as dead and wakes all blocked waiters, who
+//! reassign the work to a survivor (bounded by `max_task_attempts`)
+//! or degrade to coordinator-local execution. Unrecoverable states
+//! map onto the existing [`JadeFault`] taxonomy — the backend never
+//! panics on a lost worker.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use jade_core::error::JadeFault;
+use jade_core::ids::TaskId;
+use jade_core::observe::{Event, EventKind};
+use jade_core::stats::{FaultStats, NetStats};
+use jade_transport::{encode_frame, DataLayout, FrameReader};
+use parking_lot::{Condvar, Mutex};
+
+use crate::kernels;
+use crate::reliable::{Accept, Reliable, ReliableConfig};
+use crate::sock::{is_timeout, Sock};
+use crate::wire::{pack_msg, unpack_msg, NetMsg};
+use crate::worker::{run_worker, Chaos, Die, WorkerOpts};
+
+/// Which socket family carries the coordinator/worker links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Unix-domain stream sockets (default; no ports to collide on).
+    Unix,
+    /// Loopback TCP (`127.0.0.1`, ephemeral port).
+    Tcp,
+}
+
+/// How workers are spawned.
+#[derive(Debug, Clone)]
+pub enum WorkerMode {
+    /// In-process threads running [`run_worker`] — the default for
+    /// tests; chaos "kill" degrades to an abrupt socket shutdown.
+    Threads,
+    /// Real OS processes running the given worker binary; chaos "kill"
+    /// is a genuine `SIGKILL`.
+    Process {
+        /// Path to the `jade-net-worker` binary.
+        bin: PathBuf,
+    },
+}
+
+/// Fault injection for one worker (see [`Chaos`] for semantics).
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosSpec {
+    /// Which worker index this applies to.
+    pub worker: u32,
+    /// Die instead of sending lease grant `n + 1`.
+    pub kill_after_grants: Option<u32>,
+    /// Go silent after `n` grants (exercises the heartbeat detector).
+    pub hang_after_grants: Option<u32>,
+    /// Die instead of sending kernel result `n + 1`.
+    pub kill_after_kernels: Option<u32>,
+}
+
+/// Configuration for the distributed backend.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Number of worker machines (and pool lanes).
+    pub workers: usize,
+    /// Socket family for the links.
+    pub transport: Transport,
+    /// Threads or real processes.
+    pub worker_mode: WorkerMode,
+    /// Heartbeat round interval.
+    pub heartbeat: Duration,
+    /// Consecutive missed heartbeat rounds before a worker is dead.
+    pub miss_budget: u32,
+    /// Reliability: timeout before the first retransmission.
+    pub retransmit_timeout: Duration,
+    /// Reliability: backoff doubling cap (multiple of the timeout).
+    pub backoff_cap: u32,
+    /// Reliability: transmissions per frame before the link is dead.
+    pub max_msg_attempts: u32,
+    /// Recovery: dispatch attempts per task/kernel before degrading.
+    pub max_task_attempts: u32,
+    /// Injected frame loss `(seed, probability)`, rolled per link.
+    pub loss: Option<(u64, f64)>,
+    /// Per-worker fault injection.
+    pub chaos: Vec<ChaosSpec>,
+    /// When a kernel exhausts its dispatch budget: `true` runs it in
+    /// the coordinator's own registry (degraded mode), `false` surfaces
+    /// [`JadeFault::RetriesExhausted`].
+    pub kernel_local_fallback: bool,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            workers: 2,
+            transport: Transport::Unix,
+            worker_mode: WorkerMode::Threads,
+            heartbeat: Duration::from_millis(40),
+            miss_budget: 3,
+            retransmit_timeout: Duration::from_millis(20),
+            backoff_cap: 8,
+            max_msg_attempts: 10,
+            max_task_attempts: 3,
+            loss: None,
+            chaos: Vec::new(),
+            kernel_local_fallback: true,
+        }
+    }
+}
+
+impl NetConfig {
+    /// `n` thread-mode workers over Unix sockets (the test default).
+    pub fn threads(n: usize) -> Self {
+        NetConfig { workers: n.max(1), ..NetConfig::default() }
+    }
+
+    /// `n` process-mode workers running `bin` over Unix sockets.
+    pub fn processes(n: usize, bin: impl Into<PathBuf>) -> Self {
+        NetConfig {
+            workers: n.max(1),
+            worker_mode: WorkerMode::Process { bin: bin.into() },
+            ..NetConfig::default()
+        }
+    }
+
+    fn chaos_for(&self, worker: u32) -> Chaos {
+        self.chaos
+            .iter()
+            .find(|c| c.worker == worker)
+            .map(|c| Chaos {
+                kill_after_grants: c.kill_after_grants,
+                hang_after_grants: c.hang_after_grants,
+                kill_after_kernels: c.kill_after_kernels,
+            })
+            .unwrap_or_default()
+    }
+
+    fn reliable_for_link(&self, link: usize) -> ReliableConfig {
+        ReliableConfig {
+            retransmit_timeout: self.retransmit_timeout,
+            backoff_cap: self.backoff_cap,
+            max_attempts: self.max_msg_attempts,
+            // Distinct streams per link so loss patterns decorrelate.
+            loss: self.loss.map(|(seed, p)| (seed.wrapping_add(link as u64 * 0x9E37), p)),
+        }
+    }
+}
+
+/// The sending half of one link (socket clone + reliability state).
+struct TxState {
+    sock: Sock,
+    rel: Reliable,
+}
+
+/// One coordinator↔worker link.
+pub(crate) struct Link {
+    pub(crate) id: usize,
+    tx: Mutex<TxState>,
+    /// Cloned descriptor for shutting the socket down without taking
+    /// the tx lock (used by `declare_dead` from any thread).
+    shutdown_handle: Sock,
+    pub(crate) alive: AtomicBool,
+    last_pong: Mutex<Instant>,
+    misses: AtomicU32,
+}
+
+/// Lease lifecycle as seen by a blocked pool thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LeaseState {
+    Pending,
+    Granted,
+    /// The assigned worker died before granting.
+    Dead,
+}
+
+struct LeaseCell {
+    worker: usize,
+    state: LeaseState,
+}
+
+enum KernelState {
+    Pending,
+    /// `Ok(values)` or `Err(worker-reported failure)`.
+    Done(Result<Vec<f64>, String>),
+    Dead,
+}
+
+struct KernelCell {
+    worker: usize,
+    state: KernelState,
+}
+
+/// Everything the condvar protects. Lock ordering: a thread holding
+/// `waiters` must NEVER take a link's `tx` lock (send first, wait
+/// second).
+struct Waiters {
+    leases: HashMap<u64, LeaseCell>,
+    kernels: HashMap<u64, KernelCell>,
+    /// task → worker that granted it (for `TaskComplete` routing).
+    granted: HashMap<u64, usize>,
+    /// Fault shutdown in progress: admit no new work.
+    aborted: bool,
+}
+
+/// Coordinator state shared between the pool's gate, the reader
+/// threads, and the heartbeat thread.
+pub struct Shared {
+    pub(crate) cfg: NetConfig,
+    /// The coordinator machine's own representation.
+    pub(crate) coord_layout: DataLayout,
+    links: Vec<Arc<Link>>,
+    waiters: Mutex<Waiters>,
+    cv: Condvar,
+    faults: Mutex<FaultStats>,
+    events: Mutex<Vec<Event>>,
+    start: Instant,
+    rr: AtomicUsize,
+    stop: AtomicBool,
+    next_kernel: AtomicU64,
+    next_nonce: AtomicU64,
+}
+
+impl Shared {
+    fn now_nanos(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    pub(crate) fn push_event(&self, task: TaskId, kind: EventKind) {
+        self.events.lock().push(Event { nanos: self.now_nanos(), task, kind });
+    }
+
+    /// Worker indices currently believed alive.
+    pub fn live_workers(&self) -> Vec<usize> {
+        self.links
+            .iter()
+            .filter(|l| l.alive.load(Ordering::Acquire))
+            .map(|l| l.id)
+            .collect()
+    }
+
+    /// Round-robin over live workers, avoiding `exclude` when any
+    /// other worker is available.
+    pub(crate) fn pick_worker(&self, exclude: Option<usize>) -> Option<usize> {
+        let live = self.live_workers();
+        if live.is_empty() {
+            return None;
+        }
+        let candidates: Vec<usize> = match exclude {
+            Some(x) if live.len() > 1 => live.into_iter().filter(|&w| w != x).collect(),
+            _ => live,
+        };
+        let i = self.rr.fetch_add(1, Ordering::Relaxed);
+        Some(candidates[i % candidates.len()])
+    }
+
+    /// Send one protocol message to a worker through its reliability
+    /// layer. Callers must not hold the `waiters` lock.
+    pub(crate) fn send_to(&self, worker: usize, msg: &NetMsg) -> std::io::Result<()> {
+        let link = &self.links[worker];
+        if !link.alive.load(Ordering::Acquire) {
+            return Err(std::io::Error::new(std::io::ErrorKind::NotConnected, "worker is dead"));
+        }
+        let mut tx = link.tx.lock();
+        let tx = &mut *tx;
+        tx.rel.send(&mut tx.sock, msg, 0, worker as u32, self.coord_layout)
+    }
+
+    /// Mark a worker dead: fail its in-flight leases and kernel calls,
+    /// wake every blocked waiter, record the fault, close the socket.
+    /// Idempotent — only the first caller does the work.
+    pub(crate) fn declare_dead(&self, worker: usize, why: &str) {
+        // During teardown the coordinator closes every socket itself;
+        // the resulting write errors are not worker deaths.
+        if self.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let link = &self.links[worker];
+        if !link.alive.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        self.faults.lock().crashes += 1;
+        let in_flight;
+        {
+            let mut g = self.waiters.lock();
+            let mut n = 0u64;
+            for cell in g.leases.values_mut() {
+                if cell.worker == worker && cell.state == LeaseState::Pending {
+                    cell.state = LeaseState::Dead;
+                    n += 1;
+                }
+            }
+            for cell in g.kernels.values_mut() {
+                if cell.worker == worker && matches!(cell.state, KernelState::Pending) {
+                    cell.state = KernelState::Dead;
+                    n += 1;
+                }
+            }
+            in_flight = n;
+            // The vendored condvar requires notification under the
+            // paired mutex.
+            self.cv.notify_all();
+        }
+        self.push_event(TaskId::ROOT, EventKind::WorkerLost { worker, in_flight });
+        let _ = why; // recorded via the event label at render time
+        link.shutdown_handle.shutdown_both();
+    }
+
+    /// Fault shutdown: stop admitting work and wake all waiters.
+    pub(crate) fn abort(&self) {
+        let mut g = self.waiters.lock();
+        g.aborted = true;
+        self.cv.notify_all();
+    }
+
+    fn aborted(&self) -> bool {
+        self.waiters.lock().aborted
+    }
+
+    /// Run `name(args)` on a remote worker with bounded re-execution:
+    /// a worker that dies mid-call loses the lease and the call is
+    /// reassigned to a survivor; after `max_task_attempts` dispatches
+    /// (or with no live workers) the call either degrades to the
+    /// coordinator's local registry or surfaces
+    /// [`JadeFault::RetriesExhausted`].
+    pub fn call_kernel(&self, name: &str, args: &[f64]) -> Result<Vec<f64>, JadeFault> {
+        let id = self.next_kernel.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut dispatches = 0u32;
+        let mut dead_from: Option<usize> = None;
+        loop {
+            if self.aborted() {
+                return Err(JadeFault::Cancelled { task: TaskId(id) });
+            }
+            if dispatches >= self.cfg.max_task_attempts {
+                return self.kernel_fallback(id, name, args, dispatches);
+            }
+            let Some(w) = self.pick_worker(dead_from) else {
+                return self.kernel_fallback(id, name, args, dispatches);
+            };
+            if let Some(from) = dead_from.take() {
+                self.faults.lock().recoveries += 1;
+                self.push_event(TaskId(id), EventKind::TaskReassigned { from, to: w });
+            }
+            dispatches += 1;
+            self.waiters
+                .lock()
+                .kernels
+                .insert(id, KernelCell { worker: w, state: KernelState::Pending });
+            let call =
+                NetMsg::KernelCall { id, name: name.to_string(), args: args.to_vec() };
+            if self.send_to(w, &call).is_err() {
+                self.declare_dead(w, "send failed");
+                self.waiters.lock().kernels.remove(&id);
+                dead_from = Some(w);
+                continue;
+            }
+            let outcome = {
+                let mut g = self.waiters.lock();
+                loop {
+                    if g.aborted {
+                        g.kernels.remove(&id);
+                        break None;
+                    }
+                    match g.kernels.get_mut(&id).map(|c| {
+                        std::mem::replace(&mut c.state, KernelState::Pending)
+                    }) {
+                        Some(KernelState::Done(res)) => {
+                            g.kernels.remove(&id);
+                            break Some(Ok(res));
+                        }
+                        Some(KernelState::Dead) => {
+                            g.kernels.remove(&id);
+                            break Some(Err(w));
+                        }
+                        Some(KernelState::Pending) | None => self.cv.wait(&mut g),
+                    }
+                }
+            };
+            match outcome {
+                None => return Err(JadeFault::Cancelled { task: TaskId(id) }),
+                Some(Ok(Ok(values))) => return Ok(values),
+                Some(Ok(Err(msg))) => {
+                    // A worker-side failure (unknown kernel) is
+                    // deterministic; retrying elsewhere cannot help.
+                    return Err(JadeFault::TaskPanicked { task: TaskId(id), message: msg });
+                }
+                Some(Err(from)) => {
+                    dead_from = Some(from);
+                }
+            }
+        }
+    }
+
+    fn kernel_fallback(
+        &self,
+        id: u64,
+        name: &str,
+        args: &[f64],
+        dispatches: u32,
+    ) -> Result<Vec<f64>, JadeFault> {
+        if self.cfg.kernel_local_fallback {
+            self.faults.lock().degraded += 1;
+            match kernels::lookup(name) {
+                Some(k) => Ok(k(args)),
+                None => Err(JadeFault::TaskPanicked {
+                    task: TaskId(id),
+                    message: format!("no kernel named '{name}' in the coordinator registry"),
+                }),
+            }
+        } else {
+            Err(JadeFault::RetriesExhausted { task: TaskId(id), attempts: dispatches.max(1) })
+        }
+    }
+
+    // ---- gate support (see crate::gate) ----
+
+    pub(crate) fn lease_begin(&self, task: u64, worker: usize) {
+        self.waiters
+            .lock()
+            .leases
+            .insert(task, LeaseCell { worker, state: LeaseState::Pending });
+    }
+
+    pub(crate) fn lease_cancel(&self, task: u64) {
+        self.waiters.lock().leases.remove(&task);
+    }
+
+    /// Block until the lease resolves. `Some(true)` granted,
+    /// `Some(false)` assigned worker died, `None` aborted.
+    pub(crate) fn lease_wait(&self, task: u64) -> Option<bool> {
+        let mut g = self.waiters.lock();
+        loop {
+            if g.aborted {
+                g.leases.remove(&task);
+                return None;
+            }
+            match g.leases.get(&task).map(|c| c.state) {
+                Some(LeaseState::Granted) => {
+                    let worker = g.leases.remove(&task).map(|c| c.worker);
+                    if let Some(w) = worker {
+                        g.granted.insert(task, w);
+                    }
+                    return Some(true);
+                }
+                Some(LeaseState::Dead) | None => {
+                    g.leases.remove(&task);
+                    return Some(false);
+                }
+                Some(LeaseState::Pending) => self.cv.wait(&mut g),
+            }
+        }
+    }
+
+    pub(crate) fn lease_release(&self, task: u64) -> Option<usize> {
+        self.waiters.lock().granted.remove(&task)
+    }
+
+    pub(crate) fn bump_recovery(&self, from: usize, to: usize, task: u64) {
+        self.faults.lock().recoveries += 1;
+        self.push_event(TaskId(task), EventKind::TaskReassigned { from, to });
+    }
+
+    pub(crate) fn bump_degraded(&self) {
+        self.faults.lock().degraded += 1;
+    }
+
+    pub(crate) fn max_task_attempts(&self) -> u32 {
+        self.cfg.max_task_attempts
+    }
+
+    // ---- protocol threads ----
+
+    /// Reader thread body: drain one link's socket, ack reliable
+    /// frames, resolve waits, and detect EOF death.
+    fn reader_loop(self: &Arc<Self>, link: Arc<Link>) {
+        let mut sock = match link.shutdown_handle.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let _ = sock.set_read_timeout(Some(Duration::from_millis(10)));
+        let mut rd = FrameReader::new();
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            if self.stop.load(Ordering::Acquire) && !link.alive.load(Ordering::Acquire) {
+                return;
+            }
+            let n = match std::io::Read::read(&mut sock, &mut buf) {
+                Ok(0) => {
+                    if !self.stop.load(Ordering::Acquire) {
+                        self.declare_dead(link.id, "socket EOF");
+                    }
+                    return;
+                }
+                Ok(n) => n,
+                Err(e) if is_timeout(&e) => {
+                    if self.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    continue;
+                }
+                Err(_) => {
+                    if !self.stop.load(Ordering::Acquire) {
+                        self.declare_dead(link.id, "socket error");
+                    }
+                    return;
+                }
+            };
+            rd.push(&buf[..n]);
+            loop {
+                let msg = match rd.next_frame() {
+                    Ok(Some(m)) => m,
+                    Ok(None) => break,
+                    Err(_) => {
+                        // A corrupt stream from this worker is
+                        // indistinguishable from arbitrary misbehavior:
+                        // treat the machine as lost.
+                        self.declare_dead(link.id, "corrupt frame stream");
+                        return;
+                    }
+                };
+                let wire = msg.wire_bytes();
+                let seq = msg.header.seq;
+                let net = match unpack_msg(&msg) {
+                    Ok(m) => m,
+                    Err(_) => {
+                        self.declare_dead(link.id, "undecodable message");
+                        return;
+                    }
+                };
+                if seq != 0 {
+                    let mut tx = link.tx.lock();
+                    let txm = &mut *tx;
+                    let dup = txm.rel.accept(seq, wire) == Accept::Duplicate;
+                    let _ = txm.rel.send(
+                        &mut txm.sock,
+                        &NetMsg::Ack { seq },
+                        0,
+                        link.id as u32,
+                        self.coord_layout,
+                    );
+                    drop(tx);
+                    if dup {
+                        continue;
+                    }
+                }
+                match net {
+                    NetMsg::Ack { seq } => link.tx.lock().rel.on_ack(seq),
+                    NetMsg::Pong { .. } => {
+                        *link.last_pong.lock() = Instant::now();
+                        link.misses.store(0, Ordering::Release);
+                    }
+                    NetMsg::LeaseGrant { task } => {
+                        let mut g = self.waiters.lock();
+                        if let Some(cell) = g.leases.get_mut(&task) {
+                            if cell.worker == link.id && cell.state == LeaseState::Pending {
+                                cell.state = LeaseState::Granted;
+                                self.cv.notify_all();
+                            }
+                        }
+                    }
+                    NetMsg::KernelResult { id, ok, values, err } => {
+                        let mut g = self.waiters.lock();
+                        if let Some(cell) = g.kernels.get_mut(&id) {
+                            if matches!(cell.state, KernelState::Pending) {
+                                cell.state = KernelState::Done(if ok {
+                                    Ok(values)
+                                } else {
+                                    Err(err)
+                                });
+                                self.cv.notify_all();
+                            }
+                        }
+                    }
+                    // Worker-bound or handshake traffic: nothing to do.
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Heartbeat thread body: retransmission ticks, ping rounds, miss
+    /// accounting, and the periodic waiter wakeup that substitutes for
+    /// a timed condvar wait.
+    fn heartbeat_loop(self: &Arc<Self>) {
+        let tick = (self.cfg.heartbeat.min(self.cfg.retransmit_timeout) / 2)
+            .max(Duration::from_millis(2));
+        let mut last_round = Instant::now();
+        while !self.stop.load(Ordering::Acquire) {
+            std::thread::sleep(tick);
+            // Retransmit overdue reliable frames on every live link.
+            for link in &self.links {
+                if !link.alive.load(Ordering::Acquire) {
+                    continue;
+                }
+                let ok = {
+                    let mut tx = link.tx.lock();
+                    let txm = &mut *tx;
+                    txm.rel.tick(&mut txm.sock)
+                };
+                match ok {
+                    Ok(true) => {}
+                    Ok(false) => self.declare_dead(link.id, "retransmit budget exhausted"),
+                    Err(_) => self.declare_dead(link.id, "socket write error"),
+                }
+            }
+            // The vendored condvar has no wait_for: wake all waiters
+            // every tick so they re-check their predicates against
+            // newly-dead workers.
+            {
+                let _g = self.waiters.lock();
+                self.cv.notify_all();
+            }
+            // Probe stale links every tick, not just once per round:
+            // pings and pongs are unreliable-class and may be lost, so
+            // a live worker on a lossy link must get many chances per
+            // miss-budget window to prove itself. Without this, a few
+            // coincident ping/pong losses would look like a death.
+            for link in &self.links {
+                if link.alive.load(Ordering::Acquire)
+                    && link.last_pong.lock().elapsed() > self.cfg.heartbeat
+                {
+                    let nonce = self.next_nonce.fetch_add(1, Ordering::Relaxed);
+                    let _ = self.send_to(link.id, &NetMsg::Ping { nonce });
+                }
+            }
+            if last_round.elapsed() < self.cfg.heartbeat {
+                continue;
+            }
+            last_round = Instant::now();
+            for link in &self.links {
+                if !link.alive.load(Ordering::Acquire) {
+                    continue;
+                }
+                let stale = link.last_pong.lock().elapsed() > self.cfg.heartbeat;
+                if stale {
+                    let missed = link.misses.fetch_add(1, Ordering::AcqRel) + 1;
+                    self.push_event(
+                        TaskId::ROOT,
+                        EventKind::HeartbeatMiss { worker: link.id, missed },
+                    );
+                    if missed > self.cfg.miss_budget {
+                        self.declare_dead(link.id, "heartbeat lost");
+                        continue;
+                    }
+                }
+                let nonce = self.next_nonce.fetch_add(1, Ordering::Relaxed);
+                let _ = self.send_to(link.id, &NetMsg::Ping { nonce });
+            }
+        }
+    }
+}
+
+/// Either listener family, with non-blocking accept for deadlines.
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn accept_nonblocking(&self) -> std::io::Result<Option<Sock>> {
+        match self {
+            Listener::Unix(l) => match l.accept() {
+                Ok((s, _)) => Ok(Some(Sock::Unix(s))),
+                Err(e) if is_timeout(&e) => Ok(None),
+                Err(e) => Err(e),
+            },
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => Ok(Some(Sock::Tcp(s))),
+                Err(e) if is_timeout(&e) => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+/// A running worker pool plus its protocol threads.
+pub struct Cluster {
+    /// Coordinator state, shared with the gate.
+    pub shared: Arc<Shared>,
+    readers: Vec<JoinHandle<()>>,
+    heartbeat: Option<JoinHandle<()>>,
+    children: Vec<Child>,
+    worker_threads: Vec<JoinHandle<()>>,
+    unix_path: Option<PathBuf>,
+}
+
+/// Monotonic counter so concurrent clusters in one process get
+/// distinct socket paths.
+static CLUSTER_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl Cluster {
+    /// Bring up the listener, spawn `cfg.workers` workers, complete
+    /// the handshakes, and start the protocol threads.
+    pub fn start(cfg: NetConfig) -> std::io::Result<Cluster> {
+        let seq = CLUSTER_SEQ.fetch_add(1, Ordering::Relaxed);
+        let mut unix_path = None;
+        let (listener, addr) = match cfg.transport {
+            Transport::Unix => {
+                let path = std::env::temp_dir()
+                    .join(format!("jade-net-{}-{}.sock", std::process::id(), seq));
+                let _ = std::fs::remove_file(&path);
+                let l = UnixListener::bind(&path)?;
+                let addr = format!("unix:{}", path.display());
+                unix_path = Some(path);
+                (Listener::Unix(l), addr)
+            }
+            Transport::Tcp => {
+                let l = TcpListener::bind("127.0.0.1:0")?;
+                let addr = format!("tcp:{}", l.local_addr()?);
+                (Listener::Tcp(l), addr)
+            }
+        };
+        match &listener {
+            Listener::Unix(l) => l.set_nonblocking(true)?,
+            Listener::Tcp(l) => l.set_nonblocking(true)?,
+        }
+
+        // Spawn the worker side of every link. Workers marshal with
+        // rotated layout presets, so every run exercises heterogeneous
+        // data-format conversion (big-endian "SPARCs" talking to the
+        // coordinator).
+        let presets = DataLayout::all_presets();
+        let mut children = Vec::new();
+        let mut worker_threads = Vec::new();
+        for i in 0..cfg.workers {
+            let layout = presets[i % presets.len()];
+            let chaos = cfg.chaos_for(i as u32);
+            match &cfg.worker_mode {
+                WorkerMode::Threads => {
+                    let opts = WorkerOpts {
+                        id: i as u32,
+                        layout,
+                        rel: ReliableConfig {
+                            // Worker-side loss decorrelated from the
+                            // coordinator's stream on the same link.
+                            loss: cfg
+                                .loss
+                                .map(|(s, p)| (s ^ 0x5EED ^ ((i as u64) << 8), p)),
+                            ..cfg.reliable_for_link(i)
+                        },
+                        chaos,
+                        die: Die::Abrupt,
+                    };
+                    let addr = addr.clone();
+                    worker_threads.push(std::thread::spawn(move || {
+                        let sock = match addr.split_once(':') {
+                            Some(("unix", p)) => UnixStream::connect(p).map(Sock::Unix),
+                            Some(("tcp", hp)) => TcpStream::connect(hp).map(Sock::Tcp),
+                            _ => unreachable!("addr built above"),
+                        };
+                        if let Ok(sock) = sock {
+                            // A worker I/O error surfaces to the
+                            // coordinator as link death; nothing else
+                            // to do on this side.
+                            let _ = run_worker(sock, opts);
+                        }
+                    }));
+                }
+                WorkerMode::Process { bin } => {
+                    let mut cmd = Command::new(bin);
+                    cmd.env("JADE_NET_ADDR", &addr)
+                        .env("JADE_NET_WORKER_ID", i.to_string())
+                        .env("JADE_NET_LAYOUT", layout.name)
+                        .env(
+                            "JADE_NET_RETRANS_US",
+                            cfg.retransmit_timeout.as_micros().to_string(),
+                        )
+                        .env("JADE_NET_BACKOFF_CAP", cfg.backoff_cap.to_string())
+                        .env("JADE_NET_MAX_ATTEMPTS", cfg.max_msg_attempts.to_string())
+                        .stdin(Stdio::null());
+                    if let Some((seed, prob)) = cfg.loss {
+                        cmd.env("JADE_NET_LOSS_SEED", (seed ^ 0x5EED ^ ((i as u64) << 8)).to_string())
+                            .env("JADE_NET_LOSS_PROB", prob.to_string());
+                    }
+                    if let Some(n) = chaos.kill_after_grants {
+                        cmd.env("JADE_NET_KILL_AFTER", n.to_string());
+                    }
+                    if let Some(n) = chaos.hang_after_grants {
+                        cmd.env("JADE_NET_HANG_AFTER", n.to_string());
+                    }
+                    if let Some(n) = chaos.kill_after_kernels {
+                        cmd.env("JADE_NET_KILL_AFTER_KERNELS", n.to_string());
+                    }
+                    children.push(cmd.spawn()?);
+                }
+            }
+        }
+
+        // Accept and handshake every worker (5 s deadline).
+        let coord_layout = DataLayout::x86_64();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut pending: Vec<(Sock, FrameReader)> = Vec::new();
+        let mut slots: Vec<Option<(u32, Sock)>> = (0..cfg.workers).map(|_| None).collect();
+        let mut joined = 0usize;
+        while joined < cfg.workers {
+            if Instant::now() > deadline {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!("only {joined}/{} workers completed the handshake", cfg.workers),
+                ));
+            }
+            if let Some(sock) = listener.accept_nonblocking()? {
+                sock.set_read_timeout(Some(Duration::from_millis(5)))?;
+                pending.push((sock, FrameReader::new()));
+            }
+            let mut still = Vec::new();
+            for (mut sock, mut rd) in pending {
+                let mut buf = [0u8; 1024];
+                match std::io::Read::read(&mut sock, &mut buf) {
+                    Ok(0) => continue, // connected then died: drop it
+                    Ok(n) => rd.push(&buf[..n]),
+                    Err(e) if is_timeout(&e) => {}
+                    Err(_) => continue,
+                }
+                match rd.next_frame() {
+                    Ok(Some(msg)) => {
+                        if let Ok(NetMsg::Hello { worker }) = unpack_msg(&msg) {
+                            let idx = worker as usize;
+                            if idx < slots.len() && slots[idx].is_none() {
+                                let welcome = encode_frame(&pack_msg(
+                                    &NetMsg::Welcome { worker },
+                                    0,
+                                    worker,
+                                    0,
+                                    coord_layout,
+                                ));
+                                let mut s = sock;
+                                s.write_all(&welcome)?;
+                                s.flush()?;
+                                slots[idx] = Some((worker, s));
+                                joined += 1;
+                                continue;
+                            }
+                        }
+                        // Anything else on a fresh connection: drop.
+                    }
+                    Ok(None) => still.push((sock, rd)),
+                    Err(_) => continue,
+                }
+            }
+            pending = still;
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        let mut links = Vec::with_capacity(cfg.workers);
+        for slot in slots {
+            let (id, sock) = slot.expect("joined == workers");
+            let shutdown_handle = sock.try_clone()?;
+            links.push(Arc::new(Link {
+                id: id as usize,
+                tx: Mutex::new(TxState {
+                    sock,
+                    rel: Reliable::new(cfg.reliable_for_link(id as usize)),
+                }),
+                shutdown_handle,
+                alive: AtomicBool::new(true),
+                last_pong: Mutex::new(Instant::now()),
+                misses: AtomicU32::new(0),
+            }));
+        }
+
+        let shared = Arc::new(Shared {
+            cfg,
+            coord_layout,
+            links,
+            waiters: Mutex::new(Waiters {
+                leases: HashMap::new(),
+                kernels: HashMap::new(),
+                granted: HashMap::new(),
+                aborted: false,
+            }),
+            cv: Condvar::new(),
+            faults: Mutex::new(FaultStats::default()),
+            events: Mutex::new(Vec::new()),
+            start: Instant::now(),
+            rr: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            next_kernel: AtomicU64::new(0),
+            next_nonce: AtomicU64::new(0),
+        });
+        for link in &shared.links {
+            shared.push_event(TaskId::ROOT, EventKind::WorkerJoined { worker: link.id });
+        }
+
+        let mut readers = Vec::new();
+        for link in shared.links.clone() {
+            let sh = shared.clone();
+            readers.push(std::thread::spawn(move || sh.reader_loop(link)));
+        }
+        let hb = {
+            let sh = shared.clone();
+            std::thread::spawn(move || sh.heartbeat_loop())
+        };
+
+        Ok(Cluster {
+            shared,
+            readers,
+            heartbeat: Some(hb),
+            children,
+            worker_threads,
+            unix_path,
+        })
+    }
+
+    /// Stop the protocol threads, dismiss the workers, and collect the
+    /// run's aggregate network and fault statistics plus the recorded
+    /// liveness events.
+    pub fn shutdown(mut self) -> (NetStats, FaultStats, Vec<Event>) {
+        // Stop first so teardown-induced I/O errors are never
+        // mistaken for worker deaths, then send the (best-effort,
+        // unreliable-class) goodbyes.
+        self.shared.stop.store(true, Ordering::Release);
+        for link in self.shared.live_workers() {
+            let _ = self.shared.send_to(link, &NetMsg::Shutdown);
+        }
+        // Closing the sockets unblocks reader threads and makes
+        // workers exit on EOF.
+        for link in &self.shared.links {
+            link.shutdown_handle.shutdown_both();
+        }
+        for r in self.readers.drain(..) {
+            let _ = r.join();
+        }
+        if let Some(h) = self.heartbeat.take() {
+            let _ = h.join();
+        }
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+        for mut c in self.children.drain(..) {
+            // The worker exits on EOF; SIGKILLed chaos victims are
+            // already gone. `wait` also reaps the zombie.
+            let deadline = Instant::now() + Duration::from_secs(2);
+            loop {
+                match c.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() > deadline => {
+                        let _ = c.kill();
+                        let _ = c.wait();
+                        break;
+                    }
+                    Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+                    Err(_) => break,
+                }
+            }
+        }
+        if let Some(p) = self.unix_path.take() {
+            let _ = std::fs::remove_file(p);
+        }
+        let mut net = NetStats::default();
+        for link in &self.shared.links {
+            net.merge(&link.tx.lock().rel.stats);
+        }
+        let faults = *self.shared.faults.lock();
+        let events = std::mem::take(&mut *self.shared.events.lock());
+        (net, faults, events)
+    }
+}

@@ -1,0 +1,86 @@
+//! The lease gate: where the thread pool's dispatch meets the wire.
+//!
+//! Jade task bodies are closures and cannot cross a process boundary,
+//! so the distributed backend splits each dispatch in two: the
+//! coordinator keeps the dependency engine, object store and bodies,
+//! and a worker machine must *grant a lease* over the wire before a
+//! pool lane runs the body. That round-trip is what makes worker
+//! death observable per task: a lease that dies in flight is
+//! reassigned to a survivor (bounded by `max_task_attempts`), and
+//! with no survivors the grant degrades to coordinator-local serial
+//! execution — the run completes, with the degradation recorded in
+//! [`FaultStats`](jade_core::stats::FaultStats) instead of an error.
+
+use std::sync::Arc;
+
+use jade_core::ids::TaskId;
+use jade_threads::DispatchGate;
+
+use crate::cluster::Shared;
+use crate::wire::NetMsg;
+
+/// [`DispatchGate`] implementation backed by a [`Shared`] cluster.
+pub struct LeaseGate {
+    shared: Arc<Shared>,
+}
+
+impl LeaseGate {
+    /// Gate dispatches through the given cluster.
+    pub fn new(shared: Arc<Shared>) -> Self {
+        LeaseGate { shared }
+    }
+}
+
+impl DispatchGate for LeaseGate {
+    fn admit(&self, task: TaskId, _lane: usize) -> bool {
+        let tid = task.0;
+        let sh = &self.shared;
+        let mut dispatches = 0u32;
+        let mut dead_from: Option<usize> = None;
+        loop {
+            if dispatches >= sh.max_task_attempts() {
+                // The lease keeps dying; run the body locally rather
+                // than stalling the program.
+                sh.bump_degraded();
+                return true;
+            }
+            let Some(w) = sh.pick_worker(dead_from) else {
+                // No live workers at all: degrade to coordinator-local
+                // execution so the run still completes.
+                sh.bump_degraded();
+                return true;
+            };
+            if let Some(from) = dead_from.take() {
+                sh.bump_recovery(from, w, tid);
+            }
+            dispatches += 1;
+            sh.lease_begin(tid, w);
+            if sh.send_to(w, &NetMsg::LeaseRequest { task: tid }).is_err() {
+                sh.declare_dead(w, "lease send failed");
+                sh.lease_cancel(tid);
+                dead_from = Some(w);
+                continue;
+            }
+            match sh.lease_wait(tid) {
+                Some(true) => return true,
+                Some(false) => {
+                    dead_from = Some(w);
+                }
+                // Fault shutdown: refuse the dispatch; the pool
+                // unwinds its bookkeeping and drains.
+                None => return false,
+            }
+        }
+    }
+
+    fn complete(&self, task: TaskId, _lane: usize) {
+        if let Some(w) = self.shared.lease_release(task.0) {
+            // Best effort: a dead worker's completion notice is moot.
+            let _ = self.shared.send_to(w, &NetMsg::TaskComplete { task: task.0 });
+        }
+    }
+
+    fn abort(&self) {
+        self.shared.abort();
+    }
+}

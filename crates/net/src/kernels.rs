@@ -1,0 +1,106 @@
+//! The remote kernel registry: computation that genuinely executes in
+//! worker processes.
+//!
+//! Jade task bodies are closures and cannot be marshalled across a
+//! process boundary (see `DESIGN.md`), so the distributed backend
+//! ships *kernels* instead: named pure functions over `f64` slices
+//! that both the coordinator and every worker binary link in. A
+//! [`NetMsg::KernelCall`](crate::wire::NetMsg) carries the name and
+//! arguments (converted to the worker's data layout on receive), the
+//! worker computes, and the result converts back — the paper's
+//! "main body of computation on the accelerator" pattern, with the
+//! registry playing the role of the program text present on every
+//! machine.
+//!
+//! Kernels must be deterministic: worker-loss recovery re-executes an
+//! in-flight call on a survivor, and the result must not depend on
+//! which machine finished it.
+
+/// A kernel: a pure function from arguments to results.
+pub type KernelFn = fn(&[f64]) -> Vec<f64>;
+
+/// Look up a kernel by registry name.
+pub fn lookup(name: &str) -> Option<KernelFn> {
+    Some(match name {
+        "sum" => k_sum,
+        "dot" => k_dot,
+        "scale2" => k_scale2,
+        "sq_norm" => k_sq_norm,
+        "cholesky_col" => k_cholesky_col,
+        _ => return None,
+    })
+}
+
+/// Names of every registered kernel.
+pub fn names() -> &'static [&'static str] {
+    &["sum", "dot", "scale2", "sq_norm", "cholesky_col"]
+}
+
+/// `[x0..xn] -> [Σx]`.
+fn k_sum(args: &[f64]) -> Vec<f64> {
+    vec![args.iter().sum()]
+}
+
+/// `[a0..an, b0..bn] -> [Σ aᵢbᵢ]` (odd-length input drops the middle).
+fn k_dot(args: &[f64]) -> Vec<f64> {
+    let h = args.len() / 2;
+    vec![args[..h].iter().zip(&args[args.len() - h..]).map(|(a, b)| a * b).sum()]
+}
+
+/// Doubles every element.
+fn k_scale2(args: &[f64]) -> Vec<f64> {
+    args.iter().map(|x| x * 2.0).collect()
+}
+
+/// `[x0..xn] -> [Σx²]`.
+fn k_sq_norm(args: &[f64]) -> Vec<f64> {
+    vec![args.iter().map(|x| x * x).sum()]
+}
+
+/// One column step of a dense Cholesky: `[d, c0..cn] -> [√d, c/√d]`.
+/// The shape the paper's sparse Cholesky ships to the i860 accelerator.
+fn k_cholesky_col(args: &[f64]) -> Vec<f64> {
+    if args.is_empty() {
+        return Vec::new();
+    }
+    let root = args[0].max(0.0).sqrt();
+    let mut out = Vec::with_capacity(args.len());
+    out.push(root);
+    let inv = if root > 0.0 { 1.0 / root } else { 0.0 };
+    out.extend(args[1..].iter().map(|c| c * inv));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_kernel_resolves() {
+        for n in names() {
+            assert!(lookup(n).is_some(), "{n}");
+        }
+        assert!(lookup("nope").is_none());
+    }
+
+    #[test]
+    fn kernels_compute() {
+        assert_eq!(lookup("sum").unwrap()(&[1.0, 2.0, 3.5]), vec![6.5]);
+        assert_eq!(lookup("dot").unwrap()(&[1.0, 2.0, 3.0, 4.0]), vec![11.0]);
+        assert_eq!(lookup("scale2").unwrap()(&[1.5, -2.0]), vec![3.0, -4.0]);
+        assert_eq!(lookup("sq_norm").unwrap()(&[3.0, 4.0]), vec![25.0]);
+        let col = lookup("cholesky_col").unwrap()(&[4.0, 2.0, 6.0]);
+        assert_eq!(col, vec![2.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn kernels_are_deterministic_under_reexecution() {
+        // Recovery re-runs a kernel on a different machine; same input
+        // must give bit-identical output.
+        for n in names() {
+            let k = lookup(n).unwrap();
+            let args: Vec<f64> = (0..16).map(|i| (i as f64) * 0.37 - 2.0).collect();
+            assert_eq!(k(&args), k(&args), "{n}");
+        }
+    }
+}

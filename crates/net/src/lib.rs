@@ -1,0 +1,60 @@
+//! # jade-net — the crash-tolerant multi-process Jade backend
+//!
+//! The paper's implementation ran one Jade program across a
+//! heterogeneous collection of *machines* connected by a network,
+//! with PVM carrying typed messages between them. This crate is that
+//! configuration made real (and made crash-tolerant): one
+//! **coordinator** process owns the dependency engine, object store
+//! and task bodies, and N **worker** machines — OS processes running
+//! the `jade-net-worker` binary, or in-process threads in tests —
+//! participate over Unix-domain or TCP sockets.
+//!
+//! The moving parts, bottom-up:
+//!
+//! * [`wire`] — the protocol messages, marshalled per-machine with
+//!   `jade-transport` [`DataLayout`](jade_transport::DataLayout)s
+//!   (workers rotate through the paper's machine presets, so every
+//!   run crosses byte orders) and framed by `jade_transport::frame`;
+//! * [`reliable`] — ack/timeout/bounded-backoff reliable delivery,
+//!   the simulator's model ported to real sockets, with seeded loss
+//!   injection for tests;
+//! * [`kernels`] — the registry of named pure functions that execute
+//!   *remotely* on workers ([`remote_kernel`] routes to the cluster
+//!   during a net run and to the local registry otherwise);
+//! * [`cluster`] — coordinator-side worker lifecycle: heartbeat
+//!   liveness, retransmission, death detection (EOF, heartbeat loss,
+//!   retransmit exhaustion) and in-flight work recovery;
+//! * [`gate`] — the wire lease protocol that plugs cluster dispatch
+//!   into the jade-threads executor skeleton;
+//! * [`NetExecutor`] — the [`Runtime`](jade_core::runtime::Runtime)
+//!   entry point: same `execute(RunConfig)` surface as every other
+//!   backend, with [`NetStats`](jade_core::stats::NetStats) and
+//!   [`FaultStats`](jade_core::stats::FaultStats) in the report.
+//!
+//! ## Failure model
+//!
+//! Workers may die (`SIGKILL`), hang, or drop frames at any point.
+//! The coordinator detects death, reassigns in-flight leases and
+//! kernel calls to survivors (bounded re-execution — kernels must be
+//! deterministic), and with no survivors degrades to coordinator-local
+//! serial execution. A completed run reports what happened through
+//! `Report::{net, faults}`; unrecoverable states surface as typed
+//! [`JadeFault`](jade_core::error::JadeFault)s, never panics.
+
+#![cfg_attr(test, deny(deprecated))]
+
+pub mod cluster;
+pub mod gate;
+pub mod kernels;
+pub mod reliable;
+pub mod sock;
+pub mod wire;
+pub mod worker;
+
+mod runtime;
+
+pub use cluster::{ChaosSpec, Cluster, NetConfig, Shared, Transport, WorkerMode};
+pub use gate::LeaseGate;
+pub use reliable::{Reliable, ReliableConfig};
+pub use runtime::{remote_kernel, NetExecutor};
+pub use worker::{run_worker, worker_main, Chaos, Die, WorkerOpts};

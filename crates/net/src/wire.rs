@@ -1,0 +1,269 @@
+//! The coordinator/worker wire protocol.
+//!
+//! Every exchange between the coordinator and a worker process is one
+//! [`NetMsg`], marshalled with the sender's [`DataLayout`] into a
+//! `jade-transport` [`Message`] and framed by
+//! [`jade_transport::frame`]. The receiver converts through
+//! [`Message::try_unpack`], so a big-endian "SPARC" worker and a
+//! little-endian coordinator interoperate exactly as the paper's
+//! heterogeneous machines did over PVM.
+//!
+//! Messages split into two delivery classes:
+//!
+//! * **Reliable** (`seq > 0`): lease and kernel traffic. The sender
+//!   holds the frame until an [`NetMsg::Ack`] arrives, retransmitting
+//!   on timeout with bounded exponential backoff
+//!   ([`crate::reliable`]).
+//! * **Unreliable** (`seq == 0`): heartbeats ([`NetMsg::Ping`] /
+//!   [`NetMsg::Pong`]), acks themselves, and the best-effort
+//!   [`NetMsg::Shutdown`] goodbye. Losing one is harmless — the next
+//!   heartbeat round or retransmission covers it, acking acks would
+//!   regress infinitely, and a worker that misses the goodbye exits
+//!   on socket EOF.
+
+use jade_transport::encode::{PortDecoder, PortEncoder};
+use jade_transport::error::{DecodeError, DecodeResult};
+use jade_transport::{DataLayout, Message, MsgKind, Portable};
+
+/// One protocol message. `task` fields carry the raw `TaskId` bits;
+/// `id` fields identify kernel invocations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetMsg {
+    /// Worker → coordinator, first frame after connecting: announces
+    /// the worker index assigned at spawn.
+    Hello {
+        /// The worker's index in the pool.
+        worker: u32,
+    },
+    /// Coordinator → worker: handshake complete, protocol may begin.
+    Welcome {
+        /// Echo of the worker index.
+        worker: u32,
+    },
+    /// Coordinator → worker heartbeat (unreliable).
+    Ping {
+        /// Round-trip correlation value.
+        nonce: u64,
+    },
+    /// Worker → coordinator heartbeat response (unreliable).
+    Pong {
+        /// Echo of the ping's nonce.
+        nonce: u64,
+    },
+    /// Receipt for a reliable frame (unreliable).
+    Ack {
+        /// The sequence number being acknowledged.
+        seq: u64,
+    },
+    /// Coordinator → worker: lease `task` for execution. The
+    /// coordinator's pool thread blocks until the matching grant.
+    LeaseRequest {
+        /// Raw `TaskId` bits.
+        task: u64,
+    },
+    /// Worker → coordinator: the lease is granted; the task body may
+    /// run.
+    LeaseGrant {
+        /// Raw `TaskId` bits.
+        task: u64,
+    },
+    /// Coordinator → worker: the leased task's body completed.
+    TaskComplete {
+        /// Raw `TaskId` bits.
+        task: u64,
+    },
+    /// Coordinator → worker: execute registered kernel `name` on
+    /// `args` remotely.
+    KernelCall {
+        /// Invocation id (for matching the result).
+        id: u64,
+        /// Registry name of the kernel.
+        name: String,
+        /// Arguments, converted to the worker's layout on receive.
+        args: Vec<f64>,
+    },
+    /// Worker → coordinator: the kernel's result (or failure).
+    KernelResult {
+        /// Echo of the invocation id.
+        id: u64,
+        /// Whether the kernel ran.
+        ok: bool,
+        /// Result values when `ok`.
+        values: Vec<f64>,
+        /// Failure description when `!ok`.
+        err: String,
+    },
+    /// Coordinator → worker: exit cleanly (best-effort; workers also
+    /// exit on socket EOF).
+    Shutdown,
+}
+
+impl NetMsg {
+    /// Whether this message rides the reliable (acked, retransmitted)
+    /// class. `Shutdown` is deliberately best-effort: workers also
+    /// exit on socket EOF, and a retransmitting goodbye would outlive
+    /// the sockets it needs.
+    pub fn is_reliable(&self) -> bool {
+        !matches!(
+            self,
+            NetMsg::Ping { .. } | NetMsg::Pong { .. } | NetMsg::Ack { .. } | NetMsg::Shutdown
+        )
+    }
+
+    /// The transport-level kind this message maps onto.
+    pub fn msg_kind(&self) -> MsgKind {
+        match self {
+            NetMsg::LeaseRequest { .. } | NetMsg::KernelCall { .. } => MsgKind::TaskShip,
+            NetMsg::LeaseGrant { .. } | NetMsg::TaskComplete { .. } | NetMsg::KernelResult { .. } => {
+                MsgKind::TaskDone
+            }
+            _ => MsgKind::Control,
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            NetMsg::Hello { .. } => 0,
+            NetMsg::Welcome { .. } => 1,
+            NetMsg::Ping { .. } => 2,
+            NetMsg::Pong { .. } => 3,
+            NetMsg::Ack { .. } => 4,
+            NetMsg::LeaseRequest { .. } => 5,
+            NetMsg::LeaseGrant { .. } => 6,
+            NetMsg::TaskComplete { .. } => 7,
+            NetMsg::KernelCall { .. } => 8,
+            NetMsg::KernelResult { .. } => 9,
+            NetMsg::Shutdown => 10,
+        }
+    }
+}
+
+impl Portable for NetMsg {
+    fn encode(&self, enc: &mut PortEncoder) {
+        enc.put_u8(self.tag());
+        match self {
+            NetMsg::Hello { worker } | NetMsg::Welcome { worker } => enc.put_u32(*worker),
+            NetMsg::Ping { nonce } | NetMsg::Pong { nonce } => enc.put_u64(*nonce),
+            NetMsg::Ack { seq } => enc.put_u64(*seq),
+            NetMsg::LeaseRequest { task }
+            | NetMsg::LeaseGrant { task }
+            | NetMsg::TaskComplete { task } => enc.put_u64(*task),
+            NetMsg::KernelCall { id, name, args } => {
+                enc.put_u64(*id);
+                name.encode(enc);
+                args.encode(enc);
+            }
+            NetMsg::KernelResult { id, ok, values, err } => {
+                enc.put_u64(*id);
+                enc.put_bool(*ok);
+                values.encode(enc);
+                err.encode(enc);
+            }
+            NetMsg::Shutdown => {}
+        }
+    }
+
+    fn decode(dec: &mut PortDecoder<'_>) -> DecodeResult<Self> {
+        Ok(match dec.get_u8()? {
+            0 => NetMsg::Hello { worker: dec.get_u32()? },
+            1 => NetMsg::Welcome { worker: dec.get_u32()? },
+            2 => NetMsg::Ping { nonce: dec.get_u64()? },
+            3 => NetMsg::Pong { nonce: dec.get_u64()? },
+            4 => NetMsg::Ack { seq: dec.get_u64()? },
+            5 => NetMsg::LeaseRequest { task: dec.get_u64()? },
+            6 => NetMsg::LeaseGrant { task: dec.get_u64()? },
+            7 => NetMsg::TaskComplete { task: dec.get_u64()? },
+            8 => NetMsg::KernelCall {
+                id: dec.get_u64()?,
+                name: String::decode(dec)?,
+                args: Vec::decode(dec)?,
+            },
+            9 => NetMsg::KernelResult {
+                id: dec.get_u64()?,
+                ok: dec.get_bool()?,
+                values: Vec::decode(dec)?,
+                err: String::decode(dec)?,
+            },
+            10 => NetMsg::Shutdown,
+            t => return Err(DecodeError::LengthOverflow { len: t as usize }),
+        })
+    }
+
+    fn size_hint(&self) -> usize {
+        match self {
+            NetMsg::KernelCall { name, args, .. } => 24 + name.len() + 8 * args.len(),
+            NetMsg::KernelResult { values, err, .. } => 32 + 8 * values.len() + err.len(),
+            _ => 16,
+        }
+    }
+}
+
+/// Marshal a [`NetMsg`] into a transport [`Message`] in `layout`.
+pub fn pack_msg(msg: &NetMsg, src: u32, dst: u32, seq: u64, layout: DataLayout) -> Message {
+    Message::pack(msg.msg_kind(), src, dst, seq, layout, msg)
+}
+
+/// Unmarshal a received transport [`Message`] back into a [`NetMsg`],
+/// converting from the sender's layout (named in the header).
+pub fn unpack_msg(msg: &Message) -> DecodeResult<NetMsg> {
+    msg.try_unpack::<NetMsg>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_msgs() -> Vec<NetMsg> {
+        vec![
+            NetMsg::Hello { worker: 3 },
+            NetMsg::Welcome { worker: 3 },
+            NetMsg::Ping { nonce: 42 },
+            NetMsg::Pong { nonce: 42 },
+            NetMsg::Ack { seq: 7 },
+            NetMsg::LeaseRequest { task: 0xDEAD_BEEF },
+            NetMsg::LeaseGrant { task: 0xDEAD_BEEF },
+            NetMsg::TaskComplete { task: 0xDEAD_BEEF },
+            NetMsg::KernelCall { id: 1, name: "sum".into(), args: vec![1.0, -2.5] },
+            NetMsg::KernelResult { id: 1, ok: true, values: vec![-1.5], err: String::new() },
+            NetMsg::KernelResult { id: 2, ok: false, values: vec![], err: "no such kernel".into() },
+            NetMsg::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips_across_every_layout() {
+        for m in all_msgs() {
+            for layout in DataLayout::all_presets() {
+                let wire = pack_msg(&m, 0, 1, 9, layout);
+                assert_eq!(wire.header.seq, 9);
+                let back = unpack_msg(&wire).expect("intact message");
+                assert_eq!(back, m, "layout {}", layout.name);
+            }
+        }
+    }
+
+    #[test]
+    fn reliability_classes_are_as_documented() {
+        for m in all_msgs() {
+            let unreliable = matches!(
+                m,
+                NetMsg::Ping { .. } | NetMsg::Pong { .. } | NetMsg::Ack { .. } | NetMsg::Shutdown
+            );
+            assert_eq!(m.is_reliable(), !unreliable, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error() {
+        use jade_transport::Message;
+        let m = NetMsg::KernelCall { id: 1, name: "sum".into(), args: vec![1.0; 8] };
+        let wire = pack_msg(&m, 0, 1, 1, DataLayout::sparc());
+        let cut = Message {
+            header: wire.header,
+            payload: jade_transport::Bytes::copy_from_slice(
+                &wire.payload[..wire.payload.len() - 5],
+            ),
+        };
+        assert!(unpack_msg(&cut).is_err());
+    }
+}

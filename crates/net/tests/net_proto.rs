@@ -1,0 +1,257 @@
+//! Protocol-level integration tests for the distributed backend, all
+//! in thread mode: workers are in-process threads over real sockets,
+//! so chaos "kill" is an abrupt socket shutdown and "hang" is going
+//! silent — the two failure signatures the coordinator's detectors
+//! (EOF and heartbeat) must catch. Process-mode `SIGKILL` chaos lives
+//! in the root crate's `tests/chaos_net.rs`, which can reach the
+//! `jade-net-worker` binary.
+
+#![deny(deprecated)]
+
+use std::time::Duration;
+
+use jade_core::error::JadeFault;
+use jade_core::prelude::*;
+use jade_core::serial::SerialRuntime;
+use jade_net::{ChaosSpec, Cluster, NetConfig, NetExecutor, Transport};
+
+/// A deterministic little program with real dependencies: square each
+/// part, then sum.
+fn square_sum_program<C: JadeCtx>(ctx: &mut C) -> f64 {
+    let parts: Vec<Shared<f64>> = (0..12).map(|i| ctx.create(i as f64)).collect();
+    for &p in &parts {
+        ctx.withonly("square", |s| { s.rd_wr(p); }, move |c| {
+            let v = *c.rd(&p);
+            *c.wr(&p) = v * v;
+        });
+    }
+    parts.iter().map(|p| *ctx.rd(p)).sum()
+}
+
+fn serial_answer() -> f64 {
+    SerialRuntime
+        .execute(RunConfig::new(), square_sum_program)
+        .expect("serial oracle")
+        .result
+}
+
+#[test]
+fn clean_run_matches_serial_and_reports_net_stats() {
+    let rep = NetExecutor::with_workers(2)
+        .execute(RunConfig::new(), square_sum_program)
+        .expect("clean net run");
+    assert_eq!(rep.result, serial_answer());
+    let net = rep.net.expect("net backend always reports NetStats");
+    assert!(net.messages > 0, "lease traffic must be visible: {net:?}");
+    let faults = rep.faults.expect("net backend always reports FaultStats");
+    assert!(faults.is_clean(), "no chaos configured: {faults}");
+}
+
+#[test]
+fn tcp_transport_conforms_too() {
+    let cfg = NetConfig { transport: Transport::Tcp, ..NetConfig::threads(2) };
+    let rep = NetExecutor::new(cfg)
+        .execute(RunConfig::new(), square_sum_program)
+        .expect("clean tcp run");
+    assert_eq!(rep.result, serial_answer());
+}
+
+#[test]
+fn injected_loss_converges_via_retransmission() {
+    let cfg = NetConfig {
+        loss: Some((42, 0.25)),
+        retransmit_timeout: Duration::from_millis(5),
+        ..NetConfig::threads(2)
+    };
+    let rep = NetExecutor::new(cfg)
+        .execute(RunConfig::new(), square_sum_program)
+        .expect("lossy run still completes");
+    assert_eq!(rep.result, serial_answer());
+    let net = rep.net.expect("stats");
+    assert!(
+        net.dropped > 0 && net.retransmits > 0,
+        "a 25% loss rate must show up in the counters: {net:?}"
+    );
+}
+
+#[test]
+fn killed_worker_is_detected_and_survivors_finish() {
+    let cfg = NetConfig {
+        chaos: vec![ChaosSpec {
+            worker: 0,
+            kill_after_grants: Some(2),
+            hang_after_grants: None,
+            kill_after_kernels: None,
+        }],
+        ..NetConfig::threads(2)
+    };
+    let rep = NetExecutor::new(cfg)
+        .execute(RunConfig::new(), square_sum_program)
+        .expect("the run must survive the worker loss");
+    assert_eq!(rep.result, serial_answer(), "recovery must not change the answer");
+    let faults = rep.faults.expect("stats");
+    assert_eq!(faults.crashes, 1, "exactly one worker died: {faults}");
+    assert!(
+        faults.recoveries + faults.degraded > 0,
+        "the in-flight lease must have been reassigned or degraded: {faults}"
+    );
+}
+
+#[test]
+fn hung_worker_is_caught_by_heartbeat() {
+    let cfg = NetConfig {
+        heartbeat: Duration::from_millis(10),
+        miss_budget: 2,
+        chaos: vec![ChaosSpec {
+            worker: 1,
+            kill_after_grants: None,
+            hang_after_grants: Some(1),
+            kill_after_kernels: None,
+        }],
+        ..NetConfig::threads(2)
+    };
+    let rep = NetExecutor::new(cfg)
+        .execute(RunConfig::new().with_timeline(), square_sum_program)
+        .expect("the run must survive the hang");
+    assert_eq!(rep.result, serial_answer());
+    let faults = rep.faults.expect("stats");
+    assert_eq!(faults.crashes, 1, "the hung worker counts as crashed: {faults}");
+    // The heartbeat detector leaves its trail in the timeline markers.
+    let tl = rep.timeline.expect("timeline was requested");
+    assert!(
+        tl.markers().iter().any(|m| m.label.contains("lost")),
+        "worker loss must be visible on the timeline"
+    );
+}
+
+#[test]
+fn all_workers_dead_degrades_to_local_execution() {
+    let cfg = NetConfig {
+        chaos: (0..2)
+            .map(|w| ChaosSpec {
+                worker: w,
+                kill_after_grants: Some(1),
+                hang_after_grants: None,
+                kill_after_kernels: None,
+            })
+            .collect(),
+        ..NetConfig::threads(2)
+    };
+    let rep = NetExecutor::new(cfg)
+        .execute(RunConfig::new(), square_sum_program)
+        .expect("a run with zero surviving workers still completes locally");
+    assert_eq!(rep.result, serial_answer());
+    let faults = rep.faults.expect("stats");
+    assert_eq!(faults.crashes, 2, "{faults}");
+    assert!(faults.degraded > 0, "later leases must degrade to local grants: {faults}");
+}
+
+#[test]
+fn remote_kernels_compute_across_layouts() {
+    // Worker 0 marshals as a big-endian "SPARC", worker 1 as a
+    // little-endian "MIPS": the kernel arguments and results cross a
+    // byte-order boundary both ways.
+    let rep = NetExecutor::with_workers(2)
+        .execute(RunConfig::new(), |_ctx| {
+            let mut out = Vec::new();
+            for i in 0..6u32 {
+                let args: Vec<f64> = (0..4).map(|k| (i * 4 + k) as f64 * 0.5).collect();
+                out.push(jade_net::remote_kernel("sum", &args).expect("remote sum")[0]);
+            }
+            out
+        })
+        .expect("kernel run");
+    let want: Vec<f64> = (0..6u32)
+        .map(|i| (0..4).map(|k| (i * 4 + k) as f64 * 0.5).sum())
+        .collect();
+    assert_eq!(rep.result, want);
+}
+
+#[test]
+fn kernel_without_fallback_exhausts_retries_as_a_typed_fault() {
+    // Every worker dies instead of answering its first kernel call,
+    // and local fallback is disabled: the call must surface
+    // RetriesExhausted, not hang and not panic.
+    let cfg = NetConfig {
+        kernel_local_fallback: false,
+        max_task_attempts: 2,
+        chaos: (0..2)
+            .map(|w| ChaosSpec {
+                worker: w,
+                kill_after_grants: None,
+                hang_after_grants: None,
+                kill_after_kernels: Some(0),
+            })
+            .collect(),
+        ..NetConfig::threads(2)
+    };
+    let cluster = Cluster::start(cfg).expect("cluster up");
+    let err = cluster.shared.call_kernel("sum", &[1.0, 2.0]).expect_err("must fail");
+    assert!(
+        matches!(err, JadeFault::RetriesExhausted { .. }),
+        "got {err:?} instead of RetriesExhausted"
+    );
+    let (_net, faults, _events) = cluster.shutdown();
+    assert!(faults.crashes >= 1, "at least one worker died trying: {faults}");
+}
+
+#[test]
+fn kernel_with_fallback_degrades_instead_of_failing() {
+    let cfg = NetConfig {
+        kernel_local_fallback: true,
+        max_task_attempts: 2,
+        chaos: (0..2)
+            .map(|w| ChaosSpec {
+                worker: w,
+                kill_after_grants: None,
+                hang_after_grants: None,
+                kill_after_kernels: Some(0),
+            })
+            .collect(),
+        ..NetConfig::threads(2)
+    };
+    let cluster = Cluster::start(cfg).expect("cluster up");
+    let got = cluster.shared.call_kernel("sum", &[1.0, 2.0]).expect("degraded local run");
+    assert_eq!(got, vec![3.0]);
+    let (_net, faults, _events) = cluster.shutdown();
+    assert!(faults.degraded >= 1, "{faults}");
+}
+
+#[test]
+fn unknown_kernel_is_a_deterministic_worker_fault() {
+    let cluster = Cluster::start(NetConfig::threads(1)).expect("cluster up");
+    let err = cluster.shared.call_kernel("no-such-kernel", &[]).expect_err("must fail");
+    assert!(matches!(err, JadeFault::TaskPanicked { .. }), "got {err:?}");
+    let (_net, faults, _events) = cluster.shutdown();
+    assert_eq!(faults.crashes, 0, "a bad kernel name must not kill the worker: {faults}");
+}
+
+#[test]
+fn observers_receive_liveness_events_post_run() {
+    let collector = EventCollector::new();
+    let cfg = NetConfig {
+        chaos: vec![ChaosSpec {
+            worker: 0,
+            kill_after_grants: Some(1),
+            hang_after_grants: None,
+            kill_after_kernels: None,
+        }],
+        ..NetConfig::threads(2)
+    };
+    NetExecutor::new(cfg)
+        .execute(
+            RunConfig::new().with_observer(collector.observer()),
+            square_sum_program,
+        )
+        .expect("run");
+    let evs = collector.events();
+    let joined = evs
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::WorkerJoined { .. }))
+        .count();
+    assert_eq!(joined, 2, "both workers joined");
+    assert!(
+        evs.iter().any(|e| matches!(e.kind, EventKind::WorkerLost { .. })),
+        "the kill must be visible to user observers"
+    );
+}

@@ -132,17 +132,15 @@ impl FaultPlan {
 }
 
 /// Fault and recovery counters a faulted run reports.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct FaultStats {
-    /// Transient machine crashes that fired.
-    pub crashes: u64,
-    /// Task re-executions forced by crashes (a task reassigned twice
-    /// counts twice).
-    pub recoveries: u64,
-    /// Tasks that exhausted their re-execution budget and were pinned
-    /// to the first surviving machine (serial degradation).
-    pub degraded: u64,
-}
+///
+/// This is the *uniform* fault vocabulary from `jade-core`, shared
+/// with the real multi-process backend so both report recovery the
+/// same way ([`jade_core::runtime::Report::faults`]). In the sim:
+/// `crashes` counts transient machine crashes that fired, `recoveries`
+/// counts forced task re-executions (a task reassigned twice counts
+/// twice), and `degraded` counts tasks that exhausted their budget and
+/// were pinned to the first surviving machine.
+pub use jade_core::stats::FaultStats;
 
 /// Live injection state for one run: the seeded generator plus which
 /// crashes have fired, and the reliability counters that surface in

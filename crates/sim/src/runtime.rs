@@ -1388,6 +1388,16 @@ impl Runtime for SimExecutor {
         rep.trace = trace;
         rep.timeline = arts.timeline;
         rep.contention = arts.contention;
+        // Surface the network and fault counters in the uniform report
+        // vocabulary (the sim-specific detail stays in extras).
+        rep.net = Some(jade_core::stats::NetStats {
+            messages: srep.net.messages,
+            bytes: srep.net.bytes,
+            retransmits: srep.net.retransmits,
+            timeouts: srep.net.timeouts,
+            dropped: srep.net.dropped,
+        });
+        rep.faults = Some(srep.faults);
         rep.extras = Some(Box::new(srep));
         Ok(rep)
     }

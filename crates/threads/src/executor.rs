@@ -62,6 +62,34 @@ pub use jade_core::runtime::Throttle;
 /// executor's catch sites; never escapes to the caller.
 struct CancelToken;
 
+/// Hook a distributed coordinator installs on the pool: every
+/// pool-dispatched task must be *admitted* before its body runs, and
+/// its completion is reported back.
+///
+/// This is the seam the `jade-net` backend plugs into. Task bodies are
+/// closures and cannot cross a process boundary, so the coordinator
+/// keeps the engine, object store and bodies local — but it routes the
+/// *right to execute* each task through the worker pool's gate: `admit`
+/// performs a wire round-trip that leases the task to a remote worker
+/// process, blocking the pool thread until the lease is granted (or the
+/// worker dies and the lease is re-granted elsewhere — bounded
+/// re-execution). Exactly-once execution holds because the body runs
+/// only after a grant, and a grant is issued once per attempt.
+///
+/// The default pool has no gate and pays a single `Option` check.
+pub trait DispatchGate: Send + Sync {
+    /// Block until `task` may execute on this process. Returns `false`
+    /// when the task must *not* run here — only during shutdown (the
+    /// run faulted and [`DispatchGate::abort`] released the waiters);
+    /// the pool then discards the task and continues its fault path.
+    fn admit(&self, task: TaskId, lane: usize) -> bool;
+    /// The admitted task's body ran to completion.
+    fn complete(&self, task: TaskId, lane: usize);
+    /// Release every blocked `admit` immediately (returning `false`).
+    /// Called from the pool's fault shutdown; must be idempotent.
+    fn abort(&self);
+}
+
 type Body = Box<dyn FnOnce(&mut ThreadCtx) + Send + 'static>;
 
 /// Thread-pool bookkeeping, touched only when a thread parks, blocks,
@@ -143,6 +171,8 @@ struct Inner {
     spread: AtomicUsize,
     throttle: Throttle,
     base_workers: usize,
+    /// Distributed-dispatch gate, if a coordinator installed one.
+    gate: Option<Arc<dyn DispatchGate>>,
     /// Run epoch; event timestamps are nanoseconds since this instant.
     start: Instant,
     observing: bool,
@@ -324,6 +354,11 @@ impl Inner {
         self.queue.clear();
         self.unfinished.fetch_sub(cancelled, Ordering::AcqRel);
         self.engine.poison();
+        // Release pool threads blocked in a gate lease before waking
+        // the rest, or drain() would deadlock on them.
+        if let Some(g) = &self.gate {
+            g.abort();
+        }
         self.notify_work(usize::MAX);
         self.notify_done();
     }
@@ -428,6 +463,16 @@ fn worker_loop(inner: Arc<Inner>, lane: usize) {
             // A fault between pop and this lookup may have cancelled
             // the body; skip and fall out on the next fault check.
             let Some(body) = inner.body_shard(tid).lock().remove(&tid) else { continue };
+            if let Some(g) = &inner.gate {
+                if !g.admit(tid, lane) {
+                    // Shutdown released the lease wait: the body is
+                    // consumed and will never run, so settle its
+                    // accounting and fall out on the fault check.
+                    inner.unfinished.fetch_sub(1, Ordering::AcqRel);
+                    inner.notify_done();
+                    continue;
+                }
+            }
             inner.emit(lane, tid, EventKind::TaskDispatched { worker: lane });
             inner.engine.start_task(tid);
             inner.emit(lane, tid, EventKind::TaskStarted { worker: lane });
@@ -497,6 +542,9 @@ fn execute_task(
             inner.engine.finish_task_with(tid, scratch);
             inner.emit(lane, tid, EventKind::TaskFinished { worker: lane });
             inner.handle_wakes(scratch, lane, home);
+            if let Some(g) = &inner.gate {
+                g.complete(tid, lane);
+            }
         }
         Ok(()) => {
             inner.record_fault(JadeFault::SpecViolation {
@@ -515,21 +563,40 @@ fn execute_task(
 }
 
 /// Configuration and entry point for shared-memory execution.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ThreadedExecutor {
     workers: usize,
     throttle: Throttle,
+    gate: Option<Arc<dyn DispatchGate>>,
+}
+
+impl std::fmt::Debug for ThreadedExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedExecutor")
+            .field("workers", &self.workers)
+            .field("throttle", &self.throttle)
+            .field("gate", &self.gate.is_some())
+            .finish()
+    }
 }
 
 impl ThreadedExecutor {
     /// A pool of `workers` threads (the root task's thread is extra).
     pub fn new(workers: usize) -> Self {
-        ThreadedExecutor { workers: workers.max(1), throttle: Throttle::None }
+        ThreadedExecutor { workers: workers.max(1), throttle: Throttle::None, gate: None }
     }
 
     /// Set the task-creation throttling policy.
     pub fn with_throttle(mut self, throttle: Throttle) -> Self {
         self.throttle = throttle;
+        self
+    }
+
+    /// Install a [`DispatchGate`]: every pool-dispatched task performs
+    /// a gate round-trip before its body runs. Used by distributed
+    /// coordinators; `None` (the default) costs one branch per task.
+    pub fn with_gate(mut self, gate: Arc<dyn DispatchGate>) -> Self {
+        self.gate = Some(gate);
         self
     }
 
@@ -583,6 +650,7 @@ impl Runtime for ThreadedExecutor {
             spread: AtomicUsize::new(0),
             throttle,
             base_workers: workers,
+            gate: self.gate.clone(),
             start: Instant::now(),
             observing,
             // One buffer per pool lane plus the root; compensation

@@ -35,6 +35,21 @@ pub enum DecodeError {
         /// Bytes a header occupies.
         want: usize,
     },
+    /// A stream frame did not start with [`crate::frame::FRAME_MAGIC`]:
+    /// the connection has lost framing (or was never speaking this
+    /// protocol) and must be dropped.
+    BadMagic {
+        /// The two bytes actually seen.
+        got: u16,
+    },
+    /// A frame's CRC-32 did not match its contents — bits were flipped
+    /// in transit.
+    CorruptFrame {
+        /// Checksum the frame claimed.
+        want: u32,
+        /// Checksum computed over the received bytes.
+        got: u32,
+    },
 }
 
 impl std::fmt::Display for DecodeError {
@@ -52,6 +67,12 @@ impl std::fmt::Display for DecodeError {
             }
             DecodeError::BadHeader { got, want } => {
                 write!(f, "serialized header is {got} bytes, expected {want}")
+            }
+            DecodeError::BadMagic { got } => {
+                write!(f, "stream lost framing: expected frame magic, saw {got:#06x}")
+            }
+            DecodeError::CorruptFrame { want, got } => {
+                write!(f, "frame checksum mismatch: header claims {want:#010x}, contents hash to {got:#010x}")
             }
         }
     }

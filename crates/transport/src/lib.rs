@@ -35,15 +35,21 @@
 
 pub mod encode;
 pub mod error;
+pub mod frame;
 pub mod layout;
 pub mod message;
 pub mod portable;
 
 pub use encode::{PortDecoder, PortEncoder};
 pub use error::{DecodeError, DecodeResult};
+pub use frame::{encode_frame, FrameReader, FRAME_PREFIX_BYTES, MAX_FRAME_BYTES};
 pub use layout::{Align, ByteOrder, DataLayout, LayoutId};
 pub use message::{Message, MsgHeader, MsgKind};
 pub use portable::Portable;
+
+// Re-export the payload buffer type so downstream crates can build
+// `Message`s without naming the (vendored) `bytes` crate directly.
+pub use bytes::Bytes;
 
 /// Encode a value in the given layout and decode it back with the same
 /// layout. Useful for simulating a same-architecture copy and in tests.

@@ -1,0 +1,13 @@
+//! The `jade-net` worker binary: one worker machine in the
+//! distributed backend.
+//!
+//! Spawned by the coordinator ([`jade_net::Cluster`]) with its
+//! configuration in `JADE_NET_*` environment variables (see
+//! [`jade_net::worker_main`] for the full table), it dials back,
+//! handshakes, and serves the lease/kernel protocol until shutdown —
+//! or until a chaos knob SIGKILLs it mid-run, which is the point of
+//! the chaos tests.
+
+fn main() -> ! {
+    jade_net::worker_main()
+}

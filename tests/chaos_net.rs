@@ -1,0 +1,149 @@
+//! Chaos for the distributed backend, process edition: real worker
+//! *processes* running the `jade-net-worker` binary get `kill -9`'d at
+//! seeded, randomized points mid-run, and the surviving pool must
+//! produce results identical to [`SerialRuntime`] — with the mayhem
+//! reported through `Report::{faults, net}` rather than an error.
+//!
+//! Thread-mode chaos (same detectors, faster) lives in
+//! `crates/net/tests/net_proto.rs`; this suite is the end-to-end proof
+//! that an abrupt OS-level death — no unwinding, no goodbye frame —
+//! is recovered from. CI runs it with `--test-threads=1` under a
+//! timeout so a recovery bug shows up as a failure, not a wedge.
+
+#![deny(deprecated)]
+
+use jade_apps::cholesky;
+use jade_core::runtime::{RunConfig, Runtime};
+use jade_core::serial::SerialRuntime;
+use jade_net::{ChaosSpec, NetConfig, NetExecutor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn worker_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_jade-net-worker")
+}
+
+fn serial_cholesky(a: &cholesky::SparseSym) -> Vec<Vec<f64>> {
+    let a = a.clone();
+    SerialRuntime
+        .execute(RunConfig::new(), move |ctx| cholesky::factor_program(ctx, &a))
+        .expect("serial oracle")
+        .result
+        .cols
+}
+
+#[test]
+fn clean_process_run_matches_serial() {
+    let a = cholesky::SparseSym::random_spd(24, 4, 9);
+    let want = serial_cholesky(&a);
+    let cfg = NetConfig::processes(2, worker_bin());
+    let rep = {
+        let a = a.clone();
+        NetExecutor::new(cfg)
+            .execute(RunConfig::new(), move |ctx| cholesky::factor_program(ctx, &a))
+            .expect("clean process-mode run")
+    };
+    assert_eq!(rep.result.cols, want);
+    let faults = rep.faults.expect("stats");
+    assert!(faults.is_clean(), "{faults}");
+    assert!(rep.net.expect("stats").messages > 0);
+}
+
+#[test]
+fn sigkilled_worker_mid_run_is_recovered_from() {
+    // A seeded plan of randomized kill points: each round SIGKILLs one
+    // worker process *instead of* it granting some mid-run lease, so
+    // the lease is genuinely in flight when the process dies.
+    let a = cholesky::SparseSym::random_spd(24, 4, 9);
+    let want = serial_cholesky(&a);
+    let mut rng = StdRng::seed_from_u64(0xC4A05);
+    for round in 0..3 {
+        let victim = rng.gen_range(0..3u32);
+        let kill_after = rng.gen_range(0..6u32);
+        let cfg = NetConfig {
+            chaos: vec![ChaosSpec {
+                worker: victim,
+                kill_after_grants: Some(kill_after),
+                hang_after_grants: None,
+                kill_after_kernels: None,
+            }],
+            ..NetConfig::processes(3, worker_bin())
+        };
+        let rep = {
+            let a = a.clone();
+            NetExecutor::new(cfg)
+                .execute(RunConfig::new(), move |ctx| cholesky::factor_program(ctx, &a))
+                .unwrap_or_else(|f| {
+                    panic!("round {round}: worker loss must be recovered, got fault {f}")
+                })
+        };
+        assert_eq!(
+            rep.result.cols, want,
+            "round {round} (victim {victim}, kill after {kill_after} grants): \
+             result must be identical to SerialRuntime"
+        );
+        let faults = rep.faults.expect("stats");
+        assert_eq!(faults.crashes, 1, "round {round}: exactly one process died: {faults}");
+        assert!(
+            faults.recoveries + faults.degraded > 0,
+            "round {round}: the in-flight lease must be reassigned: {faults}"
+        );
+    }
+}
+
+#[test]
+fn losing_two_of_three_workers_still_completes() {
+    let a = cholesky::SparseSym::random_spd(24, 4, 9);
+    let want = serial_cholesky(&a);
+    let cfg = NetConfig {
+        chaos: vec![
+            ChaosSpec {
+                worker: 0,
+                kill_after_grants: Some(1),
+                hang_after_grants: None,
+                kill_after_kernels: None,
+            },
+            ChaosSpec {
+                worker: 2,
+                kill_after_grants: Some(3),
+                hang_after_grants: None,
+                kill_after_kernels: None,
+            },
+        ],
+        ..NetConfig::processes(3, worker_bin())
+    };
+    let rep = {
+        let a = a.clone();
+        NetExecutor::new(cfg)
+            .execute(RunConfig::new(), move |ctx| cholesky::factor_program(ctx, &a))
+            .expect("two deaths, one survivor: still a clean completion")
+    };
+    assert_eq!(rep.result.cols, want);
+    let faults = rep.faults.expect("stats");
+    assert_eq!(faults.crashes, 2, "{faults}");
+}
+
+#[test]
+fn hung_worker_process_is_caught_by_heartbeat() {
+    let a = cholesky::SparseSym::random_spd(24, 4, 9);
+    let want = serial_cholesky(&a);
+    let cfg = NetConfig {
+        heartbeat: std::time::Duration::from_millis(10),
+        miss_budget: 2,
+        chaos: vec![ChaosSpec {
+            worker: 1,
+            kill_after_grants: None,
+            hang_after_grants: Some(2),
+            kill_after_kernels: None,
+        }],
+        ..NetConfig::processes(2, worker_bin())
+    };
+    let rep = {
+        let a = a.clone();
+        NetExecutor::new(cfg)
+            .execute(RunConfig::new(), move |ctx| cholesky::factor_program(ctx, &a))
+            .expect("hang must be survived")
+    };
+    assert_eq!(rep.result.cols, want);
+    assert_eq!(rep.faults.expect("stats").crashes, 1);
+}

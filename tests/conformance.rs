@@ -1,15 +1,18 @@
 //! Backend conformance: the serial elision, the shared-memory
-//! executor, and the message-passing simulation all implement the one
-//! [`Runtime`] trait, and for a deterministic Jade program they must
-//! produce the identical result *and* the identical dynamic task
-//! graph — the serial semantics (paper §3) pins both down regardless
-//! of how the implementation exploits the exposed concurrency.
+//! executor, the message-passing simulation, and the multi-process
+//! network backend all implement the one [`Runtime`] trait, and for a
+//! deterministic Jade program they must produce the identical result
+//! *and* the identical dynamic task graph — the serial semantics
+//! (paper §3) pins both down regardless of how the implementation
+//! exploits the exposed concurrency (or of which machine granted the
+//! dispatch lease).
 
 #![deny(deprecated)]
 
 use jade_apps::{cholesky, lws, pmake};
 use jade_core::runtime::{Report, RunConfig, Runtime};
 use jade_core::serial::SerialRuntime;
+use jade_net::NetExecutor;
 use jade_sim::{Platform, SimExecutor};
 use jade_threads::ThreadedExecutor;
 
@@ -33,11 +36,14 @@ fn assert_conform<R: PartialEq + std::fmt::Debug>(
     serial: (R, String),
     threads: (R, String),
     sim: (R, String),
+    net: (R, String),
 ) {
     assert_eq!(serial.0, threads.0, "{name}: threads result differs from serial");
     assert_eq!(serial.0, sim.0, "{name}: sim result differs from serial");
+    assert_eq!(serial.0, net.0, "{name}: net result differs from serial");
     assert_eq!(serial.1, threads.1, "{name}: threads task graph differs from serial");
     assert_eq!(serial.1, sim.1, "{name}: sim task graph differs from serial");
+    assert_eq!(serial.1, net.1, "{name}: net task graph differs from serial");
 }
 
 #[test]
@@ -53,10 +59,16 @@ fn cholesky_conforms_across_backends() {
             cholesky::factor_program(ctx, &a)
         })
     };
-    let sim = traced(&SimExecutor::new(Platform::dash(4)), move |ctx| {
+    let sim = {
+        let a = a.clone();
+        traced(&SimExecutor::new(Platform::dash(4)), move |ctx| {
+            cholesky::factor_program(ctx, &a)
+        })
+    };
+    let net = traced(&NetExecutor::with_workers(2), move |ctx| {
         cholesky::factor_program(ctx, &a)
     });
-    assert_conform("cholesky", serial, threads, sim);
+    assert_conform("cholesky", serial, threads, sim, net);
 }
 
 #[test]
@@ -72,10 +84,16 @@ fn lws_conforms_across_backends() {
             lws::run_jade(ctx, &sys, 6, 2, 0.002)
         })
     };
-    let sim = traced(&SimExecutor::new(Platform::dash(4)), move |ctx| {
+    let sim = {
+        let sys = sys.clone();
+        traced(&SimExecutor::new(Platform::dash(4)), move |ctx| {
+            lws::run_jade(ctx, &sys, 6, 2, 0.002)
+        })
+    };
+    let net = traced(&NetExecutor::with_workers(2), move |ctx| {
         lws::run_jade(ctx, &sys, 6, 2, 0.002)
     });
-    assert_conform("lws", serial, threads, sim);
+    assert_conform("lws", serial, threads, sim, net);
 }
 
 #[test]
@@ -89,8 +107,12 @@ fn pmake_conforms_across_backends() {
         let mk = mk.clone();
         traced(&ThreadedExecutor::new(4), move |ctx| pmake::make_jade(ctx, &mk))
     };
-    let sim = traced(&SimExecutor::new(Platform::dash(4)), move |ctx| {
-        pmake::make_jade(ctx, &mk)
-    });
-    assert_conform("pmake", serial, threads, sim);
+    let sim = {
+        let mk = mk.clone();
+        traced(&SimExecutor::new(Platform::dash(4)), move |ctx| {
+            pmake::make_jade(ctx, &mk)
+        })
+    };
+    let net = traced(&NetExecutor::with_workers(2), move |ctx| pmake::make_jade(ctx, &mk));
+    assert_conform("pmake", serial, threads, sim, net);
 }
