@@ -1,0 +1,150 @@
+//! E-SERVE — job-server throughput/latency sweep.
+//!
+//! Measures the session layer itself: N client threads submit a
+//! stream of pmake jobs into one `Session` over the shared-memory
+//! executor (retrying on `Saturated` backpressure) and we record
+//! end-to-end job latency (submit accept → report in hand) and total
+//! throughput. Sweeping clients at a fixed job size shows how the
+//! weighted-fair admission path scales with offered load; sweeping
+//! job size at fixed clients separates the per-job serving overhead
+//! from the work itself.
+//!
+//! The run double-checks serving semantics while it measures: every
+//! job's result must equal the serial oracle, and every drain must
+//! settle the admission counters.
+//!
+//! Run with: `cargo run --release -p jade-bench --bin exp_serve`
+//! (`--small` shrinks the grid for CI, `--jobs N` jobs per client.)
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use jade_bench::row;
+use jade_core::serve::{ServeConfig, SubmitError};
+use jade_threads::{RunConfig, Runtime, ThreadedExecutor};
+
+/// One cell of the sweep: `clients` submitter threads x `jobs` each,
+/// pmake DAGs of `targets` targets, on a session with `slots` slots.
+/// Returns (jobs/second, p50 latency, p99 latency).
+fn serve_cell(
+    clients: usize,
+    jobs: usize,
+    targets: usize,
+    slots: usize,
+) -> (f64, Duration, Duration) {
+    let mk = Arc::new(jade_apps::pmake::Makefile::random_dag(targets, 3));
+    let oracle = {
+        let mk = mk.clone();
+        jade_core::serial::SerialRuntime
+            .execute(RunConfig::new(), move |ctx| jade_apps::pmake::make_jade(ctx, &mk))
+            .expect("oracle run")
+            .result
+    };
+
+    let exec = ThreadedExecutor::new(slots.max(2));
+    let session =
+        Arc::new(exec.open_session(ServeConfig::new().with_slots(slots).with_queue_cap(2 * slots)));
+    let (lat_tx, lat_rx) = mpsc::channel::<Duration>();
+
+    let wall = Instant::now();
+    let submitters: Vec<_> = (0..clients)
+        .map(|_| {
+            let session = session.clone();
+            let mk = mk.clone();
+            let oracle = oracle.clone();
+            let lat_tx = lat_tx.clone();
+            std::thread::spawn(move || {
+                for _ in 0..jobs {
+                    let accepted = loop {
+                        let mk = mk.clone();
+                        match session.submit(RunConfig::new(), move |ctx| {
+                            jade_apps::pmake::make_jade(ctx, &mk)
+                        }) {
+                            Ok(h) => break (Instant::now(), h),
+                            Err(SubmitError::Saturated { .. }) => {
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            Err(e) => panic!("submit failed: {e}"),
+                        }
+                    };
+                    let rep = accepted.1.wait().expect("job completes");
+                    assert_eq!(rep.result, oracle, "serving changed the answer");
+                    lat_tx.send(accepted.0.elapsed()).unwrap();
+                }
+            })
+        })
+        .collect();
+    for s in submitters {
+        s.join().expect("submitter clean");
+    }
+    let elapsed = wall.elapsed();
+    drop(lat_tx);
+
+    let summary = Arc::into_inner(session).expect("all handles returned").drain();
+    assert!(summary.stats.is_settled(), "drain did not settle: {}", summary.stats);
+    let total = (clients * jobs) as u64;
+    assert_eq!(summary.stats.completed, total);
+
+    let mut lats: Vec<Duration> = lat_rx.into_iter().collect();
+    lats.sort();
+    let pct = |p: f64| lats[((lats.len() - 1) as f64 * p) as usize];
+    (total as f64 / elapsed.as_secs_f64(), pct(0.50), pct(0.99))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .map(|i| args[i + 1].parse().expect("--jobs needs a number"))
+        .unwrap_or(if small { 8 } else { 32 });
+    let slots = 4;
+
+    println!(
+        "job-server sweep: pmake jobs, {slots}-slot session on the threaded backend \
+         ({} hardware threads; {jobs} jobs/client; best-effort timings)",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+
+    println!("\nclients sweep (16-target DAGs)");
+    println!("{}", row(&["clients".into(), "jobs/s".into(), "p50 ms".into(), "p99 ms".into()], 9));
+    for &clients in &[1usize, 2, 4, 8, 16] {
+        serve_cell(clients, jobs / 4, 16, slots); // warm-up
+        let (rate, p50, p99) = serve_cell(clients, jobs, 16, slots);
+        println!(
+            "{}",
+            row(
+                &[
+                    clients.to_string(),
+                    format!("{rate:.0}"),
+                    format!("{:.2}", p50.as_secs_f64() * 1e3),
+                    format!("{:.2}", p99.as_secs_f64() * 1e3),
+                ],
+                9
+            )
+        );
+    }
+
+    println!("\njob-size sweep (8 clients)");
+    println!("{}", row(&["targets".into(), "jobs/s".into(), "p50 ms".into(), "p99 ms".into()], 9));
+    for &targets in &[4usize, 16, 64, 128] {
+        serve_cell(8, jobs / 4, targets, slots); // warm-up
+        let (rate, p50, p99) = serve_cell(8, jobs, targets, slots);
+        println!(
+            "{}",
+            row(
+                &[
+                    targets.to_string(),
+                    format!("{rate:.0}"),
+                    format!("{:.2}", p50.as_secs_f64() * 1e3),
+                    format!("{:.2}", p99.as_secs_f64() * 1e3),
+                ],
+                9
+            )
+        );
+    }
+
+    println!("\nall reports matched the serial oracle; every drain settled");
+}

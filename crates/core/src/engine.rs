@@ -1583,7 +1583,7 @@ mod tests {
                                 }),
                             )
                             .unwrap();
-                        assert!(wakes.iter().any(|w| *w == Wake::Ready(c)));
+                        assert!(wakes.contains(&Wake::Ready(c)));
                         e.start_task(c);
                         e.finish_task(c);
                     }

@@ -96,6 +96,16 @@ pub enum JadeError {
         /// The task that leaked the guard.
         task: TaskId,
     },
+    /// A [`crate::runtime::RunConfig`] failed validation at submit
+    /// time. Caught uniformly by the submission surface so malformed
+    /// configurations are rejected with one typed error instead of
+    /// backend-dependent clamping or panics.
+    InvalidConfig {
+        /// The `RunConfig` field that failed validation.
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: &'static str,
+    },
     /// Internal invariant violation; indicates a runtime bug, not a
     /// user error.
     Internal(String),
@@ -116,7 +126,9 @@ impl JadeError {
             | JadeError::StaleTask { task } => Some(*task),
             JadeError::NotCovered { parent, .. }
             | JadeError::ChildConflictsWithHeldGuard { parent, .. } => Some(*parent),
-            JadeError::UnknownObject(_) | JadeError::Internal(_) => None,
+            JadeError::UnknownObject(_)
+            | JadeError::InvalidConfig { .. }
+            | JadeError::Internal(_) => None,
         }
     }
 }
@@ -164,6 +176,9 @@ impl fmt::Display for JadeError {
                 "{task} completed while still holding an access guard; drop all guards \
                  before the task body returns"
             ),
+            JadeError::InvalidConfig { field, reason } => {
+                write!(f, "invalid RunConfig: {field}: {reason}")
+            }
             JadeError::Internal(msg) => write!(f, "internal Jade runtime error: {msg}"),
         }
     }

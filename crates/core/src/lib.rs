@@ -71,6 +71,7 @@ pub mod queue;
 pub mod readyq;
 pub mod runtime;
 pub mod serial;
+pub mod serve;
 pub mod spec;
 pub mod stats;
 pub mod store;
@@ -84,7 +85,10 @@ pub mod prelude {
     pub use crate::ids::{DeviceClass, MachineId, ObjectId, Placement, TaskId};
     pub use crate::observe::{Event, EventCollector, EventKind, RuntimeObserver};
     pub use crate::parts::PartedVec;
-    pub use crate::runtime::{Report, RunConfig, Runtime, Throttle};
+    pub use crate::runtime::{CancelSignal, Report, RunConfig, Runtime, Throttle};
+    pub use crate::serve::{
+        ClientId, JobHandle, JobId, JobStatus, ServeConfig, Session, SubmitError,
+    };
     pub use crate::spec::{AccessKind, ContBuilder, SpecBuilder};
-    pub use crate::stats::{FaultStats, NetStats, RuntimeStats};
+    pub use crate::stats::{FaultStats, NetStats, RuntimeStats, ServeStats};
 }

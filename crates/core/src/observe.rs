@@ -124,6 +124,35 @@ pub enum EventKind {
         /// The surviving lane that took it over.
         to: usize,
     },
+    /// A job was admitted into a [`crate::serve::Session`]'s queue.
+    /// Session-level events are attributed to `TaskId::ROOT`; the job
+    /// is identified by `job` (a [`crate::serve::JobId`] value).
+    JobSubmitted {
+        /// The admitted job.
+        job: u64,
+        /// The submitting client's lane index.
+        client: usize,
+    },
+    /// The session's fair scheduler handed the job to an execution
+    /// slot.
+    JobDispatched {
+        /// The dispatched job.
+        job: u64,
+        /// The session execution slot (not a backend worker index).
+        slot: usize,
+    },
+    /// The job finished and its report is ready.
+    JobCompleted {
+        /// The finished job.
+        job: u64,
+        /// Whether the job produced an `Ok` report.
+        ok: bool,
+    },
+    /// The job was cancelled (before or during execution).
+    JobCancelled {
+        /// The cancelled job.
+        job: u64,
+    },
 }
 
 /// One observed event: a timestamp (wall-clock nanoseconds since the

@@ -114,6 +114,156 @@ impl ReadyQueue for FifoReadyQueue {
     }
 }
 
+/// Pass increment for a weight-1 lane. Weights divide into this, so
+/// with the weight cap in [`WeightedFairQueue::add_lane`] every stride
+/// is a distinct positive integer and relative rates are exact.
+const STRIDE_ONE: u64 = 1 << 20;
+
+/// Stride-scheduling weighted fair queue: tasks are partitioned into
+/// *lanes* (one per client of the job server), each lane carrying a
+/// weight, and dispatch interleaves lanes so that over any window each
+/// backlogged lane receives throughput proportional to its weight.
+///
+/// Classic stride scheduling: a lane's *stride* is `STRIDE_ONE /
+/// weight`; every dispatch from a lane advances its *pass* by its
+/// stride, and [`pop`](ReadyQueue::pop) always serves the backlogged
+/// lane with the minimum pass (ties break toward the lower lane index,
+/// which makes the interleave deterministic — weights 2:1 dispatch
+/// `A B A A B A …`). A lane that goes idle has its pass clamped
+/// forward to the current minimum when it becomes backlogged again, so
+/// sleeping never banks credit to monopolize the queue later.
+///
+/// Implements [`ReadyQueue`] with the push `hint` carrying the lane
+/// index, so the job server layers per-client fairness on the same
+/// dispatch abstraction the executors already share.
+#[derive(Debug, Default)]
+pub struct WeightedFairQueue {
+    state: Mutex<WfqState>,
+}
+
+#[derive(Debug, Default)]
+struct WfqState {
+    lanes: Vec<Lane>,
+    queued: usize,
+    /// Global virtual time: the highest pass at which any dispatch was
+    /// served. Lanes (re)joining the backlogged set clamp their pass
+    /// forward to this, so idle time never banks dispatch credit.
+    vtime: u64,
+}
+
+#[derive(Debug)]
+struct Lane {
+    stride: u64,
+    pass: u64,
+    q: VecDeque<TaskId>,
+}
+
+impl WfqState {
+    /// Index of the backlogged lane with the minimum pass (stable
+    /// toward lower indices), considering only items at or beyond each
+    /// lane's `cursor` when one is supplied.
+    fn min_pass_lane(&self, cursors: Option<&[usize]>) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let pending = match cursors {
+                Some(c) => lane.q.len() > c[i],
+                None => !lane.q.is_empty(),
+            };
+            if pending && best.is_none_or(|b| lane.pass < self.lanes[b].pass) {
+                best = Some(i);
+            }
+        }
+        best
+    }
+}
+
+impl WeightedFairQueue {
+    /// An empty queue with no lanes. Pushes with no hint (or an
+    /// unknown lane) land in a weight-1 lane 0 created on demand.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a lane with the given weight and return its index (the
+    /// value to pass as the push `hint`). Weights are clamped to
+    /// `1..=STRIDE_ONE`; a higher weight means proportionally more
+    /// dispatches when backlogged.
+    pub fn add_lane(&self, weight: u64) -> usize {
+        let mut st = self.state.lock();
+        let weight = weight.clamp(1, STRIDE_ONE);
+        // Join at the current virtual time: no retroactive credit.
+        let pass = st.vtime;
+        st.lanes.push(Lane { stride: STRIDE_ONE / weight, pass, q: VecDeque::new() });
+        st.lanes.len() - 1
+    }
+
+    /// Number of lanes currently registered.
+    pub fn lanes(&self) -> usize {
+        self.state.lock().lanes.len()
+    }
+
+    /// Queued tasks in one lane (0 for an unknown lane).
+    pub fn lane_len(&self, lane: usize) -> usize {
+        self.state.lock().lanes.get(lane).map_or(0, |l| l.q.len())
+    }
+}
+
+impl ReadyQueue for WeightedFairQueue {
+    fn push(&self, task: TaskId, hint: Option<usize>) {
+        let mut st = self.state.lock();
+        if st.lanes.is_empty() {
+            st.lanes.push(Lane { stride: STRIDE_ONE, pass: 0, q: VecDeque::new() });
+        }
+        let lane = hint.filter(|&l| l < st.lanes.len()).unwrap_or(0);
+        if st.lanes[lane].q.is_empty() {
+            // Re-entering the backlogged set: clamp forward to the
+            // virtual time so idle time does not accumulate as future
+            // dispatch credit.
+            let vtime = st.vtime;
+            let l = &mut st.lanes[lane];
+            l.pass = l.pass.max(vtime);
+        }
+        st.lanes[lane].q.push_back(task);
+        st.queued += 1;
+    }
+
+    fn pop(&self, _worker: usize) -> Option<TaskId> {
+        let mut st = self.state.lock();
+        let lane = st.min_pass_lane(None)?;
+        let l = &mut st.lanes[lane];
+        let task = l.q.pop_front();
+        let served_at = l.pass;
+        l.pass += l.stride;
+        st.vtime = st.vtime.max(served_at);
+        st.queued -= 1;
+        task
+    }
+
+    fn dispatch_where(&self, take: &mut dyn FnMut(TaskId) -> bool) {
+        // Walk candidates in stride order; a declined task parks its
+        // lane's cursor past it so FIFO order within the lane holds.
+        let mut st = self.state.lock();
+        let mut cursors = vec![0usize; st.lanes.len()];
+        while let Some(lane) = st.min_pass_lane(Some(&cursors)) {
+            let t = st.lanes[lane].q[cursors[lane]];
+            if take(t) {
+                let l = &mut st.lanes[lane];
+                l.q.remove(cursors[lane]);
+                let served_at = l.pass;
+                l.pass += l.stride;
+                st.vtime = st.vtime.max(served_at);
+                st.queued -= 1;
+            } else {
+                cursors[lane] += 1;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.state.lock().queued
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +312,106 @@ mod tests {
         for i in 1..=4 {
             assert_eq!(q.pop(0), Some(TaskId(i)));
         }
+    }
+
+    /// Drain the queue, mapping each popped task back to its lane via
+    /// the id encoding `TaskId(lane * 100 + seq)`.
+    fn drain_lanes(q: &WeightedFairQueue) -> Vec<u64> {
+        std::iter::from_fn(|| q.pop(0)).map(|t| t.0 / 100).collect()
+    }
+
+    #[test]
+    fn wfq_equal_weights_round_robin() {
+        let q = WeightedFairQueue::new();
+        let a = q.add_lane(1);
+        let b = q.add_lane(1);
+        for i in 0..3 {
+            q.push(TaskId(100 + i), Some(a));
+            q.push(TaskId(200 + i), Some(b));
+        }
+        assert_eq!(q.len(), 6);
+        assert_eq!(drain_lanes(&q), vec![1, 2, 1, 2, 1, 2], "ties break to the lower lane");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wfq_weighted_interleave_is_proportional_and_deterministic() {
+        let q = WeightedFairQueue::new();
+        let a = q.add_lane(2);
+        let b = q.add_lane(1);
+        for i in 0..6 {
+            q.push(TaskId(100 + i), Some(a));
+        }
+        for i in 0..3 {
+            q.push(TaskId(200 + i), Some(b));
+        }
+        // Stride 2:1 — passes A:.5,1,1.5,… B:1,2,3,… → A B A A B A A B A.
+        assert_eq!(drain_lanes(&q), vec![1, 2, 1, 1, 2, 1, 1, 2, 1]);
+    }
+
+    #[test]
+    fn wfq_fifo_within_a_lane_and_unknown_hints_fall_back() {
+        let q = WeightedFairQueue::new();
+        // No lanes yet: hintless pushes materialize lane 0.
+        q.push(TaskId(1), None);
+        q.push(TaskId(2), Some(99)); // unknown lane → lane 0
+        q.push(TaskId(3), None);
+        assert_eq!(q.lanes(), 1);
+        assert_eq!(q.lane_len(0), 3);
+        assert_eq!(q.pop(0), Some(TaskId(1)));
+        assert_eq!(q.pop(0), Some(TaskId(2)));
+        assert_eq!(q.pop(0), Some(TaskId(3)));
+        assert_eq!(q.pop(0), None);
+    }
+
+    #[test]
+    fn wfq_idle_lane_gets_no_banked_credit() {
+        let q = WeightedFairQueue::new();
+        let a = q.add_lane(1);
+        let b = q.add_lane(1);
+        // Lane A runs alone for a while (its pass advances far)…
+        for i in 0..4 {
+            q.push(TaskId(100 + i), Some(a));
+        }
+        for _ in 0..4 {
+            q.pop(0);
+        }
+        // …then B wakes up. Without the clamp B's pass (0) would owe it
+        // four back-to-back dispatches; with it, service interleaves.
+        for i in 0..2 {
+            q.push(TaskId(200 + i), Some(b));
+            q.push(TaskId(104 + i), Some(a));
+        }
+        assert_eq!(drain_lanes(&q), vec![2, 1, 2, 1], "B leads the tie but does not monopolize");
+    }
+
+    #[test]
+    fn wfq_dispatch_where_follows_stride_order_and_retains_declined() {
+        let q = WeightedFairQueue::new();
+        let a = q.add_lane(2);
+        let b = q.add_lane(1);
+        for i in 0..4 {
+            q.push(TaskId(100 + i), Some(a));
+        }
+        for i in 0..2 {
+            q.push(TaskId(200 + i), Some(b));
+        }
+        // Take only even-seq tasks; the scan follows the stride order
+        // (declines advance a lane's cursor, not its pass, and ties
+        // keep breaking toward the lower lane).
+        let mut seen = Vec::new();
+        q.dispatch_where(&mut |t| {
+            seen.push(t);
+            t.0 % 2 == 0
+        });
+        assert_eq!(
+            seen,
+            vec![TaskId(100), TaskId(200), TaskId(101), TaskId(102), TaskId(103), TaskId(201)]
+        );
+        assert_eq!(q.len(), 3, "odd-seq tasks were retained");
+        assert_eq!(q.lane_len(0), 2);
+        assert_eq!(q.lane_len(1), 1);
+        // Retained tasks keep FIFO order within their lane.
+        assert_eq!(q.pop(0), Some(TaskId(101)));
     }
 }

@@ -17,16 +17,99 @@
 //! trace and observer options; [`Report`] bundles the program result,
 //! [`RuntimeStats`], and every captured artifact (dynamic task graph,
 //! per-worker timeline, contention profile, backend extras).
+//!
+//! Since the job-server redesign ([`crate::serve`]), `execute` is the
+//! *one-shot shim* over a richer submission surface: backends
+//! implement the raw single-job engine [`Runtime::run_job`], and the
+//! trait provides `execute` (a validated inline submission — exactly
+//! `open_session(ServeConfig::inline())` + one `submit` + `wait`) and
+//! [`Runtime::open_session`], which returns a long-running
+//! [`Session`](crate::serve::Session) multiplexing many concurrent
+//! jobs onto the backend with bounded admission, weighted-fair
+//! dispatch and graceful drain.
 
 use std::any::Any;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use crate::ctx::JadeCtx;
-use crate::error::JadeFault;
+use crate::error::{JadeError, JadeFault};
 use crate::ids::TaskId;
 use crate::observe::{ContentionProfile, ObserverHub, RuntimeObserver, Timeline};
+use crate::serve::{ServeConfig, Session};
 use crate::stats::{FaultStats, NetStats, RuntimeStats};
 use crate::trace::TaskGraphTrace;
+
+/// A cooperative cancellation signal for one run (one job).
+///
+/// Cloned handles share the same flag: [`CancelSignal::cancel`] trips
+/// it once and runs any hooks a backend registered. Executors honor
+/// the signal at task boundaries — the thread pool additionally aborts
+/// promptly through its panic-safe fault-shutdown machinery, so a
+/// cancelled run returns [`JadeFault::Cancelled`] instead of finishing
+/// its remaining tasks. Cancellation is a *request*: a run that
+/// completes before observing the signal still returns its report.
+#[derive(Clone, Default)]
+pub struct CancelSignal {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Default)]
+struct CancelInner {
+    flag: AtomicBool,
+    hooks: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
+}
+
+impl CancelSignal {
+    /// A fresh, untripped signal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trip the signal. Idempotent; the first call runs every
+    /// registered hook (backends use hooks to wake blocked workers).
+    pub fn cancel(&self) {
+        if !self.inner.flag.swap(true, Ordering::SeqCst) {
+            let hooks = std::mem::take(&mut *self.inner.hooks.lock());
+            for h in hooks {
+                h();
+            }
+        }
+    }
+
+    /// Whether [`CancelSignal::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.flag.load(Ordering::SeqCst)
+    }
+
+    /// Register a hook to run when the signal trips. If the signal is
+    /// already tripped the hook runs immediately on this thread.
+    /// No-lost-hook protocol: the flag is set *before* the hook list
+    /// is drained, and this registration checks the flag *under* the
+    /// list lock, so a concurrently tripping `cancel` either drains
+    /// this hook or this call observes the flag and runs it directly.
+    pub fn on_cancel(&self, hook: Box<dyn Fn() + Send + Sync>) {
+        let mut hooks = self.inner.hooks.lock();
+        if self.inner.flag.load(Ordering::SeqCst) {
+            drop(hooks);
+            hook();
+        } else {
+            hooks.push(hook);
+        }
+    }
+}
+
+impl fmt::Debug for CancelSignal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CancelSignal")
+            .field("cancelled", &self.is_cancelled())
+            .field("hooks", &self.inner.hooks.lock().len())
+            .finish()
+    }
+}
 
 /// Task-creation throttling policy (§3.3 of the paper discusses the
 /// cost of excess task creation; the executors bound it).
@@ -68,6 +151,7 @@ pub enum Throttle {
 ///     .with_timeline();
 /// ```
 #[derive(Default)]
+#[non_exhaustive]
 pub struct RunConfig {
     /// Worker override; `None` uses the executor's own configuration.
     pub workers: Option<usize>,
@@ -81,17 +165,26 @@ pub struct RunConfig {
     pub contention: bool,
     /// User observers receiving every lifecycle event.
     pub observers: Vec<Box<dyn RuntimeObserver + Send>>,
+    /// Cooperative cancellation signal for this run; installed by
+    /// [`crate::serve::JobHandle::cancel`] or directly by the caller.
+    pub cancel: Option<CancelSignal>,
 }
 
 impl fmt::Debug for RunConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Exhaustive destructuring, not field access: adding a field
+        // to RunConfig without listing it here is a compile error, so
+        // new fields cannot silently fall out of the Debug rendering.
+        let RunConfig { workers, throttle, trace, timeline, contention, observers, cancel } =
+            self;
         f.debug_struct("RunConfig")
-            .field("workers", &self.workers)
-            .field("throttle", &self.throttle)
-            .field("trace", &self.trace)
-            .field("timeline", &self.timeline)
-            .field("contention", &self.contention)
-            .field("observers", &self.observers.len())
+            .field("workers", workers)
+            .field("throttle", throttle)
+            .field("trace", trace)
+            .field("timeline", timeline)
+            .field("contention", contention)
+            .field("observers", &observers.len())
+            .field("cancel", &cancel.is_some())
             .finish()
     }
 }
@@ -140,9 +233,55 @@ impl RunConfig {
         self
     }
 
+    /// Install a cooperative cancellation signal for the run.
+    pub fn with_cancel(mut self, signal: CancelSignal) -> Self {
+        self.cancel = Some(signal);
+        self
+    }
+
     /// Everything on: trace + timeline + contention.
     pub fn profiled(self) -> Self {
         self.with_trace().with_timeline().with_contention()
+    }
+
+    /// Validate the configuration, rejecting values no backend can
+    /// honor meaningfully. Called by the submission surface
+    /// ([`Runtime::execute`] and [`crate::serve::Session::submit`]),
+    /// so a malformed config is a typed [`JadeError::InvalidConfig`]
+    /// at submit time instead of backend-dependent clamping.
+    pub fn validate(&self) -> Result<(), JadeError> {
+        if self.workers == Some(0) {
+            return Err(JadeError::InvalidConfig {
+                field: "workers",
+                reason: "worker count must be >= 1",
+            });
+        }
+        match self.throttle {
+            Throttle::None => {}
+            Throttle::SuspendCreator { hi, lo } => {
+                if hi == 0 {
+                    return Err(JadeError::InvalidConfig {
+                        field: "throttle",
+                        reason: "SuspendCreator high-water mark must be >= 1",
+                    });
+                }
+                if lo > hi {
+                    return Err(JadeError::InvalidConfig {
+                        field: "throttle",
+                        reason: "SuspendCreator resume threshold lo must be <= hi",
+                    });
+                }
+            }
+            Throttle::Inline { hi } => {
+                if hi == 0 {
+                    return Err(JadeError::InvalidConfig {
+                        field: "throttle",
+                        reason: "Inline high-water mark must be >= 1",
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Move the observer configuration out into the hub the executor
@@ -156,6 +295,7 @@ impl RunConfig {
 /// statistics, elapsed time, and whichever artifacts [`RunConfig`]
 /// requested.
 #[derive(Debug)]
+#[non_exhaustive]
 pub struct Report<R> {
     /// The program's return value.
     pub result: R,
@@ -298,9 +438,18 @@ impl CriticalPath {
     }
 }
 
-/// A backend that can execute a Jade program: implemented by the
-/// serial elision, the thread pool, and the simulator, so every app
-/// binary is written once against this trait.
+/// A backend that can execute Jade programs: implemented by the
+/// serial elision, the thread pool, the simulator and the
+/// multi-process network backend, so every app binary is written once
+/// against this trait.
+///
+/// Backends implement exactly one method — the raw single-job engine
+/// [`Runtime::run_job`]. Callers use the provided submission surface:
+/// [`Runtime::execute`] for a validated one-shot run, or
+/// [`Runtime::open_session`] for a long-running job server
+/// ([`crate::serve::Session`]) that accepts a continuous stream of
+/// jobs with bounded admission, per-client weighted-fair dispatch and
+/// graceful drain.
 ///
 /// ```
 /// use jade_core::prelude::*;
@@ -322,15 +471,62 @@ pub trait Runtime {
     /// The execution context handed to the program.
     type Ctx: JadeCtx;
 
-    /// Execute `program` under `cfg`, returning the [`Report`] or the
-    /// typed fault that stopped the run. Programming-model violations
-    /// surface as [`JadeFault::SpecViolation`]; a panic in a task body
-    /// surfaces as [`JadeFault::TaskPanicked`]; a panic in the main
-    /// program (the root task) resumes unwinding in the caller.
-    fn execute<R, F>(&self, cfg: RunConfig, program: F) -> Result<Report<R>, JadeFault>
+    /// The backend's raw single-job engine: run `program` under `cfg`
+    /// to completion and return its [`Report`]. This is the method
+    /// backends implement; callers should prefer [`Runtime::execute`]
+    /// (which validates the config first) or a
+    /// [`Session`](crate::serve::Session) from
+    /// [`Runtime::open_session`].
+    ///
+    /// Programming-model violations surface as
+    /// [`JadeFault::SpecViolation`]; a panic in a task body surfaces
+    /// as [`JadeFault::TaskPanicked`]; a tripped
+    /// [`RunConfig::cancel`] signal surfaces as
+    /// [`JadeFault::Cancelled`]; a panic in the main program (the root
+    /// task) resumes unwinding in the caller.
+    fn run_job<R, F>(&self, cfg: RunConfig, program: F) -> Result<Report<R>, JadeFault>
     where
         R: Send + 'static,
         F: FnOnce(&mut Self::Ctx) -> R + Send + 'static;
+
+    /// How many jobs this backend can execute concurrently in one
+    /// process. `usize::MAX` (the default) means "as many as the
+    /// session is configured for"; backends with process-global state
+    /// (the network coordinator) override this to serialize jobs.
+    fn max_concurrent_jobs(&self) -> usize {
+        usize::MAX
+    }
+
+    /// Execute one job: the thin one-shot shim over the submission
+    /// surface, equivalent to
+    /// `open_session(ServeConfig::inline())` + one
+    /// [`submit`](crate::serve::Session::submit) +
+    /// [`wait`](crate::serve::JobHandle::wait) — the config is
+    /// validated ([`RunConfig::validate`]) and the job runs inline on
+    /// the calling thread. Every pre-session caller keeps working
+    /// unchanged through this method.
+    fn execute<R, F>(&self, cfg: RunConfig, program: F) -> Result<Report<R>, JadeFault>
+    where
+        Self: Sized,
+        R: Send + 'static,
+        F: FnOnce(&mut Self::Ctx) -> R + Send + 'static,
+    {
+        crate::serve::run_one(self, cfg, program)
+    }
+
+    /// Open a long-running job-server session on this backend: many
+    /// concurrent jobs multiplexed onto the shared execution resources
+    /// with bounded admission (queue cap + typed
+    /// [`SubmitError::Saturated`](crate::serve::SubmitError)
+    /// backpressure), per-client weighted-fair dispatch and graceful
+    /// drain. The backend is cloned into the session; clones share
+    /// their configuration, not per-run state.
+    fn open_session(&self, cfg: ServeConfig) -> Session<Self>
+    where
+        Self: Sized + Clone + Send + Sync + 'static,
+    {
+        Session::open(self.clone(), cfg)
+    }
 }
 
 #[cfg(test)]
@@ -354,11 +550,87 @@ mod tests {
     }
 
     #[test]
+    fn run_config_debug_lists_every_field() {
+        // Companion to the exhaustive destructuring in the Debug impl:
+        // the destructuring makes *omitting* a new field a compile
+        // error, and this test pins the rendering for the fields that
+        // exist today (including the ones a naive impl would skip —
+        // contention, timeline, observers-as-count, cancel).
+        let dbg = format!(
+            "{:?}",
+            RunConfig::new()
+                .with_workers(2)
+                .profiled()
+                .with_cancel(CancelSignal::new())
+        );
+        for field in
+            ["workers", "throttle", "trace", "timeline", "contention", "observers", "cancel"]
+        {
+            assert!(dbg.contains(field), "RunConfig Debug output lost field {field:?}: {dbg}");
+        }
+        assert!(dbg.contains("observers: 0"), "observers renders as a count: {dbg}");
+        assert!(dbg.contains("cancel: true"), "cancel renders as presence: {dbg}");
+    }
+
+    #[test]
+    fn run_config_validation() {
+        assert!(RunConfig::new().validate().is_ok());
+        assert!(RunConfig::new().with_workers(1).validate().is_ok());
+        let err = RunConfig::new().with_workers(0).validate().unwrap_err();
+        assert!(matches!(err, JadeError::InvalidConfig { field: "workers", .. }), "{err:?}");
+        assert!(err.to_string().contains("worker count must be >= 1"));
+
+        let err = RunConfig::new()
+            .with_throttle(Throttle::SuspendCreator { hi: 0, lo: 0 })
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, JadeError::InvalidConfig { field: "throttle", .. }));
+        let err = RunConfig::new()
+            .with_throttle(Throttle::SuspendCreator { hi: 4, lo: 9 })
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("lo must be <= hi"));
+        assert!(RunConfig::new()
+            .with_throttle(Throttle::SuspendCreator { hi: 4, lo: 2 })
+            .validate()
+            .is_ok());
+        let err =
+            RunConfig::new().with_throttle(Throttle::Inline { hi: 0 }).validate().unwrap_err();
+        assert!(matches!(err, JadeError::InvalidConfig { field: "throttle", .. }));
+    }
+
+    #[test]
+    fn cancel_signal_hooks_fire_once_and_late_hooks_run_inline() {
+        use std::sync::atomic::AtomicUsize;
+        let sig = CancelSignal::new();
+        assert!(!sig.is_cancelled());
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        sig.on_cancel(Box::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        }));
+        let clone = sig.clone();
+        clone.cancel();
+        clone.cancel(); // idempotent: hooks run exactly once
+        assert!(sig.is_cancelled());
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        // Registering after the trip runs the hook immediately.
+        let f = fired.clone();
+        sig.on_cancel(Box::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        assert!(format!("{sig:?}").contains("cancelled: true"));
+    }
+
+    #[test]
     fn report_accounting_identity_holds() {
-        let mut stats = RuntimeStats::default();
-        stats.tasks_created = 5;
-        stats.tasks_finished = 3;
-        stats.tasks_inlined = 2;
+        let stats = RuntimeStats {
+            tasks_created: 5,
+            tasks_finished: 3,
+            tasks_inlined: 2,
+            ..RuntimeStats::default()
+        };
         let rep = Report::new(42u32, stats, 0, 4);
         assert_eq!(rep.result, 42);
         assert_eq!(rep.elapsed_nanos, 1, "elapsed is clamped to >= 1");
@@ -373,9 +645,8 @@ mod tests {
     #[cfg(debug_assertions)]
     #[should_panic(expected = "task accounting out of balance")]
     fn report_accounting_imbalance_is_caught() {
-        let mut stats = RuntimeStats::default();
-        stats.tasks_created = 5;
-        stats.tasks_finished = 3;
+        let stats =
+            RuntimeStats { tasks_created: 5, tasks_finished: 3, ..RuntimeStats::default() };
         let _ = Report::new((), stats, 1, 1);
     }
 

@@ -22,7 +22,7 @@ use crate::graph::{AccessStatus, DepGraph, Wake};
 use crate::handle::{Object, Shared};
 use crate::ids::TaskId;
 use crate::observe::{Event, EventKind, ObserverHub};
-use crate::runtime::{Report, RunConfig, Runtime};
+use crate::runtime::{CancelSignal, Report, RunConfig, Runtime};
 use crate::spec::{AccessKind, ContBuilder, SpecBuilder};
 use crate::stats::RuntimeStats;
 use crate::store::{ObjectStore, Slot};
@@ -37,7 +37,13 @@ pub struct SerialCtx {
     virtual_work: f64,
     hub: ObserverHub,
     t0: Instant,
+    cancel: Option<CancelSignal>,
 }
+
+/// Marker payload the serial elision unwinds with when a run observes
+/// its [`CancelSignal`] at a task boundary; `run_job` catches it and
+/// classifies the run as [`JadeFault::Cancelled`].
+struct SerialCancelMarker;
 
 impl SerialCtx {
     fn new(trace: bool, hub: ObserverHub) -> Self {
@@ -53,6 +59,7 @@ impl SerialCtx {
             virtual_work: 0.0,
             hub,
             t0: Instant::now(),
+            cancel: None,
         }
     }
 
@@ -105,13 +112,14 @@ pub struct SerialRuntime;
 impl Runtime for SerialRuntime {
     type Ctx = SerialCtx;
 
-    fn execute<R, F>(&self, mut cfg: RunConfig, program: F) -> Result<Report<R>, JadeFault>
+    fn run_job<R, F>(&self, mut cfg: RunConfig, program: F) -> Result<Report<R>, JadeFault>
     where
         R: Send + 'static,
         F: FnOnce(&mut SerialCtx) -> R + Send + 'static,
     {
         let hub = cfg.take_hub();
         let mut ctx = SerialCtx::new(cfg.trace, hub);
+        ctx.cancel = cfg.cancel.clone();
         match catch_unwind(AssertUnwindSafe(|| program(&mut ctx))) {
             Ok(result) => {
                 let elapsed = ctx.t0.elapsed().as_nanos() as u64;
@@ -126,6 +134,9 @@ impl Runtime for SerialRuntime {
                 Ok(rep)
             }
             Err(payload) => {
+                if payload.is::<SerialCancelMarker>() {
+                    return Err(JadeFault::Cancelled { task: TaskId::ROOT });
+                }
                 let message = payload
                     .downcast_ref::<String>()
                     .cloned()
@@ -160,6 +171,11 @@ impl JadeCtx for SerialCtx {
         S: FnOnce(&mut SpecBuilder),
         F: FnOnce(&mut Self) + Send + 'static,
     {
+        // The serial elision's cancellation point: between tasks, so a
+        // cancelled run never tears a task body in half.
+        if self.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            std::panic::panic_any(SerialCancelMarker);
+        }
         let mut builder = SpecBuilder::new();
         spec(&mut builder);
         let (decls, placement) = builder.build();

@@ -166,6 +166,78 @@ impl std::fmt::Display for FaultStats {
     }
 }
 
+/// Job-server statistics: what a [`crate::serve::Session`] admitted,
+/// refused, and completed over its lifetime.
+///
+/// Where [`RuntimeStats`] counts the work *inside* one job, these
+/// counters describe the intake discipline across jobs — the quantity
+/// the ROADMAP's serving scenario is judged on (admission, fairness,
+/// backpressure, drain), not kernel speed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Jobs accepted into the session (queued or started).
+    pub submitted: u64,
+    /// Jobs that ran to completion and produced an `Ok` report.
+    pub completed: u64,
+    /// Jobs that finished with a [`crate::error::JadeFault`] other
+    /// than cancellation.
+    pub faulted: u64,
+    /// Jobs cancelled before or during execution.
+    pub cancelled: u64,
+    /// Submissions refused with `SubmitError::Saturated` because the
+    /// admission queue was at capacity (the backpressure signal).
+    pub rejected_saturated: u64,
+    /// Submissions refused because their `RunConfig` failed
+    /// validation.
+    pub rejected_invalid: u64,
+    /// Submissions refused because the session was draining.
+    pub rejected_draining: u64,
+    /// High-water mark of jobs waiting in the admission queue.
+    pub peak_queued: u64,
+    /// High-water mark of jobs executing concurrently.
+    pub peak_running: u64,
+}
+
+impl ServeStats {
+    /// Merge counters from another session (or a shard of one).
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.faulted += other.faulted;
+        self.cancelled += other.cancelled;
+        self.rejected_saturated += other.rejected_saturated;
+        self.rejected_invalid += other.rejected_invalid;
+        self.rejected_draining += other.rejected_draining;
+        self.peak_queued = self.peak_queued.max(other.peak_queued);
+        self.peak_running = self.peak_running.max(other.peak_running);
+    }
+
+    /// Every admitted job has been fully accounted for.
+    pub fn is_settled(&self) -> bool {
+        self.submitted == self.completed + self.faulted + self.cancelled
+    }
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "submitted {} (completed {}, faulted {}, cancelled {}), \
+             rejected {} saturated / {} invalid / {} draining, \
+             peak queued {}, peak running {}",
+            self.submitted,
+            self.completed,
+            self.faulted,
+            self.cancelled,
+            self.rejected_saturated,
+            self.rejected_invalid,
+            self.rejected_draining,
+            self.peak_queued,
+            self.peak_running
+        )
+    }
+}
+
 /// Lock-free counterpart of [`RuntimeStats`] for concurrent executors:
 /// every field is a relaxed atomic, so workers account for their own
 /// work without rendezvousing on a stats lock. The accounting identity
@@ -265,6 +337,28 @@ mod tests {
         assert_eq!(s.tasks_created, 4);
         assert_eq!(s.tasks_finished + s.tasks_inlined, s.tasks_created);
         assert_eq!(s.peak_live_tasks, 7, "max, not last");
+    }
+
+    #[test]
+    fn serve_stats_merge_and_settlement() {
+        let mut a = ServeStats {
+            submitted: 3,
+            completed: 2,
+            cancelled: 1,
+            peak_queued: 4,
+            ..Default::default()
+        };
+        assert!(a.is_settled());
+        let b = ServeStats { submitted: 2, faulted: 1, peak_queued: 2, ..Default::default() };
+        assert!(!b.is_settled());
+        a.merge(&b);
+        assert_eq!(a.submitted, 5);
+        assert_eq!(a.peak_queued, 4, "peaks max, not add");
+        assert!(!a.is_settled(), "one of b's jobs is still outstanding");
+        let s = a.to_string();
+        for key in ["submitted", "saturated", "peak queued", "peak running"] {
+            assert!(s.contains(key), "missing {key}");
+        }
     }
 
     #[test]

@@ -58,3 +58,13 @@ pub use gate::LeaseGate;
 pub use reliable::{Reliable, ReliableConfig};
 pub use runtime::{remote_kernel, NetExecutor};
 pub use worker::{run_worker, worker_main, Chaos, Die, WorkerOpts};
+
+// The spec-builder and job-submission surfaces, identical in every
+// backend crate.
+pub use jade_core::runtime::{CancelSignal, Report, RunConfig, Runtime};
+pub use jade_core::serve::{
+    ClientId, DrainSummary, JobHandle, JobId, JobReport, JobStatus, ServeConfig, Session,
+    SubmitError,
+};
+pub use jade_core::spec::{ContBuilder, SpecBuilder};
+pub use jade_core::stats::ServeStats;

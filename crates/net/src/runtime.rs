@@ -26,7 +26,7 @@ use crate::kernels;
 
 /// The distributed backend: a coordinator (this process) plus
 /// `cfg.workers` worker machines over real sockets.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct NetExecutor {
     cfg: NetConfig,
 }
@@ -112,7 +112,16 @@ fn net_marker(ev: &Event) -> Option<(usize, String)> {
 impl Runtime for NetExecutor {
     type Ctx = ThreadCtx;
 
-    fn execute<R, F>(&self, mut cfg: RunConfig, program: F) -> Result<Report<R>, JadeFault>
+    /// One at a time: [`ACTIVE`] is a process-global kernel registry
+    /// consulted by `remote_kernel` from pool threads, so two
+    /// concurrent clusters in one process would cross wires. A
+    /// [`Session`](jade_core::serve::Session) over this backend
+    /// therefore runs jobs back-to-back.
+    fn max_concurrent_jobs(&self) -> usize {
+        1
+    }
+
+    fn run_job<R, F>(&self, mut cfg: RunConfig, program: F) -> Result<Report<R>, JadeFault>
     where
         R: Send + 'static,
         F: FnOnce(&mut Self::Ctx) -> R + Send + 'static,
@@ -135,7 +144,7 @@ impl Runtime for NetExecutor {
 
         let lanes = cfg.workers.unwrap_or(self.cfg.workers).max(1);
         let pool = ThreadedExecutor::new(lanes).with_gate(Arc::new(LeaseGate::new(shared)));
-        let result = pool.execute(cfg, program);
+        let result = pool.run_job(cfg, program);
 
         let (net, faults, events) = cluster.shutdown();
         match result {

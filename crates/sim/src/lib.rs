@@ -76,5 +76,12 @@ pub use runtime::{SimConfig, SimCtx, SimExecutor, SuspendCreator};
 pub use time::{SimSpan, SimTime};
 
 // The spec-builder surface, identical in jade-threads and jade-sim.
-pub use jade_core::runtime::{Report, RunConfig, Runtime};
+pub use jade_core::runtime::{CancelSignal, Report, RunConfig, Runtime};
 pub use jade_core::spec::{ContBuilder, SpecBuilder};
+
+// The job-submission surface, identical in every backend crate.
+pub use jade_core::serve::{
+    ClientId, DrainSummary, JobHandle, JobId, JobReport, JobStatus, ServeConfig, Session,
+    SubmitError,
+};
+pub use jade_core::stats::ServeStats;

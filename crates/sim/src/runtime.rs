@@ -34,7 +34,7 @@ use jade_core::handle::{Object, Shared};
 use jade_core::ids::{ObjectId, TaskId};
 use jade_core::observe::{Event as ObsEvent, EventKind as ObsKind, ObserverArtifacts, ObserverHub};
 use jade_core::readyq::{FifoReadyQueue, ReadyQueue};
-use jade_core::runtime::{Report, RunConfig, Runtime, Throttle};
+use jade_core::runtime::{CancelSignal, Report, RunConfig, Runtime, Throttle};
 use jade_core::spec::{AccessKind, ContBuilder, ContOp, DeclState, SpecBuilder};
 use jade_core::store::{ObjectStore, Slot};
 use jade_transport::message::HEADER_WIRE_BYTES;
@@ -255,6 +255,11 @@ struct Loop {
     traffic: ObjTraffic,
     log: SimLog,
     poison: Option<Poison>,
+    /// External cooperative cancellation, polled once per event-loop
+    /// iteration (the simulator's natural task boundary).
+    cancel: Option<CancelSignal>,
+    /// Set when the loop stopped because `cancel` tripped.
+    cancelled: bool,
     hub: ObserverHub,
     injector: Option<FaultInjector>,
     /// Per-machine end of the current outage (ZERO = never crashed).
@@ -271,8 +276,8 @@ struct Loop {
 
 impl Loop {
     fn execute(cfg: SimConfig, root_body: SimBody) -> SimReport {
-        let (report, poison, _arts) =
-            Loop::execute_observed(cfg, ObserverHub::inactive(), root_body);
+        let (report, poison, _cancelled, _arts) =
+            Loop::execute_observed(cfg, ObserverHub::inactive(), None, root_body);
         if let Some(p) = poison {
             panic!("{}", p.message);
         }
@@ -281,12 +286,14 @@ impl Loop {
 
     /// Run with an observer hub installed; returns the report, any
     /// poison (instead of panicking, so callers can surface a typed
-    /// fault), and the artifacts the hub's built-in observers produced.
+    /// fault), whether the run stopped on a tripped `cancel` signal,
+    /// and the artifacts the hub's built-in observers produced.
     fn execute_observed(
         cfg: SimConfig,
         hub: ObserverHub,
+        cancel: Option<CancelSignal>,
         root_body: SimBody,
-    ) -> (SimReport, Option<Poison>, ObserverArtifacts) {
+    ) -> (SimReport, Option<Poison>, bool, ObserverArtifacts) {
         let n = cfg.platform.len();
         assert!(n > 0, "platform needs at least one machine");
         let mut engine = DepGraph::new();
@@ -324,6 +331,8 @@ impl Loop {
             traffic: ObjTraffic::default(),
             log: SimLog::new(cfg.log),
             poison: None,
+            cancel,
+            cancelled: false,
             injector: cfg.faults.clone().map(FaultInjector::new),
             down_until: vec![SimTime::ZERO; n],
             starts: vec![0; n],
@@ -335,9 +344,10 @@ impl Loop {
         };
         let report = lp.run_loop(root_body);
         let poison = lp.poison.take();
+        let cancelled = lp.cancelled;
         let hub = std::mem::replace(&mut lp.hub, ObserverHub::inactive());
         let arts = hub.finish(report.time.0.max(1));
-        (report, poison, arts)
+        (report, poison, cancelled, arts)
     }
 
     fn run_loop(&mut self, root_body: SimBody) -> SimReport {
@@ -352,6 +362,10 @@ impl Loop {
 
         while !(self.root_done && self.unfinished == 0) {
             if self.poison.is_some() {
+                break;
+            }
+            if self.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                self.cancelled = true;
                 break;
             }
             let Some((t, ev)) = self.events.pop() else {
@@ -407,7 +421,7 @@ impl Loop {
             self.flush_dispatch();
         }
 
-        if self.poison.is_some() {
+        if self.poison.is_some() || self.cancelled {
             // Drop all task processes so their threads unwind; the
             // caller decides whether to panic or return a typed fault.
             self.procs.clear();
@@ -1353,7 +1367,7 @@ impl JadeCtx for SimCtx {
 impl Runtime for SimExecutor {
     type Ctx = SimCtx;
 
-    fn execute<R, F>(&self, mut cfg: RunConfig, program: F) -> Result<Report<R>, JadeFault>
+    fn run_job<R, F>(&self, mut cfg: RunConfig, program: F) -> Result<Report<R>, JadeFault>
     where
         R: Send + 'static,
         F: FnOnce(&mut SimCtx) -> R + Send + 'static,
@@ -1369,7 +1383,11 @@ impl Runtime for SimExecutor {
             let r = program(ctx);
             let _ = tx.send(r);
         });
-        let (mut srep, poison, arts) = Loop::execute_observed(sim_cfg, hub, body);
+        let (mut srep, poison, cancelled, arts) =
+            Loop::execute_observed(sim_cfg, hub, cfg.cancel.clone(), body);
+        if cancelled {
+            return Err(JadeFault::Cancelled { task: TaskId::ROOT });
+        }
         if let Some(p) = poison {
             if let Some(err) = p.violation {
                 let task = err.task_hint().unwrap_or(p.task);

@@ -613,8 +613,11 @@ impl Runtime for ThreadedExecutor {
     /// width, `cfg.throttle` (when not `Throttle::None`) overrides the
     /// executor's policy; trace/timeline/contention/observers are all
     /// honored. Worker lane 0 is the root's thread; pool workers are
-    /// 1..=N.
-    fn execute<R, F>(&self, mut cfg: RunConfig, program: F) -> Result<Report<R>, JadeFault>
+    /// 1..=N. A [`RunConfig::cancel`] signal aborts promptly through
+    /// the panic-safe fault-shutdown machinery: not-yet-started tasks
+    /// are cancelled, blocked tasks unwind, and the run returns
+    /// [`JadeFault::Cancelled`].
+    fn run_job<R, F>(&self, mut cfg: RunConfig, program: F) -> Result<Report<R>, JadeFault>
     where
         R: Send + 'static,
         F: FnOnce(&mut ThreadCtx) -> R + Send + 'static,
@@ -657,6 +660,19 @@ impl Runtime for ThreadedExecutor {
             // lanes fold onto these modulo the buffer count.
             events: EventBuffers::new(workers + 1),
         });
+        if let Some(signal) = cfg.cancel.clone() {
+            // The hook downgrades to Weak so a signal outliving the
+            // run never pins the pool; tripping it rides the existing
+            // panic-safe fault machinery (first fault wins, shutdown
+            // wakes every parked or blocked thread).
+            let weak = Arc::downgrade(&inner);
+            signal.on_cancel(Box::new(move || {
+                if let Some(inner) = weak.upgrade() {
+                    inner.record_fault(JadeFault::Cancelled { task: TaskId::ROOT });
+                    inner.fault_shutdown();
+                }
+            }));
+        }
         for lane in 1..=workers {
             let i = Arc::clone(&inner);
             std::thread::spawn(move || worker_loop(i, lane));

@@ -71,5 +71,13 @@ pub use executor::{DispatchGate, ThreadCtx, ThreadedExecutor, Throttle};
 pub use steal::StealQueue;
 
 // The spec-builder surface, identical in jade-threads and jade-sim.
-pub use jade_core::runtime::{Report, RunConfig, Runtime};
+pub use jade_core::runtime::{CancelSignal, Report, RunConfig, Runtime};
 pub use jade_core::spec::{ContBuilder, SpecBuilder};
+
+// The job-submission surface, identical in every backend crate: apps
+// need exactly one import path per backend to run as a server.
+pub use jade_core::serve::{
+    ClientId, DrainSummary, JobHandle, JobId, JobReport, JobStatus, ServeConfig, Session,
+    SubmitError,
+};
+pub use jade_core::stats::ServeStats;

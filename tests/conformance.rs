@@ -12,6 +12,7 @@
 use jade_apps::{cholesky, lws, pmake};
 use jade_core::runtime::{Report, RunConfig, Runtime};
 use jade_core::serial::SerialRuntime;
+use jade_core::serve::ServeConfig;
 use jade_net::NetExecutor;
 use jade_sim::{Platform, SimExecutor};
 use jade_threads::ThreadedExecutor;
@@ -44,6 +45,91 @@ fn assert_conform<R: PartialEq + std::fmt::Debug>(
     assert_eq!(serial.1, threads.1, "{name}: threads task graph differs from serial");
     assert_eq!(serial.1, sim.1, "{name}: sim task graph differs from serial");
     assert_eq!(serial.1, net.1, "{name}: net task graph differs from serial");
+}
+
+/// The one-shot entry point and the job-server path must be two doors
+/// into the same room: for a given backend and program, a `Report`
+/// obtained from `execute` and one obtained from
+/// `open_session().submit().wait()` must agree on everything the
+/// serial semantics pins down — the result, the dynamic task graph,
+/// and the schedule-independent counters. `full_stats` additionally
+/// requires the complete counter set to match, which only holds on
+/// backends whose scheduling is deterministic (serial, sim).
+fn session_matches_execute<RT, R, F, M>(name: &str, rt: RT, full_stats: bool, make: M)
+where
+    RT: Runtime + Clone + Send + Sync + 'static,
+    R: PartialEq + std::fmt::Debug + Send + 'static,
+    F: FnOnce(&mut RT::Ctx) -> R + Send + 'static,
+    M: Fn() -> F,
+{
+    let one: Report<R> = rt
+        .execute(RunConfig::new().with_trace(), make())
+        .unwrap_or_else(|fault| panic!("{name}: execute faulted: {fault}"));
+
+    let session = rt.open_session(ServeConfig::new().with_slots(2));
+    let handle = session
+        .submit(RunConfig::new().with_trace(), make())
+        .unwrap_or_else(|err| panic!("{name}: submit rejected: {err}"));
+    let two: Report<R> = handle
+        .wait()
+        .unwrap_or_else(|fault| panic!("{name}: session job faulted: {fault}"));
+    let summary = session.drain();
+    assert!(summary.stats.is_settled(), "{name}: drain left jobs unaccounted");
+
+    assert_eq!(one.result, two.result, "{name}: session result differs from execute");
+    assert_eq!(
+        one.trace.as_ref().unwrap().to_text(),
+        two.trace.as_ref().unwrap().to_text(),
+        "{name}: session task graph differs from execute"
+    );
+    if full_stats {
+        assert_eq!(one.stats, two.stats, "{name}: session stats differ from execute");
+    } else {
+        // Schedule-dependent counters (access checks retried after
+        // waits, peaks) may differ run to run on a preemptive backend;
+        // the structural ones may not.
+        for (label, a, b) in [
+            ("tasks_created", one.stats.tasks_created, two.stats.tasks_created),
+            ("declarations", one.stats.declarations, two.stats.declarations),
+            ("conflicts", one.stats.conflicts, two.stats.conflicts),
+            ("objects_created", one.stats.objects_created, two.stats.objects_created),
+        ] {
+            assert_eq!(a, b, "{name}: session {label} differs from execute");
+        }
+    }
+}
+
+#[test]
+fn session_submit_matches_execute_on_every_backend() {
+    let mk = pmake::Makefile::random_dag(16, 3);
+    {
+        let mk = mk.clone();
+        session_matches_execute("serial", SerialRuntime, true, move || {
+            let mk = mk.clone();
+            move |ctx: &mut jade_core::serial::SerialCtx| pmake::make_jade(ctx, &mk)
+        });
+    }
+    {
+        let mk = mk.clone();
+        session_matches_execute("sim", SimExecutor::new(Platform::dash(4)), true, move || {
+            let mk = mk.clone();
+            move |ctx: &mut jade_sim::SimCtx| pmake::make_jade(ctx, &mk)
+        });
+    }
+    {
+        let mk = mk.clone();
+        session_matches_execute("threads", ThreadedExecutor::new(4), false, move || {
+            let mk = mk.clone();
+            move |ctx: &mut jade_threads::ThreadCtx| pmake::make_jade(ctx, &mk)
+        });
+    }
+    {
+        let mk = mk.clone();
+        session_matches_execute("net", NetExecutor::with_workers(2), false, move || {
+            let mk = mk.clone();
+            move |ctx: &mut jade_threads::ThreadCtx| pmake::make_jade(ctx, &mk)
+        });
+    }
 }
 
 #[test]

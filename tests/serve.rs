@@ -1,0 +1,265 @@
+//! Job-server behavior that needs real backends and real threads:
+//! weighted fair dispatch under saturation, cancellation of a running
+//! job through the shared-memory executor's fault-shutdown machinery,
+//! submit-time config validation, and the identical serve surface
+//! re-exported by every backend crate.
+
+#![deny(deprecated)]
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+use jade_core::ctx::JadeCtx;
+use jade_core::error::{JadeError, JadeFault};
+use jade_core::runtime::{CancelSignal, RunConfig, Runtime};
+use jade_core::serial::SerialRuntime;
+use jade_core::serve::{ClientId, JobStatus, ServeConfig, SubmitError};
+use jade_sim::{Platform, SimExecutor};
+use jade_threads::ThreadedExecutor;
+
+/// Two backlogged clients with weights 2:1 on a single execution slot:
+/// completions must interleave in stride order (the weighted share),
+/// not submission order. The head-of-line job is gated on a channel so
+/// every other job is queued before the first dispatch decision —
+/// which makes the schedule, and therefore this test, deterministic.
+#[test]
+fn fair_dispatch_shares_the_slot_by_weight() {
+    let session = SerialRuntime.open_session(
+        ServeConfig::new().with_slots(1).with_queue_cap(16),
+    );
+    let heavy = session.register_client(2);
+    let light = session.register_client(1);
+    assert_eq!(heavy, ClientId(1));
+    assert_eq!(light, ClientId(2));
+
+    let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+    let (started_tx, started_rx) = mpsc::channel::<()>();
+    let (gate_tx, gate_rx) = mpsc::channel::<()>();
+
+    // Occupy the only slot until the whole backlog is in the queue.
+    let gate = session
+        .submit(RunConfig::new(), move |_ctx| {
+            started_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        })
+        .expect("gate admitted");
+    started_rx.recv().unwrap();
+
+    let mut handles = Vec::new();
+    for label in ["a1", "a2", "a3"] {
+        let order = order.clone();
+        handles.push(
+            session
+                .submit_for(heavy, RunConfig::new(), move |_ctx| {
+                    order.lock().unwrap().push(label)
+                })
+                .expect("heavy job admitted"),
+        );
+    }
+    for label in ["b1", "b2", "b3"] {
+        let order = order.clone();
+        handles.push(
+            session
+                .submit_for(light, RunConfig::new(), move |_ctx| {
+                    order.lock().unwrap().push(label)
+                })
+                .expect("light job admitted"),
+        );
+    }
+
+    gate_tx.send(()).unwrap();
+    gate.wait().expect("gate job completes");
+    for h in handles {
+        h.wait().expect("backlog job completes");
+    }
+    let summary = session.drain();
+    assert!(summary.stats.is_settled());
+    assert_eq!(summary.stats.submitted, 7);
+    assert_eq!(summary.stats.completed, 7);
+
+    // FIFO would be a1 a2 a3 b1 b2 b3. Stride scheduling with weights
+    // 2:1 serves the heavy client twice per light-client grant while
+    // both are backlogged, then lets the light tail run.
+    let got = order.lock().unwrap().clone();
+    assert_eq!(got, vec!["a1", "b1", "a2", "a3", "b2", "b3"]);
+}
+
+/// Cancelling a *running* job on the shared-memory executor: the
+/// session trips the job's [`CancelSignal`], the hook poisons the
+/// engine through the panic-safe fault-shutdown path, and the job's
+/// handle — no one else's — sees [`JadeFault::Cancelled`]. The job
+/// holds at a channel until the cancel has been delivered, so the test
+/// never races the signal against a fast completion.
+#[test]
+fn cancel_interrupts_a_running_threaded_job() {
+    let exec = ThreadedExecutor::new(2);
+    let session = exec.open_session(ServeConfig::new().with_slots(2));
+
+    let (started_tx, started_rx) = mpsc::channel::<()>();
+    let (resume_tx, resume_rx) = mpsc::channel::<()>();
+    let victim = session
+        .submit(RunConfig::new(), move |ctx| {
+            started_tx.send(()).unwrap();
+            resume_rx.recv().unwrap();
+            // The signal has fired by now: the engine is poisoned and
+            // the next construct unwinds this root promptly instead of
+            // grinding through the remaining task creations.
+            for i in 0..100_000u64 {
+                let x = ctx.create(i);
+                ctx.withonly("spin", |s| { s.rd_wr(x); }, move |c| {
+                    *c.wr(&x) += 1;
+                });
+            }
+        })
+        .expect("victim admitted");
+    started_rx.recv().unwrap();
+
+    let bystander = session
+        .submit(RunConfig::new(), |ctx| {
+            let x = ctx.create(1u64);
+            ctx.withonly("ok", |s| { s.rd_wr(x); }, move |c| {
+                *c.wr(&x) += 41;
+            });
+            *ctx.rd(&x)
+        })
+        .expect("bystander admitted");
+
+    victim.cancel();
+    resume_tx.send(()).unwrap();
+    match victim.wait() {
+        Err(JadeFault::Cancelled { .. }) => {}
+        other => panic!("expected Cancelled fault, got {other:?}"),
+    }
+
+    // Per-job isolation: the neighbor on the same session is untouched.
+    assert_eq!(bystander.wait().expect("bystander unaffected").result, 42);
+    let summary = session.drain();
+    assert_eq!(summary.stats.cancelled, 1);
+    assert_eq!(summary.stats.completed, 1);
+}
+
+/// A pre-tripped signal makes the cancellation paths of the serial
+/// elision and the simulator deterministic to test: the job starts,
+/// the backend notices the flag at its first poll point, and the
+/// handle reports a cancelled run — no timing involved.
+#[test]
+fn pre_cancelled_signal_stops_serial_and_sim_jobs() {
+    let signal = CancelSignal::new();
+    signal.cancel();
+
+    let session = SerialRuntime.open_session(ServeConfig::new().with_slots(1));
+    let h = session
+        .submit(RunConfig::new().with_cancel(signal.clone()), |ctx| {
+            let x = ctx.create(0u64);
+            ctx.withonly("never", |s| { s.rd_wr(x); }, move |c| {
+                *c.wr(&x) = 1;
+            });
+        })
+        .expect("admitted");
+    match h.wait() {
+        Err(JadeFault::Cancelled { .. }) => {}
+        other => panic!("serial: expected Cancelled, got {other:?}"),
+    }
+    session.drain();
+
+    let sim = SimExecutor::new(Platform::dash(2));
+    let session = sim.open_session(ServeConfig::new().with_slots(1));
+    let h = session
+        .submit(RunConfig::new().with_cancel(signal), |ctx| {
+            let x = ctx.create(0u64);
+            ctx.withonly("never", |s| { s.rd_wr(x); }, move |c| {
+                c.charge(1e6);
+                *c.wr(&x) = 1;
+            });
+        })
+        .expect("admitted");
+    match h.wait() {
+        Err(JadeFault::Cancelled { .. }) => {}
+        other => panic!("sim: expected Cancelled, got {other:?}"),
+    }
+    session.drain();
+}
+
+/// `with_workers(0)` is rejected *at the submission boundary* with a
+/// typed error, on both doors: `submit` refuses admission with
+/// [`SubmitError::Invalid`], `execute` faults with the same
+/// [`JadeError::InvalidConfig`] wrapped as a root spec violation.
+/// Nothing runs, and the session keeps serving afterwards.
+#[test]
+fn zero_workers_is_rejected_at_both_entry_points() {
+    let exec = ThreadedExecutor::new(2);
+
+    match exec.execute(RunConfig::new().with_workers(0), |_ctx| ()) {
+        Err(JadeFault::SpecViolation {
+            error: JadeError::InvalidConfig { field: "workers", .. },
+            ..
+        }) => {}
+        other => panic!("execute: expected InvalidConfig fault, got {other:?}"),
+    }
+
+    let session = exec.open_session(ServeConfig::new().with_slots(1));
+    match session.submit(RunConfig::new().with_workers(0), |_ctx| ()) {
+        Err(SubmitError::Invalid(JadeError::InvalidConfig { field: "workers", .. })) => {}
+        other => panic!("submit: expected Invalid rejection, got {other:?}"),
+    }
+
+    // The rejection was an admission decision: the session is intact.
+    let ok = session
+        .submit(RunConfig::new(), |_ctx| 7u32)
+        .expect("valid job still admitted");
+    assert_eq!(ok.wait().expect("runs fine").result, 7);
+    let summary = session.drain();
+    assert_eq!(summary.stats.rejected_invalid, 1);
+    assert_eq!(summary.stats.completed, 1);
+}
+
+/// Queued-job cancellation reports `Cancelled` without the job ever
+/// running, even through a backend-crate re-export path.
+#[test]
+fn queued_job_cancels_cleanly_through_backend_reexports() {
+    let session = SerialRuntime
+        .open_session(jade_threads::ServeConfig::new().with_slots(1).with_queue_cap(8));
+    let (started_tx, started_rx) = mpsc::channel::<()>();
+    let (gate_tx, gate_rx) = mpsc::channel::<()>();
+    let gate = session
+        .submit(RunConfig::new(), move |_ctx| {
+            started_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        })
+        .expect("gate admitted");
+    started_rx.recv().unwrap();
+
+    let queued = session.submit(RunConfig::new(), |_ctx| 1u8).expect("queued");
+    assert_eq!(queued.status(), JobStatus::Queued);
+    queued.cancel();
+    gate_tx.send(()).unwrap();
+    gate.wait().expect("gate completes");
+    match queued.wait() {
+        Err(JadeFault::Cancelled { .. }) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    let summary = session.drain();
+    assert_eq!(summary.stats.cancelled, 1);
+}
+
+/// Every backend crate re-exports the one `jade_core::serve` surface:
+/// these assignments only type-check if the paths all name the same
+/// definitions.
+#[test]
+fn serve_surface_is_reexported_identically() {
+    let cfg: jade_threads::ServeConfig = jade_sim::ServeConfig::new();
+    let cfg: jade_net::ServeConfig = cfg;
+    let _: jade_core::serve::ServeConfig = cfg;
+
+    let client: jade_net::ClientId = jade_sim::ClientId::DEFAULT;
+    let _: jade_threads::ClientId = client;
+
+    let err: jade_threads::SubmitError = jade_net::SubmitError::Draining;
+    let _: jade_sim::SubmitError = err;
+
+    let id: jade_sim::JobId = jade_threads::JobId(3);
+    let _: jade_net::JobId = id;
+
+    let stats: jade_threads::ServeStats = jade_sim::ServeStats::default();
+    let _: jade_net::ServeStats = stats;
+}
