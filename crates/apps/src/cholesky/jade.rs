@@ -58,18 +58,30 @@ pub fn download<C: JadeCtx>(ctx: &mut C, jm: &JadeMatrix) -> SparseSym {
 /// `InternalUpdate` task per column and one `ExternalUpdate` task per
 /// below-diagonal entry; the runtime's per-object queues provide all
 /// synchronization.
+///
+/// Every task carries a portable body IR alongside its closure: the
+/// kernels in [`crate::kernels`] compute the same arithmetic, and the
+/// sparsity pattern each `ExternalUpdate` needs rides in the IR as
+/// literals — resolved by the main task from its host copy, exactly
+/// like the access declarations themselves. (The `pat` shared object
+/// stays declared and read by the closure; the IR simply never
+/// references that declaration, so backends that ship bodies do not
+/// need to marshal the `Vec<Vec<usize>>`.)
 pub fn factor_jade<C: JadeCtx>(ctx: &mut C, jm: &JadeMatrix) {
     let n = jm.pattern.n;
     let pat = jm.pat;
     for i in 0..n {
         let col_i = jm.cols[i];
         let len_i = jm.pattern.rows[i].len() + 1;
-        ctx.withonly(
+        // decl 0 = col_i (rd_wr), decl 1 = pat (rd, closure-only).
+        let ir = TaskBodyIr::new().step("chol_internal", vec![IrSrc::Obj(0)], IrDst::Obj(0));
+        ctx.withonly_ir(
             &format!("Internal({i})"),
             |s| {
                 s.rd_wr(col_i);
                 s.rd(pat);
             },
+            ir,
             move |c| {
                 c.charge(internal_cost(len_i));
                 // rd(c); rd(r): the task declares (and checks) its
@@ -90,13 +102,26 @@ pub fn factor_jade<C: JadeCtx>(ctx: &mut C, jm: &JadeMatrix) {
         for &j in &jm.pattern.rows[i] {
             let col_j = jm.cols[j];
             let tail = jm.pattern.rows[i].iter().filter(|&&t| t >= j).count();
-            ctx.withonly(
+            // decl 0 = col_j, decl 1 = col_i, decl 2 = pat. The kernel
+            // argument layout is `chol_external`'s:
+            // [j, |rows_i|, rows_i.., |rows_j|, rows_j.., col_i.., col_j..].
+            let mut meta = vec![j as f64, jm.pattern.rows[i].len() as f64];
+            meta.extend(jm.pattern.rows[i].iter().map(|&r| r as f64));
+            meta.push(jm.pattern.rows[j].len() as f64);
+            meta.extend(jm.pattern.rows[j].iter().map(|&r| r as f64));
+            let ir = TaskBodyIr::new().step(
+                "chol_external",
+                vec![IrSrc::Lit(meta), IrSrc::Obj(1), IrSrc::Obj(0)],
+                IrDst::Obj(0),
+            );
+            ctx.withonly_ir(
                 &format!("External({i}->{j})"),
                 |s| {
                     s.rd_wr(col_j);
                     s.rd(col_i);
                     s.rd(pat);
                 },
+                ir,
                 move |c| {
                     c.charge(external_cost(tail));
                     let pat = c.rd(&pat);

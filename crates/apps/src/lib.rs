@@ -22,6 +22,7 @@
 
 pub mod barneshut;
 pub mod cholesky;
+pub mod kernels;
 pub mod lws;
 pub mod pmake;
 pub mod video;

@@ -19,7 +19,7 @@
 
 use jade_core::prelude::*;
 
-use super::model::{pair_interaction, WaterSystem, PAIR_COST};
+use super::model::{block_len, pair_interaction, WaterSystem, PAIR_COST};
 
 /// Shared-object handles for one LWS run.
 #[derive(Clone)]
@@ -37,15 +37,6 @@ pub struct LwsHandles {
     pub energy_log: Shared<Vec<f64>>,
     /// Periodic box size.
     pub boxl: f64,
-}
-
-/// Size of interleaved block `k` of `n` molecules in `blocks` blocks.
-fn block_len(n: usize, blocks: usize, k: usize) -> usize {
-    if k < n % blocks {
-        n / blocks + 1
-    } else {
-        n / blocks
-    }
 }
 
 /// Allocate the shared objects for a system decomposed into `blocks`
@@ -70,6 +61,13 @@ pub fn upload<C: JadeCtx>(ctx: &mut C, sys: &WaterSystem, blocks: usize) -> LwsH
 
 /// Create the tasks for one timestep: `blocks` owner-computes force
 /// tasks, one (scalar) reduction, one integration.
+///
+/// Each task attaches a portable body IR over the kernels in
+/// [`crate::kernels`] (same arithmetic as the closures, bit for bit).
+/// Block geometry and the timestep ride as IR literals; a task whose
+/// kernel produces several objects' values in one output (forces +
+/// energy, positions + velocities) scatters it with `id` steps over
+/// temporary slices.
 pub fn timestep<C: JadeCtx>(ctx: &mut C, h: &LwsHandles, n: usize, dt: f64) {
     let blocks = h.forces.len();
     let boxl = h.boxl;
@@ -79,13 +77,34 @@ pub fn timestep<C: JadeCtx>(ctx: &mut C, h: &LwsHandles, n: usize, dt: f64) {
         let fk = h.forces[k];
         let pe = h.penergy[k];
         let owned = block_len(n, blocks, k);
-        ctx.withonly(
+        // decl 0 = pos (rd), decl 1 = forces (wr), decl 2 = energy (wr).
+        let ir = TaskBodyIr::new()
+            .step(
+                "lws_forces",
+                vec![
+                    IrSrc::Lit(vec![k as f64, blocks as f64, owned as f64, boxl]),
+                    IrSrc::Obj(0),
+                ],
+                IrDst::Tmp(0),
+            )
+            .step(
+                "id",
+                vec![IrSrc::TmpSlice { tmp: 0, start: 0, len: 3 * owned as u32 }],
+                IrDst::Obj(1),
+            )
+            .step(
+                "id",
+                vec![IrSrc::TmpSlice { tmp: 0, start: 3 * owned as u32, len: 1 }],
+                IrDst::Obj(2),
+            );
+        ctx.withonly_ir(
             &format!("Forces({k})"),
             |s| {
                 s.rd(pos);
                 s.wr(fk);
                 s.wr(pe);
             },
+            ir,
             move |c| {
                 // Each owned molecule interacts with all n−1 others.
                 c.charge((owned * (n.saturating_sub(1))) as f64 * PAIR_COST);
@@ -120,7 +139,13 @@ pub fn timestep<C: JadeCtx>(ctx: &mut C, h: &LwsHandles, n: usize, dt: f64) {
         let energy_log = h.energy_log;
         let spec_pe = h.penergy.clone();
         let body_pe = h.penergy.clone();
-        ctx.withonly(
+        // decl 0 = energy_log (rd_wr), decls 1..=blocks = the partial
+        // energies in block order (the closure's summation order).
+        let mut rargs = vec![IrSrc::Lit(vec![blocks as f64])];
+        rargs.extend((1..=blocks).map(|d| IrSrc::Obj(d as u32)));
+        rargs.push(IrSrc::Obj(0));
+        let ir = TaskBodyIr::new().step("lws_reduce", rargs, IrDst::Obj(0));
+        ctx.withonly_ir(
             "Reduce",
             |s| {
                 s.rd_wr(energy_log);
@@ -128,6 +153,7 @@ pub fn timestep<C: JadeCtx>(ctx: &mut C, h: &LwsHandles, n: usize, dt: f64) {
                     s.rd(p);
                 }
             },
+            ir,
             move |c| {
                 c.charge(body_pe.len() as f64 * 4.0);
                 let mut energy = 0.0;
@@ -144,7 +170,26 @@ pub fn timestep<C: JadeCtx>(ctx: &mut C, h: &LwsHandles, n: usize, dt: f64) {
         let vel = h.vel;
         let spec_forces = h.forces.clone();
         let body_forces = h.forces.clone();
-        ctx.withonly(
+        // decl 0 = pos, decl 1 = vel (both rd_wr), decls 2.. = the
+        // per-block forces. One kernel emits pos'++vel'; two id steps
+        // scatter the halves.
+        let mut iargs = vec![IrSrc::Lit(vec![n as f64, blocks as f64, dt, boxl])];
+        iargs.extend((0..blocks).map(|k| IrSrc::Obj(2 + k as u32)));
+        iargs.push(IrSrc::Obj(0));
+        iargs.push(IrSrc::Obj(1));
+        let ir = TaskBodyIr::new()
+            .step("lws_integrate", iargs, IrDst::Tmp(0))
+            .step(
+                "id",
+                vec![IrSrc::TmpSlice { tmp: 0, start: 0, len: 3 * n as u32 }],
+                IrDst::Obj(0),
+            )
+            .step(
+                "id",
+                vec![IrSrc::TmpSlice { tmp: 0, start: 3 * n as u32, len: 3 * n as u32 }],
+                IrDst::Obj(1),
+            );
+        ctx.withonly_ir(
             "Integrate",
             |s| {
                 s.rd_wr(pos);
@@ -153,6 +198,7 @@ pub fn timestep<C: JadeCtx>(ctx: &mut C, h: &LwsHandles, n: usize, dt: f64) {
                     s.rd(f);
                 }
             },
+            ir,
             move |c| {
                 c.charge((n * 12) as f64);
                 let blocks = body_forces.len();

@@ -78,6 +78,18 @@ impl WaterSystem {
     }
 }
 
+/// Size of interleaved block `k` when `n` molecules are dealt into
+/// `blocks` owner-computes blocks (molecule `i` belongs to block
+/// `i % blocks`). Shared by the task generator and the integration
+/// kernel, which must agree on the gather geometry.
+pub fn block_len(n: usize, blocks: usize, k: usize) -> usize {
+    if k < n % blocks {
+        n / blocks + 1
+    } else {
+        n / blocks
+    }
+}
+
 /// Minimum-image displacement from `a` to `b` in a periodic box.
 #[inline]
 pub fn min_image(a: &[f64; 3], b: &[f64; 3], boxl: f64) -> [f64; 3] {

@@ -9,6 +9,24 @@ use jade_core::prelude::*;
 use super::makefile::{FileState, Makefile};
 use super::serial::out_of_date;
 
+/// Register how a [`FileState`] lowers into the task-body IR's flat
+/// `f64` domain: `[version, size]`, both exact below 2⁵³. Idempotent
+/// and global (the registry is keyed by type), so calling it per
+/// `make_jade` run is free; the distributed backend needs it on the
+/// coordinator to ship file payloads to workers.
+pub fn register_file_lowering() {
+    jade_core::store::register_lowering::<FileState>(
+        |f| vec![f.version as f64, f.size as f64],
+        |f, data| {
+            if data.len() != 2 {
+                return false;
+            }
+            *f = FileState { version: data[0] as u64, size: data[1] as usize };
+            true
+        },
+    );
+}
+
 /// Result of a Jade make run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MakeOutcome {
@@ -26,6 +44,7 @@ pub struct MakeOutcome {
 /// The Jade runtime executes commands concurrently "unless one
 /// command depends on the result of another command".
 pub fn make_jade<C: JadeCtx>(ctx: &mut C, mk: &Makefile) -> MakeOutcome {
+    register_file_lowering();
     // Upload the file system.
     let mut handles: HashMap<String, Shared<FileState>> = HashMap::new();
     let mut names: Vec<&String> = mk.files.keys().collect();
@@ -61,7 +80,13 @@ pub fn make_jade<C: JadeCtx>(ctx: &mut C, mk: &Makefile) -> MakeOutcome {
         let cost = rule.cost;
         let out_size = rule.out_size;
         let spec_deps = deps.clone();
-        ctx.withonly(
+        // decl 0 = target (rd_wr, write-only in the IR), decls
+        // 1..=ndeps = prerequisites; the `pmake_build` kernel restamps
+        // the target from the lowered [version, size] pairs.
+        let mut bargs = vec![IrSrc::Lit(vec![deps.len() as f64, out_size as f64])];
+        bargs.extend((1..=deps.len()).map(|d| IrSrc::Obj(d as u32)));
+        let ir = TaskBodyIr::new().step("pmake_build", bargs, IrDst::Obj(0));
+        ctx.withonly_ir(
             &format!("make {}", rule.target),
             |s| {
                 s.rd_wr(target);
@@ -69,6 +94,7 @@ pub fn make_jade<C: JadeCtx>(ctx: &mut C, mk: &Makefile) -> MakeOutcome {
                     s.rd(d);
                 }
             },
+            ir,
             move |c| {
                 c.charge(cost);
                 // The command reads its prerequisites' actual states —

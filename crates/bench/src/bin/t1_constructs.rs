@@ -37,7 +37,7 @@ fn main() {
     println!("{:<28}{:>12}{:>12}", "lws/serial.rs (serial)", serial_total, serial_code);
     println!("{:<28}{:>12}{:>12}", "lws/jade.rs   (Jade port)", jade_total, jade_code);
 
-    let withonly = count_tokens(jade, ".withonly(");
+    let withonly = count_tokens(jade, ".withonly(") + count_tokens(jade, ".withonly_ir(");
     let with_cont = count_tokens(jade, ".with_cont(");
     let creates = count_tokens(jade, ".create_named(");
     let rd = count_tokens(jade, "s.rd(") + count_tokens(jade, "s.rd_wr(");

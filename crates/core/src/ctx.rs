@@ -31,9 +31,10 @@ use std::sync::Arc;
 
 use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, RawRwLock, RwLock};
 
-use crate::error::JadeError;
+use crate::error::{JadeError, JadeFault};
 use crate::handle::{Object, Shared};
 use crate::ids::{ObjectId, TaskId};
+use crate::ir::TaskBodyIr;
 use crate::spec::{AccessKind, ContBuilder, DeclRights, SpecBuilder};
 
 /// Per-object read/write hold counters. Guard acquisition and release
@@ -206,6 +207,41 @@ pub trait JadeCtx: Sized {
     where
         S: FnOnce(&mut SpecBuilder),
         F: FnOnce(&mut Self) + Send + 'static;
+
+    /// `withonly` with a portable task-body IR attached: `ir` is a
+    /// declarative rendering of `body` as kernel calls over the
+    /// declared objects (see [`crate::ir`]), and `body` is the closure
+    /// fallback with identical observable behavior. Executors that
+    /// cannot ship bodies ignore the IR and run the closure — which is
+    /// exactly this default. The distributed backend overrides this to
+    /// execute the IR on a remote worker against object replicas.
+    ///
+    /// The contract mirrors the paper's determinism requirement for
+    /// task bodies: `ir` and `body` must compute bit-identical values
+    /// for the declared objects, or backends diverge.
+    fn withonly_ir<S, F>(&mut self, label: &str, spec: S, ir: TaskBodyIr, body: F)
+    where
+        S: FnOnce(&mut SpecBuilder),
+        F: FnOnce(&mut Self) + Send + 'static,
+    {
+        let _ = ir;
+        self.withonly(label, spec, body);
+    }
+
+    /// Run a named kernel from the executing platform's registry.
+    /// On single-machine backends this computes locally; the
+    /// distributed backend overrides it to route the call to a worker
+    /// machine (the paper's "main body of computation on the
+    /// accelerator" pattern). One program text, every backend.
+    fn kernel(&mut self, name: &str, args: &[f64]) -> Result<Vec<f64>, JadeFault> {
+        match crate::kernels::KernelRegistry::builtin().lookup(name) {
+            Some(k) => Ok(k(args)),
+            None => Err(JadeFault::TaskPanicked {
+                task: self.task(),
+                message: format!("no kernel named '{name}' in the registry"),
+            }),
+        }
+    }
 
     /// The `with { changes } cont;` construct: update the running
     /// task's access specification. Converting a deferred declaration

@@ -1,0 +1,176 @@
+//! The kernel registry: named pure functions over `f64` slices that
+//! every machine in a platform links in.
+//!
+//! Jade task bodies are closures and cannot be marshalled across a
+//! process boundary, so distributed execution ships *programs of
+//! kernel calls* instead (the task-body IR, [`crate::ir`]): both the
+//! coordinator and every worker binary resolve the same kernel names
+//! against a [`KernelRegistry`] — the paper's "program text present on
+//! every machine" assumption, made explicit. The registry is a plain
+//! cloneable value (an `Arc` map under the hood), so each executor —
+//! and each concurrently running job — owns its own registry instead
+//! of sharing a process-global table.
+//!
+//! Kernels must be deterministic: worker-loss recovery re-executes an
+//! in-flight call on a survivor, and the result must not depend on
+//! which machine finished it.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A kernel: a pure function from arguments to results.
+pub type KernelFn = fn(&[f64]) -> Vec<f64>;
+
+/// A named set of kernels. Cheap to clone (shared map); extend with
+/// [`with`](KernelRegistry::with) before handing it to an executor.
+#[derive(Clone)]
+pub struct KernelRegistry {
+    map: Arc<HashMap<&'static str, KernelFn>>,
+}
+
+impl std::fmt::Debug for KernelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names = self.names();
+        names.sort_unstable();
+        write!(f, "KernelRegistry{names:?}")
+    }
+}
+
+impl Default for KernelRegistry {
+    fn default() -> Self {
+        KernelRegistry::builtin()
+    }
+}
+
+impl KernelRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        KernelRegistry { map: Arc::new(HashMap::new()) }
+    }
+
+    /// The built-in kernels every backend knows: `sum`, `dot`,
+    /// `scale2`, `sq_norm`, `cholesky_col`, and the identity kernel
+    /// `id` (the IR uses `id` to scatter slices of one kernel's output
+    /// into several objects).
+    pub fn builtin() -> Self {
+        KernelRegistry::empty()
+            .with("sum", k_sum)
+            .with("dot", k_dot)
+            .with("scale2", k_scale2)
+            .with("sq_norm", k_sq_norm)
+            .with("cholesky_col", k_cholesky_col)
+            .with("id", k_id)
+    }
+
+    /// Add (or replace) a kernel, builder-style.
+    pub fn with(mut self, name: &'static str, f: KernelFn) -> Self {
+        Arc::make_mut(&mut self.map).insert(name, f);
+        self
+    }
+
+    /// Look up a kernel by name.
+    pub fn lookup(&self, name: &str) -> Option<KernelFn> {
+        self.map.get(name).copied()
+    }
+
+    /// Whether every name in `names` resolves.
+    pub fn knows_all<'a>(&self, names: impl IntoIterator<Item = &'a str>) -> bool {
+        names.into_iter().all(|n| self.map.contains_key(n))
+    }
+
+    /// Names of every registered kernel (unordered).
+    pub fn names(&self) -> Vec<&'static str> {
+        self.map.keys().copied().collect()
+    }
+}
+
+/// Identity: `[x..] -> [x..]`. The IR's scatter primitive.
+fn k_id(args: &[f64]) -> Vec<f64> {
+    args.to_vec()
+}
+
+/// `[x0..xn] -> [Σx]`.
+fn k_sum(args: &[f64]) -> Vec<f64> {
+    vec![args.iter().sum()]
+}
+
+/// `[a0..an, b0..bn] -> [Σ aᵢbᵢ]` (odd-length input drops the middle).
+fn k_dot(args: &[f64]) -> Vec<f64> {
+    let h = args.len() / 2;
+    vec![args[..h].iter().zip(&args[args.len() - h..]).map(|(a, b)| a * b).sum()]
+}
+
+/// Doubles every element.
+fn k_scale2(args: &[f64]) -> Vec<f64> {
+    args.iter().map(|x| x * 2.0).collect()
+}
+
+/// `[x0..xn] -> [Σx²]`.
+fn k_sq_norm(args: &[f64]) -> Vec<f64> {
+    vec![args.iter().map(|x| x * x).sum()]
+}
+
+/// One column step of a dense Cholesky: `[d, c0..cn] -> [√d, c/√d]`.
+/// The shape the paper's sparse Cholesky ships to the i860 accelerator.
+fn k_cholesky_col(args: &[f64]) -> Vec<f64> {
+    if args.is_empty() {
+        return Vec::new();
+    }
+    let root = args[0].max(0.0).sqrt();
+    let mut out = Vec::with_capacity(args.len());
+    out.push(root);
+    let inv = if root > 0.0 { 1.0 / root } else { 0.0 };
+    out.extend(args[1..].iter().map(|c| c * inv));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_kernel_resolves() {
+        let reg = KernelRegistry::builtin();
+        for n in ["sum", "dot", "scale2", "sq_norm", "cholesky_col", "id"] {
+            assert!(reg.lookup(n).is_some(), "{n}");
+        }
+        assert!(reg.lookup("nope").is_none());
+        assert!(reg.knows_all(["sum", "id"]));
+        assert!(!reg.knows_all(["sum", "nope"]));
+    }
+
+    #[test]
+    fn kernels_compute() {
+        let reg = KernelRegistry::builtin();
+        assert_eq!(reg.lookup("sum").unwrap()(&[1.0, 2.0, 3.5]), vec![6.5]);
+        assert_eq!(reg.lookup("dot").unwrap()(&[1.0, 2.0, 3.0, 4.0]), vec![11.0]);
+        assert_eq!(reg.lookup("scale2").unwrap()(&[1.5, -2.0]), vec![3.0, -4.0]);
+        assert_eq!(reg.lookup("sq_norm").unwrap()(&[3.0, 4.0]), vec![25.0]);
+        assert_eq!(reg.lookup("id").unwrap()(&[7.0, -1.0]), vec![7.0, -1.0]);
+        let col = reg.lookup("cholesky_col").unwrap()(&[4.0, 2.0, 6.0]);
+        assert_eq!(col, vec![2.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn registries_are_independent_values() {
+        fn k_triple(args: &[f64]) -> Vec<f64> {
+            args.iter().map(|x| x * 3.0).collect()
+        }
+        let base = KernelRegistry::builtin();
+        let extended = base.clone().with("triple", k_triple);
+        assert!(base.lookup("triple").is_none(), "clone-on-write: base untouched");
+        assert_eq!(extended.lookup("triple").unwrap()(&[2.0]), vec![6.0]);
+    }
+
+    #[test]
+    fn kernels_are_deterministic_under_reexecution() {
+        // Recovery re-runs a kernel on a different machine; same input
+        // must give bit-identical output.
+        let reg = KernelRegistry::builtin();
+        for n in reg.names() {
+            let k = reg.lookup(n).unwrap();
+            let args: Vec<f64> = (0..16).map(|i| (i as f64) * 0.37 - 2.0).collect();
+            assert_eq!(k(&args), k(&args), "{n}");
+        }
+    }
+}

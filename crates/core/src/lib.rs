@@ -64,6 +64,9 @@ pub mod engine;
 pub mod fasthash;
 pub mod graph;
 pub mod handle;
+pub mod ir;
+pub mod kernels;
+pub mod place;
 pub mod observe;
 pub mod parts;
 pub mod ids;
@@ -83,6 +86,8 @@ pub mod prelude {
     pub use crate::error::{JadeError, JadeFault};
     pub use crate::handle::{Object, Shared};
     pub use crate::ids::{DeviceClass, MachineId, ObjectId, Placement, TaskId};
+    pub use crate::ir::{IrDst, IrSrc, IrStep, TaskBodyIr};
+    pub use crate::kernels::{KernelFn, KernelRegistry};
     pub use crate::observe::{Event, EventCollector, EventKind, RuntimeObserver};
     pub use crate::parts::PartedVec;
     pub use crate::runtime::{CancelSignal, Report, RunConfig, Runtime, Throttle};

@@ -491,8 +491,10 @@ pub trait Runtime {
 
     /// How many jobs this backend can execute concurrently in one
     /// process. `usize::MAX` (the default) means "as many as the
-    /// session is configured for"; backends with process-global state
-    /// (the network coordinator) override this to serialize jobs.
+    /// session is configured for"; a backend with process-global
+    /// state would override this to serialize jobs (none currently
+    /// does — the network coordinator's kernel registry and replica
+    /// directory are per-job values, not statics).
     fn max_concurrent_jobs(&self) -> usize {
         usize::MAX
     }

@@ -101,6 +101,18 @@ pub struct NetStats {
     pub timeouts: u64,
     /// Frames lost in transit (injected loss or a dead peer).
     pub dropped: u64,
+    /// Task bodies shipped to a worker as portable IR programs.
+    pub tasks_shipped: u64,
+    /// Object inputs a remote task needed that were already resident
+    /// on the chosen worker at the current version (no payload sent).
+    pub replica_hits: u64,
+    /// Object inputs that had to be shipped because the chosen worker
+    /// held no replica (or a stale one).
+    pub replica_misses: u64,
+    /// Object payload bytes shipped to workers (the cost of every
+    /// replica miss and recovery re-ship; what locality-aware
+    /// placement minimizes).
+    pub payload_bytes: u64,
 }
 
 impl NetStats {
@@ -111,6 +123,21 @@ impl NetStats {
         self.retransmits += other.retransmits;
         self.timeouts += other.timeouts;
         self.dropped += other.dropped;
+        self.tasks_shipped += other.tasks_shipped;
+        self.replica_hits += other.replica_hits;
+        self.replica_misses += other.replica_misses;
+        self.payload_bytes += other.payload_bytes;
+    }
+
+    /// Fraction of remote-task object inputs served from a resident
+    /// replica instead of a wire payload (1.0 when nothing shipped).
+    pub fn replica_hit_rate(&self) -> f64 {
+        let total = self.replica_hits + self.replica_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.replica_hits as f64 / total as f64
+        }
     }
 }
 
@@ -118,8 +145,17 @@ impl std::fmt::Display for NetStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "messages {} ({} bytes), retransmits {}, timeouts {}, dropped {}",
-            self.messages, self.bytes, self.retransmits, self.timeouts, self.dropped
+            "messages {} ({} bytes), retransmits {}, timeouts {}, dropped {}, \
+             tasks shipped {}, replica hits {} / misses {} ({} payload bytes)",
+            self.messages,
+            self.bytes,
+            self.retransmits,
+            self.timeouts,
+            self.dropped,
+            self.tasks_shipped,
+            self.replica_hits,
+            self.replica_misses,
+            self.payload_bytes
         )
     }
 }
@@ -140,6 +176,10 @@ pub struct FaultStats {
     /// Runs (or phases) that degraded to coordinator-local serial
     /// execution because too few workers survived.
     pub degraded: u64,
+    /// Object payloads shipped again because the only worker holding
+    /// the replica of the current version died (replica eviction on
+    /// recovery).
+    pub reshipped: u64,
 }
 
 impl FaultStats {
@@ -153,6 +193,7 @@ impl FaultStats {
         self.crashes += other.crashes;
         self.recoveries += other.recoveries;
         self.degraded += other.degraded;
+        self.reshipped += other.reshipped;
     }
 }
 
@@ -160,8 +201,8 @@ impl std::fmt::Display for FaultStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "crashes {}, recoveries {}, degraded {}",
-            self.crashes, self.recoveries, self.degraded
+            "crashes {}, recoveries {}, degraded {}, reshipped {}",
+            self.crashes, self.recoveries, self.degraded, self.reshipped
         )
     }
 }

@@ -10,9 +10,9 @@
 //! the type of — this is how the runtime "knows the types of all
 //! shared objects" (§6.1).
 
-use std::any::Any;
+use std::any::{Any, TypeId};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use jade_transport::{DecodeResult, PortDecoder, PortEncoder};
 use parking_lot::RwLock;
@@ -74,6 +74,112 @@ pub fn vtable_of<T: Object>() -> ObjVtable {
     }
 }
 
+/// Type-erased projection of an object into the IR's `f64` domain.
+type LowerFn = Arc<dyn Fn(&ErasedValue) -> Option<Vec<f64>> + Send + Sync>;
+/// Type-erased replacement of an object from a projection.
+type LiftFn = Arc<dyn Fn(&ErasedValue, &[f64]) -> bool + Send + Sync>;
+
+/// Lowering functions projecting a typed object into the task-body
+/// IR's flat `f64` value domain and back (see [`crate::ir`]).
+#[derive(Clone)]
+struct LowerOps {
+    lower: LowerFn,
+    lift: LiftFn,
+}
+
+/// The type-keyed lowering registry. Global and idempotent: an entry
+/// is a pure projection decided by the *type*, so concurrent jobs
+/// cannot conflict through it (unlike a kernel registry, which is
+/// per-executor state).
+fn lowerings() -> &'static RwLock<HashMap<TypeId, LowerOps>> {
+    static REG: OnceLock<RwLock<HashMap<TypeId, LowerOps>>> = OnceLock::new();
+    REG.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Register how a concrete object type lowers to the IR's `Vec<f64>`
+/// domain. `lower` projects the value; `lift` replaces the value from
+/// a projection, returning `false` on a shape mismatch (which aborts
+/// the remote path for that task, never corrupts the object).
+///
+/// Idempotent: re-registering a type replaces its entry. The std
+/// scalar/vector types are pre-registered; applications add their own
+/// (e.g. `pmake`'s `FileState`).
+pub fn register_lowering<T: Object>(
+    lower: impl Fn(&T) -> Vec<f64> + Send + Sync + 'static,
+    lift: impl Fn(&mut T, &[f64]) -> bool + Send + Sync + 'static,
+) {
+    let ops = LowerOps {
+        lower: Arc::new(move |v: &ErasedValue| {
+            v.downcast_ref::<RwLock<T>>().map(|lock| lower(&lock.read()))
+        }),
+        lift: Arc::new(move |v: &ErasedValue, data: &[f64]| {
+            match v.downcast_ref::<RwLock<T>>() {
+                Some(lock) => lift(&mut lock.write(), data),
+                None => false,
+            }
+        }),
+    };
+    ensure_std_lowerings();
+    lowerings().write().insert(TypeId::of::<RwLock<T>>(), ops);
+}
+
+fn insert_lowering_if_absent<T: Object>(
+    map: &mut HashMap<TypeId, LowerOps>,
+    lower: fn(&T) -> Vec<f64>,
+    lift: fn(&mut T, &[f64]) -> bool,
+) {
+    map.entry(TypeId::of::<RwLock<T>>()).or_insert_with(|| LowerOps {
+        lower: Arc::new(move |v: &ErasedValue| {
+            v.downcast_ref::<RwLock<T>>().map(|lock| lower(&lock.read()))
+        }),
+        lift: Arc::new(move |v: &ErasedValue, data: &[f64]| {
+            match v.downcast_ref::<RwLock<T>>() {
+                Some(lock) => lift(&mut lock.write(), data),
+                None => false,
+            }
+        }),
+    });
+}
+
+/// Pre-register the lowerings for the std object types the example
+/// programs ship: `f64`, `Vec<f64>`, `Vec<[f64; 3]>`.
+fn ensure_std_lowerings() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        let mut map = lowerings().write();
+        insert_lowering_if_absent::<f64>(
+            &mut map,
+            |v| vec![*v],
+            |v, data| {
+                if data.len() != 1 {
+                    return false;
+                }
+                *v = data[0];
+                true
+            },
+        );
+        insert_lowering_if_absent::<Vec<f64>>(
+            &mut map,
+            |v| v.clone(),
+            |v, data| {
+                *v = data.to_vec();
+                true
+            },
+        );
+        insert_lowering_if_absent::<Vec<[f64; 3]>>(
+            &mut map,
+            |v| v.iter().flatten().copied().collect(),
+            |v, data| {
+                if data.len() % 3 != 0 {
+                    return false;
+                }
+                *v = data.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
+                true
+            },
+        );
+    });
+}
+
 /// One local version of a shared object.
 #[derive(Clone, Debug)]
 pub struct Slot {
@@ -114,6 +220,26 @@ impl Slot {
     /// Approximate wire size of the current value.
     pub fn wire_size(&self) -> usize {
         (self.vtable.size)(&self.value)
+    }
+
+    /// Project the current value into the IR's flat `f64` domain, or
+    /// `None` when no lowering is registered for the value's type
+    /// (the task then stays on the closure path).
+    pub fn lower(&self) -> Option<Vec<f64>> {
+        ensure_std_lowerings();
+        let ops = lowerings().read().get(&(*self.value).type_id())?.clone();
+        (ops.lower)(&self.value)
+    }
+
+    /// Replace the current value from an IR projection. Returns
+    /// `false` (leaving the value untouched) when no lowering is
+    /// registered or the projection's shape does not fit the type.
+    pub fn lift(&self, data: &[f64]) -> bool {
+        ensure_std_lowerings();
+        let Some(ops) = lowerings().read().get(&(*self.value).type_id()).cloned() else {
+            return false;
+        };
+        (ops.lift)(&self.value, data)
     }
 
     /// Downcast to the typed lock. Panics on type confusion (which
@@ -246,6 +372,66 @@ mod tests {
         let small = Slot::new("s", vec![0.0f64; 4]);
         let big = Slot::new("b", vec![0.0f64; 4096]);
         assert!(big.wire_size() > small.wire_size() * 100);
+    }
+
+    #[test]
+    fn std_lowerings_round_trip() {
+        let scalar = Slot::new("e", 2.5f64);
+        assert_eq!(scalar.lower().unwrap(), vec![2.5]);
+        assert!(scalar.lift(&[7.0]));
+        assert_eq!(*scalar.typed::<f64>().read(), 7.0);
+        assert!(!scalar.lift(&[1.0, 2.0]), "a scalar rejects a vector shape");
+
+        let col = Slot::new("col", vec![1.0f64, 2.0]);
+        assert_eq!(col.lower().unwrap(), vec![1.0, 2.0]);
+        assert!(col.lift(&[9.0, 8.0, 7.0]), "vectors may change length");
+        assert_eq!(*col.typed::<Vec<f64>>().read(), vec![9.0, 8.0, 7.0]);
+
+        let pts = Slot::new("pos", vec![[1.0f64, 2.0, 3.0]]);
+        assert_eq!(pts.lower().unwrap(), vec![1.0, 2.0, 3.0]);
+        assert!(pts.lift(&[4.0, 5.0, 6.0, 7.0, 8.0, 9.0]));
+        assert_eq!(
+            *pts.typed::<Vec<[f64; 3]>>().read(),
+            vec![[4.0, 5.0, 6.0], [7.0, 8.0, 9.0]]
+        );
+        assert!(!pts.lift(&[1.0, 2.0]), "length must be a multiple of 3");
+    }
+
+    #[test]
+    fn unregistered_type_does_not_lower() {
+        let slot = Slot::new("s", "hello".to_string());
+        assert!(slot.lower().is_none());
+        assert!(!slot.lift(&[1.0]));
+        assert_eq!(*slot.typed::<String>().read(), "hello", "lift must not corrupt");
+    }
+
+    #[test]
+    fn app_types_register_their_own_lowering() {
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        struct Pair(f64, f64);
+        impl jade_transport::Portable for Pair {
+            fn encode(&self, enc: &mut PortEncoder) {
+                enc.put_f64(self.0);
+                enc.put_f64(self.1);
+            }
+            fn decode(dec: &mut PortDecoder<'_>) -> DecodeResult<Self> {
+                Ok(Pair(dec.get_f64()?, dec.get_f64()?))
+            }
+        }
+        super::register_lowering::<Pair>(
+            |p| vec![p.0, p.1],
+            |p, d| {
+                if d.len() != 2 {
+                    return false;
+                }
+                *p = Pair(d[0], d[1]);
+                true
+            },
+        );
+        let slot = Slot::new("p", Pair(1.0, 2.0));
+        assert_eq!(slot.lower().unwrap(), vec![1.0, 2.0]);
+        assert!(slot.lift(&[3.0, 4.0]));
+        assert_eq!(*slot.typed::<Pair>().read(), Pair(3.0, 4.0));
     }
 
     #[test]

@@ -38,12 +38,15 @@ use std::time::{Duration, Instant};
 
 use jade_core::error::JadeFault;
 use jade_core::ids::TaskId;
+use jade_core::ir::TaskBodyIr;
+use jade_core::kernels::KernelRegistry;
 use jade_core::observe::{Event, EventKind};
+use jade_core::place::{choose, Candidate};
 use jade_core::stats::{FaultStats, NetStats};
 use jade_transport::{encode_frame, DataLayout, FrameReader};
 use parking_lot::{Condvar, Mutex};
 
-use crate::kernels;
+use crate::directory::Directory;
 use crate::reliable::{Accept, Reliable, ReliableConfig};
 use crate::sock::{is_timeout, Sock};
 use crate::wire::{pack_msg, unpack_msg, NetMsg};
@@ -83,6 +86,22 @@ pub struct ChaosSpec {
     pub hang_after_grants: Option<u32>,
     /// Die instead of sending kernel result `n + 1`.
     pub kill_after_kernels: Option<u32>,
+    /// Die instead of sending task result `n + 1`, after installing
+    /// the task's outputs locally (dies holding dirty sole replicas).
+    pub kill_after_tasks: Option<u32>,
+}
+
+/// How the coordinator picks the worker for a shipped task body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// The paper's §5 heuristic through the shared
+    /// [`jade_core::place::choose`]: lowest in-flight load first, then
+    /// strongest affinity (resident replica bytes of the task's read
+    /// set), then index.
+    Locality,
+    /// Rotate over live workers, ignoring residency (the baseline the
+    /// locality experiment compares against).
+    RoundRobin,
 }
 
 /// Configuration for the distributed backend.
@@ -114,6 +133,12 @@ pub struct NetConfig {
     /// the coordinator's own registry (degraded mode), `false` surfaces
     /// [`JadeFault::RetriesExhausted`].
     pub kernel_local_fallback: bool,
+    /// The kernels this job can ship (workers must serve a superset;
+    /// the coordinator refuses to ship a task naming a kernel the
+    /// registry lacks and runs its closure locally instead).
+    pub registry: KernelRegistry,
+    /// Worker selection for shipped task bodies.
+    pub placement: PlacementPolicy,
 }
 
 impl Default for NetConfig {
@@ -131,6 +156,8 @@ impl Default for NetConfig {
             loss: None,
             chaos: Vec::new(),
             kernel_local_fallback: true,
+            registry: KernelRegistry::builtin(),
+            placement: PlacementPolicy::Locality,
         }
     }
 }
@@ -158,6 +185,7 @@ impl NetConfig {
                 kill_after_grants: c.kill_after_grants,
                 hang_after_grants: c.hang_after_grants,
                 kill_after_kernels: c.kill_after_kernels,
+                kill_after_tasks: c.kill_after_tasks,
             })
             .unwrap_or_default()
     }
@@ -217,12 +245,27 @@ struct KernelCell {
     state: KernelState,
 }
 
+enum TaskState {
+    Pending,
+    /// `Ok(outputs)` or `Err(worker-reported failure)`.
+    Done(Result<Vec<(u32, Vec<f64>)>, String>),
+    Dead,
+}
+
+/// One shipped task body awaiting its [`NetMsg::TaskResult`].
+struct TaskCell {
+    worker: usize,
+    state: TaskState,
+}
+
 /// Everything the condvar protects. Lock ordering: a thread holding
 /// `waiters` must NEVER take a link's `tx` lock (send first, wait
 /// second).
 struct Waiters {
     leases: HashMap<u64, LeaseCell>,
     kernels: HashMap<u64, KernelCell>,
+    /// Shipped task bodies in flight, keyed by nonce (the task id).
+    tasks: HashMap<u64, TaskCell>,
     /// task → worker that granted it (for `TaskComplete` routing).
     granted: HashMap<u64, usize>,
     /// Fault shutdown in progress: admit no new work.
@@ -245,6 +288,30 @@ pub struct Shared {
     stop: AtomicBool,
     next_kernel: AtomicU64,
     next_nonce: AtomicU64,
+    /// Replica directory: which worker holds which object version.
+    directory: Mutex<Directory>,
+    /// Shipped-but-unresolved task bodies per worker (placement load).
+    in_flight: Vec<AtomicUsize>,
+    tasks_shipped: AtomicU64,
+    replica_hits: AtomicU64,
+    replica_misses: AtomicU64,
+    payload_bytes: AtomicU64,
+}
+
+/// How a remote task-body dispatch resolved, for the gate.
+pub(crate) enum RemoteOutcome {
+    /// The worker ran the program; these are the written declarations'
+    /// lowered values, ready to lift into the coordinator's store.
+    Done(Vec<(u32, Vec<f64>)>),
+    /// The worker reported a deterministic failure (the program itself
+    /// is bad); retrying elsewhere cannot help — run the closure
+    /// locally so the canonical fault surfaces. The message is kept
+    /// for debugging even though the gate deliberately discards it.
+    Failed(#[allow(dead_code)] String),
+    /// Dispatch budget or live workers exhausted: degrade to local.
+    Exhausted,
+    /// The run is being cancelled.
+    Aborted,
 }
 
 impl Shared {
@@ -278,6 +345,196 @@ impl Shared {
         };
         let i = self.rr.fetch_add(1, Ordering::Relaxed);
         Some(candidates[i % candidates.len()])
+    }
+
+    /// Pick the worker for a shipped task body. Under
+    /// [`PlacementPolicy::Locality`] this scores live workers with the
+    /// shared [`jade_core::place::choose`]: in-flight shipped tasks as
+    /// load, resident replica bytes of the task's read set as
+    /// affinity. Falls back to round-robin when configured.
+    pub(crate) fn pick_worker_for(
+        &self,
+        read_objs: &[u64],
+        exclude: Option<usize>,
+    ) -> Option<usize> {
+        if self.cfg.placement == PlacementPolicy::RoundRobin {
+            return self.pick_worker(exclude);
+        }
+        let live = self.live_workers();
+        if live.is_empty() {
+            return None;
+        }
+        let candidates: Vec<usize> = match exclude {
+            Some(x) if live.len() > 1 => live.into_iter().filter(|&w| w != x).collect(),
+            _ => live,
+        };
+        let dir = self.directory.lock();
+        let scored: Vec<Candidate> = candidates
+            .iter()
+            .map(|&w| Candidate {
+                machine: w,
+                load: self.in_flight[w].load(Ordering::Relaxed),
+                speed: 1.0,
+                affinity: dir.resident_bytes(read_objs, w),
+            })
+            .collect();
+        choose(&scored)
+    }
+
+    /// A coordinator-local body wrote `object`: advance the master
+    /// version so every worker replica is invalidated.
+    pub(crate) fn note_local_write(&self, object: u64) {
+        self.directory.lock().note_local_write(object);
+    }
+
+    /// Whether the coordinator's registry can ship a task that calls
+    /// these kernels.
+    pub(crate) fn can_ship<'a>(&self, kernels: impl IntoIterator<Item = &'a str>) -> bool {
+        self.cfg.registry.knows_all(kernels)
+    }
+
+    /// Ship a task body to a worker and block until it resolves, with
+    /// bounded re-dispatch on worker death (same recovery discipline as
+    /// [`Shared::call_kernel`]).
+    ///
+    /// `reads` are the task's readable declarations as
+    /// `(decl index, object id, lowered payload)`; `writes` its
+    /// written declarations as `(decl index, object id)`. Output
+    /// versions are pre-assigned as `master + 1`, which is stable
+    /// across re-dispatch because the master version only advances
+    /// when a dispatch actually completes.
+    pub(crate) fn run_task_remote(
+        &self,
+        task: u64,
+        ir: &TaskBodyIr,
+        reads: &[(u32, u64, Vec<f64>)],
+        writes: &[(u32, u64)],
+    ) -> RemoteOutcome {
+        let read_objs: Vec<u64> = reads.iter().map(|&(_, o, _)| o).collect();
+        let mut dispatches = 0u32;
+        let mut dead_from: Option<usize> = None;
+        loop {
+            if self.aborted() {
+                return RemoteOutcome::Aborted;
+            }
+            if dispatches >= self.cfg.max_task_attempts {
+                return RemoteOutcome::Exhausted;
+            }
+            let Some(w) = self.pick_worker_for(&read_objs, dead_from) else {
+                return RemoteOutcome::Exhausted;
+            };
+            if let Some(from) = dead_from.take() {
+                self.bump_recovery(from, w, task);
+            }
+            dispatches += 1;
+
+            // Version the footprint against the master directory and
+            // ship whatever the worker does not already hold.
+            let mut inputs = Vec::with_capacity(reads.len());
+            let mut ships = Vec::new();
+            let mut outs = Vec::with_capacity(writes.len());
+            {
+                let mut dir = self.directory.lock();
+                for (idx, obj, data) in reads {
+                    let ver = dir.version(*obj);
+                    inputs.push((*idx, *obj, ver));
+                    if dir.holds(*obj, ver, w) {
+                        self.replica_hits.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.replica_misses.fetch_add(1, Ordering::Relaxed);
+                        let bytes = (data.len() * std::mem::size_of::<f64>()) as u64;
+                        self.payload_bytes.fetch_add(bytes, Ordering::Relaxed);
+                        if dir.record_ship(*obj, ver, w, bytes) {
+                            self.faults.lock().reshipped += 1;
+                        }
+                        ships.push(NetMsg::ObjectShip {
+                            object: *obj,
+                            version: ver,
+                            data: data.clone(),
+                        });
+                    }
+                }
+                for (idx, obj) in writes {
+                    outs.push((*idx, *obj, dir.version(*obj) + 1));
+                }
+            }
+
+            self.waiters
+                .lock()
+                .tasks
+                .insert(task, TaskCell { worker: w, state: TaskState::Pending });
+            self.in_flight[w].fetch_add(1, Ordering::Relaxed);
+            self.tasks_shipped.fetch_add(1, Ordering::Relaxed);
+            let mut send_failed = false;
+            for ship in &ships {
+                if self.send_to(w, ship).is_err() {
+                    send_failed = true;
+                    break;
+                }
+            }
+            if !send_failed {
+                let ship = NetMsg::TaskShip {
+                    nonce: task,
+                    ir: ir.clone(),
+                    inputs,
+                    outs: outs.clone(),
+                };
+                send_failed = self.send_to(w, &ship).is_err();
+            }
+            if send_failed {
+                self.declare_dead(w, "send failed");
+                self.waiters.lock().tasks.remove(&task);
+                self.in_flight[w].fetch_sub(1, Ordering::Relaxed);
+                dead_from = Some(w);
+                continue;
+            }
+
+            let outcome = {
+                let mut g = self.waiters.lock();
+                loop {
+                    if g.aborted {
+                        g.tasks.remove(&task);
+                        break None;
+                    }
+                    match g.tasks.get_mut(&task).map(|c| {
+                        std::mem::replace(&mut c.state, TaskState::Pending)
+                    }) {
+                        Some(TaskState::Done(res)) => {
+                            g.tasks.remove(&task);
+                            break Some(Ok(res));
+                        }
+                        Some(TaskState::Dead) => {
+                            g.tasks.remove(&task);
+                            break Some(Err(w));
+                        }
+                        Some(TaskState::Pending) | None => self.cv.wait(&mut g),
+                    }
+                }
+            };
+            self.in_flight[w].fetch_sub(1, Ordering::Relaxed);
+            match outcome {
+                None => return RemoteOutcome::Aborted,
+                Some(Ok(Ok(results))) => {
+                    // The worker installed these outputs in its own
+                    // cache at the pre-assigned versions: commit them
+                    // as the new masters with the worker as sole
+                    // holder. That residency is the locality signal.
+                    let mut dir = self.directory.lock();
+                    for (idx, data) in &results {
+                        if let Some(&(_, obj, newver)) =
+                            outs.iter().find(|&&(i, _, _)| i == *idx)
+                        {
+                            let bytes = (data.len() * std::mem::size_of::<f64>()) as u64;
+                            dir.commit_remote_write(obj, newver, w, bytes);
+                        }
+                    }
+                    drop(dir);
+                    return RemoteOutcome::Done(results);
+                }
+                Some(Ok(Err(msg))) => return RemoteOutcome::Failed(msg),
+                Some(Err(from)) => dead_from = Some(from),
+            }
+        }
     }
 
     /// Send one protocol message to a worker through its reliability
@@ -322,6 +579,12 @@ impl Shared {
                     n += 1;
                 }
             }
+            for cell in g.tasks.values_mut() {
+                if cell.worker == worker && matches!(cell.state, TaskState::Pending) {
+                    cell.state = TaskState::Dead;
+                    n += 1;
+                }
+            }
             in_flight = n;
             // The vendored condvar requires notification under the
             // paired mutex.
@@ -329,6 +592,9 @@ impl Shared {
         }
         self.push_event(TaskId::ROOT, EventKind::WorkerLost { worker, in_flight });
         let _ = why; // recorded via the event label at render time
+        // The worker's replica cache died with it; versions it solely
+        // held must be re-shipped (recovery traffic) when needed next.
+        self.directory.lock().evict_worker(worker);
         link.shutdown_handle.shutdown_both();
     }
 
@@ -426,7 +692,7 @@ impl Shared {
     ) -> Result<Vec<f64>, JadeFault> {
         if self.cfg.kernel_local_fallback {
             self.faults.lock().degraded += 1;
-            match kernels::lookup(name) {
+            match self.cfg.registry.lookup(name) {
                 Some(k) => Ok(k(args)),
                 None => Err(JadeFault::TaskPanicked {
                     task: TaskId(id),
@@ -590,6 +856,26 @@ impl Shared {
                             if matches!(cell.state, KernelState::Pending) {
                                 cell.state = KernelState::Done(if ok {
                                     Ok(values)
+                                } else {
+                                    Err(err)
+                                });
+                                self.cv.notify_all();
+                            }
+                        }
+                    }
+                    NetMsg::TaskResult { nonce, ok, err, outs } => {
+                        let mut g = self.waiters.lock();
+                        if let Some(cell) = g.tasks.get_mut(&nonce) {
+                            // Only the currently-assigned worker may
+                            // resolve the cell; a link that was
+                            // declared dead mid-task never delivers
+                            // (its reader thread exited), so no stale
+                            // attempt can race a re-dispatch.
+                            if cell.worker == link.id
+                                && matches!(cell.state, TaskState::Pending)
+                            {
+                                cell.state = TaskState::Done(if ok {
+                                    Ok(outs)
                                 } else {
                                     Err(err)
                                 });
@@ -766,6 +1052,7 @@ impl Cluster {
                         },
                         chaos,
                         die: Die::Abrupt,
+                        registry: cfg.registry.clone(),
                     };
                     let addr = addr.clone();
                     worker_threads.push(std::thread::spawn(move || {
@@ -806,6 +1093,9 @@ impl Cluster {
                     }
                     if let Some(n) = chaos.kill_after_kernels {
                         cmd.env("JADE_NET_KILL_AFTER_KERNELS", n.to_string());
+                    }
+                    if let Some(n) = chaos.kill_after_tasks {
+                        cmd.env("JADE_NET_KILL_AFTER_TASKS", n.to_string());
                     }
                     children.push(cmd.spawn()?);
                 }
@@ -885,6 +1175,7 @@ impl Cluster {
             }));
         }
 
+        let nworkers = cfg.workers;
         let shared = Arc::new(Shared {
             cfg,
             coord_layout,
@@ -892,6 +1183,7 @@ impl Cluster {
             waiters: Mutex::new(Waiters {
                 leases: HashMap::new(),
                 kernels: HashMap::new(),
+                tasks: HashMap::new(),
                 granted: HashMap::new(),
                 aborted: false,
             }),
@@ -903,6 +1195,12 @@ impl Cluster {
             stop: AtomicBool::new(false),
             next_kernel: AtomicU64::new(0),
             next_nonce: AtomicU64::new(0),
+            directory: Mutex::new(Directory::new(nworkers)),
+            in_flight: (0..nworkers).map(|_| AtomicUsize::new(0)).collect(),
+            tasks_shipped: AtomicU64::new(0),
+            replica_hits: AtomicU64::new(0),
+            replica_misses: AtomicU64::new(0),
+            payload_bytes: AtomicU64::new(0),
         });
         for link in &shared.links {
             shared.push_event(TaskId::ROOT, EventKind::WorkerJoined { worker: link.id });
@@ -977,6 +1275,10 @@ impl Cluster {
         for link in &self.shared.links {
             net.merge(&link.tx.lock().rel.stats);
         }
+        net.tasks_shipped = self.shared.tasks_shipped.load(Ordering::Relaxed);
+        net.replica_hits = self.shared.replica_hits.load(Ordering::Relaxed);
+        net.replica_misses = self.shared.replica_misses.load(Ordering::Relaxed);
+        net.payload_bytes = self.shared.payload_bytes.load(Ordering::Relaxed);
         let faults = *self.shared.faults.lock();
         let events = std::mem::take(&mut *self.shared.events.lock());
         (net, faults, events)

@@ -1,22 +1,40 @@
-//! The lease gate: where the thread pool's dispatch meets the wire.
+//! The dispatch gate: where the thread pool's dispatch meets the wire.
 //!
-//! Jade task bodies are closures and cannot cross a process boundary,
-//! so the distributed backend splits each dispatch in two: the
-//! coordinator keeps the dependency engine, object store and bodies,
-//! and a worker machine must *grant a lease* over the wire before a
-//! pool lane runs the body. That round-trip is what makes worker
-//! death observable per task: a lease that dies in flight is
-//! reassigned to a survivor (bounded by `max_task_attempts`), and
-//! with no survivors the grant degrades to coordinator-local serial
-//! execution — the run completes, with the degradation recorded in
-//! [`FaultStats`](jade_core::stats::FaultStats) instead of an error.
+//! The coordinator keeps the dependency engine, object store and
+//! closure bodies; the gate decides per task how the body's effects
+//! happen, in order of preference:
+//!
+//! 1. **Ship the body.** A task created with `withonly_ir` carries a
+//!    portable kernel program over its declared footprint. If the
+//!    coordinator's registry knows every kernel and every accessed
+//!    object lowers to the IR's flat `f64` domain, the gate lowers the
+//!    inputs, ships whatever the chosen worker's replica cache is
+//!    missing, and blocks for the [`TaskResult`](crate::wire::NetMsg);
+//!    the returned outputs are lifted into the store and the pool
+//!    settles the task with no closure run ([`Admission::Remote`]).
+//!    Worker death mid-task re-dispatches to a survivor (bounded by
+//!    `max_task_attempts`).
+//! 2. **Lease the right to execute.** A closure-only task cannot cross
+//!    the process boundary, so a worker grants a *lease* over the wire
+//!    and the body runs coordinator-side ([`Admission::Local`]). The
+//!    round-trip is what makes worker death observable per task.
+//! 3. **Degrade.** With the dispatch budget or the worker pool
+//!    exhausted, the body runs locally anyway — the run completes,
+//!    with the degradation recorded in
+//!    [`FaultStats`](jade_core::stats::FaultStats) instead of an
+//!    error.
+//!
+//! A task that *cannot* be shipped for static reasons — an unknown
+//! kernel, an object type with no registered lowering — silently takes
+//! the lease path: that is a program shape, not a fault.
 
 use std::sync::Arc;
 
-use jade_core::ids::TaskId;
-use jade_threads::DispatchGate;
+use jade_core::ids::{ObjectId, TaskId};
+use jade_core::ir::TaskBodyIr;
+use jade_threads::{AdmitRequest, Admission, DispatchGate};
 
-use crate::cluster::Shared;
+use crate::cluster::{RemoteOutcome, Shared};
 use crate::wire::NetMsg;
 
 /// [`DispatchGate`] implementation backed by a [`Shared`] cluster.
@@ -29,11 +47,109 @@ impl LeaseGate {
     pub fn new(shared: Arc<Shared>) -> Self {
         LeaseGate { shared }
     }
+
+    /// Try to execute the task's portable body on a worker.
+    /// `Some(admission)` settles the dispatch; `None` means the task
+    /// is not shippable (or the attempt must not be retried) and the
+    /// caller falls through to the lease path.
+    fn admit_ir(&self, req: &AdmitRequest<'_>, ir: &TaskBodyIr) -> Option<Admission> {
+        let sh = &self.shared;
+        if !sh.can_ship(ir.kernel_names()) {
+            // The registry cannot express this program; the closure is
+            // the only rendering. Not a fault.
+            return None;
+        }
+        let read_idx = ir.read_decls();
+        let write_idx = ir.written_decls();
+        if read_idx
+            .iter()
+            .chain(write_idx.iter())
+            .any(|&d| d as usize >= req.decls.len())
+        {
+            // The program names a declaration the spec never made; the
+            // closure path will surface whatever is actually wrong.
+            return None;
+        }
+
+        // Lower the footprint out of the store. Written objects are
+        // lowered too: it proves their types can round-trip *before*
+        // anything is mutated, and the pre-images double as an undo
+        // log should a lift fail halfway.
+        let mut reads: Vec<(u32, u64, Vec<f64>)> = Vec::with_capacity(read_idx.len());
+        let mut writes: Vec<(u32, u64)> = Vec::with_capacity(write_idx.len());
+        let mut undo: Vec<(u32, u64, Vec<f64>)> = Vec::with_capacity(write_idx.len());
+        {
+            let store = req.store.read();
+            for &d in &read_idx {
+                let obj = req.decls[d as usize].object;
+                let data = store.get(obj).ok()?.lower()?;
+                reads.push((d, obj.0, data));
+            }
+            for &d in &write_idx {
+                let obj = req.decls[d as usize].object;
+                let pre = store.get(obj).ok()?.lower()?;
+                undo.push((d, obj.0, pre));
+                writes.push((d, obj.0));
+            }
+        }
+        // The store lock is released across the network wait: sibling
+        // tasks keep creating objects and taking guards. The engine
+        // already serialized every conflicting access to this
+        // footprint, so nobody mutates it while we block.
+
+        match sh.run_task_remote(req.task.0, ir, &reads, &writes) {
+            RemoteOutcome::Done(results) => {
+                let store = req.store.read();
+                let mut lifted = 0usize;
+                let clean = results.iter().all(|(d, data)| {
+                    let ok = req
+                        .decls
+                        .get(*d as usize)
+                        .and_then(|decl| store.get(decl.object).ok())
+                        .is_some_and(|slot| slot.lift(data));
+                    if ok {
+                        lifted += 1;
+                    }
+                    ok
+                });
+                if clean && lifted == writes.len() {
+                    return Some(Admission::Remote);
+                }
+                // A lift failed (the program produced a shape its
+                // object cannot absorb) or the worker skipped an
+                // output: restore the pre-images so the closure reruns
+                // against unmutated state.
+                for (d, _, pre) in &undo {
+                    if let Some(decl) = req.decls.get(*d as usize) {
+                        if let Ok(slot) = store.get(decl.object) {
+                            slot.lift(pre);
+                        }
+                    }
+                }
+                None
+            }
+            // Deterministic worker-side failure: rerunning elsewhere
+            // cannot help, and the closure is the canonical rendering
+            // — let it raise the canonical fault (or succeed, if only
+            // the IR was wrong).
+            RemoteOutcome::Failed(_) => None,
+            RemoteOutcome::Exhausted => {
+                sh.bump_degraded();
+                Some(Admission::Local)
+            }
+            RemoteOutcome::Aborted => Some(Admission::Refused),
+        }
+    }
 }
 
 impl DispatchGate for LeaseGate {
-    fn admit(&self, task: TaskId, _lane: usize) -> bool {
-        let tid = task.0;
+    fn admit(&self, req: &AdmitRequest<'_>) -> Admission {
+        if let Some(ir) = req.ir {
+            if let Some(done) = self.admit_ir(req, ir) {
+                return done;
+            }
+        }
+        let tid = req.task.0;
         let sh = &self.shared;
         let mut dispatches = 0u32;
         let mut dead_from: Option<usize> = None;
@@ -42,13 +158,13 @@ impl DispatchGate for LeaseGate {
                 // The lease keeps dying; run the body locally rather
                 // than stalling the program.
                 sh.bump_degraded();
-                return true;
+                return Admission::Local;
             }
             let Some(w) = sh.pick_worker(dead_from) else {
                 // No live workers at all: degrade to coordinator-local
                 // execution so the run still completes.
                 sh.bump_degraded();
-                return true;
+                return Admission::Local;
             };
             if let Some(from) = dead_from.take() {
                 sh.bump_recovery(from, w, tid);
@@ -62,13 +178,13 @@ impl DispatchGate for LeaseGate {
                 continue;
             }
             match sh.lease_wait(tid) {
-                Some(true) => return true,
+                Some(true) => return Admission::Local,
                 Some(false) => {
                     dead_from = Some(w);
                 }
                 // Fault shutdown: refuse the dispatch; the pool
                 // unwinds its bookkeeping and drains.
-                None => return false,
+                None => return Admission::Refused,
             }
         }
     }
@@ -82,5 +198,13 @@ impl DispatchGate for LeaseGate {
 
     fn abort(&self) {
         self.shared.abort();
+    }
+
+    fn call_kernel(&self, name: &str, args: &[f64]) -> Option<Result<Vec<f64>, String>> {
+        Some(self.shared.call_kernel(name, args).map_err(|f| f.to_string()))
+    }
+
+    fn note_write(&self, object: ObjectId) {
+        self.shared.note_local_write(object.0);
     }
 }

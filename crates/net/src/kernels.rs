@@ -1,74 +1,30 @@
-//! The remote kernel registry: computation that genuinely executes in
-//! worker processes.
+//! Compatibility shim over the shared kernel registry.
 //!
-//! Jade task bodies are closures and cannot be marshalled across a
-//! process boundary (see `DESIGN.md`), so the distributed backend
-//! ships *kernels* instead: named pure functions over `f64` slices
-//! that both the coordinator and every worker binary link in. A
-//! [`NetMsg::KernelCall`](crate::wire::NetMsg) carries the name and
-//! arguments (converted to the worker's data layout on receive), the
-//! worker computes, and the result converts back — the paper's
-//! "main body of computation on the accelerator" pattern, with the
-//! registry playing the role of the program text present on every
-//! machine.
+//! The registry of named pure functions moved to
+//! [`jade_core::kernels`] when the declarative task-body IR landed:
+//! kernels are now the instruction set of portable task bodies
+//! ([`jade_core::ir::TaskBodyIr`]) executed by *every* backend, not a
+//! net-only feature. This module keeps the old free-function surface
+//! for callers that only want the builtin set; clusters and workers
+//! carry a [`KernelRegistry`](jade_core::kernels::KernelRegistry)
+//! value instead (see [`crate::cluster::NetConfig::registry`] and
+//! [`crate::worker::WorkerOpts::registry`]), so two jobs in one
+//! process can serve different kernel sets.
 //!
 //! Kernels must be deterministic: worker-loss recovery re-executes an
 //! in-flight call on a survivor, and the result must not depend on
 //! which machine finished it.
 
-/// A kernel: a pure function from arguments to results.
-pub type KernelFn = fn(&[f64]) -> Vec<f64>;
+pub use jade_core::kernels::KernelFn;
 
-/// Look up a kernel by registry name.
+/// Look up a kernel in the *builtin* registry by name.
 pub fn lookup(name: &str) -> Option<KernelFn> {
-    Some(match name {
-        "sum" => k_sum,
-        "dot" => k_dot,
-        "scale2" => k_scale2,
-        "sq_norm" => k_sq_norm,
-        "cholesky_col" => k_cholesky_col,
-        _ => return None,
-    })
+    jade_core::kernels::KernelRegistry::builtin().lookup(name)
 }
 
-/// Names of every registered kernel.
-pub fn names() -> &'static [&'static str] {
-    &["sum", "dot", "scale2", "sq_norm", "cholesky_col"]
-}
-
-/// `[x0..xn] -> [Σx]`.
-fn k_sum(args: &[f64]) -> Vec<f64> {
-    vec![args.iter().sum()]
-}
-
-/// `[a0..an, b0..bn] -> [Σ aᵢbᵢ]` (odd-length input drops the middle).
-fn k_dot(args: &[f64]) -> Vec<f64> {
-    let h = args.len() / 2;
-    vec![args[..h].iter().zip(&args[args.len() - h..]).map(|(a, b)| a * b).sum()]
-}
-
-/// Doubles every element.
-fn k_scale2(args: &[f64]) -> Vec<f64> {
-    args.iter().map(|x| x * 2.0).collect()
-}
-
-/// `[x0..xn] -> [Σx²]`.
-fn k_sq_norm(args: &[f64]) -> Vec<f64> {
-    vec![args.iter().map(|x| x * x).sum()]
-}
-
-/// One column step of a dense Cholesky: `[d, c0..cn] -> [√d, c/√d]`.
-/// The shape the paper's sparse Cholesky ships to the i860 accelerator.
-fn k_cholesky_col(args: &[f64]) -> Vec<f64> {
-    if args.is_empty() {
-        return Vec::new();
-    }
-    let root = args[0].max(0.0).sqrt();
-    let mut out = Vec::with_capacity(args.len());
-    out.push(root);
-    let inv = if root > 0.0 { 1.0 / root } else { 0.0 };
-    out.extend(args[1..].iter().map(|c| c * inv));
-    out
+/// Names of every builtin kernel (unordered).
+pub fn names() -> Vec<&'static str> {
+    jade_core::kernels::KernelRegistry::builtin().names()
 }
 
 #[cfg(test)]

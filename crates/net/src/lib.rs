@@ -18,14 +18,22 @@
 //! * [`reliable`] — ack/timeout/bounded-backoff reliable delivery,
 //!   the simulator's model ported to real sockets, with seeded loss
 //!   injection for tests;
-//! * [`kernels`] — the registry of named pure functions that execute
-//!   *remotely* on workers ([`remote_kernel`] routes to the cluster
-//!   during a net run and to the local registry otherwise);
+//! * [`kernels`] — compatibility surface over the shared
+//!   [`KernelRegistry`](jade_core::kernels::KernelRegistry): the named
+//!   pure functions that execute *remotely* on workers, both as single
+//!   [`KernelCall`](wire::NetMsg)s and as steps of shipped
+//!   [`TaskBodyIr`](jade_core::ir::TaskBodyIr) programs;
+//! * [`directory`] — the coordinator's replica directory: which worker
+//!   holds which object payload at which version, with
+//!   write-invalidation and dead-worker eviction; feeds the shared
+//!   locality placement policy ([`jade_core::place`]);
 //! * [`cluster`] — coordinator-side worker lifecycle: heartbeat
 //!   liveness, retransmission, death detection (EOF, heartbeat loss,
 //!   retransmit exhaustion) and in-flight work recovery;
-//! * [`gate`] — the wire lease protocol that plugs cluster dispatch
-//!   into the jade-threads executor skeleton;
+//! * [`gate`] — plugs cluster dispatch into the jade-threads executor
+//!   skeleton: ships portable task bodies (with their object
+//!   payloads) to workers, and falls back to the wire lease protocol
+//!   for closure-only tasks;
 //! * [`NetExecutor`] — the [`Runtime`](jade_core::runtime::Runtime)
 //!   entry point: same `execute(RunConfig)` surface as every other
 //!   backend, with [`NetStats`](jade_core::stats::NetStats) and
@@ -44,6 +52,7 @@
 #![cfg_attr(test, deny(deprecated))]
 
 pub mod cluster;
+pub mod directory;
 pub mod gate;
 pub mod kernels;
 pub mod reliable;
@@ -53,11 +62,15 @@ pub mod worker;
 
 mod runtime;
 
-pub use cluster::{ChaosSpec, Cluster, NetConfig, Shared, Transport, WorkerMode};
+pub use cluster::{
+    ChaosSpec, Cluster, NetConfig, PlacementPolicy, Shared, Transport, WorkerMode,
+};
+pub use directory::Directory;
 pub use gate::LeaseGate;
+pub use jade_core::kernels::KernelRegistry;
 pub use reliable::{Reliable, ReliableConfig};
-pub use runtime::{remote_kernel, NetExecutor};
-pub use worker::{run_worker, worker_main, Chaos, Die, WorkerOpts};
+pub use runtime::NetExecutor;
+pub use worker::{run_worker, worker_main, worker_main_with, Chaos, Die, WorkerOpts};
 
 // The spec-builder and job-submission surfaces, identical in every
 // backend crate.

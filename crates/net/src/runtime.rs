@@ -4,25 +4,33 @@
 //! The executor reuses the jade-threads pool for the dependency
 //! engine, object store and task bodies — the same executor skeleton
 //! the shared-memory and simulated backends use — and gates every
-//! dispatch through the wire lease protocol ([`crate::gate`]). After
-//! the run, the cluster's aggregate [`NetStats`] and
+//! dispatch through the wire protocol ([`crate::gate`]): portable task
+//! bodies ship to workers whole, closure-only tasks take the lease
+//! round-trip. After the run, the cluster's aggregate
+//! [`NetStats`](jade_core::stats::NetStats) and
 //! [`FaultStats`](jade_core::stats::FaultStats) land in the
 //! [`Report`], liveness events are replayed to user observers, and
 //! heartbeat/reconnect markers are stamped onto the timeline so a
 //! Chrome trace shows exactly where the network stalled.
+//!
+//! All per-job state — the kernel registry, the replica directory,
+//! the cluster itself — lives in the job's own [`Cluster`], so a
+//! [`Session`](jade_core::serve::Session) over this backend runs
+//! concurrent jobs like any other: there is no process-global state
+//! to cross wires on.
 
 use std::sync::Arc;
 
 use jade_core::error::JadeFault;
 use jade_core::ids::TaskId;
+use jade_core::kernels::KernelRegistry;
 use jade_core::observe::{Event, EventKind, RuntimeObserver};
 use jade_core::runtime::{Report, RunConfig, Runtime};
 use jade_threads::{ThreadCtx, ThreadedExecutor};
 use parking_lot::Mutex;
 
-use crate::cluster::{Cluster, NetConfig, Shared};
+use crate::cluster::{Cluster, NetConfig};
 use crate::gate::LeaseGate;
-use crate::kernels;
 
 /// The distributed backend: a coordinator (this process) plus
 /// `cfg.workers` worker machines over real sockets.
@@ -42,41 +50,16 @@ impl NetExecutor {
         NetExecutor { cfg: NetConfig::threads(n) }
     }
 
+    /// Replace the kernel registry shipped tasks (and thread-mode
+    /// workers) execute against, builder-style.
+    pub fn with_registry(mut self, registry: KernelRegistry) -> Self {
+        self.cfg.registry = registry;
+        self
+    }
+
     /// The cluster configuration this executor will start.
     pub fn config(&self) -> &NetConfig {
         &self.cfg
-    }
-}
-
-/// The cluster active for the current `execute`, consulted by
-/// [`remote_kernel`] from task bodies running on pool threads.
-static ACTIVE: Mutex<Option<Arc<Shared>>> = Mutex::new(None);
-
-/// Run a registered kernel, remotely when a [`NetExecutor`] run is
-/// active and locally otherwise — so one program text behaves
-/// identically (modulo placement) on every backend, the way the
-/// paper's programs ran unchanged on one workstation or a
-/// heterogeneous PVM cluster.
-pub fn remote_kernel(name: &str, args: &[f64]) -> Result<Vec<f64>, JadeFault> {
-    let shared = ACTIVE.lock().clone();
-    match shared {
-        Some(sh) => sh.call_kernel(name, args),
-        None => match kernels::lookup(name) {
-            Some(k) => Ok(k(args)),
-            None => Err(JadeFault::TaskPanicked {
-                task: TaskId::ROOT,
-                message: format!("no kernel named '{name}' in the registry"),
-            }),
-        },
-    }
-}
-
-/// Clears [`ACTIVE`] even when the pool panics.
-struct ActiveGuard;
-
-impl Drop for ActiveGuard {
-    fn drop(&mut self) {
-        *ACTIVE.lock() = None;
     }
 }
 
@@ -112,15 +95,6 @@ fn net_marker(ev: &Event) -> Option<(usize, String)> {
 impl Runtime for NetExecutor {
     type Ctx = ThreadCtx;
 
-    /// One at a time: [`ACTIVE`] is a process-global kernel registry
-    /// consulted by `remote_kernel` from pool threads, so two
-    /// concurrent clusters in one process would cross wires. A
-    /// [`Session`](jade_core::serve::Session) over this backend
-    /// therefore runs jobs back-to-back.
-    fn max_concurrent_jobs(&self) -> usize {
-        1
-    }
-
     fn run_job<R, F>(&self, mut cfg: RunConfig, program: F) -> Result<Report<R>, JadeFault>
     where
         R: Send + 'static,
@@ -139,8 +113,6 @@ impl Runtime for NetExecutor {
             message: format!("net backend startup failed: {e}"),
         })?;
         let shared = cluster.shared.clone();
-        *ACTIVE.lock() = Some(shared.clone());
-        let _guard = ActiveGuard;
 
         let lanes = cfg.workers.unwrap_or(self.cfg.workers).max(1);
         let pool = ThreadedExecutor::new(lanes).with_gate(Arc::new(LeaseGate::new(shared)));

@@ -21,6 +21,7 @@
 //!   regress infinitely, and a worker that misses the goodbye exits
 //!   on socket EOF.
 
+use jade_core::ir::TaskBodyIr;
 use jade_transport::encode::{PortDecoder, PortEncoder};
 use jade_transport::error::{DecodeError, DecodeResult};
 use jade_transport::{DataLayout, Message, MsgKind, Portable};
@@ -96,6 +97,47 @@ pub enum NetMsg {
     /// Coordinator → worker: exit cleanly (best-effort; workers also
     /// exit on socket EOF).
     Shutdown,
+    /// Coordinator → worker: install one object payload in the
+    /// worker's replica cache. Sent before a [`NetMsg::TaskShip`]
+    /// whose inputs the worker does not hold at the right version.
+    ObjectShip {
+        /// Raw `ObjectId` bits.
+        object: u64,
+        /// The payload's version in the coordinator's directory.
+        version: u64,
+        /// The lowered object value.
+        data: Vec<f64>,
+    },
+    /// Coordinator → worker: execute a portable task body
+    /// ([`TaskBodyIr`]) against the replica cache. The worker waits
+    /// for any input replica that has not arrived yet (loss can
+    /// reorder `ObjectShip` and `TaskShip`), runs the program, and
+    /// answers with [`NetMsg::TaskResult`].
+    TaskShip {
+        /// Raw `TaskId` bits (doubles as the result correlation id).
+        nonce: u64,
+        /// The program of kernel calls.
+        ir: TaskBodyIr,
+        /// `(decl index, object, version)` for every declaration the
+        /// program reads: the replica the worker must hold.
+        inputs: Vec<(u32, u64, u64)>,
+        /// `(decl index, object, new version)` for every declaration
+        /// the program writes: the version the worker's own replica
+        /// adopts on completion.
+        outs: Vec<(u32, u64, u64)>,
+    },
+    /// Worker → coordinator: the shipped task's written values (or a
+    /// deterministic failure).
+    TaskResult {
+        /// Echo of the ship's nonce.
+        nonce: u64,
+        /// Whether the program ran to completion.
+        ok: bool,
+        /// Failure description when `!ok`.
+        err: String,
+        /// `(decl index, final value)` per written declaration.
+        outs: Vec<(u32, Vec<f64>)>,
+    },
 }
 
 impl NetMsg {
@@ -113,10 +155,14 @@ impl NetMsg {
     /// The transport-level kind this message maps onto.
     pub fn msg_kind(&self) -> MsgKind {
         match self {
-            NetMsg::LeaseRequest { .. } | NetMsg::KernelCall { .. } => MsgKind::TaskShip,
-            NetMsg::LeaseGrant { .. } | NetMsg::TaskComplete { .. } | NetMsg::KernelResult { .. } => {
-                MsgKind::TaskDone
-            }
+            NetMsg::LeaseRequest { .. }
+            | NetMsg::KernelCall { .. }
+            | NetMsg::ObjectShip { .. }
+            | NetMsg::TaskShip { .. } => MsgKind::TaskShip,
+            NetMsg::LeaseGrant { .. }
+            | NetMsg::TaskComplete { .. }
+            | NetMsg::KernelResult { .. }
+            | NetMsg::TaskResult { .. } => MsgKind::TaskDone,
             _ => MsgKind::Control,
         }
     }
@@ -134,6 +180,9 @@ impl NetMsg {
             NetMsg::KernelCall { .. } => 8,
             NetMsg::KernelResult { .. } => 9,
             NetMsg::Shutdown => 10,
+            NetMsg::ObjectShip { .. } => 11,
+            NetMsg::TaskShip { .. } => 12,
+            NetMsg::TaskResult { .. } => 13,
         }
     }
 }
@@ -160,6 +209,23 @@ impl Portable for NetMsg {
                 err.encode(enc);
             }
             NetMsg::Shutdown => {}
+            NetMsg::ObjectShip { object, version, data } => {
+                enc.put_u64(*object);
+                enc.put_u64(*version);
+                enc.put_f64_slice(data);
+            }
+            NetMsg::TaskShip { nonce, ir, inputs, outs } => {
+                enc.put_u64(*nonce);
+                ir.encode(enc);
+                inputs.encode(enc);
+                outs.encode(enc);
+            }
+            NetMsg::TaskResult { nonce, ok, err, outs } => {
+                enc.put_u64(*nonce);
+                enc.put_bool(*ok);
+                err.encode(enc);
+                outs.encode(enc);
+            }
         }
     }
 
@@ -185,6 +251,23 @@ impl Portable for NetMsg {
                 err: String::decode(dec)?,
             },
             10 => NetMsg::Shutdown,
+            11 => NetMsg::ObjectShip {
+                object: dec.get_u64()?,
+                version: dec.get_u64()?,
+                data: dec.get_f64_slice()?,
+            },
+            12 => NetMsg::TaskShip {
+                nonce: dec.get_u64()?,
+                ir: TaskBodyIr::decode(dec)?,
+                inputs: Vec::decode(dec)?,
+                outs: Vec::decode(dec)?,
+            },
+            13 => NetMsg::TaskResult {
+                nonce: dec.get_u64()?,
+                ok: dec.get_bool()?,
+                err: String::decode(dec)?,
+                outs: Vec::decode(dec)?,
+            },
             t => return Err(DecodeError::LengthOverflow { len: t as usize }),
         })
     }
@@ -193,6 +276,13 @@ impl Portable for NetMsg {
         match self {
             NetMsg::KernelCall { name, args, .. } => 24 + name.len() + 8 * args.len(),
             NetMsg::KernelResult { values, err, .. } => 32 + 8 * values.len() + err.len(),
+            NetMsg::ObjectShip { data, .. } => 32 + 8 * data.len(),
+            NetMsg::TaskShip { ir, inputs, outs, .. } => {
+                16 + ir.size_hint() + 32 * (inputs.len() + outs.len())
+            }
+            NetMsg::TaskResult { err, outs, .. } => {
+                32 + err.len() + outs.iter().map(|(_, v)| 16 + 8 * v.len()).sum::<usize>()
+            }
             _ => 16,
         }
     }
@@ -212,6 +302,7 @@ pub fn unpack_msg(msg: &Message) -> DecodeResult<NetMsg> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use jade_core::ir::{IrDst, IrSrc};
 
     fn all_msgs() -> Vec<NetMsg> {
         vec![
@@ -227,6 +318,29 @@ mod tests {
             NetMsg::KernelResult { id: 1, ok: true, values: vec![-1.5], err: String::new() },
             NetMsg::KernelResult { id: 2, ok: false, values: vec![], err: "no such kernel".into() },
             NetMsg::Shutdown,
+            NetMsg::ObjectShip { object: 9, version: 3, data: vec![1.5, -2.0, 0.0] },
+            NetMsg::TaskShip {
+                nonce: 0xBEEF,
+                ir: TaskBodyIr::new().step(
+                    "scale2",
+                    vec![IrSrc::Obj(0), IrSrc::Lit(vec![4.5])],
+                    IrDst::Obj(0),
+                ),
+                inputs: vec![(0, 9, 3)],
+                outs: vec![(0, 9, 4)],
+            },
+            NetMsg::TaskResult {
+                nonce: 0xBEEF,
+                ok: true,
+                err: String::new(),
+                outs: vec![(0, vec![3.0, -4.0, 9.0])],
+            },
+            NetMsg::TaskResult {
+                nonce: 7,
+                ok: false,
+                err: "step 0: no kernel named 'x'".into(),
+                outs: vec![],
+            },
         ]
     }
 

@@ -13,17 +13,33 @@
 //!   the coordinator is identical), and "hang" to going silent, which
 //!   exercises the heartbeat path instead of the EOF path.
 //!
+//! Besides single kernel calls, a worker executes whole **task
+//! bodies**: the coordinator lowers a task's objects and ships a
+//! [`TaskBodyIr`] program ([`NetMsg::TaskShip`]) naming its input
+//! object versions. Payloads arrive as [`NetMsg::ObjectShip`] and are
+//! installed in a replica cache keyed by `(object, version)`; inputs
+//! already resident are *not* re-sent (the locality win). Because the
+//! reliability layer can reorder a retransmitted payload behind the
+//! task that needs it, a task whose inputs have not all arrived waits
+//! in a pending buffer and is retried after every payload arrival.
+//! After running the program the worker installs its own outputs in
+//! the cache at their new versions — which is what makes it the
+//! natural home for the next task reading them — and returns them in a
+//! [`NetMsg::TaskResult`].
+//!
 //! The handshake (`Hello`/`Welcome`) is written directly to the
 //! socket with `seq == 0`: a connected stream either delivers it or
 //! surfaces an error, and the coordinator treats a worker that never
 //! completes the handshake as dead on arrival.
 
+use std::collections::HashMap;
 use std::io::Write;
 use std::time::Duration;
 
+use jade_core::ir::{run_ir, TaskBodyIr};
+use jade_core::kernels::KernelRegistry;
 use jade_transport::{encode_frame, DataLayout, FrameReader};
 
-use crate::kernels;
 use crate::reliable::{Accept, Reliable, ReliableConfig};
 use crate::sock::{is_timeout, Sock};
 use crate::wire::{pack_msg, unpack_msg, NetMsg};
@@ -37,18 +53,24 @@ pub enum Die {
     Abrupt,
 }
 
-/// Fault-injection thresholds. A worker counts lease grants and kernel
+/// Fault-injection thresholds. A worker counts grants (leases and
+/// shipped tasks share one counter), executed task bodies, and kernel
 /// completions; when a threshold is reached it dies (or hangs)
 /// *instead of* performing the next action, so the coordinator always
 /// has that action genuinely in flight when the failure lands.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Chaos {
-    /// Die instead of sending lease grant number `n + 1`.
+    /// Die instead of sending grant number `n + 1` (a lease grant, or
+    /// accepting a shipped task body).
     pub kill_after_grants: Option<u32>,
     /// Go silent (stop answering pings and requests) after `n` grants.
     pub hang_after_grants: Option<u32>,
     /// Die instead of sending kernel result number `n + 1`.
     pub kill_after_kernels: Option<u32>,
+    /// Die instead of sending task result number `n + 1` — *after*
+    /// executing the task and installing its outputs in the replica
+    /// cache, so the worker dies holding dirty sole-copy replicas.
+    pub kill_after_tasks: Option<u32>,
 }
 
 /// Everything a worker needs besides its socket.
@@ -64,10 +86,13 @@ pub struct WorkerOpts {
     pub chaos: Chaos,
     /// What "die" means in this mode.
     pub die: Die,
+    /// The kernels this worker can run (IR steps and `KernelCall`s).
+    pub registry: KernelRegistry,
 }
 
 impl WorkerOpts {
-    /// Defaults for thread-mode tests: worker 0, native layout.
+    /// Defaults for thread-mode tests: worker 0, native layout,
+    /// builtin kernels.
     pub fn thread_mode(id: u32, layout: DataLayout) -> Self {
         WorkerOpts {
             id,
@@ -75,6 +100,7 @@ impl WorkerOpts {
             rel: ReliableConfig::default(),
             chaos: Chaos::default(),
             die: Die::Abrupt,
+            registry: KernelRegistry::builtin(),
         }
     }
 }
@@ -117,12 +143,66 @@ fn hang_until_eof(sock: &mut Sock) {
     }
 }
 
+/// A shipped task waiting for its input payloads.
+struct PendingTask {
+    nonce: u64,
+    ir: TaskBodyIr,
+    inputs: Vec<(u32, u64, u64)>,
+    outs: Vec<(u32, u64, u64)>,
+}
+
+/// Replica cache: object id → (version, lowered payload).
+type ReplicaCache = HashMap<u64, (u64, Vec<f64>)>;
+
+/// Whether every input the task names is resident at *exactly* the
+/// required version. Exact match is safe because the coordinator's
+/// dependency engine serializes conflicting tasks: a newer version
+/// cannot overwrite an input some in-flight task still needs.
+fn inputs_ready(task: &PendingTask, cache: &ReplicaCache) -> bool {
+    task.inputs
+        .iter()
+        .all(|&(_, obj, ver)| cache.get(&obj).is_some_and(|(v, _)| *v == ver))
+}
+
+/// Run a shipped task body and install its outputs in the replica
+/// cache at their new versions. Returns the `TaskResult` to send.
+fn exec_task(task: PendingTask, cache: &mut ReplicaCache, registry: &KernelRegistry) -> NetMsg {
+    let PendingTask { nonce, ir, inputs, outs } = task;
+    let width = inputs
+        .iter()
+        .chain(outs.iter())
+        .map(|&(idx, _, _)| idx as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut slots: Vec<Option<Vec<f64>>> = vec![None; width];
+    for &(idx, obj, _) in &inputs {
+        // inputs_ready() vouched for the exact version.
+        slots[idx as usize] = cache.get(&obj).map(|(_, d)| d.clone());
+    }
+    match run_ir(&ir, &slots, registry) {
+        Ok(results) => {
+            let mut reply = Vec::with_capacity(results.len());
+            for (idx, data) in results {
+                if let Some(&(_, obj, newver)) = outs.iter().find(|&&(i, _, _)| i == idx) {
+                    cache.insert(obj, (newver, data.clone()));
+                }
+                reply.push((idx, data));
+            }
+            NetMsg::TaskResult { nonce, ok: true, err: String::new(), outs: reply }
+        }
+        Err(err) => NetMsg::TaskResult { nonce, ok: false, err, outs: Vec::new() },
+    }
+}
+
 /// Run the worker protocol loop until shutdown, EOF, or chaos.
 pub fn run_worker(mut sock: Sock, opts: WorkerOpts) -> std::io::Result<()> {
     let mut rel = Reliable::new(opts.rel);
     let mut rd = FrameReader::new();
     let mut grants: u32 = 0;
     let mut kernels_done: u32 = 0;
+    let mut tasks_done: u32 = 0;
+    let mut cache: ReplicaCache = HashMap::new();
+    let mut pending: Vec<PendingTask> = Vec::new();
 
     // Handshake: a raw seq-0 frame, outside the reliability layer.
     let hello = encode_frame(&pack_msg(&NetMsg::Hello { worker: opts.id }, opts.id, 0, 0, opts.layout));
@@ -191,6 +271,55 @@ pub fn run_worker(mut sock: Sock, opts: WorkerOpts) -> std::io::Result<()> {
                     rel.send(&mut sock, &NetMsg::LeaseGrant { task }, opts.id, 0, opts.layout)?;
                 }
                 NetMsg::TaskComplete { .. } => {}
+                NetMsg::ObjectShip { object, version, data } => {
+                    cache.insert(object, (version, data));
+                    // A retransmitted payload may arrive *after* the
+                    // task that reads it: retry the waiting room.
+                    let mut i = 0;
+                    while i < pending.len() {
+                        if inputs_ready(&pending[i], &cache) {
+                            let task = pending.remove(i);
+                            let reply = exec_task(task, &mut cache, &opts.registry);
+                            if opts.chaos.kill_after_tasks.is_some_and(|n| tasks_done >= n)
+                                && die_now(&sock, opts.die)
+                            {
+                                break 'outer;
+                            }
+                            tasks_done += 1;
+                            rel.send(&mut sock, &reply, opts.id, 0, opts.layout)?;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+                NetMsg::TaskShip { nonce, ir, inputs, outs } => {
+                    // A shipped body is this protocol's grant: the same
+                    // chaos thresholds apply, so kill plans written for
+                    // the lease protocol also cover IR dispatch.
+                    if opts.chaos.kill_after_grants.is_some_and(|n| grants >= n)
+                        && die_now(&sock, opts.die)
+                    {
+                        break 'outer;
+                    }
+                    if opts.chaos.hang_after_grants.is_some_and(|n| grants >= n) {
+                        hang_until_eof(&mut sock);
+                        break 'outer;
+                    }
+                    grants += 1;
+                    let task = PendingTask { nonce, ir, inputs, outs };
+                    if inputs_ready(&task, &cache) {
+                        let reply = exec_task(task, &mut cache, &opts.registry);
+                        if opts.chaos.kill_after_tasks.is_some_and(|n| tasks_done >= n)
+                            && die_now(&sock, opts.die)
+                        {
+                            break 'outer;
+                        }
+                        tasks_done += 1;
+                        rel.send(&mut sock, &reply, opts.id, 0, opts.layout)?;
+                    } else {
+                        pending.push(task);
+                    }
+                }
                 NetMsg::KernelCall { id, name, args } => {
                     if opts.chaos.kill_after_kernels.is_some_and(|n| kernels_done >= n)
                         && die_now(&sock, opts.die)
@@ -198,7 +327,7 @@ pub fn run_worker(mut sock: Sock, opts: WorkerOpts) -> std::io::Result<()> {
                         break 'outer;
                     }
                     kernels_done += 1;
-                    let reply = match kernels::lookup(&name) {
+                    let reply = match opts.registry.lookup(&name) {
                         Some(k) => {
                             NetMsg::KernelResult { id, ok: true, values: k(&args), err: String::new() }
                         }
@@ -217,7 +346,7 @@ pub fn run_worker(mut sock: Sock, opts: WorkerOpts) -> std::io::Result<()> {
                 NetMsg::Welcome { .. } => {}
                 // Coordinator-bound messages never arrive here.
                 NetMsg::Hello { .. } | NetMsg::Pong { .. } | NetMsg::LeaseGrant { .. }
-                | NetMsg::KernelResult { .. } => {}
+                | NetMsg::KernelResult { .. } | NetMsg::TaskResult { .. } => {}
             }
         }
     }
@@ -226,7 +355,9 @@ pub fn run_worker(mut sock: Sock, opts: WorkerOpts) -> std::io::Result<()> {
 }
 
 /// Entry point for the process-mode binary: parse the environment,
-/// dial the coordinator, run the loop. Exits the process on error.
+/// dial the coordinator, run the loop with the builtin kernels. Exits
+/// the process on error. Binaries whose applications register extra
+/// kernels should call [`worker_main_with`] instead.
 ///
 /// Recognised variables (set by the coordinator when spawning):
 ///
@@ -241,8 +372,17 @@ pub fn run_worker(mut sock: Sock, opts: WorkerOpts) -> std::io::Result<()> {
 /// | `JADE_NET_LOSS_SEED` / `JADE_NET_LOSS_PROB` | injected loss |
 /// | `JADE_NET_KILL_AFTER` | SIGKILL instead of grant `n + 1` |
 /// | `JADE_NET_HANG_AFTER` | go silent after `n` grants |
-/// | `JADE_NET_KILL_AFTER_KERNELS` | SIGKILL instead of result `n + 1` |
+/// | `JADE_NET_KILL_AFTER_KERNELS` | SIGKILL instead of kernel result `n + 1` |
+/// | `JADE_NET_KILL_AFTER_TASKS` | SIGKILL instead of task result `n + 1` |
 pub fn worker_main() -> ! {
+    worker_main_with(KernelRegistry::builtin())
+}
+
+/// [`worker_main`] with a caller-supplied kernel registry, so a worker
+/// binary can serve application kernels (the coordinator refuses to
+/// ship a task whose kernels the registry lacks, so a stale binary
+/// degrades to local execution rather than failing).
+pub fn worker_main_with(registry: KernelRegistry) -> ! {
     fn env_u64(key: &str) -> Option<u64> {
         std::env::var(key).ok().and_then(|v| v.parse().ok())
     }
@@ -278,6 +418,7 @@ pub fn worker_main() -> ! {
         kill_after_grants: env_u64("JADE_NET_KILL_AFTER").map(|n| n as u32),
         hang_after_grants: env_u64("JADE_NET_HANG_AFTER").map(|n| n as u32),
         kill_after_kernels: env_u64("JADE_NET_KILL_AFTER_KERNELS").map(|n| n as u32),
+        kill_after_tasks: env_u64("JADE_NET_KILL_AFTER_TASKS").map(|n| n as u32),
     };
     let sock = match addr.split_once(':') {
         Some(("unix", path)) => std::os::unix::net::UnixStream::connect(path).map(Sock::Unix),
@@ -294,7 +435,7 @@ pub fn worker_main() -> ! {
             std::process::exit(3);
         }
     };
-    let opts = WorkerOpts { id, layout, rel, chaos, die: Die::Sigkill };
+    let opts = WorkerOpts { id, layout, rel, chaos, die: Die::Sigkill, registry };
     match run_worker(sock, opts) {
         Ok(()) => std::process::exit(0),
         // The coordinator tearing the socket down mid-write is the

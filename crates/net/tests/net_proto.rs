@@ -5,15 +5,30 @@
 //! (EOF and heartbeat) must catch. Process-mode `SIGKILL` chaos lives
 //! in the root crate's `tests/chaos_net.rs`, which can reach the
 //! `jade-net-worker` binary.
+//!
+//! Every test builds its config through [`base`], which honors
+//! `JADE_NET_TEST_TRANSPORT=tcp`: CI runs this whole suite twice, once
+//! over Unix-domain sockets and once over loopback TCP.
 
 #![deny(deprecated)]
 
 use std::time::Duration;
 
 use jade_core::error::JadeFault;
+use jade_core::ir::{IrDst, IrSrc, TaskBodyIr};
 use jade_core::prelude::*;
 use jade_core::serial::SerialRuntime;
 use jade_net::{ChaosSpec, Cluster, NetConfig, NetExecutor, Transport};
+
+/// `n` thread-mode workers over the transport CI asked for
+/// (`JADE_NET_TEST_TRANSPORT=tcp` switches the whole suite to TCP).
+fn base(n: usize) -> NetConfig {
+    let mut cfg = NetConfig::threads(n);
+    if std::env::var("JADE_NET_TEST_TRANSPORT").as_deref() == Ok("tcp") {
+        cfg.transport = Transport::Tcp;
+    }
+    cfg
+}
 
 /// A deterministic little program with real dependencies: square each
 /// part, then sum.
@@ -21,6 +36,21 @@ fn square_sum_program<C: JadeCtx>(ctx: &mut C) -> f64 {
     let parts: Vec<Shared<f64>> = (0..12).map(|i| ctx.create(i as f64)).collect();
     for &p in &parts {
         ctx.withonly("square", |s| { s.rd_wr(p); }, move |c| {
+            let v = *c.rd(&p);
+            *c.wr(&p) = v * v;
+        });
+    }
+    parts.iter().map(|p| *ctx.rd(p)).sum()
+}
+
+/// The same program with portable task bodies: each task carries a
+/// one-step IR program (`sq_norm` over a one-element object computes
+/// the square) alongside the closure fallback.
+fn square_sum_ir_program<C: JadeCtx>(ctx: &mut C) -> f64 {
+    let parts: Vec<Shared<f64>> = (0..12).map(|i| ctx.create(i as f64)).collect();
+    for &p in &parts {
+        let ir = TaskBodyIr::new().step("sq_norm", vec![IrSrc::Obj(0)], IrDst::Obj(0));
+        ctx.withonly_ir("square", |s| { s.rd_wr(p); }, ir, move |c| {
             let v = *c.rd(&p);
             *c.wr(&p) = v * v;
         });
@@ -37,7 +67,7 @@ fn serial_answer() -> f64 {
 
 #[test]
 fn clean_run_matches_serial_and_reports_net_stats() {
-    let rep = NetExecutor::with_workers(2)
+    let rep = NetExecutor::new(base(2))
         .execute(RunConfig::new(), square_sum_program)
         .expect("clean net run");
     assert_eq!(rep.result, serial_answer());
@@ -45,6 +75,54 @@ fn clean_run_matches_serial_and_reports_net_stats() {
     assert!(net.messages > 0, "lease traffic must be visible: {net:?}");
     let faults = rep.faults.expect("net backend always reports FaultStats");
     assert!(faults.is_clean(), "no chaos configured: {faults}");
+}
+
+#[test]
+fn ir_bodies_execute_on_workers_not_the_coordinator() {
+    let rep = NetExecutor::new(base(2))
+        .execute(RunConfig::new(), square_sum_ir_program)
+        .expect("clean IR run");
+    assert_eq!(rep.result, serial_answer(), "IR and closure must agree bit-for-bit");
+    let net = rep.net.expect("stats");
+    assert_eq!(
+        net.tasks_shipped, rep.stats.tasks_created,
+        "with live workers every portable body must ship: {net:?}"
+    );
+    assert!(
+        net.replica_hits + net.replica_misses > 0,
+        "shipped tasks must exercise the replica cache: {net:?}"
+    );
+    let faults = rep.faults.expect("stats");
+    assert!(
+        faults.is_clean(),
+        "no chaos: nothing may degrade to coordinator-local execution: {faults}"
+    );
+}
+
+#[test]
+fn ir_with_unknown_kernel_silently_runs_the_closure() {
+    // The coordinator's registry cannot express this program, so the
+    // task takes the lease path — correct answer, no degradation.
+    let rep = NetExecutor::new(base(2))
+        .execute(RunConfig::new(), |ctx| {
+            let p = ctx.create(3.0f64);
+            let ir = TaskBodyIr::new().step(
+                "no-such-kernel",
+                vec![IrSrc::Obj(0)],
+                IrDst::Obj(0),
+            );
+            ctx.withonly_ir("sq", |s| { s.rd_wr(p); }, ir, move |c| {
+                let v = *c.rd(&p);
+                *c.wr(&p) = v * v;
+            });
+            *ctx.rd(&p)
+        })
+        .expect("run completes on the closure path");
+    assert_eq!(rep.result, 9.0);
+    let net = rep.net.expect("stats");
+    assert_eq!(net.tasks_shipped, 0, "an unshippable program must not ship: {net:?}");
+    let faults = rep.faults.expect("stats");
+    assert!(faults.is_clean(), "falling back to the closure is not a fault: {faults}");
 }
 
 #[test]
@@ -61,7 +139,7 @@ fn injected_loss_converges_via_retransmission() {
     let cfg = NetConfig {
         loss: Some((42, 0.25)),
         retransmit_timeout: Duration::from_millis(5),
-        ..NetConfig::threads(2)
+        ..base(2)
     };
     let rep = NetExecutor::new(cfg)
         .execute(RunConfig::new(), square_sum_program)
@@ -75,6 +153,24 @@ fn injected_loss_converges_via_retransmission() {
 }
 
 #[test]
+fn lossy_ir_shipping_still_matches_serial() {
+    // Payload and task frames retransmit and reorder under loss; the
+    // worker's pending-task buffer must absorb it.
+    let cfg = NetConfig {
+        loss: Some((7, 0.25)),
+        retransmit_timeout: Duration::from_millis(5),
+        ..base(2)
+    };
+    let rep = NetExecutor::new(cfg)
+        .execute(RunConfig::new(), square_sum_ir_program)
+        .expect("lossy IR run still completes");
+    assert_eq!(rep.result, serial_answer());
+    let net = rep.net.expect("stats");
+    assert!(net.dropped > 0, "loss must be visible: {net:?}");
+    assert_eq!(net.tasks_shipped, rep.stats.tasks_created, "{net:?}");
+}
+
+#[test]
 fn killed_worker_is_detected_and_survivors_finish() {
     let cfg = NetConfig {
         chaos: vec![ChaosSpec {
@@ -82,8 +178,9 @@ fn killed_worker_is_detected_and_survivors_finish() {
             kill_after_grants: Some(2),
             hang_after_grants: None,
             kill_after_kernels: None,
+            kill_after_tasks: None,
         }],
-        ..NetConfig::threads(2)
+        ..base(2)
     };
     let rep = NetExecutor::new(cfg)
         .execute(RunConfig::new(), square_sum_program)
@@ -98,6 +195,53 @@ fn killed_worker_is_detected_and_survivors_finish() {
 }
 
 #[test]
+fn killed_dirty_replica_holder_forces_reshipping() {
+    // A serial chain over ONE object makes the scenario
+    // deterministic: the placement tie-break (equal load, then
+    // affinity, then index) pins every link to worker 0, which
+    // commits two of them — sole holder of the latest version — then
+    // dies executing the third, before the result frame leaves. The
+    // successor can only run on worker 1, whose read of the evicted
+    // sole replica must be re-shipped from the master copy.
+    let cfg = NetConfig {
+        workers: 2,
+        chaos: vec![ChaosSpec {
+            worker: 0,
+            kill_after_grants: None,
+            hang_after_grants: None,
+            kill_after_kernels: None,
+            kill_after_tasks: Some(2),
+        }],
+        ..base(2)
+    };
+    let program = |ctx: &mut jade_threads::ThreadCtx| {
+        let p: Shared<f64> = ctx.create(3.0);
+        for _ in 0..8 {
+            let ir = TaskBodyIr::new().step("scale2", vec![IrSrc::Obj(0)], IrDst::Obj(0));
+            ctx.withonly_ir("scale", |s| { s.rd_wr(p); }, ir, move |c| {
+                let v = *c.rd(&p);
+                *c.wr(&p) = v * 2.0;
+            });
+        }
+        *ctx.rd(&p)
+    };
+    let rep = NetExecutor::new(cfg)
+        .execute(RunConfig::new(), program)
+        .expect("the run must survive the dirty-holder loss");
+    assert_eq!(rep.result, 3.0 * 256.0, "recovery must not change the answer");
+    let faults = rep.faults.expect("stats");
+    assert_eq!(faults.crashes, 1, "exactly one worker died: {faults}");
+    assert!(
+        faults.recoveries > 0,
+        "the in-flight chain link must be re-dispatched: {faults}"
+    );
+    assert!(
+        faults.reshipped > 0,
+        "the evicted sole-holder replica must be re-shipped: {faults}"
+    );
+}
+
+#[test]
 fn hung_worker_is_caught_by_heartbeat() {
     let cfg = NetConfig {
         heartbeat: Duration::from_millis(10),
@@ -107,15 +251,19 @@ fn hung_worker_is_caught_by_heartbeat() {
             kill_after_grants: None,
             hang_after_grants: Some(1),
             kill_after_kernels: None,
+            kill_after_tasks: None,
         }],
-        ..NetConfig::threads(2)
+        ..base(2)
     };
     let rep = NetExecutor::new(cfg)
         .execute(RunConfig::new().with_timeline(), square_sum_program)
         .expect("the run must survive the hang");
     assert_eq!(rep.result, serial_answer());
     let faults = rep.faults.expect("stats");
-    assert_eq!(faults.crashes, 1, "the hung worker counts as crashed: {faults}");
+    // At least the hung worker is declared dead. Under TCP the tight
+    // 10 ms heartbeat can also (legitimately) time out the healthy
+    // worker, so this is a lower bound, not an equality.
+    assert!(faults.crashes >= 1, "the hung worker counts as crashed: {faults}");
     // The heartbeat detector leaves its trail in the timeline markers.
     let tl = rep.timeline.expect("timeline was requested");
     assert!(
@@ -133,9 +281,10 @@ fn all_workers_dead_degrades_to_local_execution() {
                 kill_after_grants: Some(1),
                 hang_after_grants: None,
                 kill_after_kernels: None,
+                kill_after_tasks: None,
             })
             .collect(),
-        ..NetConfig::threads(2)
+        ..base(2)
     };
     let rep = NetExecutor::new(cfg)
         .execute(RunConfig::new(), square_sum_program)
@@ -150,13 +299,14 @@ fn all_workers_dead_degrades_to_local_execution() {
 fn remote_kernels_compute_across_layouts() {
     // Worker 0 marshals as a big-endian "SPARC", worker 1 as a
     // little-endian "MIPS": the kernel arguments and results cross a
-    // byte-order boundary both ways.
-    let rep = NetExecutor::with_workers(2)
-        .execute(RunConfig::new(), |_ctx| {
+    // byte-order boundary both ways. `ctx.kernel` routes through the
+    // gate to the cluster during a net run.
+    let rep = NetExecutor::new(base(2))
+        .execute(RunConfig::new(), |ctx| {
             let mut out = Vec::new();
             for i in 0..6u32 {
                 let args: Vec<f64> = (0..4).map(|k| (i * 4 + k) as f64 * 0.5).collect();
-                out.push(jade_net::remote_kernel("sum", &args).expect("remote sum")[0]);
+                out.push(ctx.kernel("sum", &args).expect("remote sum")[0]);
             }
             out
         })
@@ -181,9 +331,10 @@ fn kernel_without_fallback_exhausts_retries_as_a_typed_fault() {
                 kill_after_grants: None,
                 hang_after_grants: None,
                 kill_after_kernels: Some(0),
+                kill_after_tasks: None,
             })
             .collect(),
-        ..NetConfig::threads(2)
+        ..base(2)
     };
     let cluster = Cluster::start(cfg).expect("cluster up");
     let err = cluster.shared.call_kernel("sum", &[1.0, 2.0]).expect_err("must fail");
@@ -206,9 +357,10 @@ fn kernel_with_fallback_degrades_instead_of_failing() {
                 kill_after_grants: None,
                 hang_after_grants: None,
                 kill_after_kernels: Some(0),
+                kill_after_tasks: None,
             })
             .collect(),
-        ..NetConfig::threads(2)
+        ..base(2)
     };
     let cluster = Cluster::start(cfg).expect("cluster up");
     let got = cluster.shared.call_kernel("sum", &[1.0, 2.0]).expect("degraded local run");
@@ -219,7 +371,7 @@ fn kernel_with_fallback_degrades_instead_of_failing() {
 
 #[test]
 fn unknown_kernel_is_a_deterministic_worker_fault() {
-    let cluster = Cluster::start(NetConfig::threads(1)).expect("cluster up");
+    let cluster = Cluster::start(base(1)).expect("cluster up");
     let err = cluster.shared.call_kernel("no-such-kernel", &[]).expect_err("must fail");
     assert!(matches!(err, JadeFault::TaskPanicked { .. }), "got {err:?}");
     let (_net, faults, _events) = cluster.shutdown();
@@ -235,8 +387,9 @@ fn observers_receive_liveness_events_post_run() {
             kill_after_grants: Some(1),
             hang_after_grants: None,
             kill_after_kernels: None,
+            kill_after_tasks: None,
         }],
-        ..NetConfig::threads(2)
+        ..base(2)
     };
     NetExecutor::new(cfg)
         .execute(

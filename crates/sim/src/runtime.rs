@@ -1414,6 +1414,7 @@ impl Runtime for SimExecutor {
             retransmits: srep.net.retransmits,
             timeouts: srep.net.timeouts,
             dropped: srep.net.dropped,
+            ..Default::default()
         });
         rep.faults = Some(srep.faults);
         rep.extras = Some(Box::new(srep));

@@ -9,6 +9,10 @@
 //! same objects" (locality).
 
 use jade_core::ids::{DeviceClass, ObjectId, Placement};
+// The load/affinity/speed policy itself now lives in `jade-core` so
+// the real distributed backend dispatches through the identical code
+// path the simulator validates at scale.
+pub use jade_core::place::{choose, Candidate};
 
 use crate::machine::MachineSpec;
 use crate::objmgr::ObjDirectory;
@@ -26,43 +30,6 @@ pub fn eligible(spec: &MachineSpec, machine_index: usize, placement: Placement) 
             }
         }
     }
-}
-
-/// A candidate machine with its scheduling inputs.
-#[derive(Debug, Clone, Copy)]
-pub struct Candidate {
-    /// Machine index.
-    pub machine: usize,
-    /// Current load (assigned, unfinished, unblocked tasks).
-    pub load: usize,
-    /// Machine speed (work units / second).
-    pub speed: f64,
-    /// Locality affinity in resident bytes (0 when the heuristic is
-    /// disabled).
-    pub affinity: u64,
-}
-
-/// Pick the machine for a task among eligible candidates.
-///
-/// Order of criteria, matching §5's priorities: (1) lowest load — the
-/// implementation "dynamically assigns executable tasks to processors
-/// which may become idle", so spreading to idle machines comes first
-/// (a locality-first policy self-reinforces onto the object-creating
-/// machine and starves the rest); (2) strongest object affinity among
-/// equally loaded machines — reusing objects other tasks already
-/// fetched; (3) highest speed — give work to fast machines in
-/// heterogeneous platforms; (4) lowest index — determinism.
-pub fn choose(candidates: &[Candidate]) -> Option<usize> {
-    candidates
-        .iter()
-        .min_by(|a, b| {
-            a.load
-                .cmp(&b.load)
-                .then(b.affinity.cmp(&a.affinity))
-                .then(b.speed.partial_cmp(&a.speed).unwrap_or(std::cmp::Ordering::Equal))
-                .then(a.machine.cmp(&b.machine))
-        })
-        .map(|c| c.machine)
 }
 
 /// Compute a task's affinity to a machine: bytes of its declared

@@ -45,6 +45,8 @@ use jade_core::fasthash::FastMap;
 use jade_core::graph::{AccessStatus, Wake};
 use jade_core::handle::{Object, Shared};
 use jade_core::ids::{Placement, TaskId};
+use jade_core::ir::TaskBodyIr;
+use jade_core::kernels::KernelRegistry;
 use jade_core::observe::{Event, EventKind};
 use jade_core::readyq::ReadyQueue;
 use jade_core::runtime::{Report, RunConfig, Runtime};
@@ -62,35 +64,100 @@ pub use jade_core::runtime::Throttle;
 /// executor's catch sites; never escapes to the caller.
 struct CancelToken;
 
+/// What the gate decided for one pool-dispatched task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Run the closure body here, on this pool thread.
+    Local,
+    /// A remote worker already executed the task's portable body and
+    /// its results have been lifted into the object store; the pool
+    /// only settles the task's engine lifecycle (no closure runs).
+    Remote,
+    /// The task must not run at all — only during shutdown (the run
+    /// faulted and [`DispatchGate::abort`] released the waiters); the
+    /// pool discards it and continues its fault path.
+    Refused,
+}
+
+/// Everything a coordinator needs to place one pool-dispatched task:
+/// its identity, the declared object footprint (the same declarations
+/// the engine checked), the portable body when the task was created
+/// with [`JadeCtx::withonly_ir`], and the object store to lower
+/// payloads out of and lift results back into.
+pub struct AdmitRequest<'a> {
+    /// The task being dispatched.
+    pub task: TaskId,
+    /// The pool lane dispatching it.
+    pub lane: usize,
+    /// The task's declared accesses, in declaration order. Empty when
+    /// no gate was installed at creation time.
+    pub decls: &'a [Declaration],
+    /// The portable task body, if the program supplied one.
+    pub ir: Option<&'a TaskBodyIr>,
+    /// The run's object store (lower inputs / lift outputs).
+    pub store: &'a RwLock<ObjectStore>,
+}
+
 /// Hook a distributed coordinator installs on the pool: every
 /// pool-dispatched task must be *admitted* before its body runs, and
 /// its completion is reported back.
 ///
-/// This is the seam the `jade-net` backend plugs into. Task bodies are
-/// closures and cannot cross a process boundary, so the coordinator
-/// keeps the engine, object store and bodies local — but it routes the
-/// *right to execute* each task through the worker pool's gate: `admit`
-/// performs a wire round-trip that leases the task to a remote worker
-/// process, blocking the pool thread until the lease is granted (or the
-/// worker dies and the lease is re-granted elsewhere — bounded
-/// re-execution). Exactly-once execution holds because the body runs
-/// only after a grant, and a grant is issued once per attempt.
+/// This is the seam the `jade-net` backend plugs into. The coordinator
+/// keeps the engine, object store and closure bodies local, and the
+/// gate decides per task how the body's effects happen:
 ///
-/// The default pool has no gate and pays a single `Option` check.
+/// * a task with a portable body ([`AdmitRequest::ir`]) can be shipped
+///   whole — the gate sends the IR plus any object replicas the chosen
+///   worker is missing, the worker executes the kernel program against
+///   its replica cache, and the gate lifts the returned object values
+///   into the store before answering [`Admission::Remote`];
+/// * a closure-only task performs the classic lease round-trip — the
+///   *right to execute* is granted by a remote worker while the body
+///   itself runs here ([`Admission::Local`]), blocking the pool thread
+///   until the lease arrives (or the worker dies and the lease is
+///   re-granted elsewhere — bounded re-execution).
+///
+/// Exactly-once execution holds because the body (or its remote
+/// rendering) runs only after an admission, and an admission is issued
+/// once per attempt. The default pool has no gate and pays a single
+/// `Option` check.
 pub trait DispatchGate: Send + Sync {
-    /// Block until `task` may execute on this process. Returns `false`
-    /// when the task must *not* run here — only during shutdown (the
-    /// run faulted and [`DispatchGate::abort`] released the waiters);
-    /// the pool then discards the task and continues its fault path.
-    fn admit(&self, task: TaskId, lane: usize) -> bool;
-    /// The admitted task's body ran to completion.
+    /// Block until the coordinator has decided where `req.task`
+    /// executes; see [`Admission`].
+    fn admit(&self, req: &AdmitRequest<'_>) -> Admission;
+    /// The admitted task's lifecycle completed on this process.
     fn complete(&self, task: TaskId, lane: usize);
-    /// Release every blocked `admit` immediately (returning `false`).
-    /// Called from the pool's fault shutdown; must be idempotent.
+    /// Release every blocked `admit` immediately (returning
+    /// [`Admission::Refused`]). Called from the pool's fault shutdown;
+    /// must be idempotent.
     fn abort(&self);
+    /// Route a [`JadeCtx::kernel`] call made by a gated task body.
+    /// `None` means "not handled here" and the context falls back to
+    /// the local built-in registry.
+    fn call_kernel(&self, name: &str, args: &[f64]) -> Option<Result<Vec<f64>, String>> {
+        let _ = (name, args);
+        None
+    }
+    /// A gated task wrote `object` through a guard on this process
+    /// (the closure path). Coordinators use this to advance the
+    /// object's master version and invalidate remote replicas.
+    fn note_write(&self, object: jade_core::ids::ObjectId) {
+        let _ = object;
+    }
 }
 
 type Body = Box<dyn FnOnce(&mut ThreadCtx) + Send + 'static>;
+
+/// A created task waiting for dispatch: its closure body, plus the
+/// declaration footprint and optional portable body captured for the
+/// gate. Without a gate the extras stay empty — `Vec::new()` does not
+/// allocate and `None` is a tag — so the fast path only grows by two
+/// stores.
+struct TaskPayload {
+    body: Body,
+    decls: Vec<Declaration>,
+    ir: Option<TaskBodyIr>,
+}
 
 /// Thread-pool bookkeeping, touched only when a thread parks, blocks,
 /// or a compensation worker is spawned — never on the dispatch path.
@@ -145,7 +212,7 @@ struct Inner {
     /// serialize on one map. A body is stored *before* the task's
     /// specification is attached to the engine, so a remote worker can
     /// never pop a body-less task.
-    bodies: Box<[Mutex<FastMap<TaskId, Body>>]>,
+    bodies: Box<[Mutex<FastMap<TaskId, TaskPayload>>]>,
     /// Created-but-not-finished task bodies the root must outwait.
     unfinished: AtomicI64,
     root_done: AtomicBool,
@@ -192,7 +259,7 @@ impl Inner {
         self.events.lanes[lane % n].lock().push((seq, Event { nanos, task, kind }));
     }
 
-    fn body_shard(&self, t: TaskId) -> &Mutex<FastMap<TaskId, Body>> {
+    fn body_shard(&self, t: TaskId) -> &Mutex<FastMap<TaskId, TaskPayload>> {
         // Key by slot index: generations recycle indices, and the map
         // entry is removed before the slot can be reused, so sharding
         // by index keeps the distribution uniform.
@@ -462,15 +529,37 @@ fn worker_loop(inner: Arc<Inner>, lane: usize) {
             spins = 0;
             // A fault between pop and this lookup may have cancelled
             // the body; skip and fall out on the next fault check.
-            let Some(body) = inner.body_shard(tid).lock().remove(&tid) else { continue };
+            let Some(payload) = inner.body_shard(tid).lock().remove(&tid) else {
+                continue;
+            };
+            let TaskPayload { mut body, decls, ir } = payload;
             if let Some(g) = &inner.gate {
-                if !g.admit(tid, lane) {
-                    // Shutdown released the lease wait: the body is
-                    // consumed and will never run, so settle its
-                    // accounting and fall out on the fault check.
-                    inner.unfinished.fetch_sub(1, Ordering::AcqRel);
-                    inner.notify_done();
-                    continue;
+                let req = AdmitRequest {
+                    task: tid,
+                    lane,
+                    decls: &decls,
+                    ir: ir.as_ref(),
+                    store: &inner.store,
+                };
+                match g.admit(&req) {
+                    Admission::Local => {}
+                    Admission::Remote => {
+                        // The worker already produced the task's
+                        // effects (lifted into the store by the gate);
+                        // run the lifecycle with an empty body so
+                        // events, wakes and completion accounting stay
+                        // identical to local execution.
+                        body = Box::new(|_| {});
+                    }
+                    Admission::Refused => {
+                        // Shutdown released the admission wait: the
+                        // body is consumed and will never run, so
+                        // settle its accounting and fall out on the
+                        // fault check.
+                        inner.unfinished.fetch_sub(1, Ordering::AcqRel);
+                        inner.notify_done();
+                        continue;
+                    }
                 }
             }
             inner.emit(lane, tid, EventKind::TaskDispatched { worker: lane });
@@ -531,6 +620,7 @@ fn execute_task(
         worker: lane,
         home,
         scratch: std::mem::take(scratch),
+        pending_ir: None,
     };
     let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
     let leaked = ctx.holds.any_held();
@@ -685,6 +775,7 @@ impl Runtime for ThreadedExecutor {
             worker: 0,
             home: None,
             scratch: EngineScratch::default(),
+            pending_ir: None,
         };
         let outcome = catch_unwind(AssertUnwindSafe(|| program(&mut ctx)));
 
@@ -754,6 +845,9 @@ pub struct ThreadCtx {
     /// transition staging); travels with the context so task creation
     /// and continuation changes allocate nothing in steady state.
     scratch: EngineScratch,
+    /// Portable body staged by `withonly_ir` for the very next
+    /// `withonly` call; consumed when the task payload is stored.
+    pending_ir: Option<TaskBodyIr>,
 }
 
 impl JadeCtx for ThreadCtx {
@@ -809,10 +903,18 @@ impl JadeCtx for ThreadCtx {
             EventKind::TaskCreated { parent: self.task, label: label.to_string() },
         );
         if !inline {
+            // The gate (when present) needs the declared footprint and
+            // any portable body at dispatch time; the ungated pool
+            // stores empty extras (no allocation, one tag).
+            let payload = TaskPayload {
+                body: Box::new(body),
+                decls: if self.inner.gate.is_some() { decls.clone() } else { Vec::new() },
+                ir: if self.inner.gate.is_some() { self.pending_ir.take() } else { None },
+            };
             // The body must be in place before the spec attaches: the
             // moment the engine enables the task, any worker may claim
             // it.
-            self.inner.body_shard(tid).lock().insert(tid, Box::new(body));
+            self.inner.body_shard(tid).lock().insert(tid, payload);
             self.inner
                 .engine
                 .attach_task_with(tid, &decls, &mut self.scratch)
@@ -852,6 +954,7 @@ impl JadeCtx for ThreadCtx {
             worker: self.worker,
             home: self.home,
             scratch: std::mem::take(&mut self.scratch),
+            pending_ir: None,
         };
         let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut cctx)));
         let leaked = cctx.holds.any_held();
@@ -887,6 +990,37 @@ impl JadeCtx for ThreadCtx {
         }
     }
 
+    fn withonly_ir<S, F>(&mut self, label: &str, spec: S, ir: TaskBodyIr, body: F)
+    where
+        S: FnOnce(&mut SpecBuilder),
+        F: FnOnce(&mut Self) + Send + 'static,
+    {
+        // Stage the portable body for `withonly` to pick up when it
+        // stores the task payload. The inline-throttle path consumes
+        // the closure instead, so clear any leftover afterwards.
+        self.pending_ir = Some(ir);
+        self.withonly(label, spec, body);
+        self.pending_ir = None;
+    }
+
+    fn kernel(&mut self, name: &str, args: &[f64]) -> Result<Vec<f64>, JadeFault> {
+        if let Some(g) = &self.inner.gate {
+            if let Some(r) = g.call_kernel(name, args) {
+                return r.map_err(|message| JadeFault::TaskPanicked {
+                    task: self.task,
+                    message,
+                });
+            }
+        }
+        match KernelRegistry::builtin().lookup(name) {
+            Some(k) => Ok(k(args)),
+            None => Err(JadeFault::TaskPanicked {
+                task: self.task,
+                message: format!("no kernel named '{name}' in the registry"),
+            }),
+        }
+    }
+
     fn with_cont<C>(&mut self, changes: C)
     where
         C: FnOnce(&mut ContBuilder),
@@ -917,11 +1051,17 @@ impl JadeCtx for ThreadCtx {
 
     fn wr<T: Object>(&mut self, h: &Shared<T>) -> WriteGuard<T> {
         let lock = self.checked_access(h, AccessKind::Write);
+        if let Some(g) = &self.inner.gate {
+            g.note_write(h.id());
+        }
         WriteGuard::new(lock, self.holds.acquire(h.id(), AccessKind::Write))
     }
 
     fn cm<T: Object>(&mut self, h: &Shared<T>) -> WriteGuard<T> {
         let lock = self.checked_access(h, AccessKind::Commute);
+        if let Some(g) = &self.inner.gate {
+            g.note_write(h.id());
+        }
         WriteGuard::new(lock, self.holds.acquire(h.id(), AccessKind::Commute))
     }
 
@@ -975,7 +1115,7 @@ impl ThreadCtx {
 
 // Spec builders are re-exported through the crate root; local aliases
 // keep the trait impl readable.
-use jade_core::spec::{AccessKind, ContBuilder, SpecBuilder};
+use jade_core::spec::{AccessKind, ContBuilder, Declaration, SpecBuilder};
 
 #[cfg(test)]
 mod tests {

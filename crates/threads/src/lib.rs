@@ -67,7 +67,7 @@
 mod executor;
 mod steal;
 
-pub use executor::{DispatchGate, ThreadCtx, ThreadedExecutor, Throttle};
+pub use executor::{AdmitRequest, Admission, DispatchGate, ThreadCtx, ThreadedExecutor, Throttle};
 pub use steal::StealQueue;
 
 // The spec-builder surface, identical in jade-threads and jade-sim.

@@ -4,10 +4,15 @@
 //! Spawned by the coordinator ([`jade_net::Cluster`]) with its
 //! configuration in `JADE_NET_*` environment variables (see
 //! [`jade_net::worker_main`] for the full table), it dials back,
-//! handshakes, and serves the lease/kernel protocol until shutdown —
-//! or until a chaos knob SIGKILLs it mid-run, which is the point of
-//! the chaos tests.
+//! handshakes, and serves the lease/kernel/task-ship protocol until
+//! shutdown — or until a chaos knob SIGKILLs it mid-run, which is the
+//! point of the chaos tests.
+//!
+//! The worker links the *application* kernel registry
+//! ([`jade_apps::kernels::registry`]) — the paper's "program text
+//! present on every machine" assumption: a shipped task body can only
+//! run remotely if the worker binary resolves its kernel names.
 
 fn main() -> ! {
-    jade_net::worker_main()
+    jade_net::worker_main_with(jade_apps::kernels::registry())
 }

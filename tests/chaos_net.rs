@@ -66,6 +66,7 @@ fn sigkilled_worker_mid_run_is_recovered_from() {
                 kill_after_grants: Some(kill_after),
                 hang_after_grants: None,
                 kill_after_kernels: None,
+                kill_after_tasks: None,
             }],
             ..NetConfig::processes(3, worker_bin())
         };
@@ -102,12 +103,14 @@ fn losing_two_of_three_workers_still_completes() {
                 kill_after_grants: Some(1),
                 hang_after_grants: None,
                 kill_after_kernels: None,
+                kill_after_tasks: None,
             },
             ChaosSpec {
                 worker: 2,
                 kill_after_grants: Some(3),
                 hang_after_grants: None,
                 kill_after_kernels: None,
+                kill_after_tasks: None,
             },
         ],
         ..NetConfig::processes(3, worker_bin())
@@ -124,6 +127,88 @@ fn losing_two_of_three_workers_still_completes() {
 }
 
 #[test]
+fn sigkilled_dirty_replica_holder_forces_reshipping() {
+    // The replica-eviction path under a real SIGKILL, made
+    // deterministic by a serial chain over ONE object: every task
+    // reads its predecessor's output, and the placement tie-break
+    // (equal load, then affinity, then index) pins the whole chain to
+    // worker 0 — which commits two links, becoming the sole holder of
+    // the latest version, then the process dies executing the third,
+    // before the result frame leaves. The successor can only run on
+    // worker 1, whose read of the evicted sole replica must be
+    // re-shipped from the coordinator's master copy, and the run must
+    // still be bit-identical to SerialRuntime.
+    use jade_core::prelude::*;
+
+    fn program(ctx: &mut jade_threads::ThreadCtx) -> f64 {
+        let p: Shared<f64> = ctx.create(3.0);
+        for _ in 0..8 {
+            let ir = TaskBodyIr::new().step("scale2", vec![IrSrc::Obj(0)], IrDst::Obj(0));
+            ctx.withonly_ir(
+                "scale",
+                |s| {
+                    s.rd_wr(p);
+                },
+                ir,
+                move |c| {
+                    let v = *c.rd(&p);
+                    *c.wr(&p) = v * 2.0;
+                },
+            );
+        }
+        *ctx.rd(&p)
+    }
+
+    let want = SerialRuntime
+        .execute(RunConfig::new(), program_serial)
+        .expect("serial oracle")
+        .result;
+    fn program_serial(ctx: &mut jade_core::serial::SerialCtx) -> f64 {
+        let p: Shared<f64> = ctx.create(3.0);
+        for _ in 0..8 {
+            let ir = TaskBodyIr::new().step("scale2", vec![IrSrc::Obj(0)], IrDst::Obj(0));
+            ctx.withonly_ir(
+                "scale",
+                |s| {
+                    s.rd_wr(p);
+                },
+                ir,
+                move |c| {
+                    let v = *c.rd(&p);
+                    *c.wr(&p) = v * 2.0;
+                },
+            );
+        }
+        *ctx.rd(&p)
+    }
+
+    let cfg = NetConfig {
+        chaos: vec![ChaosSpec {
+            worker: 0,
+            kill_after_grants: None,
+            hang_after_grants: None,
+            kill_after_kernels: None,
+            kill_after_tasks: Some(2),
+        }],
+        ..NetConfig::processes(2, worker_bin())
+    };
+    let rep = NetExecutor::new(cfg)
+        .execute(RunConfig::new(), program)
+        .expect("the run must survive the dirty-holder SIGKILL");
+    assert_eq!(rep.result, want, "recovery must not change the answer");
+    let faults = rep.faults.expect("stats");
+    assert_eq!(faults.crashes, 1, "exactly one process died: {faults}");
+    assert!(
+        faults.recoveries > 0,
+        "the in-flight shipped task must be re-dispatched: {faults}"
+    );
+    assert!(
+        faults.reshipped > 0,
+        "evicted sole-holder replicas must be re-shipped: {faults}"
+    );
+}
+
+#[test]
 fn hung_worker_process_is_caught_by_heartbeat() {
     let a = cholesky::SparseSym::random_spd(24, 4, 9);
     let want = serial_cholesky(&a);
@@ -135,6 +220,7 @@ fn hung_worker_process_is_caught_by_heartbeat() {
             kill_after_grants: None,
             hang_after_grants: Some(2),
             kill_after_kernels: None,
+            kill_after_tasks: None,
         }],
         ..NetConfig::processes(2, worker_bin())
     };

@@ -17,6 +17,14 @@ use jade_net::NetExecutor;
 use jade_sim::{Platform, SimExecutor};
 use jade_threads::ThreadedExecutor;
 
+/// The net backend with the application kernel registry linked in —
+/// the same registry the `jade-net-worker` binary links — so the
+/// applications' task-body IRs resolve and ship to workers instead of
+/// falling back to the closure/lease path.
+fn net_rt(workers: usize) -> NetExecutor {
+    NetExecutor::with_workers(workers).with_registry(jade_apps::kernels::registry())
+}
+
 /// Run `program` on one backend with tracing and return the result
 /// plus the task graph rendered to canonical text.
 fn traced<RT, R, F>(rt: &RT, program: F) -> (R, String)
@@ -125,7 +133,7 @@ fn session_submit_matches_execute_on_every_backend() {
     }
     {
         let mk = mk.clone();
-        session_matches_execute("net", NetExecutor::with_workers(2), false, move || {
+        session_matches_execute("net", net_rt(2), false, move || {
             let mk = mk.clone();
             move |ctx: &mut jade_threads::ThreadCtx| pmake::make_jade(ctx, &mk)
         });
@@ -151,7 +159,7 @@ fn cholesky_conforms_across_backends() {
             cholesky::factor_program(ctx, &a)
         })
     };
-    let net = traced(&NetExecutor::with_workers(2), move |ctx| {
+    let net = traced(&net_rt(2), move |ctx| {
         cholesky::factor_program(ctx, &a)
     });
     assert_conform("cholesky", serial, threads, sim, net);
@@ -176,7 +184,7 @@ fn lws_conforms_across_backends() {
             lws::run_jade(ctx, &sys, 6, 2, 0.002)
         })
     };
-    let net = traced(&NetExecutor::with_workers(2), move |ctx| {
+    let net = traced(&net_rt(2), move |ctx| {
         lws::run_jade(ctx, &sys, 6, 2, 0.002)
     });
     assert_conform("lws", serial, threads, sim, net);
@@ -199,6 +207,40 @@ fn pmake_conforms_across_backends() {
             pmake::make_jade(ctx, &mk)
         })
     };
-    let net = traced(&NetExecutor::with_workers(2), move |ctx| pmake::make_jade(ctx, &mk));
+    let net = traced(&net_rt(2), move |ctx| pmake::make_jade(ctx, &mk));
     assert_conform("pmake", serial, threads, sim, net);
+}
+
+/// With the application registry linked, every task body of every
+/// paper workload lowers to IR and executes on a *worker* — zero
+/// bodies run coordinator-locally (no lease fallback, no degradation)
+/// and the replica directory sees every object input.
+#[test]
+fn apps_task_bodies_ship_whole_to_workers() {
+    fn assert_all_shipped<R: Send + 'static>(
+        name: &str,
+        program: impl FnOnce(&mut jade_threads::ThreadCtx) -> R + Send + 'static,
+    ) {
+        let rep = net_rt(2)
+            .execute(RunConfig::new(), program)
+            .unwrap_or_else(|fault| panic!("{name}: {fault}"));
+        let net = rep.net.expect("net backend reports NetStats");
+        let faults = rep.faults.expect("net backend reports FaultStats");
+        assert_eq!(
+            net.tasks_shipped, rep.stats.tasks_created,
+            "{name}: every task body must ship as IR, none may fall back"
+        );
+        assert!(faults.is_clean(), "{name}: clean run expected, got {faults}");
+        assert!(
+            net.replica_hits + net.replica_misses > 0,
+            "{name}: shipped tasks must consult the replica directory"
+        );
+    }
+
+    let a = cholesky::SparseSym::random_spd(24, 3, 7);
+    assert_all_shipped("cholesky", move |ctx| cholesky::factor_program(ctx, &a));
+    let sys = lws::WaterSystem::new(18, 2);
+    assert_all_shipped("lws", move |ctx| lws::run_jade(ctx, &sys, 4, 2, 0.002));
+    let mk = pmake::Makefile::project(4, 1e5, 2e5);
+    assert_all_shipped("pmake", move |ctx| pmake::make_jade(ctx, &mk));
 }

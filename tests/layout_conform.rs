@@ -1,0 +1,157 @@
+//! Layout conformance for the distributed payload path: the paper's
+//! heterogeneous machines disagree on byte order, and the task-body
+//! protocol must deliver *bit-identical* `f64` payloads across every
+//! one of them — a single flipped or rounded bit in a shipped column
+//! breaks the "equal to the serial oracle" guarantee the whole
+//! repository is built on.
+//!
+//! Two properties are pinned here, through all five
+//! [`DataLayout`] machine presets:
+//!
+//! 1. every payload-carrying protocol message (`ObjectShip`,
+//!    `TaskShip` with a real application IR, `TaskResult`)
+//!    round-trips bit-identically;
+//! 2. every kernel in the application registry is insensitive to its
+//!    arguments having crossed a foreign layout: `k(roundtrip(args))
+//!    == k(args)`, and the result itself survives the trip back.
+
+#![deny(deprecated)]
+
+use jade_apps::cholesky::{serial as chol, SparseSym};
+use jade_apps::kernels::registry;
+use jade_apps::lws::model::{block_len, WaterSystem};
+use jade_core::ir::{IrDst, IrSrc, TaskBodyIr};
+use jade_net::wire::NetMsg;
+use jade_transport::{roundtrip_same, DataLayout};
+
+/// A deterministic, NaN-free argument vector for shape-agnostic
+/// kernels.
+fn generic_args(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (i as f64) * 0.37 - 2.0).collect()
+}
+
+/// Well-formed arguments for every kernel in the application
+/// registry, using real application data shapes.
+fn kernel_cases() -> Vec<(&'static str, Vec<f64>)> {
+    let mut cases = vec![
+        ("sum", generic_args(16)),
+        ("dot", generic_args(16)),
+        ("scale2", generic_args(16)),
+        ("sq_norm", generic_args(16)),
+        ("id", generic_args(16)),
+        ("cholesky_col", vec![4.0, 2.0, 6.0, 0.25]),
+    ];
+
+    // Cholesky: a factored-so-far column pair from the paper example.
+    let a = SparseSym::paper_example();
+    let mut cols = a.cols.clone();
+    chol::internal_update(&mut cols, 0);
+    cases.push(("chol_internal", a.cols[1].clone()));
+    let rows = &a.pattern.rows;
+    let (i, j) = (0, rows[0][0]);
+    let mut ext = vec![j as f64, rows[i].len() as f64];
+    ext.extend(rows[i].iter().map(|&r| r as f64));
+    ext.push(rows[j].len() as f64);
+    ext.extend(rows[j].iter().map(|&r| r as f64));
+    ext.extend_from_slice(&cols[i]);
+    ext.extend_from_slice(&cols[j]);
+    cases.push(("chol_external", ext));
+
+    // LWS: a real system's positions/velocities/forces.
+    let sys = WaterSystem::new(12, 4);
+    let n = sys.n();
+    let blocks = 3usize;
+    let mut fargs = vec![1.0, blocks as f64, block_len(n, blocks, 1) as f64, sys.boxl];
+    fargs.extend(sys.pos.iter().flatten());
+    cases.push(("lws_forces", fargs));
+    cases.push(("lws_reduce", vec![3.0, 0.5, -1.25, 2.0, 7.5, 8.25]));
+    let mut iargs = vec![n as f64, blocks as f64, 0.002, sys.boxl];
+    iargs.extend(generic_args(3 * n));
+    iargs.extend(sys.pos.iter().flatten());
+    iargs.extend(sys.vel.iter().flatten());
+    cases.push(("lws_integrate", iargs));
+
+    cases.push(("pmake_build", vec![2.0, 4096.0, 3.0, 100.0, 7.0, 200.0]));
+    cases
+}
+
+#[test]
+fn every_registry_kernel_has_a_layout_case() {
+    let mut covered: Vec<&str> = kernel_cases().iter().map(|(n, _)| *n).collect();
+    covered.sort_unstable();
+    let mut names = registry().names();
+    names.sort_unstable();
+    assert_eq!(names, covered, "add a layout case for every new kernel");
+}
+
+#[test]
+fn kernels_are_bit_identical_across_every_layout() {
+    let reg = registry();
+    for (name, args) in kernel_cases() {
+        let k = reg.lookup(name).unwrap_or_else(|| panic!("kernel {name}"));
+        let want = k(&args);
+        for layout in DataLayout::all_presets() {
+            // Arguments cross the wire as an ObjectShip payload…
+            let shipped = NetMsg::ObjectShip { object: 1, version: 1, data: args.clone() };
+            let back = match roundtrip_same(&shipped, layout) {
+                NetMsg::ObjectShip { data, .. } => data,
+                other => panic!("{name}: decoded as {other:?}"),
+            };
+            // …and the kernel must not notice the trip,
+            let got = k(&back);
+            assert_eq!(got, want, "{name}: args perturbed by layout {layout:?}");
+            // …nor may the result be perturbed on the way home.
+            let reply =
+                NetMsg::TaskResult { nonce: 7, ok: true, err: String::new(), outs: vec![(0, got)] };
+            assert_eq!(
+                roundtrip_same(&reply, layout),
+                reply,
+                "{name}: result perturbed by layout {layout:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn payload_messages_round_trip_through_every_layout() {
+    // A real application program: the external-update IR exactly as
+    // cholesky::jade generates it, literals and all.
+    let a = SparseSym::paper_example();
+    let rows = &a.pattern.rows;
+    let (i, j) = (0, rows[0][0]);
+    let mut meta = vec![j as f64, rows[i].len() as f64];
+    meta.extend(rows[i].iter().map(|&r| r as f64));
+    meta.push(rows[j].len() as f64);
+    meta.extend(rows[j].iter().map(|&r| r as f64));
+    let ir = TaskBodyIr::new().step(
+        "chol_external",
+        vec![IrSrc::Lit(meta), IrSrc::Obj(1), IrSrc::Obj(0)],
+        IrDst::Obj(0),
+    );
+    let msgs = vec![
+        NetMsg::ObjectShip { object: u64::MAX, version: 3, data: a.cols[i].clone() },
+        NetMsg::TaskShip {
+            nonce: 0xDEAD_BEEF,
+            ir,
+            inputs: vec![(0, 42, 1), (1, 43, 2)],
+            outs: vec![(0, 42, 2)],
+        },
+        NetMsg::TaskResult {
+            nonce: 0xDEAD_BEEF,
+            ok: true,
+            err: String::new(),
+            outs: vec![(0, a.cols[j].clone())],
+        },
+        NetMsg::TaskResult {
+            nonce: 1,
+            ok: false,
+            err: "step 0: no kernel named 'chol_external'".to_string(),
+            outs: Vec::new(),
+        },
+    ];
+    for layout in DataLayout::all_presets() {
+        for m in &msgs {
+            assert_eq!(&roundtrip_same(m, layout), m, "layout {layout:?}");
+        }
+    }
+}
