@@ -213,6 +213,76 @@ fn dispatch_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+/// The rayon-parity reference points: the same independent and
+/// fork-join task shapes as `dispatch`/`exp_sched`, but run on a plain
+/// scoped-threads pool with per-task dispatch and no Jade semantics
+/// (see `jade_bench::baseline`). Read next to the `dispatch` group:
+/// the ratio is the dynamic-concurrency-detection overhead.
+fn baseline_pool_throughput(c: &mut Criterion) {
+    const TASKS: u64 = 2048;
+    let mut g = c.benchmark_group("baseline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(TASKS));
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_function(format!("independent tasks (scoped pool), {workers} workers"), |b| {
+            b.iter(|| black_box(jade_bench::baseline::independent_rate(workers, TASKS, 64)))
+        });
+    }
+    const FAN: usize = 8;
+    const WAVES: u64 = TASKS / (FAN as u64 + 1);
+    g.throughput(Throughput::Elements(WAVES * (FAN as u64 + 1)));
+    for workers in [1usize, 4, 8] {
+        g.bench_function(format!("fork-join fan=8 (scoped pool), {workers} workers"), |b| {
+            b.iter(|| black_box(jade_bench::baseline::forkjoin_rate(workers, WAVES, FAN)))
+        });
+    }
+    g.finish();
+}
+
+/// Jade fork-join waves (fan writers + a joining reader per wave) at
+/// the shape the `baseline` group mirrors without semantics.
+fn forkjoin_throughput(c: &mut Criterion) {
+    const FAN: usize = 8;
+    const WAVES: u64 = 227;
+    let mut g = c.benchmark_group("forkjoin");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(WAVES * (FAN as u64 + 1)));
+    for workers in [1usize, 4, 8] {
+        g.bench_function(format!("fork-join fan=8, {workers} workers"), |b| {
+            let exec = ThreadedExecutor::new(workers);
+            b.iter(|| {
+                let rep = exec
+                    .execute(RunConfig::new(), move |ctx| {
+                        let xs: Vec<Shared<u64>> = (0..FAN).map(|_| ctx.create(0u64)).collect();
+                        for _ in 0..WAVES {
+                            for &x in &xs {
+                                ctx.withonly("fork", |s| { s.rd_wr(x); }, move |c| {
+                                    *c.wr(&x) += 1;
+                                });
+                            }
+                            let ys = xs.clone();
+                            ctx.withonly(
+                                "join",
+                                |s| {
+                                    for &x in &xs {
+                                        s.rd(x);
+                                    }
+                                },
+                                move |c| {
+                                    black_box(ys.iter().map(|x| *c.rd(x)).sum::<u64>());
+                                },
+                            );
+                        }
+                        xs.iter().map(|x| *ctx.rd(x)).sum::<u64>()
+                    })
+                    .expect("clean run");
+                assert_eq!(black_box(rep.result), WAVES * FAN as u64);
+            })
+        });
+    }
+    g.finish();
+}
+
 fn transport_conversion(c: &mut Criterion) {
     let column: Vec<f64> = (0..4096).map(|i| i as f64 * 0.5).collect();
     let bytes = 8 * column.len() as u64;
@@ -273,6 +343,8 @@ criterion_group!(
     sharded_engine_lifecycle,
     slot_recycle_churn,
     dispatch_throughput,
+    forkjoin_throughput,
+    baseline_pool_throughput,
     threaded_task_throughput,
     transport_conversion,
     serial_elision_overhead

@@ -15,12 +15,17 @@
 //! Run with: `cargo run --release -p jade-bench --bin exp_sched`
 //! (`--small` shrinks the task count for CI, `--tasks N` overrides it.)
 
+use jade_bench::baseline;
 use jade_bench::row;
 use jade_core::prelude::*;
 use jade_threads::{RunConfig, Runtime, ThreadedExecutor, Throttle};
 use std::time::Instant;
 
 const WORKERS: &[usize] = &[1, 2, 4, 8, 16];
+
+/// The E-SLAB regression floor for the shared×4 @8-workers config, in
+/// ktask/s — the CI perf-smoke job fails below this.
+const SMOKE_FLOOR_KTASKS: f64 = 434.9;
 
 /// Run `tasks` independent fine-grained tasks and return tasks/second.
 fn independent_rate(workers: usize, tasks: u64, objects: usize) -> f64 {
@@ -62,6 +67,70 @@ fn shared_rate(workers: usize, tasks: u64, objects: usize) -> f64 {
         .expect("clean run");
     assert_eq!(rep.result, tasks);
     tasks as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Fork-join waves through Jade declarations: `fan` writer tasks on
+/// distinct objects per wave, then one join task reading all of them.
+/// Each wave's joiner is enabled only once every forked writer
+/// retires, so this exercises the multi-predecessor wake path (and,
+/// for the writers of the *next* wave, the single-successor inline
+/// continuation steal off the joiner). Returns tasks/second over
+/// `waves * (fan + 1)` tasks.
+fn forkjoin_rate(workers: usize, waves: u64, fan: usize) -> f64 {
+    let exec = ThreadedExecutor::new(workers);
+    let tasks = waves * (fan as u64 + 1);
+    let start = Instant::now();
+    let rep = exec
+        .execute(RunConfig::new(), move |ctx| {
+            let xs: Vec<Shared<u64>> = (0..fan).map(|_| ctx.create(0u64)).collect();
+            for _ in 0..waves {
+                for &x in &xs {
+                    ctx.withonly("fork", |s| { s.rd_wr(x); }, move |c| {
+                        *c.wr(&x) += 1;
+                    });
+                }
+                let ys = xs.clone();
+                ctx.withonly(
+                    "join",
+                    |s| {
+                        for &x in &xs {
+                            s.rd(x);
+                        }
+                    },
+                    move |c| {
+                        let sum: u64 = ys.iter().map(|x| *c.rd(x)).sum();
+                        std::hint::black_box(sum);
+                    },
+                );
+            }
+            xs.iter().map(|x| *ctx.rd(x)).sum::<u64>()
+        })
+        .expect("clean run");
+    assert_eq!(rep.result, waves * fan as u64);
+    tasks as f64 / start.elapsed().as_secs_f64()
+}
+
+/// One instrumented shared×N run: same body as [`shared_rate`] but
+/// returns the runtime counters so the fast-path hit rates
+/// (continuation steals, spec-cache hits, grant-cache hits) can be
+/// reported per dispatched task.
+fn shared_stats(workers: usize, tasks: u64, objects: usize) -> (f64, RuntimeStats) {
+    let exec = ThreadedExecutor::new(workers);
+    let start = Instant::now();
+    let rep = exec
+        .execute(RunConfig::new(), move |ctx| {
+            let xs: Vec<Shared<u64>> = (0..objects).map(|_| ctx.create(0u64)).collect();
+            for i in 0..tasks {
+                let x = xs[(i as usize) % objects];
+                ctx.withonly("t", |s| { s.rd_wr(x); }, move |c| {
+                    *c.wr(&x) += 1;
+                });
+            }
+            xs.iter().map(|x| *ctx.rd(x)).sum::<u64>()
+        })
+        .expect("clean run");
+    assert_eq!(rep.result, tasks);
+    (tasks as f64 / start.elapsed().as_secs_f64(), rep.stats)
 }
 
 /// Steady-state churn: the creator is throttled so the live-set stays
@@ -111,6 +180,60 @@ fn sweep(name: &str, tasks: u64, f: impl Fn(usize, u64) -> f64) -> Vec<f64> {
     rates
 }
 
+/// Render one `"name": [v, v, ...]` JSON line of per-worker rates.
+fn json_rates(name: &str, rates: &[f64]) -> String {
+    let vals: Vec<String> = rates.iter().map(|r| format!("{:.1}", r / 1e3)).collect();
+    format!("    \"{}\": [{}]", name, vals.join(", "))
+}
+
+/// Emit the machine-readable summary consumed by CI. Hand-rolled: the
+/// bench crate deliberately has no serde dependency, and the schema is
+/// a flat map of ktask/s arrays plus fast-path hit rates.
+fn write_json(
+    path: &str,
+    tasks: u64,
+    sweeps: &[(&str, Vec<f64>)],
+    hits: &RuntimeStats,
+    hit_rate: f64,
+) {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"tasks\": {tasks},\n"));
+    s.push_str(&format!(
+        "  \"workers\": [{}],\n",
+        WORKERS.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(", ")
+    ));
+    s.push_str("  \"ktask_per_s\": {\n");
+    let lines: Vec<String> = sweeps.iter().map(|(n, r)| json_rates(n, r)).collect();
+    s.push_str(&lines.join(",\n"));
+    s.push_str("\n  },\n");
+    s.push_str("  \"fast_paths_shared_x4_w8\": {\n");
+    s.push_str(&format!("    \"tasks_created\": {},\n", hits.tasks_created));
+    s.push_str(&format!("    \"cont_steals\": {},\n", hits.cont_steals));
+    s.push_str(&format!("    \"spec_cache_hits\": {},\n", hits.spec_cache_hits));
+    s.push_str(&format!("    \"grant_cache_hits\": {},\n", hits.grant_cache_hits));
+    s.push_str(&format!("    \"cont_steal_rate\": {:.4},\n", hits.cont_steals as f64 / hits.tasks_created.max(1) as f64));
+    s.push_str(&format!("    \"spec_cache_hit_rate\": {:.4},\n", hits.spec_cache_hits as f64 / hits.tasks_created.max(1) as f64));
+    s.push_str(&format!("    \"ktask_per_s\": {:.1}\n", hit_rate / 1e3));
+    s.push_str("  }\n}\n");
+    std::fs::write(path, s).expect("write BENCH_dispatch.json");
+    println!("\nwrote {path}");
+}
+
+/// `--smoke`: the CI perf gate. One config only — shared×4 @8 workers,
+/// the E-SLAB reference point — warm-up plus best-of-three, then a
+/// hard assert against the recorded floor.
+fn smoke(tasks: u64) {
+    shared_rate(8, tasks / 4, 4); // warm-up
+    let best = (0..3).map(|_| shared_rate(8, tasks, 4)).fold(f64::MIN, f64::max);
+    println!("perf-smoke: shared x4 @8 workers: {:.1} ktask/s (floor {SMOKE_FLOOR_KTASKS})", best / 1e3);
+    assert!(
+        best / 1e3 >= SMOKE_FLOOR_KTASKS,
+        "dispatch throughput regressed below the E-SLAB floor: {:.1} < {SMOKE_FLOOR_KTASKS} ktask/s",
+        best / 1e3
+    );
+    println!("perf-smoke passed");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let small = args.iter().any(|a| a == "--small");
@@ -120,6 +243,16 @@ fn main() {
         .map(|i| args[i + 1].parse().expect("--tasks needs a number"))
         .unwrap_or(if small { 2_000 } else { 20_000 });
 
+    if args.iter().any(|a| a == "--smoke") {
+        smoke(tasks);
+        return;
+    }
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args[i + 1].clone())
+        .unwrap_or_else(|| "BENCH_dispatch.json".to_string());
+
     println!(
         "scheduler dispatch throughput sweep ({} hardware threads on this host)",
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -128,9 +261,56 @@ fn main() {
     // Independent tasks, one object per in-flight task slot: the pure
     // dispatch path. 64 objects keeps queue depth ~1 per object.
     let indep = sweep("independent", tasks, |w, n| independent_rate(w, n, 64));
+    let base_indep =
+        sweep("baseline independent (scoped threads)", tasks, |w, n| baseline::independent_rate(w, n, 64));
 
     // All traffic through 4 shared counters: queue-pressure regime.
-    sweep("shared x4", tasks / 4, |w, n| shared_rate(w, n, 4));
+    let shared = sweep("shared x4", tasks / 4, |w, n| shared_rate(w, n, 4));
+
+    // Fork-join waves: fan=8 writers + 1 joiner per wave, Jade vs the
+    // plain pool. Wave count chosen so total task count ≈ `tasks`.
+    let fan = 8;
+    let waves = (tasks / (fan as u64 + 1)).max(1);
+    let fj = sweep("fork-join fan=8", waves, |w, n| forkjoin_rate(w, n, fan));
+    let base_fj =
+        sweep("baseline fork-join fan=8 (scoped threads)", waves, |w, n| baseline::forkjoin_rate(w, n, fan));
+
+    // Gap table: Jade as a multiple of the no-semantics pool. <1.0×
+    // means Jade is *faster* (its work-stealing deques beat the single
+    // mutex-protected FIFO under contention).
+    println!("\ngap vs scoped-threads baseline (Jade time ÷ baseline time; lower is better)");
+    let header: Vec<String> =
+        std::iter::once("shape".to_string()).chain(WORKERS.iter().map(|w| w.to_string())).collect();
+    println!("{}", row(&header, 13));
+    for (name, jade, base) in
+        [("independent", &indep, &base_indep), ("fork-join", &fj, &base_fj)]
+    {
+        let cells: Vec<String> = std::iter::once(name.to_string())
+            .chain(jade.iter().zip(base.iter()).map(|(j, b)| format!("{:.2}x", b / j)))
+            .collect();
+        println!("{}", row(&cells, 13));
+    }
+
+    // Instrumented run at the reference config for the JSON summary.
+    let (hit_rate, hits) = shared_stats(8, tasks / 4, 4);
+    println!(
+        "\nfast paths @ shared x4, 8 workers: {} tasks, {} cont-steals, {} spec-cache hits, {} grant-cache hits",
+        hits.tasks_created, hits.cont_steals, hits.spec_cache_hits, hits.grant_cache_hits
+    );
+
+    write_json(
+        &json_path,
+        tasks,
+        &[
+            ("independent", indep.clone()),
+            ("baseline_independent", base_indep),
+            ("shared_x4", shared),
+            ("forkjoin_fan8", fj),
+            ("baseline_forkjoin_fan8", base_fj),
+        ],
+        &hits,
+        hit_rate,
+    );
 
     // Throttled churn: live-set pinned at ≤32 while `tasks` stream
     // through — the slab-recycling regime. Peak slot count must track

@@ -24,7 +24,6 @@
 //! amortized over every raw access made through the guard — exactly
 //! the global-to-local translation + check the paper describes.
 
-use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 use std::sync::Arc;
@@ -54,10 +53,12 @@ struct HoldCell {
 /// Counters are per-object atomics; the map of cells is behind an
 /// `RwLock` that is write-locked only the first time a task touches an
 /// object, so repeated guard acquisitions are lock-free on release and
-/// read-locked (shared, uncontended) on acquire.
+/// read-locked (shared, uncontended) on acquire. The map itself hashes
+/// with [`crate::fasthash::FastHasher`] — guard acquisition is on the
+/// per-access hot path, where SipHash is measurable overhead.
 #[derive(Debug, Clone, Default)]
 pub struct HoldSet {
-    cells: Arc<RwLock<HashMap<ObjectId, Arc<HoldCell>>>>,
+    cells: Arc<RwLock<crate::fasthash::FastMap<ObjectId, Arc<HoldCell>>>>,
 }
 
 impl HoldSet {

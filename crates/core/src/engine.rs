@@ -114,7 +114,6 @@ struct TaskSync {
     state: TaskState,
     /// Outstanding waits while `Blocked`.
     waiting: Vec<(ObjectId, AccessKind)>,
-    next_child_idx: u32,
 }
 
 /// A task's identity: written only while the slot is being
@@ -158,6 +157,19 @@ struct TaskSlot {
     cv: Condvar,
     /// Declaration/anchor nodes of this task, in declaration order.
     decls: Mutex<Vec<(ObjectId, NodeRef)>>,
+    /// Bumped whenever a `with-cont` retires one of this task's rights.
+    /// Spec-cache entries keyed on this task as parent record the epoch
+    /// they validated against; a retire can weaken coverage, so an
+    /// epoch mismatch forces re-validation. Conversions (deferred →
+    /// immediate) never weaken coverage and do not bump it.
+    cont_epoch: AtomicU32,
+    /// Serial index handed to this task's next child. Atomic (not under
+    /// `sync`) so the task-creation hot path allocates a child index
+    /// with one uncontended RMW instead of a parent lock round-trip;
+    /// readers ([`ShardedEngine::is_newest_child_position`]) run with
+    /// the relevant object shard held, whose lock ordering makes every
+    /// already-inserted sibling's increment visible.
+    next_child: AtomicU32,
 }
 
 impl TaskSlot {
@@ -170,13 +182,11 @@ impl TaskSlot {
             pins: AtomicU32::new(0),
             ident: RwLock::new(TaskIdent::default()),
             missing: AtomicI64::new(1),
-            sync: Mutex::new(TaskSync {
-                state: TaskState::Pending,
-                waiting: Vec::new(),
-                next_child_idx: 0,
-            }),
+            sync: Mutex::new(TaskSync { state: TaskState::Pending, waiting: Vec::new() }),
             cv: Condvar::new(),
             decls: Mutex::new(Vec::new()),
+            cont_epoch: AtomicU32::new(0),
+            next_child: AtomicU32::new(0),
         }
     }
 
@@ -191,6 +201,26 @@ impl TaskSlot {
 struct TaskShard {
     slots: RwLock<Vec<Arc<TaskSlot>>>,
     free: Mutex<Vec<u32>>,
+}
+
+/// Ways in the per-worker spec cache: direct-mapped on the spec hash.
+/// Sized so loops cycling through a few dozen distinct specs (the
+/// cholesky/water/pmake shape) stay resident; conflict misses cost a
+/// re-validation, never correctness.
+const SPEC_CACHE_WAYS: usize = 64;
+
+/// One entry of the per-worker spec cache (see
+/// [`ShardedEngine::attach_task_with`]): a validated `(parent, decls)`
+/// pair with the parent's queue positions, good while the parent's
+/// `cont_epoch` is unchanged.
+#[derive(Debug, Default, Clone)]
+struct SpecCacheEntry {
+    valid: bool,
+    parent: Option<TaskId>,
+    epoch: u32,
+    key: u64,
+    decls: Vec<Declaration>,
+    pnodes: Vec<NodeRef>,
 }
 
 /// A set of jointly held shard guards, acquired in ascending shard
@@ -243,6 +273,10 @@ pub struct EngineScratch {
     converted: Vec<(ObjectId, AccessKind)>,
     touched: Vec<ObjectId>,
     waits: Vec<(ObjectId, AccessKind)>,
+    /// Per-worker spec-hash cache (lazily sized to [`SPEC_CACHE_WAYS`]):
+    /// memoizes `attach_task` validation and parent-node lookup for
+    /// repeated identical specifications from the same parent.
+    spec_cache: Vec<SpecCacheEntry>,
 }
 
 /// The sharded dependency engine. All methods take `&self`: the
@@ -570,7 +604,7 @@ impl ShardedEngine {
 
     fn is_newest_child_position(&self, parent: TaskId, path: &[u32]) -> bool {
         let idx = *path.last().expect("non-root task has a path");
-        self.slot(parent).sync.lock().next_child_idx == idx + 1
+        self.slot(parent).next_child.load(Ordering::Relaxed) == idx + 1
     }
 
     fn insert_by_order(
@@ -615,12 +649,7 @@ impl ShardedEngine {
             matches!(pslot.sync.lock().state, TaskState::Running | TaskState::Ready),
             "only an executing task can create children"
         );
-        let child_idx = {
-            let mut s = pslot.sync.lock();
-            let i = s.next_child_idx;
-            s.next_child_idx += 1;
-            i
-        };
+        let child_idx = pslot.next_child.fetch_add(1, Ordering::Relaxed);
         // Pin the parent: its slot (and transitively every ancestor's)
         // must stay valid while this child can still reference it.
         pslot.pins.fetch_add(1, Ordering::AcqRel);
@@ -647,9 +676,10 @@ impl ShardedEngine {
             let mut s = slot.sync.lock();
             s.state = TaskState::Pending;
             s.waiting.clear();
-            s.next_child_idx = 0;
         }
         slot.decls.lock().clear();
+        slot.cont_epoch.store(0, Ordering::Release);
+        slot.next_child.store(0, Ordering::Relaxed);
         if self.tracing() {
             self.trace_log.lock().push((tid, label.to_string()));
         }
@@ -748,10 +778,33 @@ impl ShardedEngine {
         let pslot = self.slot(parent);
         self.stats.declarations.fetch_add(decls.len() as u64, Ordering::Relaxed);
 
-        let EngineScratch { wakes, fresh, pnodes, objects, freshrefs, .. } = scratch;
+        let EngineScratch { wakes, fresh, pnodes, objects, freshrefs, spec_cache, .. } = scratch;
         wakes.clear();
         fresh.clear();
         pnodes.clear();
+
+        // Spec-hash cache probe: identical declaration vectors from the
+        // same parent at the same cont-epoch were already validated and
+        // already had their parent queue positions resolved. Epoch and
+        // generation checks make a hit sound: the parent's own node
+        // rights can only be weakened by the parent's own `with-cont`
+        // retires (epoch bump) and its nodes only removed at its own
+        // finish (generation bump on slot reuse) — both on the thread
+        // that owns this scratch.
+        if spec_cache.is_empty() {
+            spec_cache.resize(SPEC_CACHE_WAYS, SpecCacheEntry::default());
+        }
+        let key = crate::spec::spec_hash(decls);
+        let epoch = pslot.cont_epoch.load(Ordering::Relaxed);
+        let way = (key as usize) % SPEC_CACHE_WAYS;
+        let cache_hit = {
+            let e = &spec_cache[way];
+            e.valid
+                && e.parent == Some(parent)
+                && e.epoch == epoch
+                && e.key == key
+                && e.decls == decls
+        };
 
         // Single-declaration specs — the common shape — lock their one
         // shard straight away; only multi-object commits build the
@@ -766,13 +819,37 @@ impl ShardedEngine {
                 self.lock_shards(objects)
             }
         };
-        // Validate before mutating any queue, remembering the parent's
-        // queue position on each object when it already has one.
-        for d in decls {
-            if !set.get(d.object).arena.has_object(d.object) {
-                return Err(JadeError::UnknownObject(d.object));
+        if cache_hit {
+            self.stats.spec_cache_hits.fetch_add(1, Ordering::Relaxed);
+            pnodes.extend(spec_cache[way].pnodes.iter().map(|&nr| Some(nr)));
+        } else {
+            // Validate before mutating any queue, remembering the
+            // parent's queue position on each object when it already
+            // has one.
+            for d in decls {
+                if !set.get(d.object).arena.has_object(d.object) {
+                    return Err(JadeError::UnknownObject(d.object));
+                }
+                pnodes.push(self.check_coverage(&mut set, parent, &pslot, &ident.label, d)?);
             }
-            pnodes.push(self.check_coverage(&mut set, parent, &pslot, &ident.label, d)?);
+            // Install only when every declaration resolved against the
+            // parent's *own declared* node: ancestor-walk coverage can
+            // be weakened by an ancestor's concurrent with-cont, which
+            // the parent-local epoch cannot see.
+            let cacheable = decls.iter().zip(pnodes.iter()).all(|(d, p)| {
+                p.is_some_and(|nr| set.get(d.object).arena.node(nr).rights.is_declared())
+            });
+            if cacheable {
+                let e = &mut spec_cache[way];
+                e.valid = true;
+                e.parent = Some(parent);
+                e.epoch = epoch;
+                e.key = key;
+                e.decls.clear();
+                e.decls.extend_from_slice(decls);
+                e.pnodes.clear();
+                e.pnodes.extend(pnodes.iter().map(|p| p.expect("cacheable implies Some")));
+            }
         }
 
         let tracing = self.tracing();
@@ -1128,6 +1205,11 @@ impl ShardedEngine {
         }
         touched.sort_unstable();
         touched.dedup();
+        if !touched.is_empty() {
+            // A retire weakens this task's rights; invalidate spec-cache
+            // entries that validated children against them.
+            slot.cont_epoch.fetch_add(1, Ordering::Release);
+        }
         for &oid in touched.iter() {
             let sh = set.get(oid);
             sh.trs.clear();
@@ -1214,13 +1296,18 @@ impl ShardedEngine {
                 // commuting tasks now wait until this one finishes or
                 // issues no_cm (§4.3 — serialized but unordered).
                 sh.arena.set_commute_holding(nr, true);
-                sh.trs.clear();
-                let Shard { arena, trs, .. } = &mut *sh;
-                arena.recompute_diff_incremental_into(oid, &[], trs);
-                // Only revocations of peer commuters can result.
-                let mut wakes = Vec::new();
-                self.apply_transitions(trs, &mut wakes);
-                debug_assert!(wakes.is_empty(), "acquiring exclusivity cannot wake anyone");
+                // Single-owner fast path: with no peers in the queue
+                // there is nothing to revoke, so the recompute walk is
+                // provably a no-op and can be skipped.
+                if !sh.arena.sole_occupant(nr) {
+                    sh.trs.clear();
+                    let Shard { arena, trs, .. } = &mut *sh;
+                    arena.recompute_diff_incremental_into(oid, &[], trs);
+                    // Only revocations of peer commuters can result.
+                    let mut wakes = Vec::new();
+                    self.apply_transitions(trs, &mut wakes);
+                    debug_assert!(wakes.is_empty(), "acquiring exclusivity cannot wake anyone");
+                }
             }
             Ok(AccessStatus::Granted)
         } else {
@@ -1680,5 +1767,90 @@ mod tests {
             "peak {peak} slots for a live-set of 1 — slab is leaking"
         );
         assert_eq!(e.stats.snapshot().tasks_created, 256, "work actually happened");
+    }
+
+    #[test]
+    fn spec_cache_hits_on_repeated_identical_specs() {
+        let e = ShardedEngine::new();
+        let a = e.create_object(TaskId::ROOT);
+        // One scratch shared across attaches, like a pool worker.
+        let mut scratch = EngineScratch::default();
+        let mut chain = Vec::new();
+        for i in 0..8 {
+            let tid = e.alloc_task(TaskId::ROOT, &format!("w{i}"), Placement::Any);
+            e.attach_task_with(
+                tid,
+                &decls(|s| {
+                    s.wr(a);
+                }),
+                &mut scratch,
+            )
+            .unwrap();
+            scratch.wakes.clear();
+            chain.push(tid);
+        }
+        let snap = e.stats.snapshot();
+        assert_eq!(snap.spec_cache_hits, 7, "first attach misses, the rest hit");
+        assert_eq!(snap.declarations, 8, "hits still count declarations");
+        // Semantics unchanged: the writers still serialize in order.
+        for (i, &t) in chain.iter().enumerate() {
+            assert_eq!(
+                e.state(t),
+                if i == 0 { TaskState::Ready } else { TaskState::Pending },
+            );
+        }
+        for &t in &chain {
+            assert!(e.wait_until_ready(t));
+            e.start_task(t);
+            e.finish_task_with(t, &mut scratch);
+            scratch.wakes.clear();
+        }
+        assert_eq!(e.stats.snapshot().tasks_finished, 8);
+    }
+
+    #[test]
+    fn spec_cache_invalidated_by_with_cont_retire() {
+        let e = ShardedEngine::new();
+        let a = e.create_object(TaskId::ROOT);
+        let mut scratch = EngineScratch::default();
+        let (p, _) = create(&e, TaskId::ROOT, "parent", |s| {
+            s.rd_wr(a);
+        });
+        e.start_task(p);
+        // Two identical child attaches: the second must hit the cache.
+        for i in 0..2 {
+            let c = e.alloc_task(p, &format!("c{i}"), Placement::Any);
+            e.attach_task_with(
+                c,
+                &decls(|s| {
+                    s.wr(a);
+                }),
+                &mut scratch,
+            )
+            .unwrap();
+            scratch.wakes.clear();
+            e.wait_until_ready(c);
+            e.start_task(c);
+            e.finish_task_with(c, &mut scratch);
+            scratch.wakes.clear();
+        }
+        assert_eq!(e.stats.snapshot().spec_cache_hits, 1);
+        // The parent retires its write side: a stale cache hit would
+        // now let an uncoverable child slip through validation.
+        e.with_cont_with(p, &[(a, ContOp::NoWr)], &mut scratch).unwrap();
+        scratch.wakes.clear();
+        let c = e.alloc_task(p, "uncovered", Placement::Any);
+        let err = e.attach_task_with(
+            c,
+            &decls(|s| {
+                s.wr(a);
+            }),
+            &mut scratch,
+        );
+        assert!(
+            matches!(err, Err(JadeError::NotCovered { .. })),
+            "retire must invalidate the cached validation, got {err:?}"
+        );
+        assert_eq!(e.stats.snapshot().spec_cache_hits, 1, "no further hits after the retire");
     }
 }

@@ -121,6 +121,11 @@ struct Ends {
     /// [`QueueArena::recompute_diff`] scan. Lets the incremental
     /// recompute skip the O(queue) holder search.
     holder: Option<NodeRef>,
+    /// Live node count (anchors included). Maintained by
+    /// `push_tail`/`insert_before`/`remove` so occupancy queries —
+    /// [`QueueArena::queue_len`], [`QueueArena::sole_occupant`] — are
+    /// O(1) instead of a full list walk.
+    len: u32,
 }
 
 /// Slab of queue nodes plus per-object head/tail pointers.
@@ -194,6 +199,7 @@ impl QueueArena {
     pub fn push_tail(&mut self, object: ObjectId, task: TaskId, rights: DeclRights) -> NodeRef {
         let r = self.alloc(Self::blank(task, object, rights));
         let ends = self.ends.entry(object).or_default();
+        ends.len += 1;
         match ends.tail {
             None => {
                 ends.head = Some(r);
@@ -218,6 +224,7 @@ impl QueueArena {
     ) -> NodeRef {
         let object = self.node(before).object;
         let prev = self.node(before).prev;
+        self.ends.get_mut(&object).expect("unregistered object").len += 1;
         let r = self.alloc(Self::blank(task, object, rights));
         self.nodes[r.idx()].prev = prev;
         self.nodes[r.idx()].next = Some(before);
@@ -240,6 +247,7 @@ impl QueueArena {
             if ends.holder == Some(r) {
                 ends.holder = None;
             }
+            ends.len -= 1;
         }
         match prev {
             Some(p) => self.nodes[p.idx()].next = next,
@@ -518,9 +526,21 @@ impl QueueArena {
         out
     }
 
-    /// Length of an object's queue (anchors included).
+    /// Length of an object's queue (anchors included). O(1) via the
+    /// maintained per-queue counter.
     pub fn queue_len(&self, object: ObjectId) -> usize {
-        self.iter(object).count()
+        self.ends.get(&object).map_or(0, |e| e.len as usize)
+    }
+
+    /// Whether `r` is the only live node in its object's queue — the
+    /// single-owner case. A sole occupant has no peers to block or
+    /// revoke, so enabling-state recomputes after its own transitions
+    /// (e.g. acquiring commute exclusivity) are provably no-ops.
+    pub fn sole_occupant(&self, r: NodeRef) -> bool {
+        let object = self.node(r).object;
+        self.ends
+            .get(&object)
+            .is_some_and(|e| e.len == 1 && e.head == Some(r))
     }
 }
 
@@ -823,6 +843,27 @@ mod tests {
             vec![Transition { task: TaskId(1), object: O, kind: AccessKind::Commute, granted: true }]
         );
         assert!(a.recompute_diff(O).is_empty());
+    }
+
+    #[test]
+    fn queue_len_counter_and_sole_occupant_track_mutations() {
+        let mut a = arena();
+        assert_eq!(a.queue_len(O), 0);
+        let parent = a.push_tail(O, TaskId(1), DeclRights::RD_WR);
+        assert_eq!(a.queue_len(O), 1);
+        assert!(a.sole_occupant(parent));
+        let child = a.insert_before(parent, TaskId(2), DeclRights::WR);
+        assert_eq!(a.queue_len(O), 2);
+        assert!(!a.sole_occupant(parent) && !a.sole_occupant(child));
+        a.remove(child);
+        assert_eq!(a.queue_len(O), 1);
+        assert!(a.sole_occupant(parent));
+        a.remove(parent);
+        assert_eq!(a.queue_len(O), 0);
+        // Counter survives slot recycling.
+        let again = a.push_tail(O, TaskId(3), DeclRights::CM);
+        assert_eq!(a.queue_len(O), 1);
+        assert!(a.sole_occupant(again));
     }
 
     #[test]

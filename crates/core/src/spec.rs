@@ -74,7 +74,7 @@ impl DeclState {
 
 /// The rights one declaration grants for one object: a read side, a
 /// write side and a commuting-update side, each possibly deferred.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DeclRights {
     /// Read side of the declaration.
     pub read: DeclState,
@@ -182,12 +182,27 @@ impl DeclRights {
 }
 
 /// One object's entry in a task's access specification.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Declaration {
     /// The shared object being declared.
     pub object: ObjectId,
     /// The declared rights.
     pub rights: DeclRights,
+}
+
+/// Hash a whole declaration vector with the runtime's fast internal
+/// hasher — the key for the engine's per-worker spec cache. Loops that
+/// re-issue the same `AccessSpec` (cholesky/water/pmake style) produce
+/// the same key, letting `attach_task` skip re-validation. Collisions
+/// are tolerated: cache consumers compare the full slice before
+/// trusting a key match.
+pub fn spec_hash(decls: &[Declaration]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = crate::fasthash::FastHasher::default();
+    for d in decls {
+        d.hash(&mut h);
+    }
+    h.finish()
 }
 
 /// Builder the access-declaration section runs against.

@@ -34,6 +34,20 @@ pub struct RuntimeStats {
     /// per-object access history: last conflicting writer plus, for a
     /// writer, the readers since — the same edges a trace records.
     pub conflicts: u64,
+    /// Continuations stolen inline: a finishing task enabled exactly
+    /// one successor and the finishing worker ran it directly, skipping
+    /// the ready-queue/condvar round trip (rayon-style continuation
+    /// stealing). Schedule-dependent; zero on serial backends.
+    pub cont_steals: u64,
+    /// `attach_task` spec-hash cache hits: a task's `Declaration`
+    /// vector matched a previously validated spec from the same parent,
+    /// so coverage checking and parent-node lookup were skipped.
+    /// Schedule-dependent (per-worker caches); zero on serial backends.
+    pub spec_cache_hits: u64,
+    /// Guard acquisitions served from the task's own grant memo
+    /// instead of the engine's shard lock table (single-owner fast
+    /// path). Schedule-dependent; zero on serial backends.
+    pub grant_cache_hits: u64,
     /// Peak number of simultaneously live (created, unfinished) tasks.
     pub peak_live_tasks: u64,
     /// High-water mark of task slots materialized in the engine's
@@ -58,6 +72,9 @@ impl RuntimeStats {
         self.with_conts += other.with_conts;
         self.with_cont_blocks += other.with_cont_blocks;
         self.conflicts += other.conflicts;
+        self.cont_steals += other.cont_steals;
+        self.spec_cache_hits += other.spec_cache_hits;
+        self.grant_cache_hits += other.grant_cache_hits;
         self.peak_live_tasks = self.peak_live_tasks.max(other.peak_live_tasks);
         self.peak_task_slots = self.peak_task_slots.max(other.peak_task_slots);
         self.objects_created += other.objects_created;
@@ -75,6 +92,9 @@ impl std::fmt::Display for RuntimeStats {
         writeln!(f, "with-conts:        {}", self.with_conts)?;
         writeln!(f, "with-cont blocks:  {}", self.with_cont_blocks)?;
         writeln!(f, "conflicts (edges): {}", self.conflicts)?;
+        writeln!(f, "cont steals:       {}", self.cont_steals)?;
+        writeln!(f, "spec cache hits:   {}", self.spec_cache_hits)?;
+        writeln!(f, "grant cache hits:  {}", self.grant_cache_hits)?;
         writeln!(f, "peak live tasks:   {}", self.peak_live_tasks)?;
         writeln!(f, "peak task slots:   {}", self.peak_task_slots)?;
         write!(f, "objects created:   {}", self.objects_created)
@@ -306,6 +326,12 @@ pub struct AtomicStats {
     pub with_cont_blocks: AtomicU64,
     /// See [`RuntimeStats::conflicts`].
     pub conflicts: AtomicU64,
+    /// See [`RuntimeStats::cont_steals`].
+    pub cont_steals: AtomicU64,
+    /// See [`RuntimeStats::spec_cache_hits`].
+    pub spec_cache_hits: AtomicU64,
+    /// See [`RuntimeStats::grant_cache_hits`].
+    pub grant_cache_hits: AtomicU64,
     /// See [`RuntimeStats::peak_live_tasks`] (maintained as a CAS max).
     pub peak_live_tasks: AtomicU64,
     /// See [`RuntimeStats::peak_task_slots`] (maintained as a CAS max).
@@ -346,6 +372,9 @@ impl AtomicStats {
             with_conts: self.with_conts.load(Relaxed),
             with_cont_blocks: self.with_cont_blocks.load(Relaxed),
             conflicts: self.conflicts.load(Relaxed),
+            cont_steals: self.cont_steals.load(Relaxed),
+            spec_cache_hits: self.spec_cache_hits.load(Relaxed),
+            grant_cache_hits: self.grant_cache_hits.load(Relaxed),
             peak_live_tasks: self.peak_live_tasks.load(Relaxed),
             peak_task_slots: self.peak_task_slots.load(Relaxed),
             objects_created: self.objects_created.load(Relaxed),
@@ -405,7 +434,17 @@ mod tests {
     #[test]
     fn display_mentions_all_fields() {
         let s = RuntimeStats::default().to_string();
-        for key in ["tasks created", "inlined", "finished", "with-cont", "conflicts", "objects"] {
+        for key in [
+            "tasks created",
+            "inlined",
+            "finished",
+            "with-cont",
+            "conflicts",
+            "cont steals",
+            "spec cache",
+            "grant cache",
+            "objects",
+        ] {
             assert!(s.contains(key), "missing {key}");
         }
     }

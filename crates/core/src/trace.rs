@@ -47,9 +47,22 @@ impl TaskGraphTrace {
     }
 
     /// Record a dependence edge (deduplicated per from/to pair).
+    ///
+    /// When two tasks conflict on several objects, the *canonical*
+    /// representative — smallest `(object, kind)` — is kept regardless
+    /// of recording order. Recording order is backend-dependent (the
+    /// sharded engine buffers edges per object shard and merges them
+    /// at the end; the serial engine records in declaration order), so
+    /// a first-one-wins rule would make traces disagree across
+    /// backends for multi-object conflicts.
     pub fn edge(&mut self, edge: TraceEdge) {
-        if !self.edges.iter().any(|e| e.from == edge.from && e.to == edge.to) {
-            self.edges.push(edge);
+        match self.edges.iter_mut().find(|e| e.from == edge.from && e.to == edge.to) {
+            Some(e) => {
+                if (edge.object, edge.kind as u8) < (e.object, e.kind as u8) {
+                    *e = edge;
+                }
+            }
+            None => self.edges.push(edge),
         }
     }
 

@@ -995,6 +995,7 @@ impl Loop {
         let mut picked_load = vec![0i64; self.cfg.platform.len()];
         let mut poison: Option<Poison> = None;
         let cap = 1 + self.cfg.lookahead as i64;
+        let single = self.cfg.platform.len() == 1;
         self.ready_pool.dispatch_where(&mut |t| {
             if poison.is_some() {
                 return false;
@@ -1019,6 +1020,23 @@ impl Loop {
                     violation: None,
                 });
                 return false;
+            }
+            // Single-machine fast path: the eligibility probe above
+            // already proved machine 0 satisfies the placement, and
+            // with one machine the candidate scan, affinity lookup and
+            // tie-break policy are all moot — the only decision left
+            // is the lookahead cap. Skips the per-task declaration
+            // collection (an allocation) on every dispatch; decisions
+            // are bit-identical to the general path (a sole candidate
+            // is always `choose`'s pick).
+            if single {
+                let load = self.mach[0].load + picked_load[0];
+                if load >= cap || self.is_down(0) {
+                    return false;
+                }
+                picked_load[0] += 1;
+                picks.push((t, 0));
+                return true;
             }
             let objs: Vec<ObjectId> =
                 self.engine.declarations_of(t).into_iter().map(|(o, _)| o).collect();

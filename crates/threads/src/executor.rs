@@ -41,7 +41,6 @@ use std::time::Instant;
 use jade_core::ctx::{take_violation, violation, HoldSet, JadeCtx, ReadGuard, WriteGuard};
 use jade_core::engine::{EngineScratch, ShardedEngine};
 use jade_core::error::{JadeError, JadeFault};
-use jade_core::fasthash::FastMap;
 use jade_core::graph::{AccessStatus, Wake};
 use jade_core::handle::{Object, Shared};
 use jade_core::ids::{Placement, TaskId};
@@ -159,6 +158,10 @@ struct TaskPayload {
     ir: Option<TaskBodyIr>,
 }
 
+/// One shard of the pending-body slab (see [`Inner::bodies`]): a dense
+/// vector of identity-tagged payloads slotted by task index.
+type BodyShard = Vec<Option<(TaskId, TaskPayload)>>;
+
 /// Thread-pool bookkeeping, touched only when a thread parks, blocks,
 /// or a compensation worker is spawned — never on the dispatch path.
 struct Pool {
@@ -209,10 +212,16 @@ struct Inner {
     queue: StealQueue,
     /// Bodies of created-but-not-yet-dispatched tasks, sharded by
     /// `TaskId` so concurrent creators and dispatchers do not
-    /// serialize on one map. A body is stored *before* the task's
+    /// serialize on one store. A body is stored *before* the task's
     /// specification is attached to the engine, so a remote worker can
-    /// never pop a body-less task.
-    bodies: Box<[Mutex<FastMap<TaskId, TaskPayload>>]>,
+    /// never pop a body-less task. Each shard is a dense slab indexed
+    /// by `index / BODY_SHARDS`: task slot indices recycle through the
+    /// engine's generational slab, so the vectors stay as small as the
+    /// peak live-set and the per-task probe is an index, not a hash.
+    /// Entries carry the full generational [`TaskId`] so probes with a
+    /// stale id (slot since recycled) miss instead of aliasing the new
+    /// occupant's body.
+    bodies: Box<[Mutex<BodyShard>]>,
     /// Created-but-not-finished task bodies the root must outwait.
     unfinished: AtomicI64,
     root_done: AtomicBool,
@@ -240,6 +249,11 @@ struct Inner {
     base_workers: usize,
     /// Distributed-dispatch gate, if a coordinator installed one.
     gate: Option<Arc<dyn DispatchGate>>,
+    /// Maximum consecutive continuations a finishing worker may run
+    /// inline before routing through the ready queue (see
+    /// [`execute_task`]); bounds how long a continuation chain can
+    /// monopolize one worker.
+    inline_steal_depth: usize,
     /// Run epoch; event timestamps are nanoseconds since this instant.
     start: Instant,
     observing: bool,
@@ -259,11 +273,39 @@ impl Inner {
         self.events.lanes[lane % n].lock().push((seq, Event { nanos, task, kind }));
     }
 
-    fn body_shard(&self, t: TaskId) -> &Mutex<FastMap<TaskId, TaskPayload>> {
-        // Key by slot index: generations recycle indices, and the map
-        // entry is removed before the slot can be reused, so sharding
-        // by index keeps the distribution uniform.
-        &self.bodies[t.index() % BODY_SHARDS]
+    // Body-slab access. Slotted by task index, but every entry carries
+    // the full (generational) TaskId and probes compare it: a wake may
+    // name an inline-throttled task that its awaiting creator has
+    // already run to completion, so by the time the waker probes here
+    // the index can belong to a new occupant. An index-only probe
+    // would mistake the new occupant's body for the stale task's;
+    // the identity check makes stale probes miss, exactly like the
+    // TaskId-keyed map this slab replaced.
+
+    fn body_put(&self, t: TaskId, payload: TaskPayload) {
+        let mut shard = self.bodies[t.index() % BODY_SHARDS].lock();
+        let at = t.index() / BODY_SHARDS;
+        if shard.len() <= at {
+            shard.resize_with(at + 1, || None);
+        }
+        debug_assert!(shard[at].is_none(), "body slot reused before being claimed");
+        shard[at] = Some((t, payload));
+    }
+
+    fn body_take(&self, t: TaskId) -> Option<TaskPayload> {
+        let mut shard = self.bodies[t.index() % BODY_SHARDS].lock();
+        let entry = shard.get_mut(t.index() / BODY_SHARDS)?;
+        match entry {
+            Some((id, _)) if *id == t => entry.take().map(|(_, p)| p),
+            _ => None,
+        }
+    }
+
+    fn body_present(&self, t: TaskId) -> bool {
+        self.bodies[t.index() % BODY_SHARDS]
+            .lock()
+            .get(t.index() / BODY_SHARDS)
+            .is_some_and(|e| e.as_ref().is_some_and(|(id, _)| *id == t))
     }
 
     /// Tell parked workers that `pushed` tasks were queued (or, with
@@ -312,7 +354,7 @@ impl Inner {
                 // Only queue tasks whose bodies the pool manages;
                 // inline-executed tasks are awaited by their creator
                 // through the engine instead.
-                if self.body_shard(t).lock().contains_key(&t) {
+                if self.body_present(t) {
                     match self.engine.placement(t) {
                         Placement::Machine(m) => {
                             self.queue.push(t, Some(m.0 as usize % self.base_workers));
@@ -339,6 +381,53 @@ impl Inner {
         if batched + hinted > 0 {
             self.notify_work(batched + hinted);
         }
+    }
+
+    /// Inline continuation stealing (rayon-style): when a finishing
+    /// task enabled *exactly one* successor, the finishing worker
+    /// claims that successor's body and runs it directly, skipping the
+    /// ready-queue push, the condvar wake and the eventual pop — the
+    /// whole cross-worker round trip. Sound because the successor is
+    /// not yet visible to any queue (its readiness lives only in this
+    /// worker's wake buffer) and there is no other newly runnable work
+    /// to hand out. Refused when a dispatch gate is installed (every
+    /// pool-dispatched task must go through admission), when the task
+    /// carries an explicit machine placement (the hint routes it to a
+    /// specific deque), past the configured steal depth (fairness: a
+    /// long chain must periodically surface in the queue so siblings
+    /// are served), and during fault shutdown.
+    fn try_steal_continuation(
+        &self,
+        scratch: &mut EngineScratch,
+        lane: usize,
+        depth: usize,
+    ) -> Option<(TaskId, Body)> {
+        if self.gate.is_some() || depth >= self.inline_steal_depth {
+            return None;
+        }
+        let [Wake::Ready(next)] = scratch.wakes[..] else {
+            return None;
+        };
+        if self.faulted.load(Ordering::Acquire) {
+            return None;
+        }
+        // Inline-throttled tasks store no body (their creator awaits
+        // them through the engine); fall back to the normal wake path.
+        // The identity-checked probe must come before the placement
+        // lookup: an inline task's awaiting creator may already have
+        // run it and recycled its slot, and `placement` on a stale id
+        // panics. A positive probe pins the task live — its body can
+        // only be claimed through the queue it is not yet visible in.
+        if !self.body_present(next)
+            || matches!(self.engine.placement(next), Placement::Machine(_))
+        {
+            return None;
+        }
+        let payload = self.body_take(next)?;
+        scratch.wakes.clear();
+        self.engine.stats.cont_steals.fetch_add(1, Ordering::Relaxed);
+        self.emit(lane, next, EventKind::TaskEnabled);
+        Some((next, payload.body))
     }
 
     /// [`Self::handle_wakes`] specialised for the creator path: when
@@ -415,8 +504,7 @@ impl Inner {
         let mut cancelled = 0i64;
         for shard in self.bodies.iter() {
             let mut b = shard.lock();
-            cancelled += b.len() as i64;
-            b.clear();
+            cancelled += b.iter_mut().filter_map(Option::take).count() as i64;
         }
         self.queue.clear();
         self.unfinished.fetch_sub(cancelled, Ordering::AcqRel);
@@ -529,7 +617,7 @@ fn worker_loop(inner: Arc<Inner>, lane: usize) {
             spins = 0;
             // A fault between pop and this lookup may have cancelled
             // the body; skip and fall out on the next fault check.
-            let Some(payload) = inner.body_shard(tid).lock().remove(&tid) else {
+            let Some(payload) = inner.body_take(tid) else {
                 continue;
             };
             let TaskPayload { mut body, decls, ir } = payload;
@@ -605,6 +693,12 @@ fn worker_loop(inner: Arc<Inner>, lane: usize) {
     inner.cv_done.notify_all();
 }
 
+/// Run one popped task, then trampoline through any continuations the
+/// finish enables (see [`Inner::try_steal_continuation`]): each
+/// iteration runs one body, settles its lifecycle, and either claims
+/// the single successor it enabled or exits through the normal wake
+/// path. A loop rather than recursion so a long producer/consumer
+/// chain cannot grow the worker's stack.
 fn execute_task(
     inner: &Arc<Inner>,
     tid: TaskId,
@@ -613,43 +707,84 @@ fn execute_task(
     home: Option<usize>,
     scratch: &mut EngineScratch,
 ) {
-    let mut ctx = ThreadCtx {
-        inner: Arc::clone(inner),
-        task: tid,
-        holds: HoldSet::new(),
-        worker: lane,
-        home,
-        scratch: std::mem::take(scratch),
-        pending_ir: None,
-    };
-    let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
-    let leaked = ctx.holds.any_held();
-    // Recover the buffers even when the body unwound, so a panicky
-    // workload does not shed its warmed-up capacity.
-    *scratch = std::mem::take(&mut ctx.scratch);
-    match outcome {
-        Ok(()) if !leaked => {
-            inner.engine.finish_task_with(tid, scratch);
-            inner.emit(lane, tid, EventKind::TaskFinished { worker: lane });
-            inner.handle_wakes(scratch, lane, home);
-            if let Some(g) = &inner.gate {
-                g.complete(tid, lane);
+    let mut tid = tid;
+    let mut body = body;
+    let mut depth = 0usize;
+    loop {
+        let mut ctx = ThreadCtx {
+            inner: Arc::clone(inner),
+            task: tid,
+            holds: HoldSet::new(),
+            worker: lane,
+            home,
+            scratch: std::mem::take(scratch),
+            pending_ir: None,
+            grants: Vec::new(),
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
+        let leaked = ctx.holds.any_held();
+        // Recover the buffers even when the body unwound, so a panicky
+        // workload does not shed its warmed-up capacity.
+        *scratch = std::mem::take(&mut ctx.scratch);
+        match outcome {
+            Ok(()) if !leaked => {
+                inner.engine.finish_task_with(tid, scratch);
+                inner.emit(lane, tid, EventKind::TaskFinished { worker: lane });
+                if let Some((next, nbody)) = inner.try_steal_continuation(scratch, lane, depth)
+                {
+                    // Settle the finished task before running its
+                    // successor: the root's join and any throttled
+                    // creator observe each completion promptly.
+                    inner.unfinished.fetch_sub(1, Ordering::AcqRel);
+                    inner.notify_done();
+                    inner.emit(lane, next, EventKind::TaskDispatched { worker: lane });
+                    inner.engine.start_task(next);
+                    inner.emit(lane, next, EventKind::TaskStarted { worker: lane });
+                    tid = next;
+                    body = nbody;
+                    depth += 1;
+                    continue;
+                }
+                inner.handle_wakes(scratch, lane, home);
+                if let Some(g) = &inner.gate {
+                    g.complete(tid, lane);
+                }
+            }
+            Ok(()) => {
+                inner.record_fault(JadeFault::SpecViolation {
+                    task: tid,
+                    error: JadeError::GuardLeaked { task: tid },
+                });
+                inner.fault_shutdown();
+            }
+            Err(payload) => {
+                inner.record_panic(tid, payload.as_ref());
+                inner.fault_shutdown();
             }
         }
-        Ok(()) => {
-            inner.record_fault(JadeFault::SpecViolation {
-                task: tid,
-                error: JadeError::GuardLeaked { task: tid },
-            });
-            inner.fault_shutdown();
-        }
-        Err(payload) => {
-            inner.record_panic(tid, payload.as_ref());
-            inner.fault_shutdown();
-        }
+        inner.unfinished.fetch_sub(1, Ordering::AcqRel);
+        inner.notify_done();
+        return;
     }
-    inner.unfinished.fetch_sub(1, Ordering::AcqRel);
-    inner.notify_done();
+}
+
+/// Default bound on consecutive inline continuation steals (see
+/// [`Inner::try_steal_continuation`]). Overridable per process with the
+/// `JADE_INLINE_STEAL_DEPTH` environment variable (`0` disables the
+/// steal path entirely) or per executor with
+/// [`ThreadedExecutor::with_inline_steal_depth`].
+pub const INLINE_STEAL_DEPTH_DEFAULT: usize = 64;
+
+/// Resolve the process-wide inline-steal depth: the environment
+/// override if set and parseable, else the documented default.
+fn env_inline_steal_depth() -> usize {
+    static DEPTH: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEPTH.get_or_init(|| {
+        std::env::var("JADE_INLINE_STEAL_DEPTH")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(INLINE_STEAL_DEPTH_DEFAULT)
+    })
 }
 
 /// Configuration and entry point for shared-memory execution.
@@ -658,6 +793,7 @@ pub struct ThreadedExecutor {
     workers: usize,
     throttle: Throttle,
     gate: Option<Arc<dyn DispatchGate>>,
+    inline_steal_depth: Option<usize>,
 }
 
 impl std::fmt::Debug for ThreadedExecutor {
@@ -666,6 +802,7 @@ impl std::fmt::Debug for ThreadedExecutor {
             .field("workers", &self.workers)
             .field("throttle", &self.throttle)
             .field("gate", &self.gate.is_some())
+            .field("inline_steal_depth", &self.inline_steal_depth)
             .finish()
     }
 }
@@ -673,12 +810,26 @@ impl std::fmt::Debug for ThreadedExecutor {
 impl ThreadedExecutor {
     /// A pool of `workers` threads (the root task's thread is extra).
     pub fn new(workers: usize) -> Self {
-        ThreadedExecutor { workers: workers.max(1), throttle: Throttle::None, gate: None }
+        ThreadedExecutor {
+            workers: workers.max(1),
+            throttle: Throttle::None,
+            gate: None,
+            inline_steal_depth: None,
+        }
     }
 
     /// Set the task-creation throttling policy.
     pub fn with_throttle(mut self, throttle: Throttle) -> Self {
         self.throttle = throttle;
+        self
+    }
+
+    /// Bound consecutive inline continuation steals for this executor
+    /// (`0` disables the steal path). Defaults to the
+    /// `JADE_INLINE_STEAL_DEPTH` environment variable, falling back to
+    /// [`INLINE_STEAL_DEPTH_DEFAULT`].
+    pub fn with_inline_steal_depth(mut self, depth: usize) -> Self {
+        self.inline_steal_depth = Some(depth);
         self
     }
 
@@ -725,7 +876,7 @@ impl Runtime for ThreadedExecutor {
             engine,
             store: RwLock::new(ObjectStore::new()),
             queue: StealQueue::new(workers),
-            bodies: (0..BODY_SHARDS).map(|_| Mutex::new(FastMap::default())).collect(),
+            bodies: (0..BODY_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
             unfinished: AtomicI64::new(0),
             root_done: AtomicBool::new(false),
             faulted: AtomicBool::new(false),
@@ -744,6 +895,7 @@ impl Runtime for ThreadedExecutor {
             throttle,
             base_workers: workers,
             gate: self.gate.clone(),
+            inline_steal_depth: self.inline_steal_depth.unwrap_or_else(env_inline_steal_depth),
             start: Instant::now(),
             observing,
             // One buffer per pool lane plus the root; compensation
@@ -776,6 +928,7 @@ impl Runtime for ThreadedExecutor {
             home: None,
             scratch: EngineScratch::default(),
             pending_ir: None,
+            grants: Vec::new(),
         };
         let outcome = catch_unwind(AssertUnwindSafe(|| program(&mut ctx)));
 
@@ -848,6 +1001,19 @@ pub struct ThreadCtx {
     /// Portable body staged by `withonly_ir` for the very next
     /// `withonly` call; consumed when the task payload is stored.
     pending_ir: Option<TaskBodyIr>,
+    /// Single-owner grant memo: `(object, kind)` accesses the engine
+    /// already granted this task occupancy. A repeat acquisition — the
+    /// producer/consumer chain shape, where one task touches its
+    /// objects many times — bypasses the engine's shard lock table
+    /// entirely. Sound because a granted read/write can only be revoked
+    /// by this task's *own* actions on this thread: creating a child
+    /// (`withonly` inserts the child's queue nodes ahead of ours —
+    /// cleared there) or retiring rights (`with_cont` — cleared there).
+    /// A conflicting concurrent task implies a covering ancestor with
+    /// active conflicting rights ahead of our node, in which case the
+    /// grant was never issued. Commuting updates are never memoized:
+    /// each acquisition takes the object's update exclusivity.
+    grants: Vec<(jade_core::ids::ObjectId, AccessKind)>,
 }
 
 impl JadeCtx for ThreadCtx {
@@ -865,6 +1031,10 @@ impl JadeCtx for ThreadCtx {
         let mut builder = SpecBuilder::new();
         spec(&mut builder);
         let (decls, placement) = builder.build();
+        // The child's queue nodes will insert ahead of ours and may
+        // revoke grants we hold; drop the whole memo (cheap, and a
+        // creator rarely re-touches objects it just delegated).
+        self.grants.clear();
         for d in &decls {
             if self.holds.conflicts(d.object, d.rights) {
                 violation(jade_core::error::JadeError::ChildConflictsWithHeldGuard {
@@ -914,7 +1084,7 @@ impl JadeCtx for ThreadCtx {
             // The body must be in place before the spec attaches: the
             // moment the engine enables the task, any worker may claim
             // it.
-            self.inner.body_shard(tid).lock().insert(tid, payload);
+            self.inner.body_put(tid, payload);
             self.inner
                 .engine
                 .attach_task_with(tid, &decls, &mut self.scratch)
@@ -955,6 +1125,7 @@ impl JadeCtx for ThreadCtx {
             home: self.home,
             scratch: std::mem::take(&mut self.scratch),
             pending_ir: None,
+            grants: Vec::new(),
         };
         let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut cctx)));
         let leaked = cctx.holds.any_held();
@@ -1028,6 +1199,8 @@ impl JadeCtx for ThreadCtx {
         let mut builder = ContBuilder::new();
         changes(&mut builder);
         let ops = builder.build();
+        // Retires invalidate our own rights; drop the grant memo.
+        self.grants.clear();
         let must_block = self
             .inner
             .engine
@@ -1080,10 +1253,17 @@ impl JadeCtx for ThreadCtx {
 
 impl ThreadCtx {
     fn checked_access<T: Object>(
-        &self,
+        &mut self,
         h: &Shared<T>,
         kind: AccessKind,
     ) -> Arc<parking_lot::RwLock<T>> {
+        // Single-owner fast path: this task occupancy already earned
+        // this grant and nothing since could have revoked it (see the
+        // `grants` field docs); skip the engine entirely.
+        if kind != AccessKind::Commute && self.grants.contains(&(h.id(), kind)) {
+            self.inner.engine.stats.grant_cache_hits.fetch_add(1, Ordering::Relaxed);
+            return self.inner.store.read().typed(h).unwrap_or_else(|e| violation(e));
+        }
         // Loop: one grant wave can wake several waiters (commuting
         // updates serialize at access time); re-check until this task
         // actually holds the access.
@@ -1108,6 +1288,9 @@ impl ThreadCtx {
                 }
                 Err(e) => violation(e),
             }
+        }
+        if kind != AccessKind::Commute {
+            self.grants.push((h.id(), kind));
         }
         self.inner.store.read().typed(h).unwrap_or_else(|e| violation(e))
     }
@@ -1644,5 +1827,107 @@ mod tests {
         assert!(rep.timeline.is_none());
         assert!(rep.contention.is_none());
         assert!(rep.critical_path().is_none());
+    }
+
+    /// A serializing chain of `len` read-modify-write tasks on one
+    /// object: each finish enables exactly one successor, the shape
+    /// the inline continuation steal exists for.
+    fn chain_program(len: usize) -> impl FnOnce(&mut ThreadCtx) -> f64 + Send + 'static {
+        move |ctx| {
+            let x = ctx.create(0.0f64);
+            for _ in 0..len {
+                ctx.withonly("link", |s| { s.rd_wr(x); }, move |c| {
+                    *c.wr(&x) += 1.0;
+                });
+            }
+            *ctx.rd(&x)
+        }
+    }
+
+    #[test]
+    fn inline_steal_runs_chains_and_counts() {
+        let exec = ThreadedExecutor::new(2);
+        let rep = exec.execute(RunConfig::new(), chain_program(64)).expect("clean run");
+        assert_eq!(rep.result, 64.0);
+        assert_eq!(rep.stats.tasks_created, 64);
+        assert_eq!(rep.stats.tasks_finished + rep.stats.tasks_inlined, 64);
+        assert!(
+            rep.stats.cont_steals > 0,
+            "a 64-link chain must exercise the inline continuation steal"
+        );
+    }
+
+    #[test]
+    fn inline_steal_depth_bound_prevents_queue_starvation() {
+        // Depth 3: after at most 3 consecutive inline steals the
+        // worker must return to the ready queue, so sibling queues are
+        // revisited at least every depth+1 tasks. Over a 40-link chain
+        // at most 3 of every 4 dispatches may be inline.
+        let exec = ThreadedExecutor::new(2).with_inline_steal_depth(3);
+        let rep = exec.execute(RunConfig::new(), chain_program(40)).expect("clean run");
+        assert_eq!(rep.result, 40.0);
+        assert!(rep.stats.cont_steals > 0, "bounded stealing still steals");
+        assert!(
+            rep.stats.cont_steals <= 30,
+            "depth 3 allows at most 30 inline steals over 40 links, got {}",
+            rep.stats.cont_steals
+        );
+
+        // Depth 0 disables the path entirely: every dispatch goes
+        // through the ready queue.
+        let exec = ThreadedExecutor::new(2).with_inline_steal_depth(0);
+        let rep = exec.execute(RunConfig::new(), chain_program(40)).expect("clean run");
+        assert_eq!(rep.result, 40.0);
+        assert_eq!(rep.stats.cont_steals, 0, "depth 0 must disable inline stealing");
+    }
+
+    #[test]
+    fn inline_steal_interleaves_two_chains_to_completion() {
+        // Two independent chains with a tight depth bound: neither may
+        // monopolize the pool — both finish and the joint result is
+        // exact regardless of interleaving.
+        let exec = ThreadedExecutor::new(2).with_inline_steal_depth(2);
+        let (v, stats) = run(&exec, |ctx| {
+            let a = ctx.create(0.0f64);
+            let b = ctx.create(0.0f64);
+            for _ in 0..30 {
+                ctx.withonly("a", |s| { s.rd_wr(a); }, move |c| {
+                    *c.wr(&a) += 1.0;
+                });
+                ctx.withonly("b", |s| { s.rd_wr(b); }, move |c| {
+                    *c.wr(&b) += 2.0;
+                });
+            }
+            *ctx.rd(&a) + *ctx.rd(&b)
+        });
+        assert_eq!(v, 30.0 + 60.0);
+        assert_eq!(stats.tasks_created, 60);
+        assert_eq!(stats.tasks_finished + stats.tasks_inlined, 60);
+    }
+
+    #[test]
+    fn grant_cache_hits_on_repeated_guard_acquisitions() {
+        let exec = ThreadedExecutor::new(2);
+        let rep = exec
+            .execute(RunConfig::new(), |ctx| {
+                let x = ctx.create(0.0f64);
+                ctx.withonly("hot-loop", |s| { s.rd_wr(x); }, move |c| {
+                    // Repeated guard acquisitions inside one body: the
+                    // first read and first write each validate against
+                    // the engine, the rest hit the per-task grant cache.
+                    for _ in 0..16 {
+                        let cur = *c.rd(&x);
+                        *c.wr(&x) = cur + 1.0;
+                    }
+                });
+                *ctx.rd(&x)
+            })
+            .expect("clean run");
+        assert_eq!(rep.result, 16.0);
+        assert!(
+            rep.stats.grant_cache_hits >= 30,
+            "30 of 32 accesses must hit the grant cache, got {}",
+            rep.stats.grant_cache_hits
+        );
     }
 }

@@ -196,6 +196,14 @@ impl ReadyQueue for StealQueue {
     fn len(&self) -> usize {
         self.injector.len() + self.locals.iter().map(Worker::len).sum::<usize>()
     }
+
+    /// Short-circuiting emptiness probe. The default `len() == 0`
+    /// sums every deque; this is on the worker park/recheck path
+    /// (sleep-gate revalidation), where any non-empty deque should
+    /// answer immediately without touching the rest.
+    fn is_empty(&self) -> bool {
+        self.injector.is_empty() && self.locals.iter().all(|l| l.is_empty())
+    }
 }
 
 #[cfg(test)]
@@ -335,6 +343,20 @@ mod tests {
         // …but a dry group does fall through to remote victims.
         q.push(TaskId(30), Some(2));
         assert_eq!(q.pop(1), Some(TaskId(30)));
+    }
+
+    #[test]
+    fn is_empty_agrees_with_len_across_queue_shapes() {
+        let q = StealQueue::new(3);
+        assert!(q.is_empty());
+        q.push(TaskId(1), Some(2)); // deque only
+        assert!(!q.is_empty());
+        assert_eq!(q.pop(2), Some(TaskId(1)));
+        assert!(q.is_empty());
+        q.push(TaskId(2), None); // injector only
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
     }
 
     #[test]

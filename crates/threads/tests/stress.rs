@@ -169,6 +169,156 @@ proptest! {
     }
 }
 
+/// What a generated pipeline task does with its deferred declaration:
+/// convert it to an immediate access (`with { to_* } cont`) or retire
+/// it (`with { no_* } cont`). The deferred side is chosen to match.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum DefAct {
+    ConvertRd,
+    ConvertWr,
+    RetireRd,
+    RetireWr,
+}
+
+/// A random deferred-pipeline program: task `i` declares an immediate
+/// `rd_wr` on one object and a deferred right on another, then issues
+/// the matching `with-cont` mid-body. This drives exactly the paths
+/// the dispatch fast paths must not break: `with_cont` retires bump
+/// the spec-cache epoch, conversions may block mid-task, and finishes
+/// that enable a single successor take the inline-steal path.
+#[derive(Debug, Clone)]
+struct ContProgram {
+    tasks: Vec<(usize, usize, DefAct)>,
+}
+
+fn cont_program_strategy(max_tasks: usize) -> impl Strategy<Value = ContProgram> {
+    proptest::collection::vec(
+        (0..N_OBJECTS, 0..N_OBJECTS, prop_oneof![
+            Just(DefAct::ConvertRd),
+            Just(DefAct::ConvertWr),
+            Just(DefAct::RetireRd),
+            Just(DefAct::RetireWr),
+        ])
+        .prop_map(|(a, b, act)| {
+            // Distinct immediate/deferred objects keep the spec simple
+            // (one declaration per object).
+            let b = if a == b { (b + 1) % N_OBJECTS } else { b };
+            (a, b, act)
+        }),
+        1..max_tasks + 1,
+    )
+    .prop_map(|tasks| ContProgram { tasks })
+}
+
+fn run_cont_on<Rt: Runtime>(
+    rt: &Rt,
+    prog: &ContProgram,
+) -> (Vec<u64>, TaskGraphTrace, jade_core::stats::RuntimeStats) {
+    let prog = prog.clone();
+    let rep = rt
+        .execute(RunConfig::new().with_trace(), move |ctx| {
+            let xs: Vec<Shared<u64>> = (0..N_OBJECTS).map(|_| ctx.create(1u64)).collect();
+            for (i, &(a, b, act)) in prog.tasks.iter().enumerate() {
+                let (xa, xb) = (xs[a], xs[b]);
+                let label = format!("t{i}");
+                ctx.withonly(
+                    &label,
+                    |s| {
+                        s.rd_wr(xa);
+                        match act {
+                            DefAct::ConvertRd | DefAct::RetireRd => s.df_rd(xb),
+                            DefAct::ConvertWr | DefAct::RetireWr => s.df_wr(xb),
+                        };
+                    },
+                    move |c: &mut _| {
+                        let k = i as u64 + 1;
+                        {
+                            let g = &mut *c.wr(&xa);
+                            *g = g.wrapping_mul(31).wrapping_add(k);
+                        }
+                        match act {
+                            DefAct::ConvertRd => {
+                                c.with_cont(|cb| {
+                                    cb.to_rd(xb);
+                                });
+                                std::hint::black_box(*c.rd(&xb));
+                            }
+                            DefAct::ConvertWr => {
+                                c.with_cont(|cb| {
+                                    cb.to_wr(xb);
+                                });
+                                let g = &mut *c.wr(&xb);
+                                *g = g.wrapping_mul(31).wrapping_add(k);
+                            }
+                            DefAct::RetireRd => c.with_cont(|cb| {
+                                cb.no_rd(xb);
+                            }),
+                            DefAct::RetireWr => c.with_cont(|cb| {
+                                cb.no_wr(xb);
+                            }),
+                        }
+                    },
+                );
+            }
+            xs.iter().map(|x| *ctx.rd(x)).collect::<Vec<u64>>()
+        })
+        .expect("with-cont stress program must run clean");
+    let trace = rep.trace.clone().expect("trace was requested");
+    (rep.result, trace, rep.stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random deferred-pipeline programs at 8 workers must be
+    /// bit-identical to the serial reference — with the inline
+    /// continuation steal, the spec-hash cache, and the grant cache
+    /// all live on these runs.
+    #[test]
+    fn with_cont_pipelines_match_serial_under_stress(prog in cont_program_strategy(40)) {
+        let (serial_vals, serial_tr, serial_stats) = run_cont_on(&SerialRuntime, &prog);
+        let (par_vals, par_tr, par_stats) = run_cont_on(&ThreadedExecutor::new(8), &prog);
+        prop_assert_eq!(&par_vals, &serial_vals, "final object values diverged");
+        prop_assert_eq!(edge_set(&par_tr), edge_set(&serial_tr), "task graphs diverged");
+        prop_assert_eq!(par_stats.with_conts, serial_stats.with_conts);
+        prop_assert_eq!(par_stats.tasks_created, serial_stats.tasks_created);
+    }
+}
+
+/// The fast paths must actually fire, not just not-break: a crafted
+/// chain of identically-specified read-modify-write tasks exercises
+/// the inline continuation steal (every finish enables exactly one
+/// successor), the spec-hash cache (identical root-child specs), and
+/// the grant cache (repeated guard acquisitions in one body) — and
+/// the result still matches the serial reference.
+#[test]
+fn fast_paths_are_exercised_and_stay_serial() {
+    fn chain_on<Rt: Runtime>(rt: &Rt) -> (u64, jade_core::stats::RuntimeStats) {
+        let rep = rt
+            .execute(RunConfig::new(), |ctx| {
+                let x: Shared<u64> = ctx.create(0u64);
+                for _ in 0..200 {
+                    ctx.withonly("link", |s| { s.rd_wr(x); }, move |c| {
+                        for _ in 0..4 {
+                            let cur = *c.rd(&x);
+                            *c.wr(&x) = cur + 1;
+                        }
+                    });
+                }
+                *ctx.rd(&x)
+            })
+            .expect("clean run");
+        (rep.result, rep.stats)
+    }
+    let (serial_v, _) = chain_on(&SerialRuntime);
+    let (par_v, stats) = chain_on(&ThreadedExecutor::new(8));
+    assert_eq!(par_v, serial_v);
+    assert_eq!(par_v, 800);
+    assert!(stats.cont_steals > 0, "chain must exercise the inline continuation steal");
+    assert!(stats.spec_cache_hits > 0, "identical specs must hit the spec-hash cache");
+    assert!(stats.grant_cache_hits > 0, "repeated accesses must hit the grant cache");
+}
+
 /// Cross-shard commit ordering: tasks declaring several objects in
 /// *descending* program order still commit with shard locks taken in
 /// ascending order, so two opposite-order multi-object tasks can never
